@@ -1,0 +1,186 @@
+//! Connected-component labelling with the `scm` skeleton.
+//!
+//! The application of Ginhac, Sérot & Dérutin (MVA'98, cited as \[7\]):
+//! the image is split into horizontal bands, each band is labelled
+//! independently, and the merge step resolves label equivalences across
+//! band boundaries with a union-find pass — a textbook Split/Compute/Merge
+//! decomposition.
+
+use skipper::Scm;
+use skipper_vision::label::{label_components, Connectivity, DisjointSets};
+use skipper_vision::split::{split_rows, RowBand};
+use skipper_vision::Image;
+
+/// Per-band computation result: the band metadata plus its local label map
+/// and label count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledBand {
+    /// The band (metadata + original pixels).
+    pub band: RowBand,
+    /// Local label map (dense from 1).
+    pub labels: Image<u32>,
+    /// Number of local labels.
+    pub count: u32,
+}
+
+/// Sequential reference: number of 8-connected components.
+pub fn count_components_seq(img: &Image<u8>) -> u32 {
+    skipper_vision::label::count_components(img, Connectivity::Eight)
+}
+
+/// The `scm` split function: `n` bands, no halo (labelling merges across
+/// the seam explicitly).
+pub fn split_bands(img: &Image<u8>, n: usize) -> Vec<RowBand> {
+    split_rows(img, n, 0)
+}
+
+/// The `scm` compute function: label one band locally.
+pub fn label_band(band: RowBand) -> LabelledBand {
+    let labels = label_components(&band.pixels, Connectivity::Eight);
+    let count = labels.as_slice().iter().copied().max().unwrap_or(0);
+    LabelledBand {
+        band,
+        labels,
+        count,
+    }
+}
+
+/// The `scm` merge function: resolve cross-boundary equivalences and count
+/// global components.
+pub fn merge_bands(parts: Vec<LabelledBand>) -> u32 {
+    if parts.is_empty() {
+        return 0;
+    }
+    // Global id = offset[band] + local_label - 1.
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut total = 0u32;
+    for p in &parts {
+        offsets.push(total);
+        total += p.count;
+    }
+    let mut ds = DisjointSets::new(total as usize);
+    // Union across each seam: last row of band i touches first row of
+    // band i+1 (8-connectivity: straight and diagonal neighbours).
+    for i in 0..parts.len().saturating_sub(1) {
+        let (top, bottom) = (&parts[i], &parts[i + 1]);
+        if top.labels.height() == 0 || bottom.labels.height() == 0 {
+            continue;
+        }
+        let ty = top.labels.height() - 1;
+        let w = top.labels.width();
+        for x in 0..w {
+            let lt = top.labels.get(x, ty);
+            if lt == 0 {
+                continue;
+            }
+            let gt = offsets[i] + lt - 1;
+            for dx in -1i64..=1 {
+                let bx = x as i64 + dx;
+                if bx < 0 || bx >= w as i64 {
+                    continue;
+                }
+                let lb = bottom.labels.get(bx as usize, 0);
+                if lb != 0 {
+                    let gb = offsets[i + 1] + lb - 1;
+                    ds.union(gt as usize, gb as usize);
+                }
+            }
+        }
+    }
+    // Count distinct roots.
+    let mut roots = std::collections::HashSet::new();
+    for g in 0..total {
+        roots.insert(ds.find(g as usize));
+    }
+    roots.len() as u32
+}
+
+/// Parallel component count via the `scm` skeleton on `n` worker threads.
+pub fn count_components_scm(img: &Image<u8>, n: usize) -> u32 {
+    let scm = Scm::new(
+        n,
+        |img: &Image<u8>, n| split_bands(img, n),
+        label_band,
+        merge_bands,
+    );
+    scm.run_par(img)
+}
+
+/// The same count through the declarative semantics (sequential emulation).
+pub fn count_components_scm_seq(img: &Image<u8>, n: usize) -> u32 {
+    let scm = Scm::new(
+        n,
+        |img: &Image<u8>, n| split_bands(img, n),
+        label_band,
+        merge_bands,
+    );
+    scm.run_seq(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_vision::synth::random_blobs;
+
+    #[test]
+    fn merge_counts_single_blob_across_seam() {
+        // A vertical bar crossing all band boundaries.
+        let mut img = Image::<u8>::new(16, 16);
+        img.fill_rect(7, 0, 2, 16, 255);
+        assert_eq!(count_components_seq(&img), 1);
+        for n in [2, 3, 4, 8] {
+            assert_eq!(count_components_scm(&img, n), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn diagonal_contact_across_seam_merges() {
+        // Two pixels touching only diagonally across the seam of 2 bands
+        // over a 4-row image (seam between rows 1 and 2).
+        let mut img = Image::<u8>::new(4, 4);
+        img.set(1, 1, 255);
+        img.set(2, 2, 255);
+        assert_eq!(count_components_seq(&img), 1);
+        assert_eq!(count_components_scm(&img, 2), 1);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_random_blobs() {
+        for seed in 0..6 {
+            let img = random_blobs(96, 96, 14, seed);
+            let expected = count_components_seq(&img);
+            for n in [1, 2, 3, 5, 8] {
+                assert_eq!(
+                    count_components_scm(&img, n),
+                    expected,
+                    "seed={seed} n={n}"
+                );
+                assert_eq!(count_components_scm_seq(&img, n), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_image_has_zero_components() {
+        let img = Image::<u8>::new(32, 32);
+        assert_eq!(count_components_scm(&img, 4), 0);
+    }
+
+    #[test]
+    fn separate_blobs_stay_separate() {
+        let mut img = Image::<u8>::new(32, 32);
+        img.fill_rect(2, 2, 4, 4, 255);
+        img.fill_rect(20, 20, 4, 4, 255);
+        img.fill_rect(10, 28, 4, 2, 255);
+        assert_eq!(count_components_scm(&img, 4), 3);
+    }
+
+    #[test]
+    fn more_bands_than_rows_still_correct() {
+        let img = random_blobs(64, 6, 5, 9);
+        assert_eq!(
+            count_components_scm(&img, 16),
+            count_components_seq(&img)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! The SKiPPER applications.
+//!
+//! Implements the three real-time vision applications the paper reports
+//! (§4), each expressed as skeleton compositions over the
+//! [`skipper_vision`] substrate, runnable four ways: pure sequential
+//! specification, real threads ([`skipper`]), the simulated Transputer
+//! platform ([`skipper_exec`] over [`transvision`]), and — for the tracker
+//! — a hand-crafted message-passing baseline.
+//!
+//! - [`tracking`]: vehicle detection & tracking (the §4 case study:
+//!   three-mark detection with a `df` farm inside an `itermem` loop,
+//!   predict-then-verify with rigidity criteria, `nproc`-window
+//!   reinitialisation);
+//! - [`tracker_sim`]: the tracker scheduled and executed on the simulated
+//!   T9000 ring — the path that reproduces the 30 ms / 110 ms latencies;
+//! - [`handcrafted`]: the skeleton-free comparator (paper: "similar
+//!   performance to the hand-crafted version");
+//! - [`ccl`]: connected-component labelling via `scm` with cross-band
+//!   label reconciliation \[7\];
+//! - [`road`]: road following by white-line detection via `scm` \[6\];
+//! - [`workloads`]: synthetic imbalance generators for the df-vs-scm
+//!   experiment;
+//! - [`costs`]: the calibrated work-unit cost model shared by the
+//!   simulated paths.
+
+pub mod ccl;
+pub mod costs;
+pub mod handcrafted;
+pub mod road;
+pub mod tracker_sim;
+pub mod tracking;
+pub mod workloads;

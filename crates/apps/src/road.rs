@@ -1,0 +1,111 @@
+//! Road following by white-line detection with the `scm` skeleton.
+//!
+//! Ginhac's road-following application (PhD thesis, cited as \[6\]): the
+//! frame is divided into horizontal bands; each band scans its rows for the
+//! lane-marking run centres; the merge step fits one line through all the
+//! samples and reads the lane offset at the bottom of the image.
+
+use skipper::Scm;
+use skipper_vision::line::{fit_line, scan_line_points, FittedLine, LinePoint};
+use skipper_vision::split::{split_rows, RowBand};
+use skipper_vision::Image;
+
+/// Marking-pixel threshold.
+pub const LINE_THRESHOLD: u8 = 150;
+
+/// Widest acceptable marking run in pixels (wider = glare, rejected).
+pub const MAX_RUN_WIDTH: usize = 24;
+
+/// Scans one band, translating sample rows to frame coordinates.
+pub fn scan_band(band: RowBand) -> Vec<LinePoint> {
+    scan_line_points(&band.pixels, LINE_THRESHOLD)
+        .into_iter()
+        .filter(|p| p.width <= MAX_RUN_WIDTH)
+        .map(|p| LinePoint {
+            y: p.y + band.y0,
+            x: p.x,
+            width: p.width,
+        })
+        .collect()
+}
+
+/// Merges per-band samples into one fitted line.
+pub fn merge_scans(parts: Vec<Vec<LinePoint>>) -> Option<FittedLine> {
+    let all: Vec<LinePoint> = parts.into_iter().flatten().collect();
+    fit_line(&all)
+}
+
+/// Sequential reference detection.
+pub fn detect_line_seq(img: &Image<u8>) -> Option<FittedLine> {
+    merge_scans(vec![scan_band(RowBand {
+        index: 0,
+        y0: 0,
+        rows: img.height(),
+        halo_top: 0,
+        halo_bottom: 0,
+        pixels: img.clone(),
+    })])
+}
+
+/// Parallel detection via `scm` over `n` bands.
+pub fn detect_line_scm(img: &Image<u8>, n: usize) -> Option<FittedLine> {
+    let scm = Scm::new(
+        n,
+        |img: &Image<u8>, n| split_rows(img, n, 0),
+        scan_band,
+        merge_scans,
+    );
+    scm.run_par(img)
+}
+
+/// Lane offset in pixels from the image centre at the bottom row.
+pub fn lane_offset(line: &FittedLine, width: usize, height: usize) -> f64 {
+    line.x_at(height.saturating_sub(1) as f64) - width as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_vision::synth::render_road_frame;
+
+    #[test]
+    fn parallel_matches_sequential_fit() {
+        let (img, _) = render_road_frame(256, 192, 30.0, 0.1, 7);
+        let seq = detect_line_seq(&img).unwrap();
+        for n in [2, 4, 8] {
+            let par = detect_line_scm(&img, n).unwrap();
+            assert_eq!(par.samples, seq.samples, "n={n}");
+            assert!((par.a - seq.a).abs() < 1e-9);
+            assert!((par.b - seq.b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn offset_tracks_ground_truth() {
+        for (off, curv) in [(0.0, 0.0), (40.0, 0.0), (-30.0, 0.15), (20.0, -0.1)] {
+            let (img, true_bottom_x) = render_road_frame(256, 192, off, curv, 3);
+            let line = detect_line_scm(&img, 4).unwrap();
+            let est_bottom_x = line.x_at(191.0);
+            assert!(
+                (est_bottom_x - true_bottom_x).abs() < 8.0,
+                "off={off} curv={curv}: est {est_bottom_x:.1} vs true {true_bottom_x:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn dark_frame_gives_no_line() {
+        let img = Image::<u8>::new(64, 64);
+        assert!(detect_line_scm(&img, 4).is_none());
+    }
+
+    #[test]
+    fn lane_offset_sign_convention() {
+        let (img, _) = render_road_frame(256, 192, 50.0, 0.0, 1);
+        let line = detect_line_scm(&img, 4).unwrap();
+        assert!(lane_offset(&line, 256, 192) > 0.0, "marking right of centre");
+        let (img2, _) = render_road_frame(256, 192, -50.0, 0.0, 1);
+        let line2 = detect_line_scm(&img2, 4).unwrap();
+        assert!(lane_offset(&line2, 256, 192) < 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! E9 micro-benchmark: connected-component labelling via scm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_apps::ccl::{count_components_scm, count_components_seq};
+use skipper_vision::synth::random_blobs;
+
+fn bench_ccl(c: &mut Criterion) {
+    let img = random_blobs(256, 256, 40, 42);
+    let mut g = c.benchmark_group("ccl");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| count_components_seq(&img)));
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("scm", n), &n, |b, &n| {
+            b.iter(|| count_components_scm(&img, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ccl);
+criterion_main!(benches);

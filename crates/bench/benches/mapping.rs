@@ -1,0 +1,23 @@
+//! E12 micro-benchmark: AAA scheduling cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipper_apps::tracker_sim::build_tracker_net;
+use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::Architecture;
+use std::collections::HashMap;
+
+fn bench_mapping(c: &mut Criterion) {
+    let t = build_tracker_net(7);
+    let arch = Architecture::ring_t9000(8);
+    let mut g = c.benchmark_group("mapping");
+    g.bench_function("aaa_tracker_net", |b| {
+        b.iter(|| schedule_with(&t.net, &arch, &HashMap::new(), Strategy::MinFinish).expect("ok"))
+    });
+    g.bench_function("roundrobin_tracker_net", |b| {
+        b.iter(|| schedule_with(&t.net, &arch, &HashMap::new(), Strategy::RoundRobin).expect("ok"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 micro-benchmark: tracker simulation cost vs machine size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_apps::tracker_sim::run_tracker_sim;
+use skipper_vision::synth::{Scene, SceneConfig};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::with_vehicles(
+        SceneConfig {
+            width: 256,
+            height: 256,
+            focal_px: 350.0,
+            noise_amplitude: 6,
+            seed: 5,
+            ..SceneConfig::default()
+        },
+        1,
+    ))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracker_scaling");
+    g.sample_size(10);
+    for nprocs in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(nprocs), &nprocs, |b, &n| {
+            b.iter(|| run_tracker_sim(scene(), n, 2).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Skeleton-overhead micro-benchmarks (thread backend).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipper::{Df, IterMem, Scm, Tf};
+
+fn bench_skeletons(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..512).collect();
+    let mut g = c.benchmark_group("skeletons");
+    g.bench_function("df_seq_512", |b| {
+        let farm = Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        b.iter(|| farm.run_seq(&xs))
+    });
+    g.bench_function("df_par_512", |b| {
+        let farm = Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        b.iter(|| farm.run_par(&xs))
+    });
+    g.bench_function("scm_par_512", |b| {
+        let scm = Scm::new(
+            4,
+            |v: &Vec<u64>, n| v.chunks(v.len().div_ceil(n)).map(<[u64]>::to_vec).collect(),
+            |c: Vec<u64>| c.iter().map(|x| x * x).sum::<u64>(),
+            |ps: Vec<u64>| ps.into_iter().sum::<u64>(),
+        );
+        b.iter(|| scm.run_par(&xs))
+    });
+    g.bench_function("tf_par_tree", |b| {
+        let tf = Tf::new(
+            4,
+            |d: u32| {
+                if d > 0 {
+                    (vec![d - 1, d - 1], Some(1u64))
+                } else {
+                    (vec![], Some(1u64))
+                }
+            },
+            |z: u64, o| z + o,
+            0u64,
+        );
+        b.iter(|| tf.run_par(vec![8]))
+    });
+    g.bench_function("itermem_1000_steps", |b| {
+        b.iter(|| {
+            let mut im = IterMem::new(
+                skipper::itermem::stream_of(0..1000u64),
+                |z: u64, x: u64| (z + x, ()),
+                |_| {},
+                0u64,
+            );
+            im.run();
+            im.into_state()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_skeletons);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 micro-benchmark: simulated tracker latency on the T9000 ring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipper_apps::tracker_sim::run_tracker_sim;
+use skipper_vision::synth::{Scene, SceneConfig};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::with_vehicles(
+        SceneConfig {
+            width: 256,
+            height: 256,
+            focal_px: 350.0,
+            noise_amplitude: 6,
+            seed: 5,
+            ..SceneConfig::default()
+        },
+        1,
+    ))
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracker_sim");
+    g.sample_size(10);
+    g.bench_function("ring8_3frames", |b| {
+        b.iter(|| run_tracker_sim(scene(), 8, 3).expect("runs"))
+    });
+    g.bench_function("single_3frames", |b| {
+        b.iter(|| run_tracker_sim(scene(), 1, 3).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

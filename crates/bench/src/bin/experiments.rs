@@ -1,0 +1,34 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! experiments            # run everything
+//! experiments e3 e4      # run selected experiments
+//! ```
+
+use skipper_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        ex::run_all();
+        return;
+    }
+    for a in &args {
+        match a.as_str() {
+            "e1" => ex::e1(),
+            "e2" => ex::e2(),
+            "e3" => ex::e3(),
+            "e4" => ex::e4(),
+            "e5" => ex::e5(),
+            "e6" => ex::e6(),
+            "e7" => ex::e7(),
+            "e8" => ex::e8(),
+            "e9" => ex::e9(),
+            "e10" => ex::e10(),
+            "e11" => ex::e11(),
+            "e12" => ex::e12(),
+            "all" => ex::run_all(),
+            other => eprintln!("unknown experiment `{other}` (use e1..e12 or all)"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The registry of user sequential functions.
+//!
+//! In SKiPPER, "each instance takes as parameters the application specific
+//! sequential functions written in C". The executive binds process-graph
+//! nodes to native Rust closures registered here by name, together with an
+//! optional **cost function** mapping actual arguments to abstract work
+//! units — the dynamic analogue of the WCET hints the mapper uses.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A registered sequential function: `arguments (one per input port) →
+/// results (one per output port)`.
+pub type NativeFn = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
+
+/// A cost model for one function: actual arguments → abstract work units.
+pub type CostFn = Arc<dyn Fn(&[Value]) -> u64 + Send + Sync>;
+
+/// Raised when the executive calls a function nobody registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFunction(pub String);
+
+impl fmt::Display for UnknownFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown function `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFunction {}
+
+/// Name → native function/cost bindings.
+///
+/// # Example
+///
+/// ```
+/// use skipper_exec::{Registry, Value};
+/// let mut reg = Registry::new();
+/// reg.register("double", |args| vec![Value::Int(args[0].as_int().unwrap() * 2)]);
+/// let out = reg.call("double", &[Value::Int(21)]).unwrap();
+/// assert_eq!(out, vec![Value::Int(42)]);
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    fns: HashMap<String, NativeFn>,
+    costs: HashMap<String, CostFn>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers `f` under `name` (replacing any previous binding).
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.fns.insert(name.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Registers `f` with an explicit cost function.
+    pub fn register_with_cost(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+        cost: impl Fn(&[Value]) -> u64 + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.fns.insert(name.to_string(), Arc::new(f));
+        self.costs.insert(name.to_string(), Arc::new(cost));
+        self
+    }
+
+    /// `true` when `name` is bound.
+    pub fn has(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Calls the function bound to `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownFunction`] when nothing is bound to `name`.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Vec<Value>, UnknownFunction> {
+        match self.fns.get(name) {
+            Some(f) => Ok(f(args)),
+            None => Err(UnknownFunction(name.to_string())),
+        }
+    }
+
+    /// The work-unit cost of calling `name` on `args`; `None` when no cost
+    /// function is registered.
+    pub fn cost_units(&self, name: &str, args: &[Value]) -> Option<u64> {
+        self.costs.get(name).map(|c| c(args))
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<_> = self.fns.keys().collect();
+        names.sort();
+        f.debug_struct("Registry").field("functions", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_unknown_fails() {
+        let reg = Registry::new();
+        assert_eq!(
+            reg.call("nope", &[]).unwrap_err(),
+            UnknownFunction("nope".into())
+        );
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = Registry::new();
+        reg.register("id", |args| args.to_vec());
+        assert!(reg.has("id"));
+        let out = reg.call("id", &[Value::Int(1), Value::Unit]).unwrap();
+        assert_eq!(out, vec![Value::Int(1), Value::Unit]);
+    }
+
+    #[test]
+    fn cost_function_consulted() {
+        let mut reg = Registry::new();
+        reg.register_with_cost(
+            "work",
+            |_| vec![Value::Unit],
+            |args| args.len() as u64 * 100,
+        );
+        assert_eq!(reg.cost_units("work", &[Value::Unit]), Some(100));
+        assert_eq!(reg.cost_units("work", &[]), Some(0));
+        reg.register("free", |_| vec![Value::Unit]);
+        assert_eq!(reg.cost_units("free", &[]), None);
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut reg = Registry::new();
+        reg.register("f", |_| vec![Value::Int(1)]);
+        reg.register("f", |_| vec![Value::Int(2)]);
+        assert_eq!(reg.call("f", &[]).unwrap(), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut reg = Registry::new();
+        reg.register("b", |_| vec![]).register("a", |_| vec![]);
+        let s = format!("{reg:?}");
+        assert!(s.contains("\"a\"") && s.contains("\"b\""));
+    }
+}

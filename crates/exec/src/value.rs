@@ -1,0 +1,271 @@
+//! Dynamic values flowing through the distributed executive.
+//!
+//! The executive ships *real application data* through the simulated
+//! machine so that a parallel run can be checked bit-for-bit against the
+//! sequential emulation. [`Value`] is the uniform message/argument type:
+//! scalars, strings, lists, tuples, and opaque application payloads
+//! (images, tracker states, …) carried behind an `Arc` together with their
+//! modelled wire size.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically-typed executive value.
+#[derive(Clone)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Homogeneous-ish list.
+    List(Arc<Vec<Value>>),
+    /// Fixed-arity tuple.
+    Tuple(Arc<Vec<Value>>),
+    /// An opaque application value with an explicit wire-size estimate.
+    Opaque {
+        /// Human-readable type name for diagnostics.
+        type_name: Arc<str>,
+        /// The payload.
+        data: Arc<dyn Any + Send + Sync>,
+        /// Modelled size in bytes (drives link occupancy).
+        bytes: u64,
+    },
+    /// Farm-protocol control marker: "no more work" (end of iteration).
+    End,
+}
+
+impl Value {
+    /// Wraps an application value as an opaque payload.
+    pub fn opaque<T: Any + Send + Sync>(type_name: &str, value: T, bytes: u64) -> Value {
+        Value::Opaque {
+            type_name: Arc::from(type_name),
+            data: Arc::new(value),
+            bytes,
+        }
+    }
+
+    /// Builds a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    /// Builds a tuple value.
+    pub fn tuple(items: Vec<Value>) -> Value {
+        Value::Tuple(Arc::new(items))
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Borrows the payload of an [`Value::Opaque`] as `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match self {
+            Value::Opaque { data, .. } => data.downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The list elements, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The tuple elements, if this is a `Tuple`.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for the farm end marker.
+    pub fn is_end(&self) -> bool {
+        matches!(self, Value::End)
+    }
+
+    /// Modelled wire size in bytes. Every message is at least one byte.
+    pub fn byte_size(&self) -> u64 {
+        let raw = match self {
+            Value::Unit | Value::Bool(_) | Value::End => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() as u64,
+            Value::List(v) | Value::Tuple(v) => {
+                8 + v.iter().map(Value::byte_size).sum::<u64>()
+            }
+            Value::Opaque { bytes, .. } => *bytes,
+        };
+        raw.max(1)
+    }
+
+    /// A short type description for diagnostics.
+    pub fn type_name(&self) -> String {
+        match self {
+            Value::Unit => "unit".into(),
+            Value::Bool(_) => "bool".into(),
+            Value::Int(_) => "int".into(),
+            Value::Float(_) => "float".into(),
+            Value::Str(_) => "string".into(),
+            Value::List(_) => "list".into(),
+            Value::Tuple(_) => "tuple".into(),
+            Value::Opaque { type_name, .. } => type_name.to_string(),
+            Value::End => "end".into(),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(v) => f.debug_list().entries(v.iter()).finish(),
+            Value::Tuple(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Opaque {
+                type_name, bytes, ..
+            } => write!(f, "<{type_name}:{bytes}B>"),
+            Value::End => write!(f, "<end>"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) | (Value::End, Value::End) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => a == b,
+            (Value::Opaque { data: a, .. }, Value::Opaque { data: b, .. }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Unit.byte_size(), 1);
+        assert_eq!(Value::Int(5).byte_size(), 8);
+        assert_eq!(Value::str("abcd").byte_size(), 4);
+        let l = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.byte_size(), 8 + 16);
+        let o = Value::opaque("image", vec![0u8; 16], 65536);
+        assert_eq!(o.byte_size(), 65536);
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let v = Value::opaque("vec", vec![1u8, 2, 3], 3);
+        assert_eq!(v.downcast_ref::<Vec<u8>>().unwrap(), &vec![1, 2, 3]);
+        assert!(v.downcast_ref::<String>().is_none());
+        assert!(Value::Int(1).downcast_ref::<i64>().is_none());
+    }
+
+    #[test]
+    fn equality_is_structural_for_plain_values() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(
+            Value::list(vec![Value::Bool(true)]),
+            Value::list(vec![Value::Bool(true)])
+        );
+    }
+
+    #[test]
+    fn opaque_equality_is_identity() {
+        let a = Value::opaque("x", 1u8, 1);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c = Value::opaque("x", 1u8, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert!(Value::End.is_end());
+        let t = Value::tuple(vec![Value::Int(1), Value::Unit]);
+        assert_eq!(t.as_tuple().unwrap().len(), 2);
+        assert!(t.as_list().is_none());
+    }
+
+    #[test]
+    fn debug_formats_compactly() {
+        let v = Value::tuple(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(format!("{v:?}"), "(1, \"a\")");
+        let o = Value::opaque("image", (), 1024);
+        assert_eq!(format!("{o:?}"), "<image:1024B>");
+    }
+}

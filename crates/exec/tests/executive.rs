@@ -1,0 +1,432 @@
+//! End-to-end tests of the distributed executive: process graph →
+//! schedule → macro-code → simulated execution with real values.
+
+use skipper_exec::{run_simulated, ExecConfig, ExecError, Registry, Value};
+use skipper_net::dtype::DataType;
+use skipper_net::graph::{NodeId, NodeKind, ProcessNetwork};
+use skipper_net::pnt::{expand_df, expand_itermem, DfTypes, FarmShape, IterMemTypes};
+use skipper_syndex::analysis::check_deadlock_free;
+use skipper_syndex::macrocode::generate;
+use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::Architecture;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use transvision::stream::FrameClock;
+use transvision::topology::ProcId;
+use transvision::Topology;
+
+type Collector = Arc<Mutex<Vec<i64>>>;
+
+/// in -> double -> out, executed on a 2-processor ring.
+#[test]
+fn linear_pipeline_computes_and_measures_latency() {
+    let mut net = ProcessNetwork::new("pipe");
+    let inp = net.add_node(NodeKind::Input("source".into()), "source");
+    let f = net.add_node(NodeKind::UserFn("double".into()), "double");
+    let out = net.add_node(NodeKind::Output("sink".into()), "sink");
+    net.add_data_edge(inp, 0, f, 0, DataType::Int).unwrap();
+    net.add_data_edge(f, 0, out, 0, DataType::Int).unwrap();
+    net.set_cost_hint(f, 1000);
+
+    let arch = Architecture::ring_t9000(2);
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    check_deadlock_free(&progs, 3).unwrap();
+
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let sink = outputs.clone();
+    let mut reg = Registry::new();
+    reg.register("source", |args| {
+        vec![Value::Int(args[0].as_int().unwrap() + 10)]
+    });
+    reg.register("double", |args| {
+        vec![Value::Int(args[0].as_int().unwrap() * 2)]
+    });
+    reg.register("sink", move |args| {
+        sink.lock().unwrap().push(args[0].as_int().unwrap());
+        vec![]
+    });
+
+    let config = ExecConfig {
+        iterations: 3,
+        ..ExecConfig::default()
+    };
+    let report = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        arch.topology().clone(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &HashMap::new(),
+        &config,
+    )
+    .unwrap();
+    // Iteration k: source emits k+10, doubled.
+    assert_eq!(*outputs.lock().unwrap(), vec![20, 22, 24]);
+    assert_eq!(report.latencies_ns.len(), 3);
+    assert!(report.mean_latency_ns() > 0);
+    assert!(report.sim.delivered > 0, "values crossed processors");
+}
+
+/// itermem: a counter threaded through MEM across iterations, with the MEM
+/// node and loop body forced onto different processors.
+#[test]
+fn itermem_state_threads_across_processors() {
+    let mut net = ProcessNetwork::new("loop");
+    let body = net.add_node(NodeKind::UserFn("step".into()), "step");
+    net.set_cost_hint(body, 1000);
+    let h = expand_itermem(
+        &mut net,
+        "grab",
+        "show",
+        body,
+        body,
+        IterMemTypes {
+            input: DataType::Int,
+            state: DataType::Int,
+            output: DataType::Int,
+        },
+    )
+    .unwrap();
+
+    let arch = Architecture::ring_t9000(2);
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    check_deadlock_free(&progs, 4).unwrap();
+
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let sink = outputs.clone();
+    let mut reg = Registry::new();
+    reg.register("grab", |args| vec![Value::Int(args[0].as_int().unwrap())]);
+    // step (x, z) -> (y, z') with y = z, z' = z + x  (Fig. 4 port contract:
+    // port0 = per-iteration output, port1 = next state).
+    reg.register("step", |args| {
+        let x = args[0].as_int().unwrap();
+        let z = args[1].as_int().unwrap();
+        vec![Value::Int(z), Value::Int(z + x)]
+    });
+    reg.register("show", move |args| {
+        sink.lock().unwrap().push(args[0].as_int().unwrap());
+        vec![]
+    });
+
+    let mut mem_init = HashMap::new();
+    mem_init.insert(h.mem, Value::Int(100));
+    let config = ExecConfig {
+        iterations: 4,
+        ..ExecConfig::default()
+    };
+    run_simulated(
+        &net,
+        &sched,
+        &progs,
+        arch.topology().clone(),
+        Arc::new(reg),
+        &mem_init,
+        &HashMap::new(),
+        &config,
+    )
+    .unwrap();
+    // z: 100, 100+0, 100+0+1, 100+0+1+2; y = z before update.
+    assert_eq!(*outputs.lock().unwrap(), vec![100, 100, 101, 103]);
+}
+
+/// Builds a df-farm network: in -> master(+workers) -> out.
+fn farm_net(workers: usize) -> (ProcessNetwork, NodeId, NodeId, skipper_net::pnt::FarmHandles) {
+    let mut net = ProcessNetwork::new("farm");
+    let inp = net.add_node(NodeKind::Input("items".into()), "items");
+    let h = expand_df(
+        &mut net,
+        workers,
+        "square",
+        "add",
+        DfTypes {
+            item: DataType::Int,
+            result: DataType::Int,
+            acc: DataType::Int,
+        },
+        FarmShape::Star,
+    );
+    let out = net.add_node(NodeKind::Output("sink".into()), "sink");
+    net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
+        .unwrap();
+    net.add_data_edge(h.master, 0, out, 0, DataType::Int).unwrap();
+    (net, inp, out, h)
+}
+
+fn farm_registry(outputs: &Collector) -> Registry {
+    let sink = outputs.clone();
+    let mut reg = Registry::new();
+    reg.register("items", |args| {
+        let k = args[0].as_int().unwrap();
+        // Iteration k processes the list [1..=4+k].
+        let items: Vec<Value> = (1..=4 + k).map(Value::Int).collect();
+        vec![Value::list(items)]
+    });
+    reg.register_with_cost(
+        "square",
+        |args| vec![Value::Int(args[0].as_int().unwrap().pow(2))],
+        |args| 1000 * args[0].as_int().unwrap_or(1) as u64,
+    );
+    reg.register("add", |args| {
+        vec![Value::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap())]
+    });
+    reg.register("sink", move |args| {
+        sink.lock().unwrap().push(args[0].as_int().unwrap());
+        vec![]
+    });
+    reg
+}
+
+/// The dynamic farm on a 5-processor ring: master on P0, workers on P1-P4.
+#[test]
+fn df_farm_dynamic_dispatch_on_ring() {
+    let (net, inp, out, h) = farm_net(4);
+    let arch = Architecture::ring_t9000(5);
+    let mut pins = HashMap::new();
+    pins.insert(inp, ProcId(0));
+    pins.insert(h.master, ProcId(0));
+    pins.insert(out, ProcId(0));
+    for (i, &w) in h.workers.iter().enumerate() {
+        pins.insert(w, ProcId(1 + i));
+    }
+    let sched = schedule_with(&net, &arch, &pins, Strategy::MinFinish).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    check_deadlock_free(&progs, 2).unwrap();
+
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reg = farm_registry(&outputs);
+    let mut farm_init = HashMap::new();
+    farm_init.insert(h.instance, Value::Int(0));
+    let config = ExecConfig {
+        iterations: 2,
+        ..ExecConfig::default()
+    };
+    let report = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        arch.topology().clone(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &farm_init,
+        &config,
+    )
+    .unwrap();
+    // Iter 0: sum of squares 1..4 = 30; iter 1: 1..5 = 55.
+    assert_eq!(*outputs.lock().unwrap(), vec![30, 55]);
+    // All four workers computed something (dynamic dispatch reached them).
+    for p in 1..=4 {
+        assert!(
+            report.sim.proc_busy_ns[p] > 0,
+            "worker processor P{p} never worked"
+        );
+    }
+}
+
+/// The same farm collapsed onto one processor (sequential baseline).
+#[test]
+fn df_farm_local_mode_single_proc() {
+    let (net, _, _, h) = farm_net(3);
+    let arch = Architecture::single_t9000();
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+    let progs = generate(&net, &sched, &arch);
+
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reg = farm_registry(&outputs);
+    let mut farm_init = HashMap::new();
+    farm_init.insert(h.instance, Value::Int(0));
+    let config = ExecConfig {
+        iterations: 2,
+        ..ExecConfig::default()
+    };
+    let report = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        arch.topology().clone(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &farm_init,
+        &config,
+    )
+    .unwrap();
+    assert_eq!(*outputs.lock().unwrap(), vec![30, 55]);
+    assert_eq!(report.sim.delivered, 0, "local farm sends no messages");
+}
+
+/// Parallel farm result equals single-processor result (the paper's
+/// emulation-equivalence claim, exercised through the executive).
+#[test]
+fn farm_results_identical_across_machine_sizes() {
+    let mut results = Vec::new();
+    for nprocs in [1usize, 3, 5] {
+        let (net, inp, out, h) = farm_net(4);
+        let (arch, pins) = if nprocs == 1 {
+            (Architecture::single_t9000(), HashMap::new())
+        } else {
+            let arch = Architecture::ring_t9000(nprocs);
+            let mut pins = HashMap::new();
+            pins.insert(inp, ProcId(0));
+            pins.insert(h.master, ProcId(0));
+            pins.insert(out, ProcId(0));
+            for (i, &w) in h.workers.iter().enumerate() {
+                pins.insert(w, ProcId(1 + i % (nprocs - 1)));
+            }
+            (arch, pins)
+        };
+        let strategy = if nprocs == 1 {
+            Strategy::SingleProc
+        } else {
+            Strategy::MinFinish
+        };
+        let sched = schedule_with(&net, &arch, &pins, strategy).unwrap();
+        let progs = generate(&net, &sched, &arch);
+        let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+        let reg = farm_registry(&outputs);
+        let mut farm_init = HashMap::new();
+        farm_init.insert(h.instance, Value::Int(0));
+        let config = ExecConfig {
+            iterations: 3,
+            ..ExecConfig::default()
+        };
+        run_simulated(
+            &net,
+            &sched,
+            &progs,
+            arch.topology().clone(),
+            Arc::new(reg),
+            &HashMap::new(),
+            &farm_init,
+            &config,
+        )
+        .unwrap();
+        results.push(outputs.lock().unwrap().clone());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+/// A frame clock makes inputs wait for frame arrival.
+#[test]
+fn frame_clock_gates_input() {
+    let mut net = ProcessNetwork::new("clocked");
+    let inp = net.add_node(NodeKind::Input("source".into()), "source");
+    let out = net.add_node(NodeKind::Output("sink".into()), "sink");
+    net.add_data_edge(inp, 0, out, 0, DataType::Int).unwrap();
+
+    let arch = Architecture::single_t9000();
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+    let progs = generate(&net, &sched, &arch);
+
+    let mut reg = Registry::new();
+    reg.register("source", |args| vec![args[0].clone()]);
+    reg.register("sink", |_| vec![]);
+    let config = ExecConfig {
+        iterations: 3,
+        frame_clock: Some(FrameClock::hz(25.0)),
+        ..ExecConfig::default()
+    };
+    let report = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        Topology::single(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &HashMap::new(),
+        &config,
+    )
+    .unwrap();
+    // The run spans at least two full frame periods (frames at 0, 40, 80ms).
+    assert!(report.sim.end_ns >= 80_000_000);
+    // Latency per frame is tiny (work is trivial).
+    assert!(report.mean_latency_ns() < 1_000_000);
+}
+
+#[test]
+fn unknown_function_is_reported() {
+    let mut net = ProcessNetwork::new("bad");
+    let inp = net.add_node(NodeKind::Input("nope".into()), "nope");
+    let out = net.add_node(NodeKind::Output("sink".into()), "sink");
+    net.add_data_edge(inp, 0, out, 0, DataType::Int).unwrap();
+    let arch = Architecture::single_t9000();
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    let err = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        Topology::single(),
+        Arc::new(Registry::new()),
+        &HashMap::new(),
+        &HashMap::new(),
+        &ExecConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExecError::UnknownFunction(n) if n == "nope"));
+}
+
+#[test]
+fn missing_farm_init_is_reported() {
+    let (net, _, _, _) = farm_net(2);
+    let arch = Architecture::single_t9000();
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reg = farm_registry(&outputs);
+    let err = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        Topology::single(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &HashMap::new(), // no farm init
+        &ExecConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExecError::MissingFarmInit { .. }));
+}
+
+#[test]
+fn ring_farm_pnt_is_rejected_at_execution() {
+    let mut net = ProcessNetwork::new("ringfarm");
+    let inp = net.add_node(NodeKind::Input("items".into()), "items");
+    let h = expand_df(
+        &mut net,
+        2,
+        "square",
+        "add",
+        DfTypes {
+            item: DataType::Int,
+            result: DataType::Int,
+            acc: DataType::Int,
+        },
+        FarmShape::Ring,
+    );
+    let out = net.add_node(NodeKind::Output("sink".into()), "sink");
+    net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
+        .unwrap();
+    net.add_data_edge(h.master, 0, out, 0, DataType::Int).unwrap();
+    let arch = Architecture::single_t9000();
+    let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reg = farm_registry(&outputs);
+    let mut farm_init = HashMap::new();
+    farm_init.insert(h.instance, Value::Int(0));
+    let err = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        Topology::single(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &farm_init,
+        &ExecConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExecError::UnsupportedNode { .. }));
+}

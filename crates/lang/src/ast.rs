@@ -1,0 +1,267 @@
+//! Abstract syntax of Skipper-ML.
+//!
+//! The language is the restricted Caml subset the paper's programs are
+//! written in: top-level `let` bindings terminated by `;;`, first-class
+//! (but rank-1) functions, tuples, lists, conditionals and arithmetic. The
+//! skeletons `scm`, `df`, `tf` and `itermem` are ordinary identifiers bound
+//! in the initial typing environment.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// Binding patterns (variables, tuples, unit, wildcard).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `x`
+    Var(String, Span),
+    /// `(p1, p2, …)`
+    Tuple(Vec<Pattern>, Span),
+    /// `()`
+    Unit(Span),
+    /// `_`
+    Wildcard(Span),
+}
+
+impl Pattern {
+    /// The pattern's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Pattern::Var(_, s) | Pattern::Tuple(_, s) | Pattern::Unit(s) | Pattern::Wildcard(s) => {
+                *s
+            }
+        }
+    }
+
+    /// Variables bound by the pattern, in order.
+    pub fn bound_vars(&self) -> Vec<&str> {
+        match self {
+            Pattern::Var(v, _) => vec![v.as_str()],
+            Pattern::Tuple(ps, _) => ps.iter().flat_map(Pattern::bound_vars).collect(),
+            Pattern::Unit(_) | Pattern::Wildcard(_) => Vec::new(),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expression syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Variable reference.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `()`
+    Unit,
+    /// `(e1, e2, …)` with arity ≥ 2.
+    Tuple(Vec<Expr>),
+    /// `[e1; e2; …]`
+    List(Vec<Expr>),
+    /// Application `f x` (left-associative, curried).
+    App(Box<Expr>, Box<Expr>),
+    /// `fun p -> e`
+    Lambda(Pattern, Box<Expr>),
+    /// `let p = e1 in e2`
+    Let {
+        /// Bound pattern.
+        pat: Pattern,
+        /// Bound value.
+        value: Box<Expr>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `if c then t else e`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A located expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Syntax.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Peels a curried application into `(head, args)`; returns the
+    /// expression itself with no args when it is not an application.
+    pub fn uncurry_app(&self) -> (&Expr, Vec<&Expr>) {
+        let mut head = self;
+        let mut args = Vec::new();
+        while let ExprKind::App(f, a) = &head.kind {
+            args.push(a.as_ref());
+            head = f;
+        }
+        args.reverse();
+        (head, args)
+    }
+}
+
+/// A top-level binding `let name p1 p2 … = body ;;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopLet {
+    /// Bound name.
+    pub name: String,
+    /// Curried parameters (sugar for nested lambdas).
+    pub params: Vec<Pattern>,
+    /// Right-hand side.
+    pub body: Expr,
+    /// Whole-item span.
+    pub span: Span,
+}
+
+impl TopLet {
+    /// The equivalent unsugared value (`fun p1 -> fun p2 -> … -> body`).
+    pub fn as_lambda(&self) -> Expr {
+        let mut e = self.body.clone();
+        for p in self.params.iter().rev() {
+            let span = self.span;
+            e = Expr::new(ExprKind::Lambda(p.clone(), Box::new(e)), span);
+        }
+        e
+    }
+}
+
+/// A whole source program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level bindings in order.
+    pub items: Vec<TopLet>,
+}
+
+impl Program {
+    /// The binding with the given name, if present.
+    pub fn item(&self, name: &str) -> Option<&TopLet> {
+        self.items.iter().find(|i| i.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::new(ExprKind::Var(name.into()), Span::default())
+    }
+
+    #[test]
+    fn uncurry_app_peels_spine() {
+        // ((f a) b)
+        let app = Expr::new(
+            ExprKind::App(
+                Box::new(Expr::new(
+                    ExprKind::App(Box::new(var("f")), Box::new(var("a"))),
+                    Span::default(),
+                )),
+                Box::new(var("b")),
+            ),
+            Span::default(),
+        );
+        let (head, args) = app.uncurry_app();
+        assert_eq!(head, &var("f"));
+        assert_eq!(args, vec![&var("a"), &var("b")]);
+    }
+
+    #[test]
+    fn uncurry_non_app_is_empty() {
+        let v = var("x");
+        let (head, args) = v.uncurry_app();
+        assert_eq!(head, &v);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn pattern_bound_vars_in_order() {
+        let p = Pattern::Tuple(
+            vec![
+                Pattern::Var("a".into(), Span::default()),
+                Pattern::Wildcard(Span::default()),
+                Pattern::Tuple(
+                    vec![
+                        Pattern::Var("b".into(), Span::default()),
+                        Pattern::Unit(Span::default()),
+                    ],
+                    Span::default(),
+                ),
+            ],
+            Span::default(),
+        );
+        assert_eq!(p.bound_vars(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn toplet_as_lambda_nests() {
+        let item = TopLet {
+            name: "f".into(),
+            params: vec![
+                Pattern::Var("x".into(), Span::default()),
+                Pattern::Var("y".into(), Span::default()),
+            ],
+            body: var("x"),
+            span: Span::default(),
+        };
+        let lam = item.as_lambda();
+        match lam.kind {
+            ExprKind::Lambda(Pattern::Var(ref x, _), ref inner) => {
+                assert_eq!(x, "x");
+                assert!(matches!(inner.kind, ExprKind::Lambda(_, _)));
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,856 @@
+//! Sequential emulation: a call-by-value interpreter for Skipper-ML.
+//!
+//! "Being real caml code, the applicative definition can be viewed as an
+//! executable specification … this gives the programmer the opportunity to
+//! sequentially emulate a parallel program on 'traditional' stock hardware
+//! before trying it out on a dedicated parallel target" (paper §2).
+//!
+//! Skeletons evaluate by their declarative definitions (`df` is literally
+//! `fold_left acc z (map comp xs)`); application sequential functions are
+//! registered as [`Evaluator::register_native`] closures. A native input
+//! function signals the end of the video stream by returning
+//! [`NativeError::EndOfStream`], which terminates the `itermem` loop.
+
+use crate::ast::{BinOp, Expr, ExprKind, Pattern, Program};
+use crate::diag::{Diagnostic, Span, Stage};
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors a native function may raise.
+#[derive(Debug, Clone)]
+pub enum NativeError {
+    /// The input stream ended (stops `itermem`).
+    EndOfStream,
+    /// An application-level failure.
+    Msg(String),
+}
+
+/// A runtime value.
+#[derive(Clone)]
+pub enum MlValue {
+    /// `()`
+    Unit,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<str>),
+    /// Tuple.
+    Tuple(Rc<Vec<MlValue>>),
+    /// List.
+    List(Rc<Vec<MlValue>>),
+    /// A source-level closure.
+    Closure {
+        /// Parameter pattern.
+        pat: Pattern,
+        /// Body.
+        body: Rc<Expr>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A (possibly partially applied) native function.
+    Native {
+        /// Registration entry.
+        entry: Rc<NativeEntry>,
+        /// Arguments collected so far.
+        args: Rc<Vec<MlValue>>,
+    },
+    /// A (possibly partially applied) skeleton builtin.
+    Skeleton {
+        /// Which skeleton.
+        kind: SkelKind,
+        /// Arguments collected so far.
+        args: Rc<Vec<MlValue>>,
+    },
+    /// An opaque application value (image, tracker state, …).
+    Opaque {
+        /// Type tag for diagnostics.
+        tag: Rc<str>,
+        /// Payload.
+        data: Rc<dyn Any>,
+    },
+}
+
+/// The four skeletons of the repertoire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkelKind {
+    /// Split/Compute/Merge.
+    Scm,
+    /// Data farming.
+    Df,
+    /// Task farming.
+    Tf,
+    /// Stream loop with memory.
+    IterMem,
+}
+
+impl SkelKind {
+    fn arity(self) -> usize {
+        5
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SkelKind::Scm => "scm",
+            SkelKind::Df => "df",
+            SkelKind::Tf => "tf",
+            SkelKind::IterMem => "itermem",
+        }
+    }
+}
+
+/// A registered native function.
+pub struct NativeEntry {
+    /// Name (for diagnostics).
+    pub name: String,
+    /// Number of curried parameters.
+    pub arity: usize,
+    /// The implementation.
+    #[allow(clippy::type_complexity)]
+    pub f: Box<dyn Fn(&[MlValue]) -> Result<MlValue, NativeError>>,
+}
+
+impl MlValue {
+    /// Builds an opaque value.
+    pub fn opaque<T: Any>(tag: &str, value: T) -> MlValue {
+        MlValue::Opaque {
+            tag: Rc::from(tag),
+            data: Rc::new(value),
+        }
+    }
+
+    /// Borrows an opaque payload as `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match self {
+            MlValue::Opaque { data, .. } => data.downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            MlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// List elements.
+    pub fn as_list(&self) -> Option<&[MlValue]> {
+        match self {
+            MlValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Tuple elements.
+    pub fn as_tuple(&self) -> Option<&[MlValue]> {
+        match self {
+            MlValue::Tuple(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn structural_eq(&self, other: &MlValue) -> Option<bool> {
+        match (self, other) {
+            (MlValue::Unit, MlValue::Unit) => Some(true),
+            (MlValue::Int(a), MlValue::Int(b)) => Some(a == b),
+            (MlValue::Float(a), MlValue::Float(b)) => Some(a == b),
+            (MlValue::Bool(a), MlValue::Bool(b)) => Some(a == b),
+            (MlValue::Str(a), MlValue::Str(b)) => Some(a == b),
+            (MlValue::Tuple(a), MlValue::Tuple(b)) | (MlValue::List(a), MlValue::List(b)) => {
+                if a.len() != b.len() {
+                    return Some(false);
+                }
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.structural_eq(y) {
+                        Some(true) => {}
+                        other => return other,
+                    }
+                }
+                Some(true)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for MlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlValue::Unit => write!(f, "()"),
+            MlValue::Int(i) => write!(f, "{i}"),
+            MlValue::Float(x) => write!(f, "{x}"),
+            MlValue::Bool(b) => write!(f, "{b}"),
+            MlValue::Str(s) => write!(f, "{s:?}"),
+            MlValue::Tuple(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                write!(f, ")")
+            }
+            MlValue::List(v) => f.debug_list().entries(v.iter()).finish(),
+            MlValue::Closure { .. } => write!(f, "<fun>"),
+            MlValue::Native { entry, args } => {
+                write!(f, "<native {}/{} [{}]>", entry.name, entry.arity, args.len())
+            }
+            MlValue::Skeleton { kind, args } => {
+                write!(f, "<skeleton {} [{}]>", kind.name(), args.len())
+            }
+            MlValue::Opaque { tag, .. } => write!(f, "<{tag}>"),
+        }
+    }
+}
+
+/// A persistent lexical environment.
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    name: String,
+    value: MlValue,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    fn push(&self, name: &str, value: MlValue) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name: name.to_string(),
+            value,
+            parent: self.clone(),
+        })))
+    }
+
+    fn lookup(&self, name: &str) -> Option<MlValue> {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(node.value.clone());
+            }
+            cur = &node.parent.0;
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<env>")
+    }
+}
+
+/// Internal control flow: error or end-of-stream unwinding.
+enum Flow {
+    Err(Diagnostic),
+    End,
+}
+
+type Res<T> = Result<T, Flow>;
+
+/// The sequential emulator.
+pub struct Evaluator {
+    globals: HashMap<String, MlValue>,
+    /// Safety cap on `itermem` iterations (the paper's loop is infinite; a
+    /// finite input stream or this cap terminates it).
+    pub max_itermem_iters: usize,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new()
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the four skeletons bound.
+    pub fn new() -> Self {
+        let mut globals = HashMap::new();
+        for kind in [SkelKind::Scm, SkelKind::Df, SkelKind::Tf, SkelKind::IterMem] {
+            globals.insert(
+                kind.name().to_string(),
+                MlValue::Skeleton {
+                    kind,
+                    args: Rc::new(Vec::new()),
+                },
+            );
+        }
+        Evaluator {
+            globals,
+            max_itermem_iters: 100_000,
+        }
+    }
+
+    /// Registers a native ("C") function with the given curried arity.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[MlValue]) -> Result<MlValue, NativeError> + 'static,
+    ) {
+        assert!(arity > 0, "native functions take at least one argument");
+        self.globals.insert(
+            name.to_string(),
+            MlValue::Native {
+                entry: Rc::new(NativeEntry {
+                    name: name.to_string(),
+                    arity,
+                    f: Box::new(f),
+                }),
+                args: Rc::new(Vec::new()),
+            },
+        );
+    }
+
+    /// Binds a global constant.
+    pub fn register_value(&mut self, name: &str, value: MlValue) {
+        self.globals.insert(name.to_string(), value);
+    }
+
+    /// The value of a global binding.
+    pub fn global(&self, name: &str) -> Option<&MlValue> {
+        self.globals.get(name)
+    }
+
+    /// Evaluates every top-level binding in order (including `main`, which
+    /// is where `itermem` programs actually run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime diagnostic.
+    pub fn run_program(&mut self, program: &Program) -> Result<(), Diagnostic> {
+        for item in &program.items {
+            let lam = item.as_lambda();
+            let v = self.eval_root(&lam)?;
+            self.globals.insert(item.name.clone(), v);
+        }
+        Ok(())
+    }
+
+    /// Evaluates a single expression against the globals.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime diagnostic.
+    pub fn eval_root(&self, expr: &Expr) -> Result<MlValue, Diagnostic> {
+        match self.eval(&Env::empty(), expr) {
+            Ok(v) => Ok(v),
+            Err(Flow::Err(d)) => Err(d),
+            Err(Flow::End) => Err(Diagnostic::new(
+                Stage::Eval,
+                "end of stream signalled outside itermem",
+                expr.span,
+            )),
+        }
+    }
+
+    fn eval(&self, env: &Env, expr: &Expr) -> Res<MlValue> {
+        match &expr.kind {
+            ExprKind::Int(i) => Ok(MlValue::Int(*i)),
+            ExprKind::Float(x) => Ok(MlValue::Float(*x)),
+            ExprKind::Bool(b) => Ok(MlValue::Bool(*b)),
+            ExprKind::Str(s) => Ok(MlValue::Str(Rc::from(s.as_str()))),
+            ExprKind::Unit => Ok(MlValue::Unit),
+            ExprKind::Var(v) => env
+                .lookup(v)
+                .or_else(|| self.globals.get(v).cloned())
+                .ok_or_else(|| {
+                    Flow::Err(Diagnostic::new(
+                        Stage::Eval,
+                        format!("unbound variable `{v}`"),
+                        expr.span,
+                    ))
+                }),
+            ExprKind::Tuple(es) => {
+                let vs = es
+                    .iter()
+                    .map(|e| self.eval(env, e))
+                    .collect::<Res<Vec<_>>>()?;
+                Ok(MlValue::Tuple(Rc::new(vs)))
+            }
+            ExprKind::List(es) => {
+                let vs = es
+                    .iter()
+                    .map(|e| self.eval(env, e))
+                    .collect::<Res<Vec<_>>>()?;
+                Ok(MlValue::List(Rc::new(vs)))
+            }
+            ExprKind::Lambda(p, body) => Ok(MlValue::Closure {
+                pat: p.clone(),
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            }),
+            ExprKind::App(f, a) => {
+                let vf = self.eval(env, f)?;
+                let va = self.eval(env, a)?;
+                self.apply(vf, va, expr.span)
+            }
+            ExprKind::Let { pat, value, body } => {
+                let v = self.eval(env, value)?;
+                let inner = self.bind(env, pat, v)?;
+                self.eval(&inner, body)
+            }
+            ExprKind::If(c, t, e) => match self.eval(env, c)? {
+                MlValue::Bool(true) => self.eval(env, t),
+                MlValue::Bool(false) => self.eval(env, e),
+                other => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    format!("condition must be a bool, got {other:?}"),
+                    c.span,
+                ))),
+            },
+            ExprKind::BinOp(op, l, r) => {
+                let vl = self.eval(env, l)?;
+                let vr = self.eval(env, r)?;
+                self.binop(*op, vl, vr, expr.span)
+            }
+        }
+    }
+
+    fn bind(&self, env: &Env, pat: &Pattern, value: MlValue) -> Res<Env> {
+        match pat {
+            Pattern::Var(v, _) => Ok(env.push(v, value)),
+            Pattern::Wildcard(_) => Ok(env.clone()),
+            Pattern::Unit(s) => match value {
+                MlValue::Unit => Ok(env.clone()),
+                other => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    format!("expected (), got {other:?}"),
+                    *s,
+                ))),
+            },
+            Pattern::Tuple(ps, s) => match value {
+                MlValue::Tuple(vs) if vs.len() == ps.len() => {
+                    let mut cur = env.clone();
+                    for (p, v) in ps.iter().zip(vs.iter()) {
+                        cur = self.bind(&cur, p, v.clone())?;
+                    }
+                    Ok(cur)
+                }
+                other => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    format!("tuple pattern of arity {} cannot match {other:?}", ps.len()),
+                    *s,
+                ))),
+            },
+        }
+    }
+
+    /// Applies a function value to an argument.
+    fn apply(&self, f: MlValue, a: MlValue, span: Span) -> Res<MlValue> {
+        match f {
+            MlValue::Closure { pat, body, env } => {
+                let inner = self.bind(&env, &pat, a)?;
+                self.eval(&inner, &body)
+            }
+            MlValue::Native { entry, args } => {
+                let mut args = (*args).clone();
+                args.push(a);
+                if args.len() < entry.arity {
+                    return Ok(MlValue::Native {
+                        entry,
+                        args: Rc::new(args),
+                    });
+                }
+                match (entry.f)(&args) {
+                    Ok(v) => Ok(v),
+                    Err(NativeError::EndOfStream) => Err(Flow::End),
+                    Err(NativeError::Msg(m)) => Err(Flow::Err(Diagnostic::new(
+                        Stage::Eval,
+                        format!("native `{}` failed: {m}", entry.name),
+                        span,
+                    ))),
+                }
+            }
+            MlValue::Skeleton { kind, args } => {
+                let mut args = (*args).clone();
+                args.push(a);
+                if args.len() < kind.arity() {
+                    return Ok(MlValue::Skeleton {
+                        kind,
+                        args: Rc::new(args),
+                    });
+                }
+                self.run_skeleton(kind, args, span)
+            }
+            other => Err(Flow::Err(Diagnostic::new(
+                Stage::Eval,
+                format!("cannot apply non-function {other:?}"),
+                span,
+            ))),
+        }
+    }
+
+    /// The declarative skeleton semantics (paper §2).
+    fn run_skeleton(&self, kind: SkelKind, args: Vec<MlValue>, span: Span) -> Res<MlValue> {
+        let bad = |what: &str| {
+            Flow::Err(Diagnostic::new(
+                Stage::Eval,
+                format!("{}: {what}", kind.name()),
+                span,
+            ))
+        };
+        match kind {
+            // df n comp acc z xs = fold_left acc z (map comp xs)
+            SkelKind::Df => {
+                let [_n, comp, acc, z, xs] = args_array(args);
+                let xs = xs.as_list().ok_or_else(|| bad("last argument must be a list"))?.to_vec();
+                let mut accv = z;
+                for x in xs {
+                    let y = self.apply(comp.clone(), x, span)?;
+                    let partial = self.apply(acc.clone(), accv, span)?;
+                    accv = self.apply(partial, y, span)?;
+                }
+                Ok(accv)
+            }
+            // scm n split comp merge x = merge (map comp (split x))
+            SkelKind::Scm => {
+                let [_n, split, comp, merge, x] = args_array(args);
+                let frags = self.apply(split, x, span)?;
+                let frags = frags
+                    .as_list()
+                    .ok_or_else(|| bad("split function must return a list"))?
+                    .to_vec();
+                let mut partials = Vec::with_capacity(frags.len());
+                for fr in frags {
+                    partials.push(self.apply(comp.clone(), fr, span)?);
+                }
+                self.apply(merge, MlValue::List(Rc::new(partials)), span)
+            }
+            // tf n worker acc z ts — depth-first task-tree elaboration;
+            // worker returns (new_tasks, result).
+            SkelKind::Tf => {
+                let [_n, worker, acc, z, ts] = args_array(args);
+                let mut stack: Vec<MlValue> = ts
+                    .as_list()
+                    .ok_or_else(|| bad("last argument must be a list"))?
+                    .iter()
+                    .rev()
+                    .cloned()
+                    .collect();
+                let mut accv = z;
+                let mut steps = 0usize;
+                while let Some(t) = stack.pop() {
+                    steps += 1;
+                    if steps > 10_000_000 {
+                        return Err(bad("task generation does not terminate"));
+                    }
+                    let out = self.apply(worker.clone(), t, span)?;
+                    let pair = out
+                        .as_tuple()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| bad("worker must return (new_tasks, result)"))?;
+                    let new_tasks = pair[0]
+                        .as_list()
+                        .ok_or_else(|| bad("worker's first result must be a task list"))?;
+                    for nt in new_tasks.iter().rev() {
+                        stack.push(nt.clone());
+                    }
+                    let partial = self.apply(acc.clone(), accv, span)?;
+                    accv = self.apply(partial, pair[1].clone(), span)?;
+                }
+                Ok(accv)
+            }
+            // itermem inp loop out z x — Fig. 4, terminated by EndOfStream
+            // or the iteration cap.
+            SkelKind::IterMem => {
+                let [inp, loop_fn, out, z, x] = args_array(args);
+                let mut state = z;
+                for _ in 0..self.max_itermem_iters {
+                    let b = match self.apply(inp.clone(), x.clone(), span) {
+                        Ok(v) => v,
+                        Err(Flow::End) => return Ok(MlValue::Unit),
+                        Err(e) => return Err(e),
+                    };
+                    let pair = self.apply(
+                        loop_fn.clone(),
+                        MlValue::Tuple(Rc::new(vec![state.clone(), b])),
+                        span,
+                    )?;
+                    let pair = pair
+                        .as_tuple()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| bad("loop function must return (state', output)"))?
+                        .to_vec();
+                    self.apply(out.clone(), pair[1].clone(), span)?;
+                    state = pair[0].clone();
+                }
+                Ok(MlValue::Unit)
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, l: MlValue, r: MlValue, span: Span) -> Res<MlValue> {
+        use BinOp::*;
+        let arith = |f: fn(i64, i64) -> i64| match (&l, &r) {
+            (MlValue::Int(a), MlValue::Int(b)) => Ok(MlValue::Int(f(*a, *b))),
+            _ => Err(Flow::Err(Diagnostic::new(
+                Stage::Eval,
+                format!("arithmetic needs ints, got {l:?} and {r:?}"),
+                span,
+            ))),
+        };
+        match op {
+            Add => arith(|a, b| a.wrapping_add(b)),
+            Sub => arith(|a, b| a.wrapping_sub(b)),
+            Mul => arith(|a, b| a.wrapping_mul(b)),
+            Div => match (&l, &r) {
+                (MlValue::Int(_), MlValue::Int(0)) => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    "division by zero",
+                    span,
+                ))),
+                (MlValue::Int(a), MlValue::Int(b)) => Ok(MlValue::Int(a / b)),
+                _ => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    "arithmetic needs ints",
+                    span,
+                ))),
+            },
+            Eq | Ne => {
+                let eq = l.structural_eq(&r).ok_or_else(|| {
+                    Flow::Err(Diagnostic::new(
+                        Stage::Eval,
+                        "values are not comparable",
+                        span,
+                    ))
+                })?;
+                Ok(MlValue::Bool(if op == Eq { eq } else { !eq }))
+            }
+            Lt | Gt | Le | Ge => match (&l, &r) {
+                (MlValue::Int(a), MlValue::Int(b)) => Ok(MlValue::Bool(match op {
+                    Lt => a < b,
+                    Gt => a > b,
+                    Le => a <= b,
+                    _ => a >= b,
+                })),
+                (MlValue::Float(a), MlValue::Float(b)) => Ok(MlValue::Bool(match op {
+                    Lt => a < b,
+                    Gt => a > b,
+                    Le => a <= b,
+                    _ => a >= b,
+                })),
+                _ => Err(Flow::Err(Diagnostic::new(
+                    Stage::Eval,
+                    "ordering needs two ints or two floats",
+                    span,
+                ))),
+            },
+        }
+    }
+}
+
+/// Destructures exactly five arguments (all skeletons are 5-ary).
+fn args_array(args: Vec<MlValue>) -> [MlValue; 5] {
+    args.try_into().expect("skeleton arity is 5")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use std::cell::RefCell;
+
+    fn eval_str(ev: &Evaluator, src: &str) -> MlValue {
+        ev.eval_root(&parse_expr(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_let() {
+        let ev = Evaluator::new();
+        assert_eq!(eval_str(&ev, "let x = 3 in x * x + 1").as_int(), Some(10));
+        assert_eq!(eval_str(&ev, "7 / 2").as_int(), Some(3));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let ev = Evaluator::new();
+        let err = ev.eval_root(&parse_expr("1 / 0").unwrap()).unwrap_err();
+        assert!(err.message.contains("division by zero"));
+    }
+
+    #[test]
+    fn closures_capture_lexically() {
+        let ev = Evaluator::new();
+        let v = eval_str(&ev, "let a = 10 in let f = fun x -> x + a in let a = 0 in f 5");
+        assert_eq!(v.as_int(), Some(15));
+    }
+
+    #[test]
+    fn tuple_pattern_binding() {
+        let ev = Evaluator::new();
+        let v = eval_str(&ev, "let a, b = (2, 3) in a * b");
+        assert_eq!(v.as_int(), Some(6));
+    }
+
+    #[test]
+    fn native_functions_curry() {
+        let mut ev = Evaluator::new();
+        ev.register_native("add3", 3, |args| {
+            let s: i64 = args.iter().map(|a| a.as_int().unwrap()).sum();
+            Ok(MlValue::Int(s))
+        });
+        assert_eq!(eval_str(&ev, "add3 1 2 3").as_int(), Some(6));
+        assert_eq!(
+            eval_str(&ev, "let g = add3 1 2 in g 10").as_int(),
+            Some(13)
+        );
+    }
+
+    #[test]
+    fn df_is_map_fold() {
+        let mut ev = Evaluator::new();
+        ev.register_native("sq", 1, |a| Ok(MlValue::Int(a[0].as_int().unwrap().pow(2))));
+        let v = eval_str(&ev, "df 4 sq (fun z -> fun y -> z + y) 0 [1; 2; 3]");
+        assert_eq!(v.as_int(), Some(14));
+    }
+
+    #[test]
+    fn scm_splits_and_merges() {
+        let mut ev = Evaluator::new();
+        // split a number n into [n; n], comp doubles, merge sums.
+        ev.register_native("split2", 1, |a| {
+            let n = a[0].as_int().unwrap();
+            Ok(MlValue::List(Rc::new(vec![MlValue::Int(n), MlValue::Int(n)])))
+        });
+        let v = eval_str(
+            &ev,
+            "scm 2 split2 (fun x -> x * 2) (fun ps -> df 1 (fun p -> p) (fun z -> fun y -> z + y) 0 ps) 5",
+        );
+        assert_eq!(v.as_int(), Some(20));
+    }
+
+    #[test]
+    fn tf_elaborates_task_tree() {
+        let ev = Evaluator::new();
+        // Each task d spawns [d-1] until 0; counts tasks.
+        let v = eval_str(
+            &ev,
+            "tf 2 (fun d -> if d > 0 then ([d - 1], 1) else ([], 1)) (fun z -> fun y -> z + y) 0 [3]",
+        );
+        assert_eq!(v.as_int(), Some(4));
+    }
+
+    #[test]
+    fn itermem_runs_until_stream_end() {
+        let mut ev = Evaluator::new();
+        let frames = RefCell::new(vec![3i64, 2, 1]);
+        ev.register_native("read", 1, move |_| match frames.borrow_mut().pop() {
+            Some(v) => Ok(MlValue::Int(v)),
+            None => Err(NativeError::EndOfStream),
+        });
+        let shown = Rc::new(RefCell::new(Vec::new()));
+        let shown2 = shown.clone();
+        ev.register_native("show", 1, move |a| {
+            shown2.borrow_mut().push(a[0].as_int().unwrap());
+            Ok(MlValue::Unit)
+        });
+        let v = eval_str(
+            &ev,
+            "itermem read (fun zb -> let z, b = zb in (z + b, z)) show 0 ()",
+        );
+        assert!(matches!(v, MlValue::Unit));
+        // States 0,1,3 are displayed (y = previous state).
+        assert_eq!(*shown.borrow(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn itermem_iteration_cap_stops_infinite_streams() {
+        let mut ev = Evaluator::new();
+        ev.max_itermem_iters = 5;
+        ev.register_native("always", 1, |_| Ok(MlValue::Int(1)));
+        let count = Rc::new(RefCell::new(0));
+        let c2 = count.clone();
+        ev.register_native("tick", 1, move |_| {
+            *c2.borrow_mut() += 1;
+            Ok(MlValue::Unit)
+        });
+        eval_str(&ev, "itermem always (fun zb -> (0, 0)) tick 0 ()");
+        assert_eq!(*count.borrow(), 5);
+    }
+
+    #[test]
+    fn whole_paper_program_emulates() {
+        // A miniature of the §4 tracker over integers: windows are ints,
+        // detection squares them, prediction sums marks into the state.
+        let src = r#"
+            let nproc = 4;;
+            let loop (state, im) =
+              let ws = get_windows nproc state im in
+              let marks = df nproc detect_mark accum_marks empty_list ws in
+              predict marks;;
+            let main = itermem read_img loop display_marks 0 (512, 512);;
+        "#;
+        let mut ev = Evaluator::new();
+        let frames = RefCell::new(vec![2i64, 1]);
+        ev.register_native("read_img", 1, move |_| match frames.borrow_mut().pop() {
+            Some(v) => Ok(MlValue::Int(v)),
+            None => Err(NativeError::EndOfStream),
+        });
+        ev.register_native("get_windows", 3, |a| {
+            let n = a[0].as_int().unwrap();
+            let im = a[2].as_int().unwrap();
+            Ok(MlValue::List(Rc::new(
+                (0..n).map(|i| MlValue::Int(im + i)).collect(),
+            )))
+        });
+        ev.register_native("detect_mark", 1, |a| {
+            Ok(MlValue::Int(a[0].as_int().unwrap().pow(2)))
+        });
+        ev.register_native("accum_marks", 2, |a| {
+            let mut list = a[0].as_list().unwrap().to_vec();
+            list.push(a[1].clone());
+            Ok(MlValue::List(Rc::new(list)))
+        });
+        ev.register_value("empty_list", MlValue::List(Rc::new(Vec::new())));
+        ev.register_native("predict", 1, |a| {
+            let total: i64 = a[0]
+                .as_list()
+                .unwrap()
+                .iter()
+                .map(|m| m.as_int().unwrap())
+                .sum();
+            Ok(MlValue::Tuple(Rc::new(vec![
+                MlValue::Int(total),
+                MlValue::Int(total),
+            ])))
+        });
+        let shown = Rc::new(RefCell::new(Vec::new()));
+        let s2 = shown.clone();
+        ev.register_native("display_marks", 1, move |a| {
+            s2.borrow_mut().push(a[0].as_int().unwrap());
+            Ok(MlValue::Unit)
+        });
+        let prog = parse_program(src).unwrap();
+        ev.run_program(&prog).unwrap();
+        // Frame 1: windows [1,2,3,4] squares sum 30; frame 2: [2,3,4,5] -> 54.
+        assert_eq!(*shown.borrow(), vec![30, 54]);
+    }
+
+    #[test]
+    fn opaque_values_roundtrip() {
+        let v = MlValue::opaque("image", vec![1u8, 2, 3]);
+        assert_eq!(v.downcast_ref::<Vec<u8>>().unwrap().len(), 3);
+        assert!(v.downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn unbound_variable_located() {
+        let ev = Evaluator::new();
+        let err = ev.eval_root(&parse_expr("missing 1").unwrap()).unwrap_err();
+        assert!(err.message.contains("unbound variable"));
+    }
+}

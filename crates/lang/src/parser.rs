@@ -1,0 +1,495 @@
+//! Recursive-descent parser for Skipper-ML.
+
+use crate::ast::{BinOp, Expr, ExprKind, Pattern, Program, TopLet};
+use crate::diag::{Diagnostic, Span, Stage};
+use crate::token::{lex, Tok, Token};
+
+/// Parses a whole program (a sequence of `let … ;;` items).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error with its source span.
+pub fn parse_program(source: &str) -> Result<Program, Diagnostic> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while p.peek() != &Tok::Eof {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+/// Parses a single expression (useful for tests and the REPL-style API).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+pub fn parse_expr(source: &str) -> Result<Expr, Diagnostic> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<Span, Diagnostic> {
+        if self.peek() == &want {
+            Ok(self.bump().span)
+        } else {
+            Err(Diagnostic::new(
+                Stage::Parse,
+                format!("expected `{want}`, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            other => Err(Diagnostic::new(
+                Stage::Parse,
+                format!("expected identifier, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    /// `let name p* = expr ;;`
+    fn item(&mut self) -> Result<TopLet, Diagnostic> {
+        let start = self.expect(Tok::Let)?;
+        let (name, _) = self.ident()?;
+        let mut params = Vec::new();
+        while !matches!(self.peek(), Tok::Eq) {
+            params.push(self.simple_pattern()?);
+        }
+        self.expect(Tok::Eq)?;
+        let body = self.expr()?;
+        let end = self.expect(Tok::SemiSemi)?;
+        Ok(TopLet {
+            name,
+            params,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    /// A pattern without top-level commas: `x`, `_`, `()`, `(p, p, …)`.
+    fn simple_pattern(&mut self) -> Result<Pattern, Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok(Pattern::Var(s, sp))
+            }
+            Tok::Underscore => {
+                let sp = self.bump().span;
+                Ok(Pattern::Wildcard(sp))
+            }
+            Tok::LParen => {
+                let start = self.bump().span;
+                if self.peek() == &Tok::RParen {
+                    let end = self.bump().span;
+                    return Ok(Pattern::Unit(start.merge(end)));
+                }
+                let p = self.tuple_pattern()?;
+                let end = self.expect(Tok::RParen)?;
+                Ok(match p {
+                    Pattern::Tuple(ps, _) => Pattern::Tuple(ps, start.merge(end)),
+                    other => other,
+                })
+            }
+            other => Err(Diagnostic::new(
+                Stage::Parse,
+                format!("expected pattern, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    /// A possibly comma-separated pattern (`z', y`).
+    fn tuple_pattern(&mut self) -> Result<Pattern, Diagnostic> {
+        let first = self.simple_pattern()?;
+        if self.peek() != &Tok::Comma {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            parts.push(self.simple_pattern()?);
+        }
+        let span = parts[0].span().merge(parts.last().expect("non-empty").span());
+        Ok(Pattern::Tuple(parts, span))
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek() {
+            Tok::Let => {
+                let start = self.bump().span;
+                let pat = self.tuple_pattern()?;
+                self.expect(Tok::Eq)?;
+                let value = self.expr()?;
+                self.expect(Tok::In)?;
+                let body = self.expr()?;
+                let span = start.merge(body.span);
+                Ok(Expr::new(
+                    ExprKind::Let {
+                        pat,
+                        value: Box::new(value),
+                        body: Box::new(body),
+                    },
+                    span,
+                ))
+            }
+            Tok::Fun => {
+                let start = self.bump().span;
+                let mut params = vec![self.simple_pattern()?];
+                while self.peek() != &Tok::Arrow {
+                    params.push(self.simple_pattern()?);
+                }
+                self.expect(Tok::Arrow)?;
+                let mut body = self.expr()?;
+                let span = start.merge(body.span);
+                for p in params.into_iter().rev() {
+                    body = Expr::new(ExprKind::Lambda(p, Box::new(body)), span);
+                }
+                Ok(body)
+            }
+            Tok::If => {
+                let start = self.bump().span;
+                let c = self.expr()?;
+                self.expect(Tok::Then)?;
+                let t = self.expr()?;
+                self.expect(Tok::Else)?;
+                let e = self.expr()?;
+                let span = start.merge(e.span);
+                Ok(Expr::new(
+                    ExprKind::If(Box::new(c), Box::new(t), Box::new(e)),
+                    span,
+                ))
+            }
+            _ => self.cmp(),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Gt => BinOp::Gt,
+            Tok::Le => BinOp::Le,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        let span = lhs.span.merge(rhs.span);
+        Ok(Expr::new(
+            ExprKind::BinOp(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn add(&mut self) -> Result<Expr, Diagnostic> {
+        // Unary minus on the first term.
+        let mut lhs = if self.peek() == &Tok::Minus {
+            let start = self.bump().span;
+            let e = self.mul()?;
+            let span = start.merge(e.span);
+            Expr::new(
+                ExprKind::BinOp(
+                    BinOp::Sub,
+                    Box::new(Expr::new(ExprKind::Int(0), start)),
+                    Box::new(e),
+                ),
+                span,
+            )
+        } else {
+            self.mul()?
+        };
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::BinOp(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.app()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.app()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::BinOp(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::Float(_)
+                | Tok::Str(_)
+                | Tok::Bool(_)
+                | Tok::LParen
+                | Tok::LBracket
+        )
+    }
+
+    fn app(&mut self) -> Result<Expr, Diagnostic> {
+        let mut head = self.atom()?;
+        while self.starts_atom() {
+            // `f (a, b)` is application to a tuple; `x ;; let` stops here.
+            let arg = self.atom()?;
+            let span = head.span.merge(arg.span);
+            head = Expr::new(ExprKind::App(Box::new(head), Box::new(arg)), span);
+        }
+        Ok(head)
+    }
+
+    fn atom(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(i), span))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Float(x), span))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), span))
+            }
+            Tok::Bool(b) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(b), span))
+            }
+            Tok::Ident(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Var(v), span))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    let end = self.bump().span;
+                    return Ok(Expr::new(ExprKind::Unit, span.merge(end)));
+                }
+                let first = self.expr()?;
+                if self.peek() == &Tok::Comma {
+                    let mut parts = vec![first];
+                    while self.peek() == &Tok::Comma {
+                        self.bump();
+                        parts.push(self.expr()?);
+                    }
+                    let end = self.expect(Tok::RParen)?;
+                    return Ok(Expr::new(ExprKind::Tuple(parts), span.merge(end)));
+                }
+                let end = self.expect(Tok::RParen)?;
+                Ok(Expr {
+                    span: span.merge(end),
+                    ..first
+                })
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    items.push(self.expr()?);
+                    while self.peek() == &Tok::Semi {
+                        self.bump();
+                        items.push(self.expr()?);
+                    }
+                }
+                let end = self.expect(Tok::RBracket)?;
+                Ok(Expr::new(ExprKind::List(items), span.merge(end)))
+            }
+            other => Err(Diagnostic::new(
+                Stage::Parse,
+                format!("expected expression, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+}
+
+// Silence the "unused" lint for helpers kept for error recovery work.
+impl Parser {
+    #[allow(dead_code)]
+    fn peek_is_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof) && self.peek2() == &Tok::Eof && self.prev_span().end > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_program_shape() {
+        let src = r#"
+            let nproc = 8;;
+            let loop (state, im) =
+              let ws = get_windows nproc state im in
+              let marks = df nproc detect_mark accum_marks empty_list ws in
+              predict marks;;
+            let main = itermem read_img loop display_marks s0 (512, 512);;
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.items.len(), 3);
+        assert_eq!(prog.items[0].name, "nproc");
+        assert_eq!(prog.items[1].name, "loop");
+        assert_eq!(prog.items[1].params.len(), 1);
+        assert!(matches!(prog.items[1].params[0], Pattern::Tuple(_, _)));
+        // main body is an application spine of 5 arguments.
+        let (head, args) = prog.items[2].body.uncurry_app();
+        assert!(matches!(&head.kind, ExprKind::Var(v) if v == "itermem"));
+        assert_eq!(args.len(), 5);
+        assert!(matches!(args[4].kind, ExprKind::Tuple(_)));
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let e = parse_expr("f a b").unwrap();
+        let (head, args) = e.uncurry_app();
+        assert!(matches!(&head.kind, ExprKind::Var(v) if v == "f"));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::BinOp(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::BinOp(BinOp::Mul, _, _)));
+            }
+            other => panic!("expected +, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-5 + 2").unwrap();
+        assert!(matches!(e.kind, ExprKind::BinOp(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn let_in_with_tuple_pattern() {
+        let e = parse_expr("let z', y = step (z, x) in y").unwrap();
+        match e.kind {
+            ExprKind::Let { pat, .. } => {
+                assert_eq!(pat.bound_vars(), vec!["z'", "y"]);
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_multi_param_desugars() {
+        let e = parse_expr("fun x y -> x + y").unwrap();
+        match e.kind {
+            ExprKind::Lambda(_, inner) => {
+                assert!(matches!(inner.kind, ExprKind::Lambda(_, _)));
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lists_and_tuples() {
+        let e = parse_expr("[1; 2; 3]").unwrap();
+        assert!(matches!(e.kind, ExprKind::List(ref v) if v.len() == 3));
+        let t = parse_expr("(1, true, \"x\")").unwrap();
+        assert!(matches!(t.kind, ExprKind::Tuple(ref v) if v.len() == 3));
+        let u = parse_expr("()").unwrap();
+        assert!(matches!(u.kind, ExprKind::Unit));
+        let empty = parse_expr("[]").unwrap();
+        assert!(matches!(empty.kind, ExprKind::List(ref v) if v.is_empty()));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let e = parse_expr("if a < b then 1 else 2").unwrap();
+        assert!(matches!(e.kind, ExprKind::If(_, _, _)));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `a < b < c` parses as (a < b) with trailing `< c` rejected.
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn missing_semisemi_is_an_error() {
+        let err = parse_program("let x = 1").unwrap_err();
+        assert!(err.message.contains(";;"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let src = "let x = ;;";
+        let err = parse_program(src).unwrap_err();
+        let (line, col) = err.span.unwrap().line_col(src);
+        assert_eq!((line, col), (1, 9));
+    }
+
+    #[test]
+    fn parenthesised_expression_keeps_value() {
+        let a = parse_expr("(f x)").unwrap();
+        let b = parse_expr("f x").unwrap();
+        // Same structure ignoring spans.
+        let (ha, aa) = a.uncurry_app();
+        let (hb, ab) = b.uncurry_app();
+        assert_eq!(format!("{:?}", ha.kind), format!("{:?}", hb.kind));
+        assert_eq!(aa.len(), ab.len());
+    }
+}

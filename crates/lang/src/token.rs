@@ -1,0 +1,439 @@
+//! Lexical analysis for the Skipper-ML specification language.
+
+use crate::diag::{Diagnostic, Span, Stage};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `fun`
+    Fun,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `true` / `false`
+    Bool(bool),
+    /// Lowercase identifier.
+    Ident(String),
+    /// Type variable `'a` (used by the type parser).
+    TyVar(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `;;`
+    SemiSemi,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `_`
+    Underscore,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Let => write!(f, "let"),
+            Tok::In => write!(f, "in"),
+            Tok::Fun => write!(f, "fun"),
+            Tok::If => write!(f, "if"),
+            Tok::Then => write!(f, "then"),
+            Tok::Else => write!(f, "else"),
+            Tok::Bool(b) => write!(f, "{b}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::TyVar(s) => write!(f, "'{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::SemiSemi => write!(f, ";;"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Eq => write!(f, "="),
+            Tok::Underscore => write!(f, "_"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenises `source`, handling `(* … *)` comments (nested) and OCaml-style
+/// literals.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated comments/strings and unknown
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (* ... *), nested.
+        if c == '(' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b')' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(Diagnostic::new(
+                    Stage::Lex,
+                    "unterminated comment",
+                    Span::new(start, n),
+                ));
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            {
+                i += 1;
+            }
+            let word = &source[start..i];
+            let tok = match word {
+                "let" => Tok::Let,
+                "in" => Tok::In,
+                "fun" => Tok::Fun,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "true" => Tok::Bool(true),
+                "false" => Tok::Bool(false),
+                "_" => Tok::Underscore,
+                _ => Tok::Ident(word.to_string()),
+            };
+            toks.push(Token {
+                tok,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Type variables 'a (letters after a quote).
+        if c == '\'' && i + 1 < n && (bytes[i + 1] as char).is_ascii_alphabetic() {
+            i += 1;
+            let vstart = i;
+            while i < n && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+            }
+            toks.push(Token {
+                tok: Tok::TyVar(source[vstart..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < n && bytes[i] == b'.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &source[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| {
+                    Diagnostic::new(Stage::Lex, "malformed float literal", Span::new(start, i))
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| {
+                    Diagnostic::new(Stage::Lex, "integer literal out of range", Span::new(start, i))
+                })?)
+            };
+            toks.push(Token {
+                tok,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= n {
+                    return Err(Diagnostic::new(
+                        Stage::Lex,
+                        "unterminated string literal",
+                        Span::new(start, n),
+                    ));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' if i + 1 < n => {
+                        let esc = bytes[i + 1];
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'\\' => '\\',
+                            b'"' => '"',
+                            other => other as char,
+                        });
+                        i += 2;
+                    }
+                    b => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token {
+                tok: Tok::Str(s),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+        let (tok, len) = match two {
+            ";;" => (Tok::SemiSemi, 2),
+            "->" => (Tok::Arrow, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            "<>" => (Tok::Ne, 2),
+            _ => match c {
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '[' => (Tok::LBracket, 1),
+                ']' => (Tok::RBracket, 1),
+                ',' => (Tok::Comma, 1),
+                ';' => (Tok::Semi, 1),
+                '=' => (Tok::Eq, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                other => {
+                    return Err(Diagnostic::new(
+                        Stage::Lex,
+                        format!("unexpected character `{other}`"),
+                        Span::new(start, start + other.len_utf8()),
+                    ));
+                }
+            },
+        };
+        i += len;
+        toks.push(Token {
+            tok,
+            span: Span::new(start, i),
+        });
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(n, n),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("let loop = fun x -> x"),
+            vec![
+                Tok::Let,
+                Tok::Ident("loop".into()),
+                Tok::Eq,
+                Tok::Fun,
+                Tok::Ident("x".into()),
+                Tok::Arrow,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25"),
+            vec![Tok::Int(42), Tok::Float(3.25), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn semisemi_vs_semi() {
+        assert_eq!(
+            kinds("a;; b; c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::SemiSemi,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_nest() {
+        assert_eq!(
+            kinds("1 (* outer (* inner *) still *) 2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = lex("(* oops").unwrap_err();
+        assert!(err.message.contains("unterminated comment"));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb""#),
+            vec![Tok::Str("a\nb".into()), Tok::Eof]
+        );
+        assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn type_variables() {
+        assert_eq!(
+            kinds("'a -> 'b list"),
+            vec![
+                Tok::TyVar("a".into()),
+                Tok::Arrow,
+                Tok::TyVar("b".into()),
+                Tok::Ident("list".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_may_contain_primes() {
+        assert_eq!(
+            kinds("z' x2"),
+            vec![Tok::Ident("z'".into()), Tok::Ident("x2".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b <> c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_char_reports_span() {
+        let err = lex("let @ = 1").unwrap_err();
+        assert_eq!(err.span, Some(Span::new(4, 5)));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("let abc").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 7));
+    }
+}

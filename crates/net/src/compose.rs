@@ -1,0 +1,220 @@
+//! Composition of process networks.
+//!
+//! A SKiPPER source program composes skeleton instances and plain user
+//! functions in sequence inside the `itermem` loop body (the paper's
+//! tracker: `get_windows` → `df detect_mark accum_marks` → `predict`).
+//! This module offers the stitching helpers the front-end uses when
+//! lowering a typed specification, plus a tiny builder for hand-written
+//! pipelines.
+
+use crate::dtype::DataType;
+use crate::graph::{GraphError, NodeId, NodeKind, ProcessNetwork};
+
+/// A dataflow segment inside a network under construction: the node/port
+/// where data enters and the node/port where it leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Entry node.
+    pub entry: NodeId,
+    /// Entry input port.
+    pub entry_port: usize,
+    /// Exit node.
+    pub exit: NodeId,
+    /// Exit output port.
+    pub exit_port: usize,
+}
+
+impl Segment {
+    /// A single-node segment using port 0 on both sides.
+    pub fn node(n: NodeId) -> Self {
+        Segment {
+            entry: n,
+            entry_port: 0,
+            exit: n,
+            exit_port: 0,
+        }
+    }
+}
+
+/// Adds a plain user-function stage and returns it as a segment.
+pub fn fn_stage(net: &mut ProcessNetwork, name: &str) -> Segment {
+    let n = net.add_node(NodeKind::UserFn(name.to_string()), name);
+    Segment::node(n)
+}
+
+/// Connects `a`'s exit to `b`'s entry with a data edge of type `dtype`,
+/// returning the combined segment.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] for dangling segment endpoints.
+pub fn seq(
+    net: &mut ProcessNetwork,
+    a: Segment,
+    b: Segment,
+    dtype: DataType,
+) -> Result<Segment, GraphError> {
+    net.add_data_edge(a.exit, a.exit_port, b.entry, b.entry_port, dtype)?;
+    Ok(Segment {
+        entry: a.entry,
+        entry_port: a.entry_port,
+        exit: b.exit,
+        exit_port: b.exit_port,
+    })
+}
+
+/// A fluent builder for linear pipelines of user functions and skeletons.
+///
+/// # Example
+///
+/// ```
+/// use skipper_net::compose::Pipeline;
+/// use skipper_net::DataType;
+/// let mut p = Pipeline::new("road");
+/// p.stage("grab", DataType::Image);
+/// p.stage("sobel", DataType::Image);
+/// p.stage("fit_line", DataType::named("line"));
+/// let net = p.finish();
+/// assert_eq!(net.len(), 3);
+/// assert_eq!(net.edges().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    net: ProcessNetwork,
+    tail: Option<Segment>,
+}
+
+impl Pipeline {
+    /// Starts an empty pipeline.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pipeline {
+            net: ProcessNetwork::new(name),
+            tail: None,
+        }
+    }
+
+    /// Appends a user-function stage whose *input* edge (from the previous
+    /// stage, if any) carries `input_type`.
+    pub fn stage(&mut self, name: &str, input_type: DataType) -> &mut Self {
+        let seg = fn_stage(&mut self.net, name);
+        if let Some(prev) = self.tail {
+            seq(&mut self.net, prev, seg, input_type).expect("builder nodes exist");
+        } else {
+            self.tail = Some(seg);
+            return self;
+        }
+        self.tail = Some(Segment {
+            entry: self.tail.unwrap().entry,
+            entry_port: self.tail.unwrap().entry_port,
+            exit: seg.exit,
+            exit_port: seg.exit_port,
+        });
+        self
+    }
+
+    /// Appends an arbitrary pre-built segment (e.g. an expanded skeleton).
+    pub fn segment(&mut self, seg: Segment, input_type: DataType) -> &mut Self {
+        if let Some(prev) = self.tail {
+            seq(&mut self.net, prev, seg, input_type).expect("builder nodes exist");
+            self.tail = Some(Segment {
+                entry: prev.entry,
+                entry_port: prev.entry_port,
+                exit: seg.exit,
+                exit_port: seg.exit_port,
+            });
+        } else {
+            self.tail = Some(seg);
+        }
+        self
+    }
+
+    /// Mutable access to the network under construction (to expand
+    /// skeletons into it).
+    pub fn network_mut(&mut self) -> &mut ProcessNetwork {
+        &mut self.net
+    }
+
+    /// The current combined segment, if any stage was added.
+    pub fn segment_so_far(&self) -> Option<Segment> {
+        self.tail
+    }
+
+    /// Finishes and returns the network.
+    pub fn finish(self) -> ProcessNetwork {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pnt::{expand_df, DfTypes, FarmShape};
+
+    #[test]
+    fn seq_connects_segments() {
+        let mut net = ProcessNetwork::new("t");
+        let a = fn_stage(&mut net, "f");
+        let b = fn_stage(&mut net, "g");
+        let c = seq(&mut net, a, b, DataType::Int).unwrap();
+        assert_eq!(c.entry, a.entry);
+        assert_eq!(c.exit, b.exit);
+        assert_eq!(net.edges().len(), 1);
+    }
+
+    #[test]
+    fn pipeline_builds_chain() {
+        let mut p = Pipeline::new("t");
+        p.stage("a", DataType::Image)
+            .stage("b", DataType::Image)
+            .stage("c", DataType::Int);
+        let net = p.finish();
+        let order = net.topo_order().unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(net.edges().len(), 2);
+    }
+
+    #[test]
+    fn pipeline_embeds_farm_segment() {
+        let mut p = Pipeline::new("t");
+        p.stage("get_windows", DataType::Image);
+        let farm = {
+            let net = p.network_mut();
+            let h = expand_df(
+                net,
+                3,
+                "detect_mark",
+                "accum_marks",
+                DfTypes {
+                    item: DataType::named("window"),
+                    result: DataType::named("mark"),
+                    acc: DataType::list(DataType::named("mark")),
+                },
+                FarmShape::Star,
+            );
+            Segment {
+                entry: h.master,
+                entry_port: 0,
+                exit: h.master,
+                exit_port: 0,
+            }
+        };
+        p.segment(farm, DataType::list(DataType::named("window")));
+        p.stage("predict", DataType::list(DataType::named("mark")));
+        let net = p.finish();
+        // get_windows + master + 3 workers + predict
+        assert_eq!(net.len(), 6);
+        // get_windows feeds the master; the master feeds predict.
+        let gw = net.nodes_where(|k| k.function_name() == Some("get_windows")).next().unwrap();
+        let pr = net.nodes_where(|k| k.function_name() == Some("predict")).next().unwrap();
+        let master = net.nodes_where(|k| matches!(k, NodeKind::Master(_))).next().unwrap();
+        assert!(net.successors(gw).contains(&master));
+        assert!(net.successors(master).contains(&pr));
+    }
+
+    #[test]
+    fn empty_pipeline_finishes_empty() {
+        let p = Pipeline::new("empty");
+        assert!(p.segment_so_far().is_none());
+        assert!(p.finish().is_empty());
+    }
+}

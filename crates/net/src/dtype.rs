@@ -1,0 +1,113 @@
+//! Structural data types attached to process-network edges.
+//!
+//! PNTs are "parametric … in the data types attached to their edges"; after
+//! type inference the front-end resolves every edge to one of these
+//! monomorphic tags. The tags also drive the mapper's message-size
+//! estimates (see [`DataType::size_hint_bytes`]).
+
+use std::fmt;
+
+/// A monomorphic structural type carried by a network edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// The unit (pure-effect) type.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Integers.
+    Int,
+    /// Floating-point numbers.
+    Float,
+    /// Strings.
+    Str,
+    /// A full image frame.
+    Image,
+    /// An opaque application type, e.g. `state` or `mark`.
+    Named(String),
+    /// A homogeneous list.
+    List(Box<DataType>),
+    /// A tuple.
+    Tuple(Vec<DataType>),
+}
+
+impl DataType {
+    /// Convenience constructor for `Named`.
+    pub fn named(s: impl Into<String>) -> Self {
+        DataType::Named(s.into())
+    }
+
+    /// Convenience constructor for `List`.
+    pub fn list(t: DataType) -> Self {
+        DataType::List(Box::new(t))
+    }
+
+    /// A coarse default message-size estimate in bytes, used by the mapper
+    /// before the application registers precise sizes.
+    ///
+    /// Scalars are word-sized; an `Image` is a 512×512 8-bit frame; lists
+    /// assume 16 elements; named application types default to 64 bytes.
+    pub fn size_hint_bytes(&self) -> u64 {
+        match self {
+            DataType::Unit => 0,
+            DataType::Bool => 1,
+            DataType::Int | DataType::Float => 8,
+            DataType::Str => 32,
+            DataType::Image => 512 * 512,
+            DataType::Named(_) => 64,
+            DataType::List(t) => 16 * t.size_hint_bytes().max(1),
+            DataType::Tuple(ts) => ts.iter().map(|t| t.size_hint_bytes()).sum(),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Unit => write!(f, "unit"),
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Str => write!(f, "string"),
+            DataType::Image => write!(f, "image"),
+            DataType::Named(s) => write!(f, "{s}"),
+            DataType::List(t) => write!(f, "{t} list"),
+            DataType::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(DataType::list(DataType::named("mark")).to_string(), "mark list");
+        assert_eq!(
+            DataType::Tuple(vec![DataType::Int, DataType::Bool]).to_string(),
+            "(int * bool)"
+        );
+    }
+
+    #[test]
+    fn size_hints_ordered_sensibly() {
+        assert!(DataType::Image.size_hint_bytes() > DataType::Int.size_hint_bytes());
+        assert_eq!(DataType::Unit.size_hint_bytes(), 0);
+        assert_eq!(
+            DataType::list(DataType::Int).size_hint_bytes(),
+            16 * DataType::Int.size_hint_bytes()
+        );
+        let pair = DataType::Tuple(vec![DataType::Int, DataType::Float]);
+        assert_eq!(pair.size_hint_bytes(), 16);
+    }
+}

@@ -1,0 +1,604 @@
+//! The process-graph IR.
+//!
+//! "SKiPPER compiles this specification down to a process graph in which
+//! nodes correspond to sequential functions and/or skeleton control
+//! processes and edges to communications" (paper abstract). This module is
+//! that graph: a directed multigraph with ports, data/memory edge kinds,
+//! and per-node/per-edge cost hints consumed by the SynDEx-like mapper.
+
+use crate::dtype::DataType;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a node in a [`ProcessNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the network.
+///
+/// Control processes carry the name of the user sequential function they
+/// invoke (the splitter's split function, the master's accumulation
+/// function, …) so the distributed executive can bind them to registered
+/// native code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Stream input (e.g. the camera): produces one value per iteration by
+    /// calling the named function.
+    Input(String),
+    /// Stream output (e.g. the display): consumes one value per iteration
+    /// through the named function.
+    Output(String),
+    /// An application-specific sequential function (the "C function").
+    UserFn(String),
+    /// `scm` splitter control process invoking the named split function.
+    Split(String),
+    /// `scm` merger control process invoking the named merge function.
+    Merge(String),
+    /// `df`/`tf` master control process; the name is the accumulation
+    /// function (`accum_marks` in the paper's tracker).
+    Master(String),
+    /// `df`/`tf` worker wrapping the named user compute function.
+    Worker(String),
+    /// Ring router forwarding master→worker traffic (Fig. 1's `M->W`).
+    RouterMw,
+    /// Ring router forwarding worker→master traffic (Fig. 1's `W->M`).
+    RouterWm,
+    /// `itermem` memory process: delays its input by one iteration.
+    Mem,
+}
+
+impl NodeKind {
+    /// `true` for skeleton *control* processes (not user code).
+    pub fn is_control(&self) -> bool {
+        !matches!(
+            self,
+            NodeKind::UserFn(_) | NodeKind::Worker(_) | NodeKind::Input(_) | NodeKind::Output(_)
+        )
+    }
+
+    /// The user function name the node computes with, if any.
+    pub fn function_name(&self) -> Option<&str> {
+        match self {
+            NodeKind::UserFn(f)
+            | NodeKind::Worker(f)
+            | NodeKind::Input(f)
+            | NodeKind::Output(f)
+            | NodeKind::Split(f)
+            | NodeKind::Merge(f)
+            | NodeKind::Master(f) => Some(f),
+            NodeKind::RouterMw | NodeKind::RouterWm | NodeKind::Mem => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Input(s) => write!(f, "input:{s}"),
+            NodeKind::Output(s) => write!(f, "output:{s}"),
+            NodeKind::UserFn(s) => write!(f, "fn:{s}"),
+            NodeKind::Split(s) => write!(f, "split:{s}"),
+            NodeKind::Merge(s) => write!(f, "merge:{s}"),
+            NodeKind::Master(s) => write!(f, "master:{s}"),
+            NodeKind::Worker(s) => write!(f, "worker:{s}"),
+            NodeKind::RouterMw => write!(f, "M->W"),
+            NodeKind::RouterWm => write!(f, "W->M"),
+            NodeKind::Mem => write!(f, "MEM"),
+        }
+    }
+}
+
+/// A process node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The node id (stable index into the network).
+    pub id: NodeId,
+    /// Role.
+    pub kind: NodeKind,
+    /// Display label, unique-ish for diagnostics (e.g. `df0.worker2`).
+    pub label: String,
+    /// Skeleton instance this node belongs to, if any.
+    pub instance: Option<usize>,
+    /// Estimated computation cost in abstract work units (mapper input).
+    pub cost_hint: u64,
+}
+
+/// Whether an edge carries per-iteration data or one-iteration-delayed
+/// memory feedback (the `itermem` loop of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Ordinary dataflow within an iteration.
+    Data,
+    /// Feedback consumed at the *next* iteration; breaks cycles.
+    Memory,
+}
+
+/// A communication edge between two node ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Producer node.
+    pub from: NodeId,
+    /// Producer output port.
+    pub from_port: usize,
+    /// Consumer node.
+    pub to: NodeId,
+    /// Consumer input port.
+    pub to_port: usize,
+    /// Value type carried.
+    pub dtype: DataType,
+    /// Data or memory feedback.
+    pub kind: EdgeKind,
+    /// Estimated message size in bytes (mapper input); 0 = derive from
+    /// `dtype.size_hint_bytes()`.
+    pub bytes_hint: u64,
+}
+
+impl Edge {
+    /// The effective message-size estimate.
+    pub fn bytes(&self) -> u64 {
+        if self.bytes_hint > 0 {
+            self.bytes_hint
+        } else {
+            self.dtype.size_hint_bytes()
+        }
+    }
+}
+
+/// Errors raised by graph construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Edge endpoint does not exist.
+    UnknownNode(NodeId),
+    /// The data-edge subgraph contains a cycle (must go through `Mem`).
+    Cycle(Vec<NodeId>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::Cycle(ns) => {
+                write!(f, "data-edge cycle through ")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A concrete process network (an expanded skeleton composition).
+///
+/// # Example
+///
+/// ```
+/// use skipper_net::{ProcessNetwork, NodeKind, DataType};
+/// let mut net = ProcessNetwork::new("demo");
+/// let a = net.add_node(NodeKind::Input("cam".into()), "cam");
+/// let b = net.add_node(NodeKind::UserFn("f".into()), "f");
+/// let c = net.add_node(NodeKind::Output("out".into()), "out");
+/// net.add_data_edge(a, 0, b, 0, DataType::Image).unwrap();
+/// net.add_data_edge(b, 0, c, 0, DataType::Int).unwrap();
+/// assert_eq!(net.topo_order().unwrap().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcessNetwork {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    next_instance: usize,
+}
+
+impl ProcessNetwork {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessNetwork {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            next_instance: 0,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            label: label.into(),
+            instance: None,
+            cost_hint: 0,
+        });
+        id
+    }
+
+    /// Adds a node belonging to a skeleton instance.
+    pub fn add_instance_node(
+        &mut self,
+        kind: NodeKind,
+        label: impl Into<String>,
+        instance: usize,
+    ) -> NodeId {
+        let id = self.add_node(kind, label);
+        self.nodes[id.0].instance = Some(instance);
+        id
+    }
+
+    /// Reserves a fresh skeleton-instance id.
+    pub fn fresh_instance(&mut self) -> usize {
+        let i = self.next_instance;
+        self.next_instance += 1;
+        i
+    }
+
+    /// Sets the mapper cost hint (abstract work units) of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_cost_hint(&mut self, id: NodeId, cost: u64) {
+        self.nodes[id.0].cost_hint = cost;
+    }
+
+    /// Adds a data edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling endpoints.
+    pub fn add_data_edge(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+        dtype: DataType,
+    ) -> Result<(), GraphError> {
+        self.add_edge(Edge {
+            from,
+            from_port,
+            to,
+            to_port,
+            dtype,
+            kind: EdgeKind::Data,
+            bytes_hint: 0,
+        })
+    }
+
+    /// Adds a memory (one-iteration-delay) edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling endpoints.
+    pub fn add_memory_edge(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+        dtype: DataType,
+    ) -> Result<(), GraphError> {
+        self.add_edge(Edge {
+            from,
+            from_port,
+            to,
+            to_port,
+            dtype,
+            kind: EdgeKind::Memory,
+            bytes_hint: 0,
+        })
+    }
+
+    /// Adds an arbitrary edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling endpoints.
+    pub fn add_edge(&mut self, edge: Edge) -> Result<(), GraphError> {
+        for n in [edge.from, edge.to] {
+            if n.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(n));
+            }
+        }
+        self.edges.push(edge);
+        Ok(())
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of nodes with the given kind predicate.
+    pub fn nodes_where<'a>(
+        &'a self,
+        pred: impl Fn(&NodeKind) -> bool + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes
+            .iter()
+            .filter(move |n| pred(&n.kind))
+            .map(|n| n.id)
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Incoming edges of `id`.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Successor node ids over data edges.
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        self.out_edges(id)
+            .filter(|e| e.kind == EdgeKind::Data)
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Predecessor node ids over data edges.
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        self.in_edges(id)
+            .filter(|e| e.kind == EdgeKind::Data)
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Topological order over **data** edges (memory edges are delayed one
+    /// iteration and therefore do not constrain intra-iteration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] listing the nodes on a residual cycle.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if e.kind == EdgeKind::Data {
+                indeg[e.to.0] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(NodeId(u));
+            for e in self.edges.iter().filter(|e| e.kind == EdgeKind::Data) {
+                if e.from.0 == u {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        queue.push_back(e.to.0);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<NodeId> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(NodeId)
+                .collect();
+            return Err(GraphError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Critical-path length through the data-edge DAG using node cost hints
+    /// (communication excluded). Useful as a lower bound for the mapper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the data subgraph is cyclic.
+    pub fn critical_path_cost(&self) -> Result<u64, GraphError> {
+        let order = self.topo_order()?;
+        let mut dist = vec![0u64; self.nodes.len()];
+        let mut best = 0;
+        for id in order {
+            let here = dist[id.0] + self.nodes[id.0].cost_hint;
+            best = best.max(here);
+            for e in self.out_edges(id) {
+                if e.kind == EdgeKind::Data {
+                    dist[e.to.0] = dist[e.to.0].max(here);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Renders the network in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut s = format!("digraph \"{}\" {{\n", self.name);
+        for n in &self.nodes {
+            let shape = match n.kind {
+                NodeKind::Input(_) | NodeKind::Output(_) => "invtrapezium",
+                NodeKind::Mem => "box3d",
+                _ if n.kind.is_control() => "box",
+                _ => "ellipse",
+            };
+            s.push_str(&format!(
+                "  {} [label=\"{}\\n{}\" shape={}];\n",
+                n.id, n.label, n.kind, shape
+            ));
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Data => "solid",
+                EdgeKind::Memory => "dashed",
+            };
+            s.push_str(&format!(
+                "  {} -> {} [label=\"{}\" style={}];\n",
+                e.from, e.to, e.dtype, style
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (ProcessNetwork, NodeId, NodeId, NodeId) {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::Input("in".into()), "in");
+        let b = net.add_node(NodeKind::UserFn("f".into()), "f");
+        let c = net.add_node(NodeKind::Output("out".into()), "out");
+        net.add_data_edge(a, 0, b, 0, DataType::Int).unwrap();
+        net.add_data_edge(b, 0, c, 0, DataType::Int).unwrap();
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let (net, a, b, c) = line3();
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.successors(a), vec![b]);
+        assert_eq!(net.predecessors(c), vec![b]);
+        assert_eq!(net.node(b).kind.function_name(), Some("f"));
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::Input("in".into()), "in");
+        let err = net
+            .add_data_edge(a, 0, NodeId(9), 0, DataType::Int)
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownNode(NodeId(9)));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (net, a, b, c) = line3();
+        let order = net.topo_order().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn data_cycle_is_error() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::UserFn("f".into()), "f");
+        let b = net.add_node(NodeKind::UserFn("g".into()), "g");
+        net.add_data_edge(a, 0, b, 0, DataType::Int).unwrap();
+        net.add_data_edge(b, 0, a, 0, DataType::Int).unwrap();
+        assert!(matches!(net.topo_order(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn memory_edge_breaks_cycle() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::UserFn("loop".into()), "loop");
+        let m = net.add_node(NodeKind::Mem, "mem");
+        net.add_data_edge(m, 0, a, 0, DataType::named("state"))
+            .unwrap();
+        net.add_memory_edge(a, 1, m, 0, DataType::named("state"))
+            .unwrap();
+        assert!(net.topo_order().is_ok());
+    }
+
+    #[test]
+    fn critical_path_uses_cost_hints() {
+        let (mut net, a, b, c) = line3();
+        net.set_cost_hint(a, 5);
+        net.set_cost_hint(b, 7);
+        net.set_cost_hint(c, 2);
+        assert_eq!(net.critical_path_cost().unwrap(), 14);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let mut net = ProcessNetwork::new("t");
+        let s = net.add_node(NodeKind::Split("s".into()), "s");
+        let w1 = net.add_node(NodeKind::UserFn("w1".into()), "w1");
+        let w2 = net.add_node(NodeKind::UserFn("w2".into()), "w2");
+        let m = net.add_node(NodeKind::Merge("m".into()), "m");
+        for w in [w1, w2] {
+            net.add_data_edge(s, 0, w, 0, DataType::Int).unwrap();
+            net.add_data_edge(w, 0, m, 0, DataType::Int).unwrap();
+        }
+        net.set_cost_hint(w1, 10);
+        net.set_cost_hint(w2, 100);
+        assert_eq!(net.critical_path_cost().unwrap(), 100);
+    }
+
+    #[test]
+    fn edge_bytes_falls_back_to_dtype() {
+        let (net, ..) = line3();
+        assert_eq!(net.edges()[0].bytes(), DataType::Int.size_hint_bytes());
+        let mut e = net.edges()[0].clone();
+        e.bytes_hint = 4096;
+        assert_eq!(e.bytes(), 4096);
+    }
+
+    #[test]
+    fn dot_output_mentions_nodes_and_styles() {
+        let (mut net, _, b, _) = line3();
+        let m = net.add_node(NodeKind::Mem, "mem");
+        net.add_memory_edge(b, 1, m, 0, DataType::Int).unwrap();
+        let dot = net.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("fn:f"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn instance_grouping() {
+        let mut net = ProcessNetwork::new("t");
+        let i = net.fresh_instance();
+        let n = net.add_instance_node(NodeKind::Master("acc".into()), "df.master", i);
+        assert_eq!(net.node(n).instance, Some(i));
+        assert_eq!(net.fresh_instance(), i + 1);
+    }
+
+    #[test]
+    fn control_kind_classification() {
+        assert!(NodeKind::Master("a".into()).is_control());
+        assert!(NodeKind::Mem.is_control());
+        assert!(!NodeKind::UserFn("f".into()).is_control());
+        assert!(!NodeKind::Worker("f".into()).is_control());
+        assert!(!NodeKind::Input("i".into()).is_control());
+    }
+}

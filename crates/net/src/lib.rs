@@ -1,0 +1,34 @@
+//! Process network templates (PNTs) for SKiPPER skeletons.
+//!
+//! In the original environment, every skeleton has an *operational
+//! definition* as a **process network template**: "incomplete graph
+//! descriptions, which are parametric in the degree of parallelism, in the
+//! sequential function computed by some of their nodes and in the data types
+//! attached to their edges" (paper §2, Fig. 1). Skeleton expansion turns a
+//! typed specification into a concrete process graph whose nodes are user
+//! sequential functions and skeleton control processes and whose edges are
+//! communications; the SynDEx back-end then maps that graph onto the target
+//! architecture.
+//!
+//! This crate provides:
+//!
+//! - [`graph`]: the process-graph IR — typed nodes, ports, data and memory
+//!   edges, cost/size hints for the mapper, topological ordering, DOT
+//!   export;
+//! - [`dtype`]: the structural data types carried by edges;
+//! - [`pnt`]: template instantiation for the four skeletons (`scm`, `df`,
+//!   `tf`, `itermem`) in both star and ring (Fig. 1) shapes;
+//! - [`compose`]: stitching networks in sequence and closing `itermem`
+//!   loops with memory edges;
+//! - [`validate`]: structural validation (dangling ports, type mismatches,
+//!   illegal cycles).
+
+pub mod compose;
+pub mod dtype;
+pub mod graph;
+pub mod pnt;
+pub mod validate;
+
+pub use dtype::DataType;
+pub use graph::{Edge, EdgeKind, Node, NodeId, NodeKind, ProcessNetwork};
+pub use pnt::FarmShape;

@@ -1,0 +1,272 @@
+//! Structural validation of process networks.
+//!
+//! Run before handing a network to the mapper: catches dangling nodes,
+//! conflicting edge types on a shared input port, and data cycles not
+//! broken by a `MEM` process — the static well-formedness conditions the
+//! paper's environment guarantees by construction.
+
+use crate::graph::{EdgeKind, NodeId, NodeKind, ProcessNetwork};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Indices of edges internal to a farm instance (an instance containing a
+/// `Master` node). Farm-internal traffic is *dynamically* scheduled by the
+/// executive (the master dispatches items at run time), so these edges are
+/// exempt from the static acyclicity requirement and are ignored by the
+/// static scheduler.
+pub fn farm_internal_edges(net: &ProcessNetwork) -> HashSet<usize> {
+    let farm_instances: HashSet<usize> = net
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Master(_)))
+        .filter_map(|n| n.instance)
+        .collect();
+    net.edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(
+                (net.node(e.from).instance, net.node(e.to).instance),
+                (Some(a), Some(b)) if a == b && farm_instances.contains(&a)
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetIssue {
+    /// A non-input node has no incoming data edge.
+    NoInput(NodeId),
+    /// A non-output node has no outgoing edge at all.
+    NoOutput(NodeId),
+    /// Two edges feed the same `(node, port)` with different types.
+    PortTypeConflict {
+        /// The consumer node.
+        node: NodeId,
+        /// The conflicting input port.
+        port: usize,
+        /// The two type names in conflict.
+        types: (String, String),
+    },
+    /// The data-edge subgraph is cyclic.
+    DataCycle(Vec<NodeId>),
+    /// A memory edge does not terminate on a `MEM` node.
+    MemoryEdgeNotIntoMem {
+        /// Edge producer.
+        from: NodeId,
+        /// Edge consumer (expected to be `MEM`).
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for NetIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetIssue::NoInput(n) => write!(f, "node {n} has no incoming data edge"),
+            NetIssue::NoOutput(n) => write!(f, "node {n} has no outgoing edge"),
+            NetIssue::PortTypeConflict { node, port, types } => write!(
+                f,
+                "node {node} port {port} receives both {} and {}",
+                types.0, types.1
+            ),
+            NetIssue::DataCycle(ns) => write!(f, "data cycle through {} node(s)", ns.len()),
+            NetIssue::MemoryEdgeNotIntoMem { from, to } => {
+                write!(f, "memory edge {from} -> {to} must target a MEM node")
+            }
+        }
+    }
+}
+
+/// Validates `net`, returning every issue found (empty = well-formed).
+pub fn validate(net: &ProcessNetwork) -> Vec<NetIssue> {
+    let mut issues = Vec::new();
+    // Per-node connectivity.
+    for node in net.nodes() {
+        let has_in = net.in_edges(node.id).any(|e| e.kind == EdgeKind::Data);
+        let has_out = net.out_edges(node.id).next().is_some();
+        match node.kind {
+            NodeKind::Input(_) => {}
+            NodeKind::Mem => {
+                // MEM nodes are fed by memory edges, not data edges.
+                if !net.in_edges(node.id).any(|e| e.kind == EdgeKind::Memory) {
+                    issues.push(NetIssue::NoInput(node.id));
+                }
+            }
+            _ => {
+                if !has_in {
+                    issues.push(NetIssue::NoInput(node.id));
+                }
+            }
+        }
+        if !matches!(node.kind, NodeKind::Output(_)) && !has_out {
+            issues.push(NetIssue::NoOutput(node.id));
+        }
+    }
+    // Input-port type agreement.
+    let mut port_types: HashMap<(NodeId, usize), &crate::dtype::DataType> = HashMap::new();
+    for e in net.edges() {
+        match port_types.entry((e.to, e.to_port)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(&e.dtype);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                if *o.get() != &e.dtype {
+                    issues.push(NetIssue::PortTypeConflict {
+                        node: e.to,
+                        port: e.to_port,
+                        types: (o.get().to_string(), e.dtype.to_string()),
+                    });
+                }
+            }
+        }
+    }
+    // Acyclicity over *static* data edges (farm-internal edges are
+    // dynamically scheduled and exempt).
+    let dynamic = farm_internal_edges(net);
+    {
+        let n = net.nodes().len();
+        let mut indeg = vec![0usize; n];
+        for (i, e) in net.edges().iter().enumerate() {
+            if e.kind == EdgeKind::Data && !dynamic.contains(&i) {
+                indeg[e.to.0] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop_front() {
+            seen += 1;
+            for (i, e) in net.edges().iter().enumerate() {
+                if e.from.0 == u && e.kind == EdgeKind::Data && !dynamic.contains(&i) {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        queue.push_back(e.to.0);
+                    }
+                }
+            }
+        }
+        if seen != n {
+            let stuck = (0..n).filter(|&i| indeg[i] > 0).map(NodeId).collect();
+            issues.push(NetIssue::DataCycle(stuck));
+        }
+    }
+    // Memory-edge discipline.
+    for e in net.edges() {
+        if e.kind == EdgeKind::Memory && !matches!(net.node(e.to).kind, NodeKind::Mem) {
+            issues.push(NetIssue::MemoryEdgeNotIntoMem {
+                from: e.from,
+                to: e.to,
+            });
+        }
+    }
+    issues
+}
+
+/// `true` when [`validate`] finds no issues.
+pub fn is_well_formed(net: &ProcessNetwork) -> bool {
+    validate(net).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+    use crate::pnt::{expand_itermem, expand_scm, IterMemTypes, ScmTypes};
+
+    fn scm_net() -> ProcessNetwork {
+        let mut net = ProcessNetwork::new("t");
+        let h = expand_scm(
+            &mut net,
+            3,
+            "split",
+            "f",
+            "merge",
+            ScmTypes {
+                input: DataType::Image,
+                fragment: DataType::Image,
+                partial: DataType::Image,
+                output: DataType::Image,
+            },
+        );
+        // Close the pipeline with I/O so connectivity holds.
+        let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
+        let out = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
+        net.add_data_edge(h.merge, 0, out, 0, DataType::Image).unwrap();
+        net
+    }
+
+    #[test]
+    fn well_formed_scm_passes() {
+        let net = scm_net();
+        assert!(is_well_formed(&net), "{:?}", validate(&net));
+    }
+
+    #[test]
+    fn dangling_node_flagged() {
+        let mut net = scm_net();
+        let lonely = net.add_node(NodeKind::UserFn("orphan".into()), "orphan");
+        let issues = validate(&net);
+        assert!(issues.contains(&NetIssue::NoInput(lonely)));
+        assert!(issues.contains(&NetIssue::NoOutput(lonely)));
+    }
+
+    #[test]
+    fn port_type_conflict_detected() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::Input("a".into()), "a");
+        let b = net.add_node(NodeKind::Input("b".into()), "b");
+        let c = net.add_node(NodeKind::Output("c".into()), "c");
+        net.add_data_edge(a, 0, c, 0, DataType::Int).unwrap();
+        net.add_data_edge(b, 0, c, 0, DataType::Float).unwrap();
+        let issues = validate(&net);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, NetIssue::PortTypeConflict { .. })));
+    }
+
+    #[test]
+    fn data_cycle_flagged() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::UserFn("a".into()), "a");
+        let b = net.add_node(NodeKind::UserFn("b".into()), "b");
+        net.add_data_edge(a, 0, b, 0, DataType::Int).unwrap();
+        net.add_data_edge(b, 0, a, 0, DataType::Int).unwrap();
+        let issues = validate(&net);
+        assert!(issues.iter().any(|i| matches!(i, NetIssue::DataCycle(_))));
+    }
+
+    #[test]
+    fn itermem_loop_is_well_formed() {
+        let mut net = ProcessNetwork::new("t");
+        let body = net.add_node(NodeKind::UserFn("loop".into()), "loop");
+        expand_itermem(
+            &mut net,
+            "inp",
+            "out",
+            body,
+            body,
+            IterMemTypes {
+                input: DataType::Image,
+                state: DataType::named("state"),
+                output: DataType::Int,
+            },
+        )
+        .unwrap();
+        assert!(is_well_formed(&net), "{:?}", validate(&net));
+    }
+
+    #[test]
+    fn memory_edge_into_non_mem_flagged() {
+        let mut net = ProcessNetwork::new("t");
+        let a = net.add_node(NodeKind::UserFn("a".into()), "a");
+        let b = net.add_node(NodeKind::UserFn("b".into()), "b");
+        net.add_data_edge(a, 0, b, 0, DataType::Int).unwrap();
+        net.add_memory_edge(b, 0, a, 0, DataType::Int).unwrap();
+        let issues = validate(&net);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, NetIssue::MemoryEdgeNotIntoMem { .. })));
+    }
+}

@@ -1,0 +1,281 @@
+//! The `df` (data-farming) skeleton.
+//!
+//! "An abstraction of the processor farm model, devoted to irregular
+//! data-parallelism. Its implementation relies on a master process
+//! dynamically dispatching data packets to a pool of worker processes and
+//! accumulating partial results until each input data is processed"
+//! (paper §2).
+//!
+//! The operational semantics here uses self-scheduling workers (a shared
+//! atomic work index) and a result channel back to the accumulating master
+//! — the thread-pool equivalent of the master/worker process network of
+//! Fig. 1, with identical load-balancing behaviour: a worker takes the next
+//! item the moment it finishes the previous one.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The data-farming skeleton.
+///
+/// Type parameters are the user's sequential functions: `C` computes one
+/// item, `A` folds one result into the accumulator (paper signature
+/// `df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c`).
+///
+/// # Example
+///
+/// ```
+/// use skipper::Df;
+/// let farm = Df::new(3, |s: &String| s.len(), |z, l| z + l, 0usize);
+/// let words = vec!["skeleton".to_string(), "farm".to_string()];
+/// assert_eq!(farm.run_par(&words), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Df<C, A, Z> {
+    workers: usize,
+    comp: C,
+    acc: A,
+    init: Z,
+}
+
+impl<C, A, Z> Df<C, A, Z> {
+    /// Creates a farm with `workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, comp: C, acc: A, init: Z) -> Self {
+        assert!(workers > 0, "a farm needs at least one worker");
+        Df {
+            workers,
+            comp,
+            acc,
+            init,
+        }
+    }
+
+    /// Degree of parallelism.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Declarative semantics: `fold_left acc z (map comp xs)`.
+    pub fn run_seq<I, O>(&self, xs: &[I]) -> Z
+    where
+        C: Fn(&I) -> O,
+        A: Fn(Z, O) -> Z,
+        Z: Clone,
+    {
+        xs.iter()
+            .map(|x| (self.comp)(x))
+            .fold(self.init.clone(), |z, o| (self.acc)(z, o))
+    }
+
+    /// Operational semantics: dynamic farm, results folded **in arrival
+    /// order** (unpredictable). Equivalent to [`Df::run_seq`] only when
+    /// `acc` is commutative and associative, as the paper requires.
+    pub fn run_par<I, O>(&self, xs: &[I]) -> Z
+    where
+        C: Fn(&I) -> O + Sync,
+        A: Fn(Z, O) -> Z,
+        Z: Clone,
+        I: Sync,
+        O: Send,
+    {
+        let mut z = Some(self.init.clone());
+        self.farm(xs, |rx| {
+            for (_idx, o) in rx.iter() {
+                z = Some((self.acc)(z.take().expect("accumulator present"), o));
+            }
+        });
+        z.expect("accumulator present")
+    }
+
+    /// Operational semantics with **deterministic** accumulation: results
+    /// are buffered and folded in list order, so it agrees with
+    /// [`Df::run_seq`] for *any* `acc` at the price of buffering all
+    /// results.
+    pub fn run_par_ordered<I, O>(&self, xs: &[I]) -> Z
+    where
+        C: Fn(&I) -> O + Sync,
+        A: Fn(Z, O) -> Z,
+        Z: Clone,
+        I: Sync,
+        O: Send,
+    {
+        let mut slots: Vec<Option<O>> = (0..xs.len()).map(|_| None).collect();
+        self.farm(xs, |rx| {
+            for (idx, o) in rx.iter() {
+                slots[idx] = Some(o);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every item produces a result"))
+            .fold(self.init.clone(), |z, o| (self.acc)(z, o))
+    }
+
+    /// Shared farm machinery: spawn self-scheduling workers over `xs` and
+    /// hand the master-side receiver to `collect`.
+    fn farm<I, O>(&self, xs: &[I], collect: impl FnOnce(channel::Receiver<(usize, O)>))
+    where
+        C: Fn(&I) -> O + Sync,
+        I: Sync,
+        O: Send,
+    {
+        if xs.is_empty() {
+            let (tx, rx) = channel::unbounded();
+            drop(tx);
+            collect(rx);
+            return;
+        }
+        let n = self.workers.min(xs.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = channel::unbounded::<(usize, O)>();
+        let comp = &self.comp;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..n {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= xs.len() {
+                        break;
+                    }
+                    let o = comp(&xs[i]);
+                    if tx.send((i, o)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            collect(rx);
+        })
+        .expect("df worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn seq_matches_spec() {
+        let farm = Df::new(4, |x: &i64| x * 2, |z, y| z + y, 0);
+        let xs: Vec<i64> = (1..=10).collect();
+        assert_eq!(
+            farm.run_seq(&xs),
+            crate::spec::df(4, |x: &i64| x * 2, |z, y| z + y, 0, &xs)
+        );
+    }
+
+    #[test]
+    fn par_equals_seq_for_commutative_acc() {
+        let farm = Df::new(4, |x: &u64| x * x, |z, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..500).collect();
+        assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+    }
+
+    #[test]
+    fn par_ordered_equals_seq_for_non_commutative_acc() {
+        // String concatenation is associative but NOT commutative.
+        let farm = Df::new(
+            4,
+            |x: &u32| x.to_string(),
+            |z: String, y: String| z + &y,
+            String::new(),
+        );
+        let xs: Vec<u32> = (0..64).collect();
+        assert_eq!(farm.run_par_ordered(&xs), farm.run_seq(&xs));
+    }
+
+    #[test]
+    fn empty_input_returns_initial() {
+        let farm = Df::new(2, |x: &i32| *x, |z: i32, y| z + y, 7);
+        assert_eq!(farm.run_par(&[]), 7);
+        assert_eq!(farm.run_par_ordered(&[]), 7);
+        assert_eq!(farm.run_seq(&[]), 7);
+    }
+
+    #[test]
+    fn single_item_single_worker() {
+        let farm = Df::new(1, |x: &i32| x + 1, |z: i32, y| z + y, 0);
+        assert_eq!(farm.run_par(&[41]), 42);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let farm = Df::new(16, |x: &i32| *x, |z: i32, y| z + y, 0);
+        assert_eq!(farm.run_par(&[1, 2, 3]), 6);
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let farm = Df::new(
+            8,
+            |x: &u64| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                *x
+            },
+            |z, y| z + y,
+            0u64,
+        );
+        let xs: Vec<u64> = (0..1000).collect();
+        let total = farm.run_par(&xs);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn dynamic_balancing_beats_static_on_skew() {
+        // One huge item and many small ones: with dynamic scheduling the
+        // small items flow to the idle workers. We check wall-clock is far
+        // below the serial sum of sleeps.
+        let xs: Vec<u64> = std::iter::once(40)
+            .chain(std::iter::repeat(2).take(40))
+            .collect();
+        let farm = Df::new(
+            4,
+            |ms: &u64| {
+                std::thread::sleep(Duration::from_millis(*ms));
+                *ms
+            },
+            |z, y| z + y,
+            0u64,
+        );
+        let t0 = std::time::Instant::now();
+        let total = farm.run_par(&xs);
+        let elapsed = t0.elapsed();
+        assert_eq!(total, 40 + 40 * 2);
+        let serial = Duration::from_millis(total);
+        assert!(
+            elapsed < serial * 3 / 4,
+            "farm showed no speedup: {elapsed:?} vs serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn nesting_a_farm_inside_a_farm_works() {
+        // The paper's SKiPPER-I cannot nest skeletons; the Rust library can.
+        let inner_sums: Vec<Vec<u64>> = (0..8).map(|i| (0..=i).collect()).collect();
+        let outer = Df::new(
+            2,
+            |v: &Vec<u64>| {
+                let inner = Df::new(2, |x: &u64| *x, |z, y| z + y, 0u64);
+                inner.run_par(v)
+            },
+            |z, y| z + y,
+            0u64,
+        );
+        let expected: u64 = inner_sums.iter().flatten().sum();
+        assert_eq!(outer.run_par(&inner_sums), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Df::new(0, |x: &i32| *x, |z: i32, y: i32| z + y, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The `itermem` skeleton: stream iteration with memory.
+//!
+//! "Used whenever the stream-based model of computation has to be made
+//! explicit, in particular when computations on the *n*-th image depend on
+//! results computed on previous ones. Such 'looping' patterns are very
+//! common in tracking algorithms, based upon system-state prediction"
+//! (paper §2, Fig. 4).
+//!
+//! The Fig. 4 contract is `let z', y = loop (z, inp x) in out y; f z'`: an
+//! input function produces the per-iteration datum, the loop function maps
+//! `(state, input)` to `(state', output)`, and the output function consumes
+//! the result while the new state feeds the next iteration through the
+//! `MEM` process.
+
+/// The stream-loop skeleton.
+///
+/// Differences from the paper's Caml definition, which recurses forever:
+/// the input function returns `Option<B>` so finite streams terminate, and
+/// the final state is returned for inspection. The literal bounded
+/// transliteration lives in [`crate::spec::itermem`].
+///
+/// # Example
+///
+/// ```
+/// use skipper::IterMem;
+/// let mut frames = (1..=5).map(Some).collect::<Vec<_>>().into_iter();
+/// let mut shown = Vec::new();
+/// let mut loop_count = IterMem::new(
+///     move || frames.next().flatten(),               // inp: the camera
+///     |state: i32, frame: i32| (state + frame, state), // loop: predict/update
+///     |y| shown.push(y),                             // out: the display
+///     0,
+/// );
+/// let iterations = loop_count.run();
+/// assert_eq!(iterations, 5);
+/// assert_eq!(loop_count.state(), &15);
+/// ```
+#[derive(Debug)]
+pub struct IterMem<In, L, Out, Z> {
+    inp: In,
+    loop_fn: L,
+    out: Out,
+    state: Option<Z>,
+    iterations: usize,
+}
+
+impl<In, L, Out, Z> IterMem<In, L, Out, Z> {
+    /// Creates the loop with its initial memory value (the paper's `z`,
+    /// e.g. `init_state ()`).
+    pub fn new(inp: In, loop_fn: L, out: Out, init: Z) -> Self {
+        IterMem {
+            inp,
+            loop_fn,
+            out,
+            state: Some(init),
+            iterations: 0,
+        }
+    }
+
+    /// The current memory value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous iteration panicked mid-update.
+    pub fn state(&self) -> &Z {
+        self.state.as_ref().expect("state present")
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Consumes the loop, returning the final memory value.
+    pub fn into_state(self) -> Z {
+        self.state.expect("state present")
+    }
+
+    /// Runs one iteration. Returns `false` when the input stream has ended
+    /// (no state change happens in that case).
+    pub fn step<B, Y>(&mut self) -> bool
+    where
+        In: FnMut() -> Option<B>,
+        L: FnMut(Z, B) -> (Z, Y),
+        Out: FnMut(Y),
+    {
+        let Some(b) = (self.inp)() else {
+            return false;
+        };
+        let z = self.state.take().expect("state present");
+        let (z2, y) = (self.loop_fn)(z, b);
+        (self.out)(y);
+        self.state = Some(z2);
+        self.iterations += 1;
+        true
+    }
+
+    /// Runs until the input stream ends; returns the number of iterations
+    /// executed by this call.
+    pub fn run<B, Y>(&mut self) -> usize
+    where
+        In: FnMut() -> Option<B>,
+        L: FnMut(Z, B) -> (Z, Y),
+        Out: FnMut(Y),
+    {
+        let before = self.iterations;
+        while self.step() {}
+        self.iterations - before
+    }
+
+    /// Runs at most `max_iters` iterations; returns how many actually ran.
+    pub fn run_n<B, Y>(&mut self, max_iters: usize) -> usize
+    where
+        In: FnMut() -> Option<B>,
+        L: FnMut(Z, B) -> (Z, Y),
+        Out: FnMut(Y),
+    {
+        let before = self.iterations;
+        for _ in 0..max_iters {
+            if !self.step() {
+                break;
+            }
+        }
+        self.iterations - before
+    }
+}
+
+/// Convenience: builds the input function of an [`IterMem`] from any
+/// iterator of frames (the sequential-emulation stand-in for `read_img`).
+pub fn stream_of<B>(frames: impl IntoIterator<Item = B>) -> impl FnMut() -> Option<B> {
+    let mut it = frames.into_iter();
+    move || it.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_threads_across_iterations() {
+        let mut outputs = Vec::new();
+        let mut im = IterMem::new(
+            stream_of([10, 20, 30]),
+            |z: i32, b: i32| (z + b, z + b),
+            |y| outputs.push(y),
+            0,
+        );
+        assert_eq!(im.run(), 3);
+        assert_eq!(im.into_state(), 60);
+        assert_eq!(outputs, vec![10, 30, 60]);
+    }
+
+    #[test]
+    fn empty_stream_runs_zero_iterations() {
+        let mut im = IterMem::new(stream_of(Vec::<i32>::new()), |z: i32, b| (z + b, ()), |_| {}, 5);
+        assert_eq!(im.run(), 0);
+        assert_eq!(im.state(), &5);
+    }
+
+    #[test]
+    fn run_n_stops_early() {
+        let mut im = IterMem::new(stream_of(0..100), |z: i32, b: i32| (z + b, ()), |_| {}, 0);
+        assert_eq!(im.run_n(10), 10);
+        assert_eq!(im.iterations(), 10);
+        assert_eq!(im.state(), &45);
+        // Continue from where we left off.
+        assert_eq!(im.run_n(5), 5);
+        assert_eq!(im.iterations(), 15);
+    }
+
+    #[test]
+    fn step_reports_stream_end() {
+        let mut im = IterMem::new(stream_of([1]), |z: i32, b: i32| (z + b, ()), |_| {}, 0);
+        assert!(im.step());
+        assert!(!im.step());
+        assert!(!im.step());
+        assert_eq!(im.iterations(), 1);
+    }
+
+    #[test]
+    fn matches_bounded_spec() {
+        // Same loop via the paper-literal spec function.
+        let mut spec_out = Vec::new();
+        let spec_final = crate::spec::itermem(
+            |x: &i32| *x,
+            |z: i32, b: i32| (z + b, z),
+            |y| spec_out.push(y),
+            0,
+            &7,
+            4,
+        );
+        let mut lib_out = Vec::new();
+        let mut im = IterMem::new(
+            stream_of(std::iter::repeat(7).take(4)),
+            |z: i32, b: i32| (z + b, z),
+            |y| lib_out.push(y),
+            0,
+        );
+        im.run();
+        let lib_final = im.into_state();
+        assert_eq!(spec_out, lib_out);
+        assert_eq!(spec_final, lib_final);
+    }
+
+    #[test]
+    fn loop_body_may_use_a_farm() {
+        // The paper's tracker: a df farm inside the itermem loop.
+        let farm = crate::Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        let frames: Vec<Vec<u64>> = (1..=3).map(|k| (0..k * 4).collect()).collect();
+        let mut totals = Vec::new();
+        let mut im = IterMem::new(
+            stream_of(frames.clone()),
+            |z: u64, frame: Vec<u64>| {
+                let s = farm.run_par(&frame);
+                (z + s, s)
+            },
+            |y| totals.push(y),
+            0u64,
+        );
+        im.run();
+        let expected: Vec<u64> = frames
+            .iter()
+            .map(|f| f.iter().map(|x| x * x).sum())
+            .collect();
+        assert_eq!(totals, expected);
+    }
+}

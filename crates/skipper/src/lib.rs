@@ -1,0 +1,58 @@
+//! SKiPPER skeletons as a Rust library.
+//!
+//! This crate is the modern-library rendering of the paper's skeleton
+//! repertoire for real-time image processing (Sérot, Ginhac, Dérutin,
+//! PaCT-99). Each skeleton is a higher-order construct that coordinates
+//! user-supplied sequential functions, and — exactly as in the paper — each
+//! has **two semantics**:
+//!
+//! - a *declarative* one (`run_seq`): the executable specification, a pure
+//!   combination of `map`/`fold` calls usable for sequential emulation and
+//!   debugging on a workstation;
+//! - an *operational* one (`run_par`): a parallel implementation, here
+//!   built on crossbeam scoped threads and channels instead of Transputer
+//!   process networks.
+//!
+//! The repertoire (paper §2):
+//!
+//! | Skeleton | Pattern | Module |
+//! |---|---|---|
+//! | [`Scm`] | regular, geometric data parallelism (Split/Compute/Merge) | [`scm`] |
+//! | [`Df`]  | irregular data parallelism with dynamic load balancing (data farming) | [`df`] |
+//! | [`Tf`]  | divide-and-conquer: workers generate new packets (task farming) | [`tf`] |
+//! | [`IterMem`] | stream iteration with inter-frame state memory | [`itermem`] |
+//!
+//! The [`spec`] module contains the paper's one-line Caml declarative
+//! definitions transliterated to Rust, used as the reference semantics in
+//! property tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use skipper::Df;
+//!
+//! // df 4 (·²) (+) 0 [1..=100] — irregular work, dynamic balancing.
+//! let farm = Df::new(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
+//! let xs: Vec<u64> = (1..=100).collect();
+//! assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+//! ```
+//!
+//! # Equivalence requirements
+//!
+//! As in the paper, the implementor of the operational semantics must prove
+//! it equivalent to the declarative one. For [`Df`] and [`Tf`] this
+//! requires the accumulation function to be **commutative and associative**
+//! ("since the accumulation order in the parallel case is intrinsically
+//! unpredictable"); [`Df::run_par_ordered`] restores determinism for
+//! non-commutative folds at a small synchronisation cost.
+
+pub mod df;
+pub mod itermem;
+pub mod scm;
+pub mod spec;
+pub mod tf;
+
+pub use df::Df;
+pub use itermem::IterMem;
+pub use scm::Scm;
+pub use tf::Tf;

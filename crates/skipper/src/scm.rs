@@ -1,0 +1,219 @@
+//! The `scm` (Split, Compute, Merge) skeleton.
+//!
+//! "Encompasses … patterns dedicated to regular, data-parallel processing"
+//! (paper §2): the input domain is decomposed into sub-domains, each
+//! sub-domain is processed independently with the same function, and the
+//! results are merged. Unlike [`crate::Df`], assignment of fragments to
+//! workers is **static** (fragment *i* goes to worker *i mod n*), which is
+//! exactly why the paper reserves `scm` for *regular* workloads and brings
+//! in `df` when per-item cost varies.
+
+use crossbeam::channel;
+
+/// The Split/Compute/Merge skeleton.
+///
+/// Paper signature:
+/// `scm : int -> ('a -> 'b list) -> ('b -> 'c) -> ('c list -> 'd) -> 'a -> 'd`.
+/// The split function also receives `n` (the degree of parallelism) so it
+/// can produce one fragment per processor.
+///
+/// # Example
+///
+/// ```
+/// use skipper::Scm;
+/// let scm = Scm::new(
+///     4,
+///     |v: &Vec<u32>, n| v.chunks(v.len().div_ceil(n)).map(<[u32]>::to_vec).collect(),
+///     |chunk: Vec<u32>| chunk.iter().sum::<u32>(),
+///     |partials: Vec<u32>| partials.iter().sum::<u32>(),
+/// );
+/// let data: Vec<u32> = (1..=100).collect();
+/// assert_eq!(scm.run_par(&data), 5050);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scm<S, C, M> {
+    workers: usize,
+    split: S,
+    compute: C,
+    merge: M,
+}
+
+impl<S, C, M> Scm<S, C, M> {
+    /// Creates an `scm` instance with `workers` compute processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, split: S, compute: C, merge: M) -> Self {
+        assert!(workers > 0, "scm needs at least one worker");
+        Scm {
+            workers,
+            split,
+            compute,
+            merge,
+        }
+    }
+
+    /// Degree of parallelism.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Declarative semantics: `merge (map compute (split x))`.
+    pub fn run_seq<I, F, P, R>(&self, x: &I) -> R
+    where
+        S: Fn(&I, usize) -> Vec<F>,
+        C: Fn(F) -> P,
+        M: Fn(Vec<P>) -> R,
+    {
+        let frags = (self.split)(x, self.workers);
+        let partials = frags.into_iter().map(|f| (self.compute)(f)).collect();
+        (self.merge)(partials)
+    }
+
+    /// Operational semantics: fragments are assigned statically (cyclically
+    /// by index) to `workers` threads; partial results are merged in
+    /// fragment order, so the result always equals [`Scm::run_seq`].
+    pub fn run_par<I, F, P, R>(&self, x: &I) -> R
+    where
+        S: Fn(&I, usize) -> Vec<F>,
+        C: Fn(F) -> P + Sync,
+        M: Fn(Vec<P>) -> R,
+        F: Send,
+        P: Send,
+    {
+        let frags = (self.split)(x, self.workers);
+        let count = frags.len();
+        if count == 0 {
+            return (self.merge)(Vec::new());
+        }
+        let n = self.workers.min(count);
+        let (tx, rx) = channel::unbounded::<(usize, P)>();
+        let compute = &self.compute;
+        // Hand each worker its statically-assigned fragments.
+        let mut per_worker: Vec<Vec<(usize, F)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, f) in frags.into_iter().enumerate() {
+            per_worker[i % n].push((i, f));
+        }
+        crossbeam::thread::scope(|s| {
+            for assignment in per_worker {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for (i, f) in assignment {
+                        let p = compute(f);
+                        if tx.send((i, p)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("scm worker panicked");
+        let mut slots: Vec<Option<P>> = (0..count).map(|_| None).collect();
+        for (i, p) in rx.iter() {
+            slots[i] = Some(p);
+        }
+        let partials = slots
+            .into_iter()
+            .map(|s| s.expect("every fragment produces a partial"))
+            .collect();
+        (self.merge)(partials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn chunk_split(v: &Vec<u64>, n: usize) -> Vec<Vec<u64>> {
+        if v.is_empty() {
+            return Vec::new();
+        }
+        v.chunks(v.len().div_ceil(n)).map(<[u64]>::to_vec).collect()
+    }
+
+    #[test]
+    fn par_equals_seq() {
+        let scm = Scm::new(
+            4,
+            chunk_split,
+            |c: Vec<u64>| c.iter().map(|x| x * x).sum::<u64>(),
+            |ps: Vec<u64>| ps.iter().sum::<u64>(),
+        );
+        let data: Vec<u64> = (0..1000).collect();
+        assert_eq!(scm.run_par(&data), scm.run_seq(&data));
+    }
+
+    #[test]
+    fn matches_declarative_spec() {
+        let data: Vec<u64> = (0..64).collect();
+        let scm = Scm::new(
+            3,
+            chunk_split,
+            |c: Vec<u64>| c.len(),
+            |ps: Vec<usize>| ps.into_iter().sum::<usize>(),
+        );
+        let spec = crate::spec::scm(
+            3,
+            chunk_split,
+            |c: Vec<u64>| c.len(),
+            |ps: Vec<usize>| ps.into_iter().sum::<usize>(),
+            &data,
+        );
+        assert_eq!(scm.run_par(&data), spec);
+    }
+
+    #[test]
+    fn merge_sees_fragment_order() {
+        // Merge concatenates; order must be the split order even though
+        // workers finish out of order.
+        let scm = Scm::new(
+            4,
+            |v: &Vec<u64>, _| v.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+            |c: Vec<u64>| {
+                std::thread::sleep(Duration::from_millis(c[0] % 7));
+                c
+            },
+            |ps: Vec<Vec<u64>>| ps.concat(),
+        );
+        let data: Vec<u64> = (0..20).rev().collect();
+        assert_eq!(scm.run_par(&data), data);
+    }
+
+    #[test]
+    fn empty_split_merges_empty() {
+        let scm = Scm::new(
+            2,
+            |_: &u32, _| Vec::<u32>::new(),
+            |x: u32| x,
+            |ps: Vec<u32>| ps.len(),
+        );
+        assert_eq!(scm.run_par(&0), 0);
+        assert_eq!(scm.run_seq(&0), 0);
+    }
+
+    #[test]
+    fn more_fragments_than_workers() {
+        let scm = Scm::new(
+            2,
+            |v: &Vec<u64>, _| v.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+            |c: Vec<u64>| c[0] * 2,
+            |ps: Vec<u64>| ps.iter().sum::<u64>(),
+        );
+        let data: Vec<u64> = (1..=9).collect();
+        assert_eq!(scm.run_par(&data), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Scm::new(
+            0,
+            |_: &u32, _: usize| Vec::<u32>::new(),
+            |x: u32| x,
+            |ps: Vec<u32>| ps.len(),
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The declarative (executable-specification) definitions.
+//!
+//! These are the paper's one-line Caml definitions transliterated to Rust,
+//! written once and used as the reference semantics. For example the paper
+//! defines (§2):
+//!
+//! ```text
+//! let df n comp acc z xs = fold_left acc z (map comp xs)
+//! ```
+//!
+//! which is exactly [`df`] below. The `n` parameter — "actually related to
+//! the operational definition" — is kept for signature fidelity but unused,
+//! as in the paper.
+
+/// Declarative `df`: `fold_left acc z (map comp xs)`.
+///
+/// Signature mirror of
+/// `df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c`.
+///
+/// # Example
+///
+/// ```
+/// let sum_sq = skipper::spec::df(8, |x: &i64| x * x, |z, y| z + y, 0, &[1, 2, 3]);
+/// assert_eq!(sum_sq, 14);
+/// ```
+pub fn df<I, O, Z>(
+    _n: usize,
+    comp: impl Fn(&I) -> O,
+    acc: impl Fn(Z, O) -> Z,
+    z: Z,
+    xs: &[I],
+) -> Z {
+    xs.iter().map(comp).fold(z, acc)
+}
+
+/// Declarative `scm`: `merge (map comp (split x))`.
+///
+/// Signature mirror of
+/// `scm : int -> ('a -> 'b list) -> ('b -> 'c) -> ('c list -> 'd) -> 'a -> 'd`.
+/// The split function receives `n` so it can produce one fragment per
+/// processor, as `get_windows nproc` does in the paper's tracker.
+pub fn scm<I, F, P, R>(
+    n: usize,
+    split: impl Fn(&I, usize) -> Vec<F>,
+    comp: impl Fn(F) -> P,
+    merge: impl Fn(Vec<P>) -> R,
+    x: &I,
+) -> R {
+    merge(split(x, n).into_iter().map(comp).collect())
+}
+
+/// Declarative `tf` (task farming): depth-first elaboration of the task
+/// tree; every task may yield new tasks and an optional result, results are
+/// folded in completion order.
+pub fn tf<T, O, Z>(
+    _n: usize,
+    worker: impl Fn(T) -> (Vec<T>, Option<O>),
+    acc: impl Fn(Z, O) -> Z,
+    z: Z,
+    tasks: Vec<T>,
+) -> Z {
+    let mut stack: Vec<T> = tasks.into_iter().rev().collect();
+    let mut z = z;
+    while let Some(t) = stack.pop() {
+        let (new_tasks, result) = worker(t);
+        // Depth-first: children processed before siblings.
+        stack.extend(new_tasks.into_iter().rev());
+        if let Some(o) = result {
+            z = acc(z, o);
+        }
+    }
+    z
+}
+
+/// Declarative `itermem` (Fig. 4), bounded to `iters` iterations so the
+/// specification terminates on a workstation:
+///
+/// ```text
+/// let itermem inp loop out z x =
+///   let rec f z = let z', y = loop (z, inp x) in out y; f z'
+///   in f z
+/// ```
+///
+/// Returns the final state.
+pub fn itermem<X, B, Z, Y>(
+    mut inp: impl FnMut(&X) -> B,
+    mut loop_fn: impl FnMut(Z, B) -> (Z, Y),
+    mut out: impl FnMut(Y),
+    z: Z,
+    x: &X,
+    iters: usize,
+) -> Z {
+    let mut z = z;
+    for _ in 0..iters {
+        let (z2, y) = loop_fn(z, inp(x));
+        out(y);
+        z = z2;
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn df_is_map_then_fold() {
+        let r = df(3, |x: &i32| x + 1, |z, y| z * y, 1, &[1, 2, 3]);
+        assert_eq!(r, 2 * 3 * 4);
+        // n is semantically irrelevant.
+        assert_eq!(df(1, |x: &i32| x + 1, |z, y| z * y, 1, &[1, 2, 3]), r);
+    }
+
+    #[test]
+    fn df_empty_list_is_initial() {
+        assert_eq!(df(4, |x: &i32| *x, |z: i32, y| z + y, 42, &[]), 42);
+    }
+
+    #[test]
+    fn scm_splits_computes_merges() {
+        // Split a slice into n chunks, square each chunk's sum, then add.
+        let xs: Vec<i64> = (1..=10).collect();
+        let r = scm(
+            2,
+            |v: &Vec<i64>, n| v.chunks(v.len().div_ceil(n)).map(|c| c.to_vec()).collect(),
+            |c: Vec<i64>| c.iter().sum::<i64>(),
+            |ps: Vec<i64>| ps.into_iter().sum::<i64>(),
+            &xs,
+        );
+        assert_eq!(r, 55);
+    }
+
+    #[test]
+    fn tf_explores_task_tree() {
+        // Each task n spawns n/2 and n/3 until 0; counts visited tasks.
+        let count = tf(
+            4,
+            |n: u32| {
+                let mut children = Vec::new();
+                if n / 2 > 0 {
+                    children.push(n / 2);
+                }
+                if n / 3 > 0 {
+                    children.push(n / 3);
+                }
+                (children, Some(1u32))
+            },
+            |z, o| z + o,
+            0,
+            vec![10],
+        );
+        assert!(count > 1);
+    }
+
+    #[test]
+    fn tf_depth_first_order() {
+        let mut seen = Vec::new();
+        let order = std::cell::RefCell::new(&mut seen);
+        tf(
+            1,
+            |t: i32| {
+                order.borrow_mut().push(t);
+                if t == 1 {
+                    (vec![11, 12], Some(()))
+                } else {
+                    (vec![], Some(()))
+                }
+            },
+            |z, _| z,
+            (),
+            vec![1, 2],
+        );
+        assert_eq!(seen, vec![1, 11, 12, 2]);
+    }
+
+    #[test]
+    fn itermem_threads_state() {
+        let mut outputs = Vec::new();
+        let z = itermem(
+            |x: &i32| *x,
+            |z: i32, b: i32| (z + b, z),
+            |y| outputs.push(y),
+            0,
+            &5,
+            4,
+        );
+        assert_eq!(z, 20);
+        assert_eq!(outputs, vec![0, 5, 10, 15]);
+    }
+}

@@ -1,0 +1,246 @@
+//! The `tf` (task-farming) skeleton.
+//!
+//! "A generalisation of the `df` one, in which each worker can recursively
+//! generate new packets to be processed. Its main use is for implementing
+//! the so-called divide-and-conquer algorithms" (paper §2 — declared but
+//! not further discussed there; we implement it fully).
+//!
+//! The operational semantics keeps a shared task pool; workers pop a task,
+//! may push freshly generated tasks, and emit optional results to the
+//! accumulating master. Termination is detected when the pool is empty
+//! *and* no worker still holds a task.
+
+use crossbeam::channel;
+use crossbeam::utils::Backoff;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The task-farming skeleton.
+///
+/// `W` maps one task to `(new_tasks, optional_result)`; `A` folds results
+/// into the accumulator. As with [`crate::Df`], parallel/sequential
+/// equivalence requires a commutative-associative `A`.
+///
+/// # Example
+///
+/// ```
+/// use skipper::Tf;
+/// // Count the nodes of an implicit binary tree of depth 4.
+/// let tf = Tf::new(
+///     4,
+///     |d: u32| {
+///         let children = if d > 0 { vec![d - 1, d - 1] } else { vec![] };
+///         (children, Some(1u32))
+///     },
+///     |z, c| z + c,
+///     0u32,
+/// );
+/// assert_eq!(tf.run_par(vec![4]), 31);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tf<W, A, Z> {
+    workers: usize,
+    worker: W,
+    acc: A,
+    init: Z,
+}
+
+impl<W, A, Z> Tf<W, A, Z> {
+    /// Creates a task farm with `workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, worker: W, acc: A, init: Z) -> Self {
+        assert!(workers > 0, "a task farm needs at least one worker");
+        Tf {
+            workers,
+            worker,
+            acc,
+            init,
+        }
+    }
+
+    /// Degree of parallelism.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Declarative semantics: depth-first elaboration of the task tree
+    /// (see [`crate::spec::tf`]).
+    pub fn run_seq<T, O>(&self, tasks: Vec<T>) -> Z
+    where
+        W: Fn(T) -> (Vec<T>, Option<O>),
+        A: Fn(Z, O) -> Z,
+        Z: Clone,
+    {
+        crate::spec::tf(
+            self.workers,
+            |t| (self.worker)(t),
+            |z, o| (self.acc)(z, o),
+            self.init.clone(),
+            tasks,
+        )
+    }
+
+    /// Operational semantics: shared task pool with work generation;
+    /// results folded in arrival order.
+    pub fn run_par<T, O>(&self, tasks: Vec<T>) -> Z
+    where
+        W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+        A: Fn(Z, O) -> Z,
+        Z: Clone,
+        T: Send,
+        O: Send,
+    {
+        if tasks.is_empty() {
+            return self.init.clone();
+        }
+        // `outstanding` counts queued + in-process tasks; 0 means done.
+        let outstanding = AtomicUsize::new(tasks.len());
+        let queue = Mutex::new(VecDeque::from(tasks));
+        let (tx, rx) = channel::unbounded::<O>();
+        let worker = &self.worker;
+        let mut z = Some(self.init.clone());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..self.workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let outstanding = &outstanding;
+                s.spawn(move |_| {
+                    let backoff = Backoff::new();
+                    loop {
+                        let task = queue.lock().expect("task queue poisoned").pop_front();
+                        match task {
+                            Some(t) => {
+                                backoff.reset();
+                                let (new_tasks, result) = worker(t);
+                                if !new_tasks.is_empty() {
+                                    outstanding.fetch_add(new_tasks.len(), Ordering::SeqCst);
+                                    let mut q = queue.lock().expect("task queue poisoned");
+                                    q.extend(new_tasks);
+                                }
+                                if let Some(o) = result {
+                                    if tx.send(o).is_err() {
+                                        return;
+                                    }
+                                }
+                                // Completed AFTER children were registered.
+                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    return;
+                                }
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for o in rx.iter() {
+                z = Some((self.acc)(z.take().expect("accumulator present"), o));
+            }
+        })
+        .expect("tf worker panicked");
+        z.expect("accumulator present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadtree-style division: a "region" of size s splits into 4 regions
+    /// of size s/4 until small, then reports its size.
+    fn quad(s: u64) -> (Vec<u64>, Option<u64>) {
+        if s > 16 {
+            (vec![s / 4; 4], None)
+        } else {
+            (vec![], Some(s))
+        }
+    }
+
+    #[test]
+    fn par_equals_seq_for_commutative_acc() {
+        let tf = Tf::new(4, quad, |z, o| z + o, 0u64);
+        assert_eq!(tf.run_par(vec![1024]), tf.run_seq(vec![1024]));
+    }
+
+    #[test]
+    fn leaf_mass_is_conserved() {
+        // 1024 splits into 4x256 ... down to 4^3 leaves of 16: total 1024.
+        let tf = Tf::new(8, quad, |z, o| z + o, 0u64);
+        assert_eq!(tf.run_par(vec![1024]), 1024);
+    }
+
+    #[test]
+    fn empty_task_list_returns_init() {
+        let tf = Tf::new(2, quad, |z, o| z + o, 99u64);
+        assert_eq!(tf.run_par(Vec::new()), 99);
+    }
+
+    #[test]
+    fn pure_df_workload_reduces_to_farm() {
+        // No task generates children: tf degenerates to df.
+        let tf = Tf::new(
+            4,
+            |x: u64| (Vec::new(), Some(x * 3)),
+            |z, o| z + o,
+            0u64,
+        );
+        let expected: u64 = (0..100).map(|x| x * 3).sum();
+        assert_eq!(tf.run_par((0..100).collect()), expected);
+    }
+
+    #[test]
+    fn tasks_with_no_result_contribute_nothing() {
+        let tf = Tf::new(
+            2,
+            |x: u32| {
+                if x % 2 == 0 {
+                    (Vec::new(), Some(x))
+                } else {
+                    (Vec::new(), None)
+                }
+            },
+            |z, o| z + o,
+            0u32,
+        );
+        assert_eq!(tf.run_par((0..10).collect()), 2 + 4 + 6 + 8 + 0);
+    }
+
+    #[test]
+    fn deep_generation_chain_terminates() {
+        // Each task spawns exactly one child until depth 0 — worst case for
+        // termination detection (pool is often empty while work exists).
+        let tf = Tf::new(
+            4,
+            |d: u32| {
+                if d > 0 {
+                    (vec![d - 1], None)
+                } else {
+                    (vec![], Some(1u32))
+                }
+            },
+            |z, o| z + o,
+            0u32,
+        );
+        assert_eq!(tf.run_par(vec![500]), 1);
+    }
+
+    #[test]
+    fn many_roots_many_workers() {
+        let tf = Tf::new(8, quad, |z, o| z + o, 0u64);
+        let roots = vec![256u64; 16];
+        assert_eq!(tf.run_par(roots.clone()), tf.run_seq(roots));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Tf::new(0, quad, |z: u64, o: u64| z + o, 0u64);
+    }
+}

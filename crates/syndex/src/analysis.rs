@@ -1,0 +1,324 @@
+//! Static analysis of generated executives.
+//!
+//! The SynDEx contract promises a **dead-lock free** distributed executive.
+//! [`check_deadlock_free`] verifies that promise on the generated
+//! macro-code by abstract execution: sends are non-blocking (link-DMA
+//! buffered), receives block until the matching send has been issued, and
+//! the executive is deadlock-free iff this token game can always run every
+//! program to completion. The check unrolls several iterations so that
+//! `itermem` memory traffic crossing iteration boundaries is covered.
+
+use crate::macrocode::{MacroOp, MacroProgram};
+use std::collections::HashMap;
+use std::fmt;
+use transvision::topology::ProcId;
+
+/// Evidence of a deadlock found by [`check_deadlock_free`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Processors stuck at a receive, with the op index and a description.
+    pub stuck: Vec<(ProcId, usize, String)>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "executive deadlock: ")?;
+        for (i, (p, pc, what)) in self.stuck.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{p} at op {pc}: {what}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockReport {}
+
+/// Abstractly executes the programs for `iterations` iterations.
+///
+/// # Errors
+///
+/// Returns a [`DeadlockReport`] naming every processor blocked on a
+/// receive whose matching send can never be issued.
+pub fn check_deadlock_free(
+    programs: &[MacroProgram],
+    iterations: usize,
+) -> Result<(), DeadlockReport> {
+    // Unrolled program counters.
+    let totals: Vec<usize> = programs.iter().map(|p| p.ops.len() * iterations).collect();
+    let mut pc: Vec<usize> = vec![0; programs.len()];
+    // (from, to, tag) -> number of messages sent minus received.
+    let mut channel: HashMap<(ProcId, ProcId, u32), i64> = HashMap::new();
+    loop {
+        let mut progressed = false;
+        for (i, prog) in programs.iter().enumerate() {
+            // Run this processor as far as it can go.
+            while pc[i] < totals[i] {
+                let op = &prog.ops[pc[i] % prog.ops.len().max(1)];
+                match op {
+                    MacroOp::Comp { .. } => {
+                        pc[i] += 1;
+                        progressed = true;
+                    }
+                    MacroOp::Send { to, tag, .. } => {
+                        *channel.entry((prog.proc, *to, *tag)).or_insert(0) += 1;
+                        pc[i] += 1;
+                        progressed = true;
+                    }
+                    MacroOp::Recv { from, tag, .. } => {
+                        let pending = channel
+                            .get(&(*from, prog.proc, *tag))
+                            .copied()
+                            .unwrap_or(0);
+                        if pending > 0 {
+                            *channel
+                                .entry((*from, prog.proc, *tag))
+                                .or_insert(0) -= 1;
+                            pc[i] += 1;
+                            progressed = true;
+                        } else {
+                            break; // blocked for now
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let stuck: Vec<_> = programs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| pc[*i] < totals[*i])
+        .map(|(i, prog)| {
+            let op = &prog.ops[pc[i] % prog.ops.len().max(1)];
+            let what = match op {
+                MacroOp::Recv { from, tag, .. } => {
+                    format!("recv from {from} tag {tag} never satisfied")
+                }
+                other => format!("unexpected stall at {other:?}"),
+            };
+            (prog.proc, pc[i], what)
+        })
+        .collect();
+    if stuck.is_empty() {
+        Ok(())
+    } else {
+        Err(DeadlockReport { stuck })
+    }
+}
+
+/// Total bytes the executive moves per iteration.
+pub fn comm_volume(programs: &[MacroProgram]) -> u64 {
+    programs
+        .iter()
+        .flat_map(|p| &p.ops)
+        .map(|o| match o {
+            MacroOp::Send { bytes, .. } => *bytes,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Number of messages the executive sends per iteration.
+pub fn message_count(programs: &[MacroProgram]) -> usize {
+    programs
+        .iter()
+        .flat_map(|p| &p.ops)
+        .filter(|o| matches!(o, MacroOp::Send { .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::macrocode::generate;
+    use crate::schedule::{schedule_with, Strategy};
+    use skipper_net::dtype::DataType;
+    use skipper_net::graph::{NodeKind, ProcessNetwork};
+    use skipper_net::pnt::{expand_itermem, expand_scm, IterMemTypes, ScmTypes};
+    use std::collections::HashMap as Map;
+
+    fn prog(proc: usize, ops: Vec<MacroOp>) -> MacroProgram {
+        MacroProgram {
+            proc: ProcId(proc),
+            ops,
+        }
+    }
+
+    #[test]
+    fn empty_programs_are_fine() {
+        assert!(check_deadlock_free(&[prog(0, vec![]), prog(1, vec![])], 3).is_ok());
+    }
+
+    #[test]
+    fn matched_send_recv_passes() {
+        let p0 = prog(
+            0,
+            vec![MacroOp::Send {
+                edge: 0,
+                to: ProcId(1),
+                tag: 0,
+                bytes: 8,
+            }],
+        );
+        let p1 = prog(
+            1,
+            vec![MacroOp::Recv {
+                edge: 0,
+                from: ProcId(0),
+                tag: 0,
+            }],
+        );
+        assert!(check_deadlock_free(&[p0, p1], 5).is_ok());
+    }
+
+    #[test]
+    fn missing_send_detected() {
+        let p1 = prog(
+            1,
+            vec![MacroOp::Recv {
+                edge: 0,
+                from: ProcId(0),
+                tag: 0,
+            }],
+        );
+        let err = check_deadlock_free(&[prog(0, vec![]), p1], 1).unwrap_err();
+        assert_eq!(err.stuck.len(), 1);
+        assert_eq!(err.stuck[0].0, ProcId(1));
+        assert!(err.to_string().contains("never satisfied"));
+    }
+
+    #[test]
+    fn crossed_recv_order_deadlocks() {
+        // P0: recv from P1 then send to P1; P1: recv from P0 then send to
+        // P0 — the classic cycle.
+        let p0 = prog(
+            0,
+            vec![
+                MacroOp::Recv {
+                    edge: 0,
+                    from: ProcId(1),
+                    tag: 0,
+                },
+                MacroOp::Send {
+                    edge: 1,
+                    to: ProcId(1),
+                    tag: 1,
+                    bytes: 8,
+                },
+            ],
+        );
+        let p1 = prog(
+            1,
+            vec![
+                MacroOp::Recv {
+                    edge: 1,
+                    from: ProcId(0),
+                    tag: 1,
+                },
+                MacroOp::Send {
+                    edge: 0,
+                    to: ProcId(0),
+                    tag: 0,
+                    bytes: 8,
+                },
+            ],
+        );
+        assert!(check_deadlock_free(&[p0, p1], 1).is_err());
+    }
+
+    /// Full pipeline: schedule + generate for an scm network must always be
+    /// deadlock-free, for every strategy and several machine sizes.
+    #[test]
+    fn generated_scm_executives_are_deadlock_free() {
+        let mut net = ProcessNetwork::new("scm");
+        let h = expand_scm(
+            &mut net,
+            6,
+            "split",
+            "f",
+            "merge",
+            ScmTypes {
+                input: DataType::Image,
+                fragment: DataType::Image,
+                partial: DataType::Image,
+                output: DataType::Image,
+            },
+        );
+        let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
+        let out = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
+        net.add_data_edge(h.merge, 0, out, 0, DataType::Image).unwrap();
+        for &w in &h.workers {
+            net.set_cost_hint(w, 50_000);
+        }
+        for strategy in [Strategy::MinFinish, Strategy::RoundRobin, Strategy::SingleProc] {
+            for nprocs in [1usize, 2, 4, 8] {
+                let arch = if nprocs == 1 {
+                    Architecture::single_t9000()
+                } else {
+                    Architecture::ring_t9000(nprocs)
+                };
+                let s = schedule_with(&net, &arch, &Map::new(), strategy).unwrap();
+                let progs = generate(&net, &s, &arch);
+                assert!(
+                    check_deadlock_free(&progs, 3).is_ok(),
+                    "{strategy:?} on {nprocs} procs deadlocked"
+                );
+            }
+        }
+    }
+
+    /// itermem executives stay deadlock-free across iteration boundaries
+    /// (the memory edge crosses iterations).
+    #[test]
+    fn generated_itermem_executive_is_deadlock_free() {
+        let mut net = ProcessNetwork::new("loop");
+        let body = net.add_node(NodeKind::UserFn("loop".into()), "loop");
+        net.set_cost_hint(body, 10_000);
+        expand_itermem(
+            &mut net,
+            "inp",
+            "out",
+            body,
+            body,
+            IterMemTypes {
+                input: DataType::Image,
+                state: DataType::named("state"),
+                output: DataType::Int,
+            },
+        )
+        .unwrap();
+        let arch = Architecture::ring_t9000(3);
+        let s = schedule_with(&net, &arch, &Map::new(), Strategy::RoundRobin).unwrap();
+        let progs = generate(&net, &s, &arch);
+        assert!(check_deadlock_free(&progs, 4).is_ok());
+    }
+
+    #[test]
+    fn volume_and_count_helpers() {
+        let p0 = prog(
+            0,
+            vec![
+                MacroOp::Send {
+                    edge: 0,
+                    to: ProcId(1),
+                    tag: 0,
+                    bytes: 100,
+                },
+                MacroOp::Send {
+                    edge: 1,
+                    to: ProcId(1),
+                    tag: 1,
+                    bytes: 28,
+                },
+            ],
+        );
+        assert_eq!(comm_volume(&[p0.clone()]), 128);
+        assert_eq!(message_count(&[p0]), 2);
+    }
+}

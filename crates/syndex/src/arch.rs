@@ -1,0 +1,137 @@
+//! Architecture graphs.
+//!
+//! In the AAA methodology the target machine "is also described as a graph,
+//! with nodes associated to processors and edges representing communication
+//! channels" (paper §3). An [`Architecture`] couples such a graph (a
+//! [`Topology`]) with the machine's [`CostModel`].
+
+use transvision::cost::{CostModel, Ns};
+use transvision::topology::{ProcId, Topology};
+
+/// An architecture graph: topology + timing constants.
+///
+/// # Example
+///
+/// ```
+/// use skipper_syndex::Architecture;
+/// let arch = Architecture::ring_t9000(8);
+/// assert_eq!(arch.len(), 8);
+/// assert!(arch.comm_ns(transvision::ProcId(0), transvision::ProcId(4), 1024) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    topo: Topology,
+    cost: CostModel,
+}
+
+impl Architecture {
+    /// Creates an architecture from a topology and cost model.
+    pub fn new(topo: Topology, cost: CostModel) -> Self {
+        Architecture { topo, cost }
+    }
+
+    /// The paper's experimental platform: a ring of `n` T9000-class
+    /// Transputers.
+    pub fn ring_t9000(n: usize) -> Self {
+        Architecture::new(Topology::ring(n), CostModel::t9000())
+    }
+
+    /// A single sequential processor (the emulation platform).
+    pub fn single_t9000() -> Self {
+        Architecture::new(Topology::single(), CostModel::t9000())
+    }
+
+    /// A fully-connected network of workstations.
+    pub fn now_workstations(n: usize) -> Self {
+        Architecture::new(Topology::full(n), CostModel::workstation())
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// `true` when the architecture has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.topo.is_empty()
+    }
+
+    /// Predicted end-to-end time (setup + uncontended store-and-forward
+    /// wire time) to move `bytes` from `src` to `dst`; 0 when they are the
+    /// same processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processors are unreachable from each other.
+    pub fn comm_ns(&self, src: ProcId, dst: ProcId, bytes: u64) -> Ns {
+        if src == dst {
+            return 0;
+        }
+        let hops = self
+            .topo
+            .distance(src, dst)
+            .expect("architecture graph must be connected");
+        self.cost.comm_setup_ns + self.cost.transfer_ns(bytes, hops)
+    }
+
+    /// Time to execute `units` abstract work units on any processor
+    /// (processors are homogeneous, as on Transvision).
+    pub fn work_ns(&self, units: u64) -> Ns {
+        self.cost.work_ns(units)
+    }
+
+    /// Mean single-hop communication estimate for `bytes`, used by the
+    /// scheduler's priority ranks.
+    pub fn mean_comm_ns(&self, bytes: u64) -> Ns {
+        self.cost.comm_setup_ns + self.cost.transfer_ns(bytes, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_preset() {
+        let a = Architecture::ring_t9000(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.topology().name(), "ring(8)");
+    }
+
+    #[test]
+    fn comm_zero_on_same_proc() {
+        let a = Architecture::ring_t9000(4);
+        assert_eq!(a.comm_ns(ProcId(1), ProcId(1), 100_000), 0);
+    }
+
+    #[test]
+    fn comm_grows_with_distance() {
+        let a = Architecture::ring_t9000(8);
+        let near = a.comm_ns(ProcId(0), ProcId(1), 10_000);
+        let far = a.comm_ns(ProcId(0), ProcId(4), 10_000);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn work_uses_cost_model() {
+        let a = Architecture::ring_t9000(2);
+        assert_eq!(a.work_ns(100), CostModel::t9000().work_ns(100));
+    }
+
+    #[test]
+    fn workstation_preset_is_faster() {
+        let t = Architecture::ring_t9000(4);
+        let w = Architecture::now_workstations(4);
+        assert!(w.work_ns(1000) < t.work_ns(1000));
+    }
+}

@@ -1,0 +1,30 @@
+//! A SynDEx-like back-end for SKiPPER: the AAA methodology in Rust.
+//!
+//! The original environment delegates mapping and scheduling to SynDEx
+//! (Sorel, *Massively parallel systems with real time constraints — the
+//! "Algorithm Architecture Adequation" methodology*, MPCS'94), "a
+//! third-party CAD software … which performs a static distribution of
+//! processes onto processors and a mixed static/dynamic scheduling of
+//! communications onto channels. This tool generates a dead-lock free
+//! distributed executive with optional real-time performance measurement."
+//!
+//! This crate implements that contract from scratch:
+//!
+//! - [`arch`]: the architecture graph (a [`transvision::Topology`] plus a
+//!   [`transvision::CostModel`]);
+//! - [`schedule`]: static distribution + scheduling — a critical-path
+//!   (HEFT-style) list scheduler in the spirit of SynDEx's adequation
+//!   heuristic, with round-robin and single-processor baselines;
+//! - [`macrocode`]: generation of per-processor executive macro-code (the
+//!   analogue of SynDEx's per-processor m4 files), with textual emission;
+//! - [`analysis`]: static verification that the generated executive is
+//!   deadlock-free, and predicted-vs-simulated makespan accounting.
+
+pub mod analysis;
+pub mod arch;
+pub mod macrocode;
+pub mod schedule;
+
+pub use arch::Architecture;
+pub use macrocode::{MacroOp, MacroProgram};
+pub use schedule::{schedule, schedule_with, Schedule, ScheduleError, Strategy};

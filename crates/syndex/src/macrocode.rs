@@ -1,0 +1,326 @@
+//! Executive macro-code generation.
+//!
+//! SynDEx emits "processor-independent programs (m4 macro-code, one per
+//! processor) which are finally transformed into compilable code by simply
+//! inlining a set of kernel primitives" (paper §3). [`generate`] produces
+//! the structured equivalent — one [`MacroProgram`] per processor for one
+//! iteration of the process graph — and [`MacroProgram::emit_m4`] renders
+//! the m4-like text for inspection.
+
+use crate::arch::Architecture;
+use crate::schedule::Schedule;
+use skipper_net::graph::{EdgeKind, NodeId, ProcessNetwork};
+use transvision::cost::Ns;
+use transvision::topology::ProcId;
+
+/// One executive operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MacroOp {
+    /// Run the sequential code of `node`.
+    Comp {
+        /// The process-graph node.
+        node: NodeId,
+        /// Human-readable label (function name).
+        label: String,
+        /// Predicted duration.
+        cost_ns: Ns,
+    },
+    /// Transmit the value of process-graph edge `edge`.
+    Send {
+        /// Index into `net.edges()`.
+        edge: usize,
+        /// Destination processor.
+        to: ProcId,
+        /// Message tag (the edge index).
+        tag: u32,
+        /// Modelled message size.
+        bytes: u64,
+    },
+    /// Receive the value of process-graph edge `edge`.
+    Recv {
+        /// Index into `net.edges()`.
+        edge: usize,
+        /// Source processor.
+        from: ProcId,
+        /// Message tag (the edge index).
+        tag: u32,
+    },
+}
+
+/// The per-processor executive program for one graph iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroProgram {
+    /// The processor this program runs on.
+    pub proc: ProcId,
+    /// Operations in execution order.
+    pub ops: Vec<MacroOp>,
+}
+
+impl MacroProgram {
+    /// Number of communication operations.
+    pub fn comm_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| !matches!(o, MacroOp::Comp { .. }))
+            .count()
+    }
+
+    /// Renders the program as m4-style macro-code, the textual face of the
+    /// distributed executive.
+    pub fn emit_m4(&self, net: &ProcessNetwork) -> String {
+        let mut s = String::new();
+        s.push_str("include(`skipper_kernel.m4')\n");
+        s.push_str(&format!("PROC_BEGIN(`{}')\n", self.proc));
+        s.push_str("LOOP_BEGIN\n");
+        for op in &self.ops {
+            match op {
+                MacroOp::Comp { label, .. } => {
+                    s.push_str(&format!("  COMP(`{label}')\n"));
+                }
+                MacroOp::Send {
+                    edge,
+                    to,
+                    tag,
+                    bytes,
+                } => {
+                    let e = &net.edges()[*edge];
+                    s.push_str(&format!(
+                        "  SEND(`{to}', `{tag}', `{bytes}', `{}')\n",
+                        e.dtype
+                    ));
+                }
+                MacroOp::Recv { edge, from, tag } => {
+                    let e = &net.edges()[*edge];
+                    s.push_str(&format!("  RECV(`{from}', `{tag}', `{}')\n", e.dtype));
+                }
+            }
+        }
+        s.push_str("LOOP_END\n");
+        s.push_str("PROC_END\n");
+        s
+    }
+}
+
+/// Generates the per-processor macro-programs realising `schedule`.
+///
+/// Within a processor, each node contributes: receives for its incoming
+/// cross-processor **data** edges, its computation, then sends for its
+/// outgoing cross-processor edges (data and memory). Memory-edge receives
+/// (the `MEM` processes' next-iteration state) are appended at the end of
+/// the iteration, matching the `itermem` semantics of Fig. 4.
+///
+/// **Farm-internal edges are not staticised.** Edges joining two nodes of
+/// the same farm instance (an instance containing a `Master`) carry the
+/// farm's *dynamically* load-balanced traffic; the distributed executive
+/// schedules those messages at run time, which is the paper's "mixed
+/// static/dynamic scheduling of communications". The master's and workers'
+/// `Comp` ops remain in the static program as the hooks where the dynamic
+/// protocol runs.
+pub fn generate(
+    net: &ProcessNetwork,
+    schedule: &Schedule,
+    arch: &Architecture,
+) -> Vec<MacroProgram> {
+    let nprocs = arch.len();
+    let dynamic_edges = crate::schedule::farm_internal_edges(net);
+    let mut programs: Vec<MacroProgram> = (0..nprocs)
+        .map(|p| MacroProgram {
+            proc: ProcId(p),
+            ops: Vec::new(),
+        })
+        .collect();
+    for (p, order) in schedule.proc_order.iter().enumerate() {
+        let prog = &mut programs[p];
+        for &node in order {
+            // Receives for cross data edges, deterministic edge order.
+            for (i, e) in net.edges().iter().enumerate() {
+                if e.to == node
+                    && e.kind == EdgeKind::Data
+                    && schedule.proc_of(e.from) != ProcId(p)
+                    && !dynamic_edges.contains(&i)
+                {
+                    prog.ops.push(MacroOp::Recv {
+                        edge: i,
+                        from: schedule.proc_of(e.from),
+                        tag: i as u32,
+                    });
+                }
+            }
+            prog.ops.push(MacroOp::Comp {
+                node,
+                label: net.node(node).label.clone(),
+                cost_ns: arch.work_ns(net.node(node).cost_hint),
+            });
+            for (i, e) in net.edges().iter().enumerate() {
+                if e.from == node
+                    && schedule.proc_of(e.to) != ProcId(p)
+                    && !dynamic_edges.contains(&i)
+                {
+                    prog.ops.push(MacroOp::Send {
+                        edge: i,
+                        to: schedule.proc_of(e.to),
+                        tag: i as u32,
+                        bytes: e.bytes(),
+                    });
+                }
+            }
+        }
+        // End-of-iteration: memory-edge receives for MEM nodes hosted here.
+        for (i, e) in net.edges().iter().enumerate() {
+            if e.kind == EdgeKind::Memory
+                && schedule.proc_of(e.to) == ProcId(p)
+                && schedule.proc_of(e.from) != ProcId(p)
+            {
+                programs[p].ops.push(MacroOp::Recv {
+                    edge: i,
+                    from: schedule.proc_of(e.from),
+                    tag: i as u32,
+                });
+            }
+        }
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{schedule, schedule_with, Strategy};
+    use skipper_net::dtype::DataType;
+    use skipper_net::graph::NodeKind;
+    use skipper_net::pnt::{expand_itermem, IterMemTypes};
+    use std::collections::HashMap;
+
+    fn pipeline() -> ProcessNetwork {
+        let mut net = ProcessNetwork::new("p");
+        let a = net.add_node(NodeKind::Input("cam".into()), "cam");
+        let b = net.add_node(NodeKind::UserFn("f".into()), "f");
+        let c = net.add_node(NodeKind::UserFn("g".into()), "g");
+        let d = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(a, 0, b, 0, DataType::Image).unwrap();
+        net.add_data_edge(b, 0, c, 0, DataType::Image).unwrap();
+        net.add_data_edge(c, 0, d, 0, DataType::Int).unwrap();
+        net.set_cost_hint(b, 1_000_000);
+        net.set_cost_hint(c, 1_000_000);
+        net
+    }
+
+    #[test]
+    fn sends_and_recvs_are_paired() {
+        let net = pipeline();
+        let arch = Architecture::ring_t9000(3);
+        let s = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+        let progs = generate(&net, &s, &arch);
+        let sends: Vec<_> = progs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter_map(|o| match o {
+                MacroOp::Send { edge, .. } => Some(*edge),
+                _ => None,
+            })
+            .collect();
+        let recvs: Vec<_> = progs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter_map(|o| match o {
+                MacroOp::Recv { edge, .. } => Some(*edge),
+                _ => None,
+            })
+            .collect();
+        let mut s1 = sends.clone();
+        let mut r1 = recvs.clone();
+        s1.sort_unstable();
+        r1.sort_unstable();
+        assert_eq!(s1, r1, "every cross-edge send has a matching recv");
+    }
+
+    #[test]
+    fn single_proc_has_no_comms() {
+        let net = pipeline();
+        let arch = Architecture::single_t9000();
+        let s = schedule(&net, &arch).unwrap();
+        let progs = generate(&net, &s, &arch);
+        assert_eq!(progs.len(), 1);
+        assert_eq!(progs[0].comm_ops(), 0);
+        assert_eq!(
+            progs[0]
+                .ops
+                .iter()
+                .filter(|o| matches!(o, MacroOp::Comp { .. }))
+                .count(),
+            net.nodes().len()
+        );
+    }
+
+    #[test]
+    fn every_node_computed_exactly_once() {
+        let net = pipeline();
+        let arch = Architecture::ring_t9000(4);
+        let s = schedule(&net, &arch).unwrap();
+        let progs = generate(&net, &s, &arch);
+        let mut comps: Vec<NodeId> = progs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter_map(|o| match o {
+                MacroOp::Comp { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        comps.sort();
+        let mut expected: Vec<NodeId> = net.nodes().iter().map(|n| n.id).collect();
+        expected.sort();
+        assert_eq!(comps, expected);
+    }
+
+    #[test]
+    fn memory_edge_recv_lands_at_end() {
+        let mut net = ProcessNetwork::new("loop");
+        let body = net.add_node(NodeKind::UserFn("loop".into()), "loop");
+        net.set_cost_hint(body, 1000);
+        expand_itermem(
+            &mut net,
+            "inp",
+            "out",
+            body,
+            body,
+            IterMemTypes {
+                input: DataType::Image,
+                state: DataType::named("state"),
+                output: DataType::Int,
+            },
+        )
+        .unwrap();
+        let arch = Architecture::ring_t9000(2);
+        // Round-robin forces the MEM node and the body apart.
+        let s = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+        let progs = generate(&net, &s, &arch);
+        let mem_node = net
+            .nodes_where(|k| matches!(k, NodeKind::Mem))
+            .next()
+            .unwrap();
+        let mem_proc = s.proc_of(mem_node);
+        let body_proc = s.proc_of(body);
+        if mem_proc != body_proc {
+            let prog = &progs[mem_proc.0];
+            let last = prog.ops.last().unwrap();
+            assert!(
+                matches!(last, MacroOp::Recv { .. }),
+                "memory recv must close the iteration: {last:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn m4_emission_mentions_primitives() {
+        let net = pipeline();
+        let arch = Architecture::ring_t9000(2);
+        let s = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+        let progs = generate(&net, &s, &arch);
+        let text = progs[0].emit_m4(&net);
+        assert!(text.contains("PROC_BEGIN"));
+        assert!(text.contains("COMP"));
+        assert!(text.contains("LOOP_BEGIN"));
+        let all: String = progs.iter().map(|p| p.emit_m4(&net)).collect();
+        assert!(all.contains("SEND") && all.contains("RECV"));
+    }
+}

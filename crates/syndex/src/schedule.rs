@@ -1,0 +1,454 @@
+//! Static distribution and scheduling (the "adequation" step).
+//!
+//! Given a process graph with cost hints and an [`Architecture`], the
+//! scheduler assigns every process to a processor and fixes the order of
+//! computations and communications, minimising the predicted makespan.
+//!
+//! The default [`Strategy::MinFinish`] is a critical-path list scheduler in
+//! the HEFT family, which is the published shape of SynDEx's adequation
+//! heuristic: processes are ranked by their remaining critical path
+//! (upward rank), then greedily placed on the processor giving the earliest
+//! finish time, accounting for inter-processor transfer delays over the
+//! actual routes.
+
+use crate::arch::Architecture;
+use skipper_net::graph::{EdgeKind, NodeId, ProcessNetwork};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use transvision::cost::Ns;
+use transvision::topology::ProcId;
+
+/// Indices of edges internal to a farm instance. Those edges carry the
+/// farm's *dynamically* scheduled traffic — the paper's "mixed
+/// static/dynamic scheduling" — so the static scheduler treats them as
+/// absent: they impose no precedence (the farm round is subsumed by the
+/// master's execution) and produce no static communication operations.
+///
+/// Re-exported from [`skipper_net::validate`].
+pub fn farm_internal_edges(net: &ProcessNetwork) -> HashSet<usize> {
+    skipper_net::validate::farm_internal_edges(net)
+}
+
+/// Mapping/scheduling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Critical-path-ranked earliest-finish-time list scheduling (the
+    /// AAA-style heuristic; default).
+    #[default]
+    MinFinish,
+    /// Nodes assigned round-robin by id — the naive baseline of E12.
+    RoundRobin,
+    /// Everything on processor 0 — the sequential baseline.
+    SingleProc,
+}
+
+/// Scheduling failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The data subgraph is cyclic.
+    Cyclic(String),
+    /// The architecture has no processors.
+    EmptyArchitecture,
+    /// A pin names a processor outside the architecture.
+    BadPin {
+        /// Pinned node.
+        node: NodeId,
+        /// Requested processor.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Cyclic(s) => write!(f, "process graph is cyclic: {s}"),
+            ScheduleError::EmptyArchitecture => write!(f, "architecture has no processors"),
+            ScheduleError::BadPin { node, proc } => {
+                write!(f, "pin of {node} to non-existent {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete static schedule of one iteration of the process graph.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Processor assigned to each node (indexed by `NodeId.0`).
+    pub mapping: Vec<ProcId>,
+    /// Predicted start time of each node.
+    pub start_ns: Vec<Ns>,
+    /// Predicted finish time of each node.
+    pub finish_ns: Vec<Ns>,
+    /// Predicted makespan of one iteration.
+    pub makespan_ns: Ns,
+    /// Nodes in scheduled order per processor.
+    pub proc_order: Vec<Vec<NodeId>>,
+}
+
+impl Schedule {
+    /// Processor hosting `node`.
+    pub fn proc_of(&self, node: NodeId) -> ProcId {
+        self.mapping[node.0]
+    }
+
+    /// Number of nodes placed on `p`.
+    pub fn load_of(&self, p: ProcId) -> usize {
+        self.proc_order.get(p.0).map_or(0, Vec::len)
+    }
+
+    /// `true` when the edge crosses processors (needs a message).
+    pub fn edge_crosses(&self, net: &ProcessNetwork, edge_idx: usize) -> bool {
+        let e = &net.edges()[edge_idx];
+        self.proc_of(e.from) != self.proc_of(e.to)
+    }
+
+    /// Total predicted bytes moved between processors in one iteration.
+    pub fn cross_bytes(&self, net: &ProcessNetwork) -> u64 {
+        net.edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.edge_crosses(net, *i))
+            .map(|(_, e)| e.bytes())
+            .sum()
+    }
+}
+
+/// Schedules with the default AAA-style strategy and no pins.
+///
+/// # Errors
+///
+/// See [`schedule_with`].
+pub fn schedule(net: &ProcessNetwork, arch: &Architecture) -> Result<Schedule, ScheduleError> {
+    schedule_with(net, arch, &HashMap::new(), Strategy::MinFinish)
+}
+
+/// Schedules `net` onto `arch` with explicit `pins` (forced placements,
+/// e.g. the video-input process on processor 0) and a [`Strategy`].
+///
+/// # Errors
+///
+/// - [`ScheduleError::Cyclic`] when data edges form a cycle;
+/// - [`ScheduleError::EmptyArchitecture`] for a machine with no processors;
+/// - [`ScheduleError::BadPin`] for pins outside the machine.
+pub fn schedule_with(
+    net: &ProcessNetwork,
+    arch: &Architecture,
+    pins: &HashMap<NodeId, ProcId>,
+    strategy: Strategy,
+) -> Result<Schedule, ScheduleError> {
+    let nprocs = arch.len();
+    if nprocs == 0 {
+        return Err(ScheduleError::EmptyArchitecture);
+    }
+    for (&node, &proc) in pins {
+        if proc.0 >= nprocs {
+            return Err(ScheduleError::BadPin { node, proc });
+        }
+    }
+    let n = net.nodes().len();
+    let dynamic_edges = farm_internal_edges(net);
+    // A "static" edge constrains the schedule: data kind and not internal
+    // to a dynamically-balanced farm.
+    let static_edge =
+        |i: usize, e: &skipper_net::graph::Edge| e.kind == EdgeKind::Data && !dynamic_edges.contains(&i);
+
+    // Topological order over static edges (Kahn), also the cycle check.
+    let mut indeg0 = vec![0usize; n];
+    for (i, e) in net.edges().iter().enumerate() {
+        if static_edge(i, e) {
+            indeg0[e.to.0] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indeg0[i] == 0).collect();
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    {
+        let mut indeg = indeg0.clone();
+        while let Some(u) = queue.pop_front() {
+            order.push(NodeId(u));
+            for (i, e) in net.edges().iter().enumerate() {
+                if e.from.0 == u && static_edge(i, e) {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        queue.push_back(e.to.0);
+                    }
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(ScheduleError::Cyclic(format!(
+            "{} node(s) on a static-edge cycle",
+            n - order.len()
+        )));
+    }
+
+    // Upward ranks (remaining critical path, with mean 1-hop comm).
+    let mut rank = vec![0u64; n];
+    for &id in order.iter().rev() {
+        let node_cost = arch.work_ns(net.node(id).cost_hint);
+        let mut best_succ = 0u64;
+        for (i, e) in net.edges().iter().enumerate() {
+            if e.from == id && static_edge(i, e) {
+                let c = arch.mean_comm_ns(e.bytes()) + rank[e.to.0];
+                best_succ = best_succ.max(c);
+            }
+        }
+        rank[id.0] = node_cost + best_succ;
+    }
+    // List scheduling: repeatedly pick the ready node (all static
+    // predecessors placed) with the highest remaining critical path.
+    let mut indeg = indeg0;
+    let mut ready: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
+    let mut sched_order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, id)| (rank[id.0], std::cmp::Reverse(id.0)))
+            .map(|(i, _)| i)
+            .expect("ready list non-empty");
+        let id = ready.swap_remove(pick);
+        sched_order.push(id);
+        for (i, e) in net.edges().iter().enumerate() {
+            if e.from == id && static_edge(i, e) {
+                indeg[e.to.0] -= 1;
+                if indeg[e.to.0] == 0 {
+                    ready.push(e.to);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(sched_order.len(), n);
+
+    let mut mapping = vec![ProcId(0); n];
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut proc_avail = vec![0u64; nprocs];
+    let mut proc_order: Vec<Vec<NodeId>> = vec![Vec::new(); nprocs];
+
+    for (k, &id) in sched_order.iter().enumerate() {
+        let cost_ns = arch.work_ns(net.node(id).cost_hint);
+        let candidate_procs: Vec<ProcId> = match strategy {
+            Strategy::SingleProc => vec![ProcId(0)],
+            Strategy::RoundRobin => vec![ProcId(k % nprocs)],
+            Strategy::MinFinish => (0..nprocs).map(ProcId).collect(),
+        };
+        let forced = pins.get(&id).copied();
+        let procs: Vec<ProcId> = match forced {
+            Some(p) => vec![p],
+            None => candidate_procs,
+        };
+        let mut best: Option<(Ns, Ns, ProcId)> = None; // (finish, start, proc)
+        for &p in &procs {
+            let mut ready = proc_avail[p.0];
+            for (i, e) in net.edges().iter().enumerate() {
+                if e.to != id || !static_edge(i, e) {
+                    continue;
+                }
+                let src_proc = mapping[e.from.0];
+                let arrives = finish[e.from.0] + arch.comm_ns(src_proc, p, e.bytes());
+                ready = ready.max(arrives);
+            }
+            let fin = ready + cost_ns;
+            if best.is_none_or(|(bf, _, _)| fin < bf) {
+                best = Some((fin, ready, p));
+            }
+        }
+        let (fin, st, p) = best.expect("at least one candidate processor");
+        mapping[id.0] = p;
+        start[id.0] = st;
+        finish[id.0] = fin;
+        proc_avail[p.0] = fin;
+        proc_order[p.0].push(id);
+    }
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    Ok(Schedule {
+        mapping,
+        start_ns: start,
+        finish_ns: finish,
+        makespan_ns: makespan,
+        proc_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_net::dtype::DataType;
+    use skipper_net::graph::NodeKind;
+    use skipper_net::pnt::{expand_scm, ScmTypes};
+
+    /// in -> split -> n×comp -> merge -> out, with heavy comp nodes.
+    fn scm_pipeline(n: usize, comp_units: u64) -> ProcessNetwork {
+        let mut net = ProcessNetwork::new("scm");
+        let h = expand_scm(
+            &mut net,
+            n,
+            "split",
+            "comp",
+            "merge",
+            ScmTypes {
+                input: DataType::Image,
+                fragment: DataType::Image,
+                partial: DataType::Named("partial".into()),
+                output: DataType::Named("result".into()),
+            },
+        );
+        let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
+        let out = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
+        net.add_data_edge(h.merge, 0, out, 0, DataType::Named("result".into()))
+            .unwrap();
+        for &w in &h.workers {
+            net.set_cost_hint(w, comp_units);
+        }
+        net.set_cost_hint(h.split, 100);
+        net.set_cost_hint(h.merge, 100);
+        net
+    }
+
+    #[test]
+    fn schedules_all_nodes() {
+        let net = scm_pipeline(4, 10_000);
+        let arch = Architecture::ring_t9000(4);
+        let s = schedule(&net, &arch).unwrap();
+        assert_eq!(s.mapping.len(), net.nodes().len());
+        assert!(s.makespan_ns > 0);
+        let placed: usize = (0..arch.len()).map(|p| s.load_of(ProcId(p))).sum();
+        assert_eq!(placed, net.nodes().len());
+    }
+
+    #[test]
+    fn precedence_respected_in_times() {
+        let net = scm_pipeline(3, 5_000);
+        let arch = Architecture::ring_t9000(4);
+        let s = schedule(&net, &arch).unwrap();
+        for e in net.edges() {
+            if e.kind == EdgeKind::Data {
+                assert!(
+                    s.start_ns[e.to.0] >= s.finish_ns[e.from.0],
+                    "consumer starts before producer finishes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_workers_spread_across_procs() {
+        let net = scm_pipeline(4, 1_000_000);
+        let arch = Architecture::ring_t9000(4);
+        let s = schedule(&net, &arch).unwrap();
+        let worker_procs: std::collections::HashSet<_> = net
+            .nodes_where(|k| matches!(k, NodeKind::UserFn(f) if f == "comp"))
+            .map(|id| s.proc_of(id))
+            .collect();
+        assert!(
+            worker_procs.len() >= 3,
+            "heavy compute nodes should use several processors: {worker_procs:?}"
+        );
+    }
+
+    #[test]
+    fn min_finish_beats_round_robin_on_heterogeneous_graph() {
+        // A chain of alternating heavy/light nodes: round-robin scatters the
+        // chain across processors paying communications for nothing.
+        let mut net = ProcessNetwork::new("chain");
+        let mut prev = None;
+        for i in 0..8 {
+            let id = net.add_node(NodeKind::UserFn(format!("f{i}")), format!("f{i}"));
+            net.set_cost_hint(id, if i % 2 == 0 { 200_000 } else { 1_000 });
+            if let Some(p) = prev {
+                let mut e = skipper_net::graph::Edge {
+                    from: p,
+                    from_port: 0,
+                    to: id,
+                    to_port: 0,
+                    dtype: DataType::Image,
+                    kind: EdgeKind::Data,
+                    bytes_hint: 262_144,
+                };
+                e.bytes_hint = 262_144;
+                net.add_edge(e).unwrap();
+            }
+            prev = Some(id);
+        }
+        let arch = Architecture::ring_t9000(4);
+        let aaa = schedule_with(&net, &arch, &HashMap::new(), Strategy::MinFinish).unwrap();
+        let rr = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).unwrap();
+        assert!(
+            aaa.makespan_ns < rr.makespan_ns,
+            "AAA {} vs RR {}",
+            aaa.makespan_ns,
+            rr.makespan_ns
+        );
+    }
+
+    #[test]
+    fn single_proc_strategy_uses_one_processor() {
+        let net = scm_pipeline(4, 10_000);
+        let arch = Architecture::ring_t9000(4);
+        let s = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
+        assert!(s.mapping.iter().all(|&p| p == ProcId(0)));
+        // Makespan equals the serial sum of costs (no comms).
+        let serial: u64 = net.nodes().iter().map(|n| arch.work_ns(n.cost_hint)).sum();
+        assert_eq!(s.makespan_ns, serial);
+    }
+
+    #[test]
+    fn pins_are_honoured() {
+        let net = scm_pipeline(4, 10_000);
+        let arch = Architecture::ring_t9000(4);
+        let inp = net.nodes_where(|k| matches!(k, NodeKind::Input(_))).next().unwrap();
+        let mut pins = HashMap::new();
+        pins.insert(inp, ProcId(2));
+        let s = schedule_with(&net, &arch, &pins, Strategy::MinFinish).unwrap();
+        assert_eq!(s.proc_of(inp), ProcId(2));
+    }
+
+    #[test]
+    fn bad_pin_rejected() {
+        let net = scm_pipeline(2, 100);
+        let arch = Architecture::ring_t9000(2);
+        let mut pins = HashMap::new();
+        pins.insert(NodeId(0), ProcId(9));
+        assert!(matches!(
+            schedule_with(&net, &arch, &pins, Strategy::MinFinish),
+            Err(ScheduleError::BadPin { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut net = ProcessNetwork::new("cyc");
+        let a = net.add_node(NodeKind::UserFn("a".into()), "a");
+        let b = net.add_node(NodeKind::UserFn("b".into()), "b");
+        net.add_data_edge(a, 0, b, 0, DataType::Int).unwrap();
+        net.add_data_edge(b, 0, a, 0, DataType::Int).unwrap();
+        let arch = Architecture::ring_t9000(2);
+        assert!(matches!(
+            schedule(&net, &arch),
+            Err(ScheduleError::Cyclic(_))
+        ));
+    }
+
+    #[test]
+    fn more_processors_never_hurts_much() {
+        // Same graph on 2 vs 8 processors: makespan with 8 must not exceed
+        // makespan with 2 (monotone resource augmentation for this greedy).
+        let net = scm_pipeline(8, 500_000);
+        let m2 = schedule(&net, &Architecture::ring_t9000(2)).unwrap().makespan_ns;
+        let m8 = schedule(&net, &Architecture::ring_t9000(8)).unwrap().makespan_ns;
+        assert!(m8 <= m2, "m8={m8} m2={m2}");
+    }
+
+    #[test]
+    fn cross_bytes_counts_only_cross_edges() {
+        let net = scm_pipeline(4, 10_000);
+        let arch = Architecture::single_t9000();
+        let s = schedule(&net, &arch).unwrap();
+        assert_eq!(s.cross_bytes(&net), 0, "single proc has no messages");
+    }
+}

@@ -1,0 +1,59 @@
+//! A discrete-event simulator of a Transputer-class MIMD-DM machine.
+//!
+//! This crate is the substitute for the **Transvision** parallel vision
+//! platform used in the SKiPPER paper (Legrand et al., *Edge and region
+//! segmentation processes on the parallel vision machine Transvision*,
+//! CAMP'93): a set of T9000 Transputers with four point-to-point links each,
+//! configurable into rings, meshes and other topologies, fed by a 25 Hz
+//! 512×512 video stream.
+//!
+//! Components:
+//!
+//! - [`topology`]: processor/link graphs (ring, chain, star, mesh,
+//!   hypercube, fully-connected) with shortest-path routing tables;
+//! - [`cost`]: the machine timing model (CPU cycle, message setup, link
+//!   bandwidth, per-hop store-and-forward overhead);
+//! - [`sim`]: the event-driven machine simulator — processors run
+//!   [`sim::Behavior`] programs exchanging tagged messages over contended
+//!   links, in virtual time, with full deadlock detection;
+//! - [`trace`]: chronograms (computation spans, link transfers, ASCII
+//!   Gantt rendering);
+//! - [`stream`]: the 25 Hz frame clock and latency→frame-rate accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use transvision::prelude::*;
+//!
+//! let mut sim = Simulation::<u32>::new(Topology::ring(4), SimConfig::default());
+//! sim.set_behavior(ProcId(0), Script::new([
+//!     Action::Compute { label: "work".into(), cost_ns: 1_000_000 },
+//!     Action::Send { to: ProcId(2), tag: 0, bytes: 1024, payload: 5 },
+//! ]));
+//! sim.set_behavior(ProcId(2), Script::new([
+//!     Action::Recv { from: None, tag: None },
+//! ]));
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.delivered, 1);
+//! ```
+
+pub mod cost;
+pub mod sim;
+pub mod stream;
+pub mod topology;
+pub mod trace;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::cost::{CostModel, Ns, MS, US};
+    pub use crate::sim::{
+        Action, Behavior, ProcView, Script, SimConfig, SimError, SimReport, Simulation,
+    };
+    pub use crate::stream::FrameClock;
+    pub use crate::topology::{DLinkId, ProcId, Topology};
+    pub use crate::trace::Trace;
+}
+
+pub use cost::CostModel;
+pub use sim::{SimConfig, Simulation};
+pub use topology::{ProcId, Topology};

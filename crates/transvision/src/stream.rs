@@ -1,0 +1,119 @@
+//! Video stream timing.
+//!
+//! The Transvision platform feeds the machine a continuous 25 Hz video
+//! stream; an embedded vision system "does not process single images but
+//! continuous streams of images". [`FrameClock`] produces the frame-arrival
+//! schedule against which per-frame latencies are judged.
+
+use crate::cost::Ns;
+
+/// Frame period of the paper's 25 Hz video source.
+pub const PERIOD_25HZ_NS: Ns = 40_000_000;
+
+/// A fixed-rate frame clock.
+///
+/// # Example
+///
+/// ```
+/// use transvision::stream::FrameClock;
+/// let clock = FrameClock::hz(25.0);
+/// assert_eq!(clock.frame_time(0), 0);
+/// assert_eq!(clock.frame_time(1), 40_000_000);
+/// assert_eq!(clock.frames_by(120_000_000), 4); // frames 0,1,2 arrived; 3 arriving
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameClock {
+    period_ns: Ns,
+}
+
+impl FrameClock {
+    /// A clock ticking every `period_ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns == 0`.
+    pub fn new(period_ns: Ns) -> Self {
+        assert!(period_ns > 0, "frame period must be positive");
+        FrameClock { period_ns }
+    }
+
+    /// A clock at the given frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn hz(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        FrameClock::new((1e9 / hz).round() as Ns)
+    }
+
+    /// Frame period.
+    pub fn period_ns(&self) -> Ns {
+        self.period_ns
+    }
+
+    /// Arrival time of frame `i` (frame 0 arrives at t = 0).
+    pub fn frame_time(&self, i: u64) -> Ns {
+        i * self.period_ns
+    }
+
+    /// Number of frames whose arrival time is `<= t`.
+    pub fn frames_by(&self, t: Ns) -> u64 {
+        t / self.period_ns + 1
+    }
+
+    /// Index of the newest frame available at time `t`.
+    pub fn latest_frame_at(&self, t: Ns) -> u64 {
+        t / self.period_ns
+    }
+
+    /// How many frame periods a computation of `latency_ns` spans — i.e.
+    /// the "one image out of k" decimation the paper reports (k = 1 means
+    /// the application keeps up with every frame).
+    pub fn decimation(&self, latency_ns: Ns) -> u64 {
+        latency_ns.div_ceil(self.period_ns).max(1)
+    }
+}
+
+impl Default for FrameClock {
+    fn default() -> Self {
+        FrameClock::new(PERIOD_25HZ_NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_25hz() {
+        assert_eq!(FrameClock::default().period_ns(), PERIOD_25HZ_NS);
+        assert_eq!(FrameClock::hz(25.0).period_ns(), PERIOD_25HZ_NS);
+    }
+
+    #[test]
+    fn frame_times_are_multiples() {
+        let c = FrameClock::hz(25.0);
+        assert_eq!(c.frame_time(3), 120_000_000);
+        assert_eq!(c.latest_frame_at(119_999_999), 2);
+        assert_eq!(c.latest_frame_at(120_000_000), 3);
+    }
+
+    #[test]
+    fn decimation_matches_paper_numbers() {
+        let c = FrameClock::hz(25.0);
+        // 30 ms latency keeps up with every frame... it exceeds 40ms? No:
+        // 30 ms < 40 ms, so every frame is processed.
+        assert_eq!(c.decimation(30_000_000), 1);
+        // 110 ms latency → one image out of 3.
+        assert_eq!(c.decimation(110_000_000), 3);
+        // Zero-latency degenerate case still processes every frame.
+        assert_eq!(c.decimation(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = FrameClock::new(0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Processor-interconnect topologies.
+//!
+//! The Transvision machine (Legrand et al., CAMP'93) is built from
+//! Transputers whose four bidirectional links "can be configured according
+//! to various physical topologies"; the paper's experiment uses a ring of 8.
+//! This module models a machine as an undirected graph of processors and
+//! point-to-point links, with shortest-path routing tables for
+//! store-and-forward message forwarding.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a processor in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a *directed* link (one direction of a physical link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DLinkId(pub usize);
+
+/// Errors arising when constructing or routing over a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A referenced processor does not exist.
+    UnknownProcessor(usize),
+    /// An edge connects a processor to itself.
+    SelfLoop(usize),
+    /// No route exists between the two processors.
+    Unreachable(ProcId, ProcId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownProcessor(p) => write!(f, "unknown processor {p}"),
+            TopologyError::SelfLoop(p) => write!(f, "self-loop on processor {p}"),
+            TopologyError::Unreachable(a, b) => write!(f, "no route from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected interconnect graph with per-direction link identities.
+///
+/// # Example
+///
+/// ```
+/// use transvision::topology::{Topology, ProcId};
+/// let ring = Topology::ring(8);
+/// assert_eq!(ring.len(), 8);
+/// assert_eq!(ring.diameter(), 4);
+/// let path = ring.path(ProcId(0), ProcId(3)).unwrap();
+/// assert_eq!(path.len(), 3); // three hops around the ring
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    n: usize,
+    /// Directed links as `(src, dst)` processor indices.
+    dlinks: Vec<(usize, usize)>,
+    /// Outgoing directed-link ids per processor.
+    out: Vec<Vec<DLinkId>>,
+    /// `next[src][dst]` = first directed link on a shortest path.
+    next: Vec<Vec<Option<DLinkId>>>,
+}
+
+impl Topology {
+    /// Builds a topology from undirected edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for self-loops or out-of-range endpoints. Duplicate
+    /// edges are merged.
+    pub fn from_edges(
+        name: impl Into<String>,
+        n: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, TopologyError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut dlinks = Vec::new();
+        let mut out = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(TopologyError::UnknownProcessor(a));
+            }
+            if b >= n {
+                return Err(TopologyError::UnknownProcessor(b));
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop(a));
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue;
+            }
+            for (u, v) in [(a, b), (b, a)] {
+                let id = DLinkId(dlinks.len());
+                dlinks.push((u, v));
+                out[u].push(id);
+            }
+        }
+        let mut topo = Topology {
+            name: name.into(),
+            n,
+            dlinks,
+            out,
+            next: Vec::new(),
+        };
+        topo.rebuild_routes();
+        Ok(topo)
+    }
+
+    fn rebuild_routes(&mut self) {
+        let n = self.n;
+        let mut next = vec![vec![None; n]; n];
+        for src in 0..n {
+            // BFS from src; record for each reached node the first link taken.
+            let mut first: Vec<Option<DLinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut queue = VecDeque::new();
+            visited[src] = true;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &l in &self.out[u] {
+                    let (_, v) = self.dlinks[l.0];
+                    if !visited[v] {
+                        visited[v] = true;
+                        first[v] = if u == src { Some(l) } else { first[u] };
+                        queue.push_back(v);
+                    }
+                }
+            }
+            next[src] = first;
+        }
+        self.next = next;
+    }
+
+    /// A ring of `n` processors (the paper's configuration with `n = 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a single processor has no links; use
+    /// [`Topology::single`]).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "a ring needs at least 2 processors");
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(format!("ring({n})"), n, &edges).expect("ring edges are valid")
+    }
+
+    /// A linear chain (open ring) of `n` processors.
+    pub fn chain(n: usize) -> Self {
+        assert!(n >= 2, "a chain needs at least 2 processors");
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(format!("chain({n})"), n, &edges).expect("chain edges are valid")
+    }
+
+    /// A star: processor 0 connected to all others (the natural master/worker
+    /// physical layout).
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 processors");
+        let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+        Topology::from_edges(format!("star({n})"), n, &edges).expect("star edges are valid")
+    }
+
+    /// A `w × h` 2-D mesh (processor `(x, y)` has index `y*w + x`).
+    pub fn mesh(w: usize, h: usize) -> Self {
+        assert!(w * h >= 2, "a mesh needs at least 2 processors");
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    edges.push((i, i + 1));
+                }
+                if y + 1 < h {
+                    edges.push((i, i + w));
+                }
+            }
+        }
+        Topology::from_edges(format!("mesh({w}x{h})"), w * h, &edges).expect("mesh edges are valid")
+    }
+
+    /// A hypercube of dimension `d` (`2^d` processors).
+    pub fn hypercube(d: u32) -> Self {
+        let n = 1usize << d;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for b in 0..d {
+                let j = i ^ (1 << b);
+                if i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Topology::from_edges(format!("hypercube({d})"), n.max(1), &edges)
+            .expect("hypercube edges are valid")
+    }
+
+    /// A fully-connected machine of `n` processors.
+    pub fn full(n: usize) -> Self {
+        assert!(n >= 2, "a full interconnect needs at least 2 processors");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Topology::from_edges(format!("full({n})"), n, &edges).expect("full edges are valid")
+    }
+
+    /// A single processor with no links (pure sequential platform).
+    pub fn single() -> Self {
+        Topology::from_edges("single", 1, &[]).expect("no edges")
+    }
+
+    /// Human-readable topology name, e.g. `"ring(8)"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the machine has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.n).map(ProcId)
+    }
+
+    /// Number of *directed* links (twice the physical link count).
+    pub fn dlink_count(&self) -> usize {
+        self.dlinks.len()
+    }
+
+    /// Endpoints `(src, dst)` of a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn dlink(&self, l: DLinkId) -> (ProcId, ProcId) {
+        let (a, b) = self.dlinks[l.0];
+        (ProcId(a), ProcId(b))
+    }
+
+    /// Neighbours of `p`.
+    pub fn neighbours(&self, p: ProcId) -> Vec<ProcId> {
+        self.out[p.0]
+            .iter()
+            .map(|&l| ProcId(self.dlinks[l.0].1))
+            .collect()
+    }
+
+    /// Degree (number of physical links) of `p`.
+    pub fn degree(&self, p: ProcId) -> usize {
+        self.out[p.0].len()
+    }
+
+    /// Shortest path from `src` to `dst` as a sequence of directed links.
+    ///
+    /// An empty path means `src == dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Unreachable`] when the graph is disconnected
+    /// between the endpoints.
+    pub fn path(&self, src: ProcId, dst: ProcId) -> Result<Vec<DLinkId>, TopologyError> {
+        if src.0 >= self.n {
+            return Err(TopologyError::UnknownProcessor(src.0));
+        }
+        if dst.0 >= self.n {
+            return Err(TopologyError::UnknownProcessor(dst.0));
+        }
+        let mut path = Vec::new();
+        let mut cur = src.0;
+        while cur != dst.0 {
+            match self.next[cur][dst.0] {
+                Some(l) => {
+                    path.push(l);
+                    cur = self.dlinks[l.0].1;
+                }
+                None => return Err(TopologyError::Unreachable(src, dst)),
+            }
+        }
+        Ok(path)
+    }
+
+    /// Hop distance between two processors, or `None` if unreachable.
+    pub fn distance(&self, src: ProcId, dst: ProcId) -> Option<usize> {
+        self.path(src, dst).ok().map(|p| p.len())
+    }
+
+    /// `true` when every processor can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        (0..self.n).all(|d| self.next[0][d].is_some() || d == 0)
+    }
+
+    /// Longest shortest-path distance over all pairs (0 for a single node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is disconnected.
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let dist = self
+                    .distance(ProcId(s), ProcId(d))
+                    .expect("diameter of disconnected topology");
+                best = best.max(dist);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(8);
+        assert_eq!(t.len(), 8);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.degree(ProcId(0)), 2);
+        assert_eq!(t.dlink_count(), 16);
+    }
+
+    #[test]
+    fn ring_path_wraps() {
+        let t = Topology::ring(6);
+        // 0 -> 5 should take the single backwards hop, not 5 forward hops.
+        assert_eq!(t.distance(ProcId(0), ProcId(5)), Some(1));
+        assert_eq!(t.distance(ProcId(0), ProcId(3)), Some(3));
+    }
+
+    #[test]
+    fn chain_ends_are_far() {
+        let t = Topology::chain(5);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.degree(ProcId(0)), 1);
+        assert_eq!(t.degree(ProcId(2)), 2);
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let t = Topology::star(5);
+        assert_eq!(t.diameter(), 2);
+        let path = t.path(ProcId(1), ProcId(4)).unwrap();
+        assert_eq!(path.len(), 2);
+        let (_, mid) = t.dlink(path[0]);
+        assert_eq!(mid, ProcId(0));
+    }
+
+    #[test]
+    fn mesh_dimensions() {
+        let t = Topology::mesh(3, 2);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.distance(ProcId(0), ProcId(5)), Some(3));
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let t = Topology::hypercube(3);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.distance(ProcId(0), ProcId(7)), Some(3));
+        assert_eq!(t.distance(ProcId(0), ProcId(5)), Some(2));
+    }
+
+    #[test]
+    fn full_is_diameter_one() {
+        let t = Topology::full(6);
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.degree(ProcId(3)), 5);
+    }
+
+    #[test]
+    fn single_processor() {
+        let t = Topology::single();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 0);
+        assert!(t.path(ProcId(0), ProcId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let t = Topology::ring(4);
+        assert!(t.path(ProcId(2), ProcId(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn path_links_are_contiguous() {
+        let t = Topology::mesh(4, 4);
+        let path = t.path(ProcId(0), ProcId(15)).unwrap();
+        let mut cur = ProcId(0);
+        for l in path {
+            let (a, b) = t.dlink(l);
+            assert_eq!(a, cur);
+            cur = b;
+        }
+        assert_eq!(cur, ProcId(15));
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        assert_eq!(
+            Topology::from_edges("bad", 2, &[(0, 2)]).unwrap_err(),
+            TopologyError::UnknownProcessor(2)
+        );
+        assert_eq!(
+            Topology::from_edges("bad", 2, &[(1, 1)]).unwrap_err(),
+            TopologyError::SelfLoop(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let t = Topology::from_edges("dup", 2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(t.dlink_count(), 2);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::from_edges("disc", 4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!t.is_connected());
+        assert_eq!(
+            t.path(ProcId(0), ProcId(3)).unwrap_err(),
+            TopologyError::Unreachable(ProcId(0), ProcId(3))
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution traces: per-processor computation spans and per-link
+//! communication spans.
+//!
+//! SynDEx-generated executives offered "optional real-time performance
+//! measurement"; this module is our equivalent. Every simulation run can
+//! record a full chronogram which the experiment harness renders as an
+//! ASCII Gantt chart.
+
+use crate::cost::Ns;
+use crate::topology::ProcId;
+
+/// A computation interval on one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Processor executing the work.
+    pub proc: ProcId,
+    /// Operation label (user function or skeleton control step).
+    pub label: String,
+    /// Start time.
+    pub start_ns: Ns,
+    /// End time.
+    pub end_ns: Ns,
+}
+
+/// A transfer interval on one directed link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSpan {
+    /// Link source processor.
+    pub from: ProcId,
+    /// Link destination processor.
+    pub to: ProcId,
+    /// Message tag.
+    pub tag: u32,
+    /// Message size.
+    pub bytes: u64,
+    /// Transfer start on this link.
+    pub start_ns: Ns,
+    /// Transfer end on this link.
+    pub end_ns: Ns,
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Computation spans in completion order.
+    pub spans: Vec<Span>,
+    /// Link transfers in reservation order.
+    pub comms: Vec<CommSpan>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Total computation time recorded for processor `p`.
+    pub fn busy_ns(&self, p: ProcId) -> Ns {
+        self.spans
+            .iter()
+            .filter(|s| s.proc == p)
+            .map(|s| s.end_ns - s.start_ns)
+            .sum()
+    }
+
+    /// Total bytes moved over all links.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.comms.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Latest event time in the trace (0 when empty).
+    pub fn end_ns(&self) -> Ns {
+        let s = self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        let c = self.comms.iter().map(|c| c.end_ns).max().unwrap_or(0);
+        s.max(c)
+    }
+
+    /// Spans carrying the given label.
+    pub fn spans_labelled<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Span> + 'a {
+        self.spans.iter().filter(move |s| s.label == label)
+    }
+
+    /// Renders an ASCII chronogram: one row per processor, `#` for busy
+    /// time, `.` for idle, scaled to `columns` characters.
+    ///
+    /// Rows appear in processor-id order for processors that appear in the
+    /// trace.
+    pub fn chronogram(&self, columns: usize) -> String {
+        let end = self.end_ns().max(1);
+        let mut procs: Vec<ProcId> = self.spans.iter().map(|s| s.proc).collect();
+        procs.sort();
+        procs.dedup();
+        let columns = columns.max(10);
+        let mut out = String::new();
+        for p in procs {
+            let mut row = vec!['.'; columns];
+            for s in self.spans.iter().filter(|s| s.proc == p) {
+                let c0 = (s.start_ns as u128 * columns as u128 / end as u128) as usize;
+                let c1 = (s.end_ns as u128 * columns as u128 / end as u128) as usize;
+                for cell in row.iter_mut().take(c1.min(columns)).skip(c0) {
+                    *cell = '#';
+                }
+                // Zero-width spans still show one mark.
+                if c0 < columns && c0 == c1 {
+                    row[c0] = '#';
+                }
+            }
+            out.push_str(&format!("{:>4} |", format!("P{}", p.0)));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(p: usize, l: &str, a: Ns, b: Ns) -> Span {
+        Span {
+            proc: ProcId(p),
+            label: l.into(),
+            start_ns: a,
+            end_ns: b,
+        }
+    }
+
+    #[test]
+    fn busy_sums_per_proc() {
+        let t = Trace {
+            spans: vec![span(0, "a", 0, 10), span(0, "b", 20, 25), span(1, "a", 0, 7)],
+            comms: vec![],
+        };
+        assert_eq!(t.busy_ns(ProcId(0)), 15);
+        assert_eq!(t.busy_ns(ProcId(1)), 7);
+        assert_eq!(t.busy_ns(ProcId(2)), 0);
+    }
+
+    #[test]
+    fn end_considers_comms() {
+        let t = Trace {
+            spans: vec![span(0, "a", 0, 10)],
+            comms: vec![CommSpan {
+                from: ProcId(0),
+                to: ProcId(1),
+                tag: 0,
+                bytes: 4,
+                start_ns: 10,
+                end_ns: 42,
+            }],
+        };
+        assert_eq!(t.end_ns(), 42);
+        assert_eq!(t.total_comm_bytes(), 4);
+    }
+
+    #[test]
+    fn labelled_filter() {
+        let t = Trace {
+            spans: vec![span(0, "x", 0, 1), span(1, "y", 0, 2), span(2, "x", 3, 4)],
+            comms: vec![],
+        };
+        assert_eq!(t.spans_labelled("x").count(), 2);
+    }
+
+    #[test]
+    fn chronogram_marks_busy_cells() {
+        let t = Trace {
+            spans: vec![span(0, "a", 0, 50), span(1, "b", 50, 100)],
+            comms: vec![],
+        };
+        let g = t.chronogram(20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[0].starts_with("  P0"));
+        // First half busy on P0, second half on P1.
+        assert!(lines[0].ends_with(".........."));
+        assert!(lines[1].ends_with("##########"));
+    }
+
+    #[test]
+    fn empty_trace_chronogram_is_empty() {
+        assert!(Trace::new().chronogram(40).is_empty());
+        assert_eq!(Trace::new().end_ns(), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Geometric primitives: 2-D points, rectangles, 3-D vectors and a pinhole
+//! camera model.
+//!
+//! The camera model is the substitution for the real camera of the paper's
+//! Transvision platform: world-space vehicles are projected onto the image
+//! plane exactly as a forward-looking camera mounted in the following car
+//! would see them (camera frame: `x` right, `y` down, `z` forward).
+
+use std::fmt;
+
+/// A 2-D point with floating-point coordinates (image plane).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate (pixels, left→right).
+    pub x: f64,
+    /// Vertical coordinate (pixels, top→bottom).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A 3-D vector in camera coordinates (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Right.
+    pub x: f64,
+    /// Down.
+    pub y: f64,
+    /// Forward (depth).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Component-wise addition.
+    #[allow(clippy::should_implement_trait)] // named methods keep call sites explicit
+    pub fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Component-wise subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+/// An axis-aligned integer rectangle (pixel coordinates).
+///
+/// `Rect` is the "englobing frame" of the paper: the bounding box of a
+/// detected mark, and the windows of interest driving the `df` farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x: i64,
+    /// Top edge (inclusive).
+    pub y: i64,
+    /// Width in pixels.
+    pub w: i64,
+    /// Height in pixels.
+    pub h: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle. Negative sizes are clamped to zero.
+    pub fn new(x: i64, y: i64, w: i64, h: i64) -> Self {
+        Rect {
+            x,
+            y,
+            w: w.max(0),
+            h: h.max(0),
+        }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> i64 {
+        self.w * self.h
+    }
+
+    /// `true` when the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Centre of the rectangle.
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            self.x as f64 + self.w as f64 / 2.0,
+            self.y as f64 + self.h as f64 / 2.0,
+        )
+    }
+
+    /// Grows the rectangle by `margin` pixels on every side.
+    pub fn inflate(&self, margin: i64) -> Rect {
+        Rect::new(
+            self.x - margin,
+            self.y - margin,
+            self.w + 2 * margin,
+            self.h + 2 * margin,
+        )
+    }
+
+    /// Intersection with `other`; empty when disjoint.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = (self.x + self.w).min(other.x + other.w);
+        let y1 = (self.y + self.h).min(other.y + other.h);
+        Rect::new(x0, y0, (x1 - x0).max(0), (y1 - y0).max(0))
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = (self.x + self.w).max(other.x + other.w);
+        let y1 = (self.y + self.h).max(other.y + other.h);
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// `true` when `(px, py)` lies inside.
+    pub fn contains_point(&self, px: i64, py: i64) -> bool {
+        px >= self.x && py >= self.y && px < self.x + self.w && py < self.y + self.h
+    }
+
+    /// Clips against an image of dimensions `w × h`, returning the in-bounds
+    /// part as `(x0, y0, w, h)` in unsigned pixel coordinates.
+    pub fn clip_to(&self, w: usize, h: usize) -> (usize, usize, usize, usize) {
+        let x0 = self.x.clamp(0, w as i64);
+        let y0 = self.y.clamp(0, h as i64);
+        let x1 = (self.x + self.w).clamp(0, w as i64);
+        let y1 = (self.y + self.h).clamp(0, h as i64);
+        (
+            x0 as usize,
+            y0 as usize,
+            (x1 - x0) as usize,
+            (y1 - y0) as usize,
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{} {}x{}]", self.x, self.y, self.w, self.h)
+    }
+}
+
+/// A pinhole camera: focal length in pixels, principal point at the image
+/// centre.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::geometry::{Camera, Vec3};
+/// let cam = Camera::new(512, 512, 600.0);
+/// // A point 30 m ahead on the optical axis projects to the image centre.
+/// let p = cam.project(Vec3::new(0.0, 0.0, 30.0)).unwrap();
+/// assert!((p.x - 256.0).abs() < 1e-9 && (p.y - 256.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    width: usize,
+    height: usize,
+    focal_px: f64,
+}
+
+impl Camera {
+    /// Creates a camera for a `width × height` sensor with the given focal
+    /// length expressed in pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `focal_px` is not strictly positive and finite.
+    pub fn new(width: usize, height: usize, focal_px: f64) -> Self {
+        assert!(
+            focal_px.is_finite() && focal_px > 0.0,
+            "focal length must be positive"
+        );
+        Camera {
+            width,
+            height,
+            focal_px,
+        }
+    }
+
+    /// Sensor width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sensor height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Focal length in pixels.
+    pub fn focal_px(&self) -> f64 {
+        self.focal_px
+    }
+
+    /// Projects a camera-frame point onto the image plane.
+    ///
+    /// Returns `None` for points at or behind the camera (`z <= 0`); the
+    /// returned point may lie outside the sensor bounds.
+    pub fn project(&self, p: Vec3) -> Option<Point2> {
+        if p.z <= 0.0 {
+            return None;
+        }
+        Some(Point2::new(
+            self.width as f64 / 2.0 + self.focal_px * p.x / p.z,
+            self.height as f64 / 2.0 + self.focal_px * p.y / p.z,
+        ))
+    }
+
+    /// Apparent size in pixels of an object of physical size
+    /// `size_m` metres at depth `z` metres.
+    pub fn apparent_size(&self, size_m: f64, z: f64) -> f64 {
+        if z <= 0.0 {
+            return 0.0;
+        }
+        self.focal_px * size_m / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        assert_eq!(Point2::new(0.0, 0.0).distance(Point2::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn vec3_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.add(b), Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b.sub(a), Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a.scale(2.0), Vec3::new(2.0, 4.0, 6.0));
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_center_and_area() {
+        let r = Rect::new(10, 20, 4, 6);
+        assert_eq!(r.area(), 24);
+        assert_eq!(r.center(), Point2::new(12.0, 23.0));
+    }
+
+    #[test]
+    fn rect_negative_size_clamped() {
+        let r = Rect::new(0, 0, -5, 3);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn rect_intersect_disjoint_is_empty() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(10, 10, 4, 4);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn rect_intersect_overlap() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert_eq!(a.intersect(&b), Rect::new(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn rect_union() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(4, 4, 2, 2);
+        assert_eq!(a.union(&b), Rect::new(0, 0, 6, 6));
+        assert_eq!(Rect::default().union(&a), a);
+        assert_eq!(a.union(&Rect::default()), a);
+    }
+
+    #[test]
+    fn rect_inflate_and_contains() {
+        let r = Rect::new(5, 5, 2, 2).inflate(1);
+        assert_eq!(r, Rect::new(4, 4, 4, 4));
+        assert!(r.contains_point(4, 4));
+        assert!(!r.contains_point(8, 8));
+    }
+
+    #[test]
+    fn rect_clip_to_image() {
+        let r = Rect::new(-3, -3, 10, 10);
+        assert_eq!(r.clip_to(8, 8), (0, 0, 7, 7));
+        let r2 = Rect::new(20, 20, 4, 4);
+        let (_, _, w, h) = r2.clip_to(8, 8);
+        assert_eq!((w, h), (0, 0));
+    }
+
+    #[test]
+    fn camera_projection_scales_inversely_with_depth() {
+        let cam = Camera::new(512, 512, 500.0);
+        let near = cam.project(Vec3::new(1.0, 0.0, 10.0)).unwrap();
+        let far = cam.project(Vec3::new(1.0, 0.0, 20.0)).unwrap();
+        let off_near = near.x - 256.0;
+        let off_far = far.x - 256.0;
+        assert!((off_near - 2.0 * off_far).abs() < 1e-9);
+    }
+
+    #[test]
+    fn camera_rejects_behind() {
+        let cam = Camera::new(64, 64, 100.0);
+        assert!(cam.project(Vec3::new(0.0, 0.0, 0.0)).is_none());
+        assert!(cam.project(Vec3::new(0.0, 0.0, -5.0)).is_none());
+    }
+
+    #[test]
+    fn apparent_size_halves_with_double_depth() {
+        let cam = Camera::new(64, 64, 100.0);
+        let s10 = cam.apparent_size(0.5, 10.0);
+        let s20 = cam.apparent_size(0.5, 20.0);
+        assert!((s10 - 2.0 * s20).abs() < 1e-12);
+        assert_eq!(cam.apparent_size(0.5, 0.0), 0.0);
+    }
+}

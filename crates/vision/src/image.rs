@@ -1,0 +1,377 @@
+//! Dense row-major raster images.
+
+use std::fmt;
+
+/// A dense, row-major 2-D raster of pixels of type `T`.
+///
+/// `Image<u8>` is the workhorse grey-level type used throughout the SKiPPER
+/// applications; `Image<u32>` holds label maps, `Image<i32>` gradient maps.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::Image;
+/// let mut img = Image::<u8>::new(8, 4);
+/// img.set(3, 2, 200);
+/// assert_eq!(img.get(3, 2), 200);
+/// assert_eq!(img.width(), 8);
+/// assert_eq!(img.height(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Image<T = u8> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Image<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Image")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("pixels", &self.data.len())
+            .finish()
+    }
+}
+
+impl<T: Copy + Default> Image<T> {
+    /// Creates a `width × height` image filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`.
+    pub fn new(width: usize, height: usize) -> Self {
+        let len = width
+            .checked_mul(height)
+            .expect("image dimensions overflow");
+        Image {
+            width,
+            height,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Creates an image whose pixel at `(x, y)` is `f(x, y)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Extracts a copy of the rectangular window starting at `(x0, y0)`.
+    ///
+    /// The window is clipped against the image bounds, so the returned image
+    /// may be smaller than `w × h` (and may be empty).
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image<T> {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        let (cw, ch) = (x1.saturating_sub(x0), y1.saturating_sub(y0));
+        let mut out = Image::new(cw, ch);
+        for y in 0..ch {
+            let src = (y0 + y) * self.width + x0;
+            let dst = y * cw;
+            out.data[dst..dst + cw].copy_from_slice(&self.data[src..src + cw]);
+        }
+        out
+    }
+
+    /// Fills the (clipped) rectangle with `value`.
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, w: usize, h: usize, value: T) {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.data[y * self.width + x] = value;
+            }
+        }
+    }
+}
+
+impl<T> Image<T> {
+    /// Creates an image from raw row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height,
+            "pixel buffer length must equal width * height"
+        );
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of pixels (`width * height`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the image holds no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the raw row-major pixel buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major pixel buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning the raw pixel buffer.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow row `y` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    pub fn row(&self, y: usize) -> &[T] {
+        assert!(y < self.height, "row {y} out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Iterator over `(x, y, &pixel)` in row-major order.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, p)| (i % w, i / w, p))
+    }
+
+    /// Returns `true` when `(x, y)` lies inside the image.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x < self.width && y < self.height
+    }
+}
+
+impl<T: Copy> Image<T> {
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(self.contains(x, y), "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel value at `(x, y)`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: usize, y: usize) -> Option<T> {
+        if self.contains(x, y) {
+            Some(self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: T) {
+        assert!(self.contains(x, y), "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Fills every pixel with `value`.
+    pub fn fill(&mut self, value: T) {
+        self.data.iter_mut().for_each(|p| *p = value);
+    }
+
+    /// Applies `f` to every pixel, producing a new image of the same size.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Image<U> {
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&p| f(p)).collect(),
+        }
+    }
+
+    /// Pastes `src` into `self` with its top-left corner at `(x0, y0)`,
+    /// clipping against the bounds of `self`.
+    pub fn blit(&mut self, src: &Image<T>, x0: usize, y0: usize) {
+        let w = src.width.min(self.width.saturating_sub(x0));
+        let h = src.height.min(self.height.saturating_sub(y0));
+        for y in 0..h {
+            let s = y * src.width;
+            let d = (y0 + y) * self.width + x0;
+            self.data[d..d + w].copy_from_slice(&src.data[s..s + w]);
+        }
+    }
+}
+
+impl Image<u8> {
+    /// Mean pixel value; 0.0 for an empty image.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&p| p as u64).sum::<u64>() as f64 / self.data.len() as f64
+    }
+
+    /// Maximum pixel value; 0 for an empty image.
+    pub fn max(&self) -> u8 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of pixels strictly above `thr`.
+    pub fn count_above(&self, thr: u8) -> usize {
+        self.data.iter().filter(|&&p| p > thr).count()
+    }
+}
+
+impl<T: Copy + Default> Default for Image<T> {
+    fn default() -> Self {
+        Image::new(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let img = Image::<u8>::new(4, 3);
+        assert_eq!(img.len(), 12);
+        assert!(img.as_slice().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| (10 * y + x) as u8);
+        assert_eq!(img.as_slice(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::<u8>::new(5, 5);
+        img.set(4, 4, 99);
+        assert_eq!(img.get(4, 4), 99);
+        assert_eq!(img.try_get(5, 4), None);
+        assert_eq!(img.try_get(4, 5), None);
+        assert_eq!(img.try_get(0, 0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::<u8>::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn crop_clips_to_bounds() {
+        let img = Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
+        let c = img.crop(2, 2, 10, 10);
+        assert_eq!(c.dimensions(), (2, 2));
+        assert_eq!(c.as_slice(), &[10, 11, 14, 15]);
+    }
+
+    #[test]
+    fn crop_fully_outside_is_empty() {
+        let img = Image::<u8>::new(4, 4);
+        let c = img.crop(4, 4, 2, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = Image::<u8>::new(4, 4);
+        img.fill_rect(2, 2, 100, 100, 7);
+        assert_eq!(img.count_above(0), 4);
+    }
+
+    #[test]
+    fn blit_clips() {
+        let mut dst = Image::<u8>::new(4, 4);
+        let mut src = Image::<u8>::new(3, 3);
+        src.fill(5);
+        dst.blit(&src, 2, 2);
+        assert_eq!(dst.count_above(0), 4);
+        assert_eq!(dst.get(3, 3), 5);
+        assert_eq!(dst.get(1, 1), 0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let img = Image::from_fn(3, 3, |x, _| x as u8);
+        let doubled = img.map(|p| (p * 2) as u16);
+        assert_eq!(doubled.dimensions(), (3, 3));
+        assert_eq!(doubled.get(2, 0), 4);
+    }
+
+    #[test]
+    fn row_access() {
+        let img = Image::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut img = Image::<u8>::new(2, 2);
+        img.set(0, 0, 4);
+        img.set(1, 1, 8);
+        assert_eq!(img.mean(), 3.0);
+        assert_eq!(img.max(), 8);
+        assert_eq!(Image::<u8>::new(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let img = Image::from_raw(2, 2, vec![1u8, 2, 3, 4]);
+        assert_eq!(img.into_raw(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width * height")]
+    fn from_raw_wrong_len_panics() {
+        let _ = Image::from_raw(2, 2, vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn enumerate_pixels_order() {
+        let img = Image::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        let v: Vec<_> = img.enumerate_pixels().map(|(x, y, &p)| (x, y, p)).collect();
+        assert_eq!(v, vec![(0, 0, 0), (1, 0, 1), (0, 1, 2), (1, 1, 3)]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Connected-component labelling.
+//!
+//! Implements the classic two-pass algorithm with a union-find equivalence
+//! table — the core of the paper's `detect_mark` user function and of the
+//! connected-component labelling application of Ginhac et al. (MVA'98)
+//! parallelised with the `scm` skeleton.
+
+use crate::Image;
+
+/// Pixel connectivity used when labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Connectivity {
+    /// 4-neighbourhood (N, S, E, W).
+    Four,
+    /// 8-neighbourhood (includes diagonals).
+    #[default]
+    Eight,
+}
+
+/// A union-find (disjoint-set) forest over `usize` ids with path compression
+/// and union by rank.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::label::DisjointSets;
+/// let mut ds = DisjointSets::new(4);
+/// ds.union(0, 1);
+/// ds.union(2, 3);
+/// assert_eq!(ds.find(0), ds.find(1));
+/// assert_ne!(ds.find(1), ds.find(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a fresh singleton and returns its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => {
+                self.parent[ra] = rb;
+                rb
+            }
+            std::cmp::Ordering::Greater => {
+                self.parent[rb] = ra;
+                ra
+            }
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+                ra
+            }
+        }
+    }
+
+    /// `true` when `a` and `b` belong to the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Labels the connected components of a binary image (non-zero = foreground).
+///
+/// Returns a label map with background 0 and components numbered densely
+/// from 1 in raster order of their first pixel.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::{Image, label::{label_components, Connectivity}};
+/// let mut img = Image::<u8>::new(5, 1);
+/// img.set(0, 0, 255);
+/// img.set(4, 0, 255);
+/// let l = label_components(&img, Connectivity::Four);
+/// assert_eq!(l.get(0, 0), 1);
+/// assert_eq!(l.get(4, 0), 2);
+/// assert_eq!(l.get(2, 0), 0);
+/// ```
+pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
+    let (w, h) = img.dimensions();
+    let mut labels: Image<u32> = Image::new(w, h);
+    if w == 0 || h == 0 {
+        return labels;
+    }
+    let mut ds = DisjointSets::new(1); // id 0 reserved for background
+    // First pass: provisional labels + equivalences.
+    for y in 0..h {
+        for x in 0..w {
+            if img.get(x, y) == 0 {
+                continue;
+            }
+            let west = if x > 0 { labels.get(x - 1, y) } else { 0 };
+            let north = if y > 0 { labels.get(x, y - 1) } else { 0 };
+            let (nw, ne) = if conn == Connectivity::Eight && y > 0 {
+                (
+                    if x > 0 { labels.get(x - 1, y - 1) } else { 0 },
+                    if x + 1 < w { labels.get(x + 1, y - 1) } else { 0 },
+                )
+            } else {
+                (0, 0)
+            };
+            let neighbours = [west, north, nw, ne];
+            let mut assigned = 0u32;
+            for &n in &neighbours {
+                if n != 0 {
+                    if assigned == 0 {
+                        assigned = n;
+                    } else {
+                        ds.union(assigned as usize, n as usize);
+                    }
+                }
+            }
+            if assigned == 0 {
+                assigned = ds.push() as u32;
+            }
+            labels.set(x, y, assigned);
+        }
+    }
+    // Second pass: resolve equivalences to dense labels.
+    let mut dense: Vec<u32> = vec![0; ds.len()];
+    let mut next = 0u32;
+    for y in 0..h {
+        for x in 0..w {
+            let l = labels.get(x, y);
+            if l == 0 {
+                continue;
+            }
+            let root = ds.find(l as usize);
+            if dense[root] == 0 {
+                next += 1;
+                dense[root] = next;
+            }
+            labels.set(x, y, dense[root]);
+        }
+    }
+    labels
+}
+
+/// Number of connected components of a binary image.
+pub fn count_components(img: &Image<u8>, conn: Connectivity) -> u32 {
+    let labels = label_components(img, conn);
+    labels.as_slice().iter().copied().max().unwrap_or(0)
+}
+
+/// Relabels `labels` so that label values are dense in `1..=n`, preserving
+/// raster order of first appearance. Returns the number of labels.
+pub fn make_dense(labels: &mut Image<u32>) -> u32 {
+    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for p in labels.as_mut_slice() {
+        if *p == 0 {
+            continue;
+        }
+        let entry = remap.entry(*p).or_insert_with(|| {
+            next += 1;
+            next
+        });
+        *p = *entry;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_image_has_no_components() {
+        let img = Image::<u8>::new(8, 8);
+        assert_eq!(count_components(&img, Connectivity::Eight), 0);
+    }
+
+    #[test]
+    fn single_blob() {
+        let mut img = Image::<u8>::new(8, 8);
+        img.fill_rect(2, 2, 3, 3, 255);
+        assert_eq!(count_components(&img, Connectivity::Four), 1);
+    }
+
+    #[test]
+    fn diagonal_blobs_depend_on_connectivity() {
+        // Two pixels touching only diagonally.
+        let mut img = Image::<u8>::new(4, 4);
+        img.set(1, 1, 255);
+        img.set(2, 2, 255);
+        assert_eq!(count_components(&img, Connectivity::Four), 2);
+        assert_eq!(count_components(&img, Connectivity::Eight), 1);
+    }
+
+    #[test]
+    fn u_shape_merges_via_equivalence() {
+        // A 'U' initially gets two provisional labels that must merge.
+        let mut img = Image::<u8>::new(5, 4);
+        img.fill_rect(0, 0, 1, 4, 255);
+        img.fill_rect(4, 0, 1, 4, 255);
+        img.fill_rect(0, 3, 5, 1, 255);
+        assert_eq!(count_components(&img, Connectivity::Four), 1);
+    }
+
+    #[test]
+    fn labels_are_dense_from_one() {
+        let mut img = Image::<u8>::new(9, 1);
+        for x in [0usize, 3, 6] {
+            img.set(x, 0, 255);
+        }
+        let l = label_components(&img, Connectivity::Four);
+        assert_eq!(l.get(0, 0), 1);
+        assert_eq!(l.get(3, 0), 2);
+        assert_eq!(l.get(6, 0), 3);
+    }
+
+    #[test]
+    fn checkerboard_four_connectivity() {
+        let img = Image::from_fn(6, 6, |x, y| if (x + y) % 2 == 0 { 255 } else { 0 });
+        assert_eq!(count_components(&img, Connectivity::Four), 18);
+        assert_eq!(count_components(&img, Connectivity::Eight), 1);
+    }
+
+    #[test]
+    fn disjoint_sets_basics() {
+        let mut ds = DisjointSets::new(3);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.same(0, 2));
+        ds.union(0, 1);
+        ds.union(1, 2);
+        assert!(ds.same(0, 2));
+        let id = ds.push();
+        assert_eq!(id, 3);
+        assert!(!ds.same(0, 3));
+    }
+
+    #[test]
+    fn make_dense_renumbers() {
+        let mut l = Image::from_raw(4, 1, vec![0u32, 7, 7, 42]);
+        let n = make_dense(&mut l);
+        assert_eq!(n, 2);
+        assert_eq!(l.as_slice(), &[0, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,228 @@
+//! White-line extraction for the road-following application.
+//!
+//! Ginhac's road-following algorithm (PhD thesis, 1999 — cited as \[6\] in
+//! the paper) tracks the painted white line bounding the lane: every image
+//! row is scanned for the brightest run of pixels, and a straight line
+//! `x = a·y + b` is fitted to the detected centres by least squares. The
+//! lane offset read at the bottom of the image steers the vehicle.
+
+use crate::Image;
+
+/// One detected line-marking sample: the centre of the brightest run on a
+/// given row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinePoint {
+    /// Row (y coordinate) of the sample.
+    pub y: usize,
+    /// Estimated centre column of the marking on that row.
+    pub x: f64,
+    /// Width in pixels of the bright run.
+    pub width: usize,
+}
+
+/// A straight line in image coordinates, parameterised as `x = a·y + b`
+/// (near-vertical lines are the common case for lane markings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedLine {
+    /// Slope `dx/dy`.
+    pub a: f64,
+    /// Intercept: `x` at `y = 0`.
+    pub b: f64,
+    /// Number of samples used for the fit.
+    pub samples: usize,
+    /// Root-mean-square residual of the fit in pixels.
+    pub rms: f64,
+}
+
+impl FittedLine {
+    /// `x` coordinate of the line at row `y`.
+    pub fn x_at(&self, y: f64) -> f64 {
+        self.a * y + self.b
+    }
+}
+
+/// Scans each row of `img` for the longest run of pixels above `thr` and
+/// returns the run centres. Rows with no bright run are skipped.
+pub fn scan_line_points(img: &Image<u8>, thr: u8) -> Vec<LinePoint> {
+    let mut points = Vec::new();
+    for y in 0..img.height() {
+        let row = img.row(y);
+        let mut best: Option<(usize, usize)> = None; // (start, len)
+        let mut run_start = None;
+        for (x, &p) in row.iter().enumerate() {
+            if p > thr {
+                if run_start.is_none() {
+                    run_start = Some(x);
+                }
+            } else if let Some(s) = run_start.take() {
+                let len = x - s;
+                if best.is_none_or(|(_, bl)| len > bl) {
+                    best = Some((s, len));
+                }
+            }
+        }
+        if let Some(s) = run_start {
+            let len = row.len() - s;
+            if best.is_none_or(|(_, bl)| len > bl) {
+                best = Some((s, len));
+            }
+        }
+        if let Some((s, len)) = best {
+            points.push(LinePoint {
+                y,
+                x: s as f64 + len as f64 / 2.0,
+                width: len,
+            });
+        }
+    }
+    points
+}
+
+/// Least-squares fit of `x = a·y + b` through the given samples.
+///
+/// Returns `None` with fewer than 2 samples or when all samples share the
+/// same row (the system is degenerate).
+pub fn fit_line(points: &[LinePoint]) -> Option<FittedLine> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sy: f64 = points.iter().map(|p| p.y as f64).sum();
+    let sx: f64 = points.iter().map(|p| p.x).sum();
+    let syy: f64 = points.iter().map(|p| (p.y as f64).powi(2)).sum();
+    let sxy: f64 = points.iter().map(|p| p.x * p.y as f64).sum();
+    let denom = nf * syy - sy * sy;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let a = (nf * sxy - sx * sy) / denom;
+    let b = (sx - a * sy) / nf;
+    let rms = (points
+        .iter()
+        .map(|p| (p.x - (a * p.y as f64 + b)).powi(2))
+        .sum::<f64>()
+        / nf)
+        .sqrt();
+    Some(FittedLine {
+        a,
+        b,
+        samples: n,
+        rms,
+    })
+}
+
+/// Full white-line detection over one image (or band): scan rows, then fit.
+///
+/// `thr` selects marking pixels; samples wider than `max_width` pixels are
+/// rejected as glare/other vehicles before fitting.
+pub fn detect_white_line(img: &Image<u8>, thr: u8, max_width: usize) -> Option<FittedLine> {
+    let points: Vec<_> = scan_line_points(img, thr)
+        .into_iter()
+        .filter(|p| p.width <= max_width)
+        .collect();
+    fit_line(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders a synthetic marking: a 3-pixel-wide bright line `x = a·y + b`.
+    fn line_image(w: usize, h: usize, a: f64, b: f64) -> Image<u8> {
+        Image::from_fn(w, h, |x, y| {
+            let cx = a * y as f64 + b;
+            if (x as f64 - cx).abs() <= 1.5 {
+                220
+            } else {
+                20
+            }
+        })
+    }
+
+    #[test]
+    fn scan_finds_one_point_per_row() {
+        let img = line_image(32, 16, 0.0, 10.0);
+        let pts = scan_line_points(&img, 128);
+        assert_eq!(pts.len(), 16);
+        assert!(pts.iter().all(|p| (p.x - 10.0).abs() <= 1.0));
+    }
+
+    #[test]
+    fn scan_picks_longest_run() {
+        let mut img = Image::<u8>::new(20, 1);
+        img.fill_rect(1, 0, 2, 1, 255); // short run
+        img.fill_rect(10, 0, 5, 1, 255); // long run
+        let pts = scan_line_points(&img, 128);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].width, 5);
+        assert_eq!(pts[0].x, 12.5);
+    }
+
+    #[test]
+    fn scan_handles_run_to_border() {
+        let mut img = Image::<u8>::new(8, 1);
+        img.fill_rect(5, 0, 3, 1, 255);
+        let pts = scan_line_points(&img, 128);
+        assert_eq!(pts[0].width, 3);
+    }
+
+    #[test]
+    fn fit_recovers_slope_and_intercept() {
+        let img = line_image(64, 32, 0.5, 8.0);
+        let line = detect_white_line(&img, 128, 10).unwrap();
+        assert!((line.a - 0.5).abs() < 0.1, "a = {}", line.a);
+        assert!((line.b - 8.0).abs() < 1.5, "b = {}", line.b);
+        assert!(line.rms < 1.0);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(fit_line(&[]).is_none());
+        let single = [LinePoint {
+            y: 3,
+            x: 1.0,
+            width: 1,
+        }];
+        assert!(fit_line(&single).is_none());
+        let same_row = [
+            LinePoint {
+                y: 3,
+                x: 1.0,
+                width: 1,
+            },
+            LinePoint {
+                y: 3,
+                x: 5.0,
+                width: 1,
+            },
+        ];
+        assert!(fit_line(&same_row).is_none());
+    }
+
+    #[test]
+    fn wide_runs_filtered_out() {
+        // A full-width glare band should not contribute samples.
+        let mut img = line_image(32, 16, 0.0, 10.0);
+        img.fill_rect(0, 5, 32, 1, 255);
+        let line = detect_white_line(&img, 128, 8).unwrap();
+        assert!((line.b - 10.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn x_at_evaluates_line() {
+        let l = FittedLine {
+            a: 2.0,
+            b: 1.0,
+            samples: 10,
+            rms: 0.0,
+        };
+        assert_eq!(l.x_at(3.0), 7.0);
+    }
+
+    #[test]
+    fn dark_image_yields_none() {
+        let img = Image::<u8>::new(16, 16);
+        assert!(detect_white_line(&img, 128, 8).is_none());
+    }
+}

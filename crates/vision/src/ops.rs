@@ -1,0 +1,271 @@
+//! Classic low-level point and neighbourhood operators.
+//!
+//! These are the "sequential C functions" of the paper's programming model:
+//! pure, architecture-independent kernels that the skeletons coordinate.
+
+use crate::Image;
+
+/// Binarises `img`: pixels strictly above `thr` become 255, others 0.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::{Image, ops::threshold};
+/// let img = Image::from_fn(2, 1, |x, _| if x == 0 { 10 } else { 200 });
+/// let bin = threshold(&img, 128);
+/// assert_eq!(bin.as_slice(), &[0, 255]);
+/// ```
+pub fn threshold(img: &Image<u8>, thr: u8) -> Image<u8> {
+    img.map(|p| if p > thr { 255 } else { 0 })
+}
+
+/// Inverts a grey-level image (`255 - p`).
+pub fn invert(img: &Image<u8>) -> Image<u8> {
+    img.map(|p| 255 - p)
+}
+
+/// Saturating per-pixel sum of two images of identical dimensions.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn add_saturating(a: &Image<u8>, b: &Image<u8>) -> Image<u8> {
+    assert_eq!(a.dimensions(), b.dimensions(), "image sizes must match");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x.saturating_add(y))
+        .collect();
+    Image::from_raw(a.width(), a.height(), data)
+}
+
+/// 3×3 convolution with `kernel` (row-major), dividing by `divisor`.
+///
+/// Border pixels use clamped (replicated) edge sampling, so the output has
+/// the same dimensions as the input.
+///
+/// # Panics
+///
+/// Panics if `divisor == 0`.
+pub fn convolve3x3(img: &Image<u8>, kernel: &[i32; 9], divisor: i32) -> Image<i32> {
+    assert!(divisor != 0, "divisor must be non-zero");
+    let (w, h) = img.dimensions();
+    Image::from_fn(w, h, |x, y| {
+        let mut acc = 0i32;
+        for ky in 0..3i64 {
+            for kx in 0..3i64 {
+                let sx = (x as i64 + kx - 1).clamp(0, w as i64 - 1) as usize;
+                let sy = (y as i64 + ky - 1).clamp(0, h as i64 - 1) as usize;
+                acc += kernel[(ky * 3 + kx) as usize] * img.get(sx, sy) as i32;
+            }
+        }
+        acc / divisor
+    })
+}
+
+/// Horizontal Sobel gradient.
+pub fn sobel_x(img: &Image<u8>) -> Image<i32> {
+    convolve3x3(img, &[-1, 0, 1, -2, 0, 2, -1, 0, 1], 1)
+}
+
+/// Vertical Sobel gradient.
+pub fn sobel_y(img: &Image<u8>) -> Image<i32> {
+    convolve3x3(img, &[-1, -2, -1, 0, 0, 0, 1, 2, 1], 1)
+}
+
+/// Sobel gradient magnitude, clamped to `u8`.
+pub fn sobel_magnitude(img: &Image<u8>) -> Image<u8> {
+    let gx = sobel_x(img);
+    let gy = sobel_y(img);
+    let data = gx
+        .as_slice()
+        .iter()
+        .zip(gy.as_slice())
+        .map(|(&x, &y)| {
+            let m = ((x as f64).powi(2) + (y as f64).powi(2)).sqrt();
+            m.min(255.0) as u8
+        })
+        .collect();
+    Image::from_raw(img.width(), img.height(), data)
+}
+
+/// 3×3 box blur.
+pub fn box_blur(img: &Image<u8>) -> Image<u8> {
+    convolve3x3(img, &[1; 9], 9).map(|p| p.clamp(0, 255) as u8)
+}
+
+/// 3×3 binary erosion: a pixel stays 255 only if its whole 8-neighbourhood
+/// (clamped at borders) is 255.
+pub fn erode3x3(img: &Image<u8>) -> Image<u8> {
+    let (w, h) = img.dimensions();
+    Image::from_fn(w, h, |x, y| {
+        for ky in -1i64..=1 {
+            for kx in -1i64..=1 {
+                let sx = (x as i64 + kx).clamp(0, w as i64 - 1) as usize;
+                let sy = (y as i64 + ky).clamp(0, h as i64 - 1) as usize;
+                if img.get(sx, sy) != 255 {
+                    return 0;
+                }
+            }
+        }
+        255
+    })
+}
+
+/// 3×3 binary dilation: a pixel becomes 255 if any 8-neighbour is 255.
+pub fn dilate3x3(img: &Image<u8>) -> Image<u8> {
+    let (w, h) = img.dimensions();
+    Image::from_fn(w, h, |x, y| {
+        for ky in -1i64..=1 {
+            for kx in -1i64..=1 {
+                let sx = (x as i64 + kx).clamp(0, w as i64 - 1) as usize;
+                let sy = (y as i64 + ky).clamp(0, h as i64 - 1) as usize;
+                if img.get(sx, sy) == 255 {
+                    return 255;
+                }
+            }
+        }
+        0
+    })
+}
+
+/// 256-bin grey-level histogram.
+pub fn histogram(img: &Image<u8>) -> [u64; 256] {
+    let mut bins = [0u64; 256];
+    for &p in img.as_slice() {
+        bins[p as usize] += 1;
+    }
+    bins
+}
+
+/// Otsu's automatic threshold selection over the histogram of `img`.
+///
+/// Returns the threshold maximising inter-class variance; 0 for flat images.
+pub fn otsu_threshold(img: &Image<u8>) -> u8 {
+    let hist = histogram(img);
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| v as f64 * c as f64)
+        .sum();
+    let (mut sum_b, mut w_b) = (0.0f64, 0u64);
+    let (mut best_var, mut best_thr) = (0.0f64, 0u8);
+    for t in 0..256usize {
+        w_b += hist[t];
+        if w_b == 0 {
+            continue;
+        }
+        let w_f = total - w_b;
+        if w_f == 0 {
+            break;
+        }
+        sum_b += t as f64 * hist[t] as f64;
+        let m_b = sum_b / w_b as f64;
+        let m_f = (sum_all - sum_b) / w_f as f64;
+        let between = w_b as f64 * w_f as f64 * (m_b - m_f).powi(2);
+        if between > best_var {
+            best_var = between;
+            best_thr = t as u8;
+        }
+    }
+    best_thr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image() -> Image<u8> {
+        Image::from_fn(16, 16, |x, _| (x * 16) as u8)
+    }
+
+    #[test]
+    fn threshold_is_binary() {
+        let bin = threshold(&gradient_image(), 100);
+        assert!(bin.as_slice().iter().all(|&p| p == 0 || p == 255));
+        assert_eq!(threshold(&gradient_image(), 255).count_above(0), 0);
+    }
+
+    #[test]
+    fn invert_involution() {
+        let img = gradient_image();
+        assert_eq!(invert(&invert(&img)), img);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut a = Image::<u8>::new(1, 1);
+        a.set(0, 0, 200);
+        let s = add_saturating(&a, &a);
+        assert_eq!(s.get(0, 0), 255);
+    }
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        let img = gradient_image();
+        let k = [0, 0, 0, 0, 1, 0, 0, 0, 0];
+        let out = convolve3x3(&img, &k, 1);
+        assert!(out
+            .as_slice()
+            .iter()
+            .zip(img.as_slice())
+            .all(|(&o, &i)| o == i as i32));
+    }
+
+    #[test]
+    fn sobel_x_detects_vertical_edge() {
+        let mut img = Image::<u8>::new(8, 8);
+        img.fill_rect(4, 0, 4, 8, 255);
+        let gx = sobel_x(&img);
+        // Strongest response straddles the edge at x=3..4.
+        assert!(gx.get(3, 4) > 0 || gx.get(4, 4) > 0);
+        assert_eq!(gx.get(1, 4), 0);
+        let gy = sobel_y(&img);
+        assert_eq!(gy.get(4, 4), 0);
+    }
+
+    #[test]
+    fn sobel_magnitude_flat_is_zero() {
+        let mut img = Image::<u8>::new(8, 8);
+        img.fill(77);
+        assert_eq!(sobel_magnitude(&img).max(), 0);
+    }
+
+    #[test]
+    fn erode_then_dilate_shrinks_noise() {
+        let mut img = Image::<u8>::new(16, 16);
+        img.fill_rect(4, 4, 6, 6, 255);
+        img.set(0, 0, 255); // single-pixel noise
+        let opened = dilate3x3(&erode3x3(&img));
+        assert_eq!(opened.get(0, 0), 0, "isolated pixel removed");
+        assert_eq!(opened.get(6, 6), 255, "blob interior kept");
+    }
+
+    #[test]
+    fn histogram_sums_to_pixel_count() {
+        let img = gradient_image();
+        let h = histogram(&img);
+        assert_eq!(h.iter().sum::<u64>(), 256);
+        assert_eq!(h[0], 16); // first column
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        let img = Image::from_fn(16, 16, |x, _| if x < 8 { 30 } else { 220 });
+        let t = otsu_threshold(&img);
+        assert!((30..220).contains(&(t as usize)), "t={t}");
+        assert_eq!(otsu_threshold(&Image::<u8>::new(4, 4)), 0);
+    }
+
+    #[test]
+    fn box_blur_preserves_flat() {
+        let mut img = Image::<u8>::new(8, 8);
+        img.fill(100);
+        assert_eq!(box_blur(&img), img);
+    }
+}

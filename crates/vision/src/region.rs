@@ -1,0 +1,181 @@
+//! Region properties of labelled images.
+//!
+//! Each connected component is summarised by its area, centre of gravity and
+//! englobing frame (bounding box) — exactly the mark characterisation the
+//! paper's detection stage computes ("each mark is then characterized by
+//! computing its center of gravity and an englobing frame").
+
+use crate::geometry::{Point2, Rect};
+use crate::Image;
+
+/// Summary of one connected component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Label value in the label map (≥ 1).
+    pub label: u32,
+    /// Number of pixels.
+    pub area: u64,
+    /// Centre of gravity in pixel coordinates.
+    pub centroid: Point2,
+    /// Englobing frame (tight bounding box).
+    pub bbox: Rect,
+}
+
+impl Region {
+    /// Offsets the region by `(dx, dy)` — used to re-express window-local
+    /// detections in whole-image coordinates.
+    pub fn translate(&self, dx: i64, dy: i64) -> Region {
+        Region {
+            label: self.label,
+            area: self.area,
+            centroid: Point2::new(self.centroid.x + dx as f64, self.centroid.y + dy as f64),
+            bbox: Rect::new(self.bbox.x + dx, self.bbox.y + dy, self.bbox.w, self.bbox.h),
+        }
+    }
+}
+
+/// Computes [`Region`] properties for every non-zero label of `labels`.
+///
+/// Regions are returned sorted by label value. Labels need not be dense;
+/// missing labels simply do not appear.
+///
+/// # Example
+///
+/// ```
+/// use skipper_vision::{Image, label::{label_components, Connectivity}};
+/// use skipper_vision::region::region_properties;
+/// let mut img = Image::<u8>::new(10, 10);
+/// img.fill_rect(2, 3, 4, 2, 255);
+/// let regions = region_properties(&label_components(&img, Connectivity::Eight));
+/// assert_eq!(regions[0].area, 8);
+/// assert_eq!(regions[0].centroid.x, 3.5);
+/// ```
+pub fn region_properties(labels: &Image<u32>) -> Vec<Region> {
+    #[derive(Clone)]
+    struct Acc {
+        area: u64,
+        sx: f64,
+        sy: f64,
+        min_x: i64,
+        min_y: i64,
+        max_x: i64,
+        max_y: i64,
+    }
+    let mut accs: std::collections::BTreeMap<u32, Acc> = std::collections::BTreeMap::new();
+    for (x, y, &l) in labels.enumerate_pixels() {
+        if l == 0 {
+            continue;
+        }
+        let a = accs.entry(l).or_insert(Acc {
+            area: 0,
+            sx: 0.0,
+            sy: 0.0,
+            min_x: i64::MAX,
+            min_y: i64::MAX,
+            max_x: i64::MIN,
+            max_y: i64::MIN,
+        });
+        a.area += 1;
+        a.sx += x as f64;
+        a.sy += y as f64;
+        a.min_x = a.min_x.min(x as i64);
+        a.min_y = a.min_y.min(y as i64);
+        a.max_x = a.max_x.max(x as i64);
+        a.max_y = a.max_y.max(y as i64);
+    }
+    accs.into_iter()
+        .map(|(label, a)| Region {
+            label,
+            area: a.area,
+            centroid: Point2::new(a.sx / a.area as f64, a.sy / a.area as f64),
+            bbox: Rect::new(
+                a.min_x,
+                a.min_y,
+                a.max_x - a.min_x + 1,
+                a.max_y - a.min_y + 1,
+            ),
+        })
+        .collect()
+}
+
+/// Thresholds `img` at `thr`, labels the result with 8-connectivity and
+/// returns the region properties of all components with `area >= min_area`.
+///
+/// This is the one-stop "detect bright blobs" routine used by the
+/// mark-detection stage of the vehicle tracker.
+pub fn detect_blobs(img: &Image<u8>, thr: u8, min_area: u64) -> Vec<Region> {
+    let bin = crate::ops::threshold(img, thr);
+    let labels = crate::label::label_components(&bin, crate::label::Connectivity::Eight);
+    region_properties(&labels)
+        .into_iter()
+        .filter(|r| r.area >= min_area)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{label_components, Connectivity};
+
+    #[test]
+    fn empty_label_map_yields_no_regions() {
+        let labels = Image::<u32>::new(8, 8);
+        assert!(region_properties(&labels).is_empty());
+    }
+
+    #[test]
+    fn centroid_of_symmetric_blob_is_center() {
+        let mut img = Image::<u8>::new(11, 11);
+        img.fill_rect(4, 4, 3, 3, 255);
+        let regions = region_properties(&label_components(&img, Connectivity::Four));
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.centroid, Point2::new(5.0, 5.0));
+        assert_eq!(r.bbox, Rect::new(4, 4, 3, 3));
+        assert_eq!(r.area, 9);
+    }
+
+    #[test]
+    fn multiple_regions_sorted_by_label() {
+        let mut img = Image::<u8>::new(10, 2);
+        img.fill_rect(0, 0, 2, 1, 255);
+        img.fill_rect(5, 0, 3, 1, 255);
+        let regions = region_properties(&label_components(&img, Connectivity::Four));
+        assert_eq!(regions.len(), 2);
+        assert!(regions[0].label < regions[1].label);
+        assert_eq!(regions[0].area, 2);
+        assert_eq!(regions[1].area, 3);
+    }
+
+    #[test]
+    fn translate_moves_centroid_and_bbox() {
+        let r = Region {
+            label: 1,
+            area: 4,
+            centroid: Point2::new(1.0, 1.0),
+            bbox: Rect::new(0, 0, 2, 2),
+        };
+        let t = r.translate(10, 20);
+        assert_eq!(t.centroid, Point2::new(11.0, 21.0));
+        assert_eq!(t.bbox, Rect::new(10, 20, 2, 2));
+        assert_eq!(t.area, 4);
+    }
+
+    #[test]
+    fn detect_blobs_filters_small_areas() {
+        let mut img = Image::<u8>::new(16, 16);
+        img.fill_rect(2, 2, 4, 4, 255); // area 16
+        img.set(12, 12, 255); // area 1
+        let blobs = detect_blobs(&img, 128, 4);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 16);
+    }
+
+    #[test]
+    fn detect_blobs_on_grey_image_uses_threshold() {
+        let img = Image::from_fn(8, 8, |x, _| if x >= 6 { 200 } else { 90 });
+        let blobs = detect_blobs(&img, 128, 1);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 16);
+    }
+}

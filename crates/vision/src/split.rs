@@ -1,0 +1,246 @@
+//! Geometric domain decomposition for the `scm` skeleton.
+//!
+//! The `scm` (Split/Compute/Merge) skeleton needs pure split and merge
+//! functions over iconic data. This module provides the standard row-band
+//! and tile decompositions, with optional halo (overlap) rows for
+//! neighbourhood operators, plus the inverse merge operations.
+
+use crate::Image;
+
+/// A horizontal band of an image produced by [`split_rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBand {
+    /// Index of the band in the decomposition.
+    pub index: usize,
+    /// First row of the *core* region in the source image.
+    pub y0: usize,
+    /// Number of core rows (excluding halo).
+    pub rows: usize,
+    /// Number of halo rows included above the core.
+    pub halo_top: usize,
+    /// Number of halo rows included below the core.
+    pub halo_bottom: usize,
+    /// Pixels: halo_top + rows + halo_bottom rows of the full width.
+    pub pixels: Image<u8>,
+}
+
+impl RowBand {
+    /// Extracts the core rows (dropping halos) from a processed band image
+    /// that has the same shape as `pixels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processed` does not have the band's dimensions.
+    pub fn core_of(&self, processed: &Image<u8>) -> Image<u8> {
+        assert_eq!(
+            processed.dimensions(),
+            self.pixels.dimensions(),
+            "processed band must keep the band shape"
+        );
+        processed.crop(0, self.halo_top, processed.width(), self.rows)
+    }
+}
+
+/// Splits `img` into `n` horizontal bands with `halo` rows of overlap on
+/// each internal boundary.
+///
+/// Every row of the image belongs to exactly one band core; halos replicate
+/// rows from neighbouring bands so that 2-D neighbourhood operators can be
+/// applied independently per band.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn split_rows(img: &Image<u8>, n: usize, halo: usize) -> Vec<RowBand> {
+    assert!(n > 0, "cannot split into zero bands");
+    let h = img.height();
+    let n = n.min(h.max(1));
+    let base = h / n;
+    let rem = h % n;
+    let mut bands = Vec::with_capacity(n);
+    let mut y0 = 0usize;
+    for i in 0..n {
+        let rows = base + usize::from(i < rem);
+        let halo_top = halo.min(y0);
+        let halo_bottom = halo.min(h - (y0 + rows));
+        let pixels = img.crop(
+            0,
+            y0 - halo_top,
+            img.width(),
+            halo_top + rows + halo_bottom,
+        );
+        bands.push(RowBand {
+            index: i,
+            y0,
+            rows,
+            halo_top,
+            halo_bottom,
+            pixels,
+        });
+        y0 += rows;
+    }
+    bands
+}
+
+/// Reassembles the full image from per-band *core* images (halos already
+/// stripped), in band order.
+///
+/// # Panics
+///
+/// Panics if the cores disagree on width or if the band metadata does not
+/// tile the output contiguously.
+pub fn merge_rows(cores: &[(RowBand, Image<u8>)]) -> Image<u8> {
+    if cores.is_empty() {
+        return Image::new(0, 0);
+    }
+    let width = cores[0].1.width();
+    let total_rows: usize = cores.iter().map(|(b, _)| b.rows).sum();
+    let mut out = Image::new(width, total_rows);
+    let mut expected_y = 0usize;
+    for (band, core) in cores {
+        assert_eq!(core.width(), width, "band widths must agree");
+        assert_eq!(core.height(), band.rows, "core must have band.rows rows");
+        assert_eq!(band.y0, expected_y, "bands must tile contiguously");
+        out.blit(core, 0, band.y0);
+        expected_y += band.rows;
+    }
+    out
+}
+
+/// A rectangular tile of an image produced by [`split_tiles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    /// Tile column index.
+    pub tx: usize,
+    /// Tile row index.
+    pub ty: usize,
+    /// Left edge in the source image.
+    pub x0: usize,
+    /// Top edge in the source image.
+    pub y0: usize,
+    /// Pixels.
+    pub pixels: Image<u8>,
+}
+
+/// Splits `img` into a `cols × rows` grid of tiles covering the image; edge
+/// tiles absorb the remainders.
+///
+/// # Panics
+///
+/// Panics if `cols == 0 || rows == 0`.
+pub fn split_tiles(img: &Image<u8>, cols: usize, rows: usize) -> Vec<Tile> {
+    assert!(cols > 0 && rows > 0, "grid must be non-empty");
+    let (w, h) = img.dimensions();
+    let cols = cols.min(w.max(1));
+    let rows = rows.min(h.max(1));
+    let tw = w / cols;
+    let th = h / rows;
+    let mut tiles = Vec::with_capacity(cols * rows);
+    for ty in 0..rows {
+        for tx in 0..cols {
+            let x0 = tx * tw;
+            let y0 = ty * th;
+            let cw = if tx == cols - 1 { w - x0 } else { tw };
+            let ch = if ty == rows - 1 { h - y0 } else { th };
+            tiles.push(Tile {
+                tx,
+                ty,
+                x0,
+                y0,
+                pixels: img.crop(x0, y0, cw, ch),
+            });
+        }
+    }
+    tiles
+}
+
+/// Reassembles an image from tiles produced by [`split_tiles`] (possibly
+/// processed pixel-wise, i.e. keeping their dimensions).
+pub fn merge_tiles(width: usize, height: usize, tiles: &[Tile]) -> Image<u8> {
+    let mut out = Image::new(width, height);
+    for t in tiles {
+        out.blit(&t.pixels, t.x0, t.y0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> Image<u8> {
+        Image::from_fn(w, h, |x, y| ((x * 7 + y * 13) % 251) as u8)
+    }
+
+    #[test]
+    fn split_merge_rows_roundtrip_no_halo() {
+        let img = ramp(17, 23);
+        let bands = split_rows(&img, 4, 0);
+        assert_eq!(bands.len(), 4);
+        let cores: Vec<_> = bands.iter().map(|b| (b.clone(), b.pixels.clone())).collect();
+        assert_eq!(merge_rows(&cores), img);
+    }
+
+    #[test]
+    fn split_merge_rows_roundtrip_with_halo() {
+        let img = ramp(16, 16);
+        let bands = split_rows(&img, 3, 2);
+        let cores: Vec<_> = bands
+            .iter()
+            .map(|b| (b.clone(), b.core_of(&b.pixels)))
+            .collect();
+        assert_eq!(merge_rows(&cores), img);
+    }
+
+    #[test]
+    fn halo_limits_at_borders() {
+        let img = ramp(8, 12);
+        let bands = split_rows(&img, 3, 5);
+        assert_eq!(bands[0].halo_top, 0);
+        assert_eq!(bands[2].halo_bottom, 0);
+        assert!(bands[1].halo_top > 0 && bands[1].halo_bottom > 0);
+    }
+
+    #[test]
+    fn rows_distributed_evenly() {
+        let img = ramp(4, 10);
+        let bands = split_rows(&img, 4, 0);
+        let rows: Vec<_> = bands.iter().map(|b| b.rows).collect();
+        assert_eq!(rows, vec![3, 3, 2, 2]);
+        assert_eq!(rows.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn more_bands_than_rows() {
+        let img = ramp(4, 2);
+        let bands = split_rows(&img, 8, 0);
+        assert_eq!(bands.len(), 2);
+    }
+
+    #[test]
+    fn split_merge_tiles_roundtrip() {
+        let img = ramp(19, 11);
+        let tiles = split_tiles(&img, 3, 2);
+        assert_eq!(tiles.len(), 6);
+        assert_eq!(merge_tiles(19, 11, &tiles), img);
+    }
+
+    #[test]
+    fn tiles_have_expected_origins() {
+        let img = ramp(12, 12);
+        let tiles = split_tiles(&img, 2, 2);
+        let origins: Vec<_> = tiles.iter().map(|t| (t.x0, t.y0)).collect();
+        assert_eq!(origins, vec![(0, 0), (6, 0), (0, 6), (6, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bands")]
+    fn zero_bands_panics() {
+        let _ = split_rows(&ramp(4, 4), 0, 0);
+    }
+
+    #[test]
+    fn merge_rows_empty_is_empty_image() {
+        assert!(merge_rows(&[]).is_empty());
+    }
+}

@@ -1,0 +1,515 @@
+//! Synthetic scene generation.
+//!
+//! This module replaces the Transvision machine's live camera (the paper's
+//! §4 setup: "a video camera, installed in a car, provides a gray level
+//! image of several lead vehicles") with a deterministic generator:
+//!
+//! - lead vehicles move in 3-D (varying distance and lateral offset) and
+//!   carry **three bright marks** placed on the top corners and at the back,
+//!   as in the paper's Fig. 3;
+//! - frames are rendered through the pinhole [`Camera`], so mark apparent
+//!   sizes shrink with distance — this produces the *widely varying window
+//!   sizes* that motivate the `df` skeleton's dynamic load balancing;
+//! - occlusion intervals hide marks to trigger the tracker's
+//!   reinitialisation path;
+//! - additional generators produce road frames for the road-following
+//!   application and random blob fields for connected-component labelling.
+//!
+//! All randomness is seeded; the same configuration always produces the
+//! same pixel stream, which is what makes the paper's "sequential emulation
+//! equals parallel execution" check reproducible.
+
+use crate::geometry::{Camera, Point2, Vec3};
+use crate::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Physical mark positions on a lead vehicle, relative to the centre of its
+/// back plane, in metres (camera frame: x right, y down).
+///
+/// Two marks on the top corners, one lower at the back centre (Fig. 3).
+pub const MARK_OFFSETS: [(f64, f64); 3] = [(-0.7, -0.45), (0.7, -0.45), (0.0, 0.35)];
+
+/// Side length of the square marks, metres.
+pub const MARK_SIZE_M: f64 = 0.35;
+
+/// Configuration of a synthetic tracking scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneConfig {
+    /// Frame width in pixels (paper: 512).
+    pub width: usize,
+    /// Frame height in pixels (paper: 512).
+    pub height: usize,
+    /// Camera focal length in pixels.
+    pub focal_px: f64,
+    /// Background grey level.
+    pub background: u8,
+    /// Grey level of the marks (above any sensible threshold).
+    pub mark_intensity: u8,
+    /// Peak amplitude of the additive uniform pixel noise.
+    pub noise_amplitude: u8,
+    /// RNG seed for noise.
+    pub seed: u64,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            width: 512,
+            height: 512,
+            focal_px: 700.0,
+            background: 45,
+            mark_intensity: 245,
+            noise_amplitude: 12,
+            seed: 1,
+        }
+    }
+}
+
+/// Deterministic motion profile of one lead vehicle: sinusoidal distance
+/// and lateral sway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleTrack {
+    /// Mean following distance, metres.
+    pub base_distance: f64,
+    /// Distance oscillation amplitude, metres.
+    pub distance_amplitude: f64,
+    /// Distance oscillation period, seconds.
+    pub distance_period: f64,
+    /// Mean lateral offset, metres (negative = left).
+    pub base_lateral: f64,
+    /// Lateral sway amplitude, metres.
+    pub lateral_amplitude: f64,
+    /// Lateral sway period, seconds.
+    pub lateral_period: f64,
+    /// Phase offset, radians (de-synchronises vehicles).
+    pub phase: f64,
+}
+
+impl VehicleTrack {
+    /// `(lateral, distance)` of the vehicle centre at time `t` seconds.
+    pub fn state_at(&self, t: f64) -> (f64, f64) {
+        let d = self.base_distance
+            + self.distance_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.distance_period + self.phase).sin();
+        let x = self.base_lateral
+            + self.lateral_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.lateral_period + 0.7 * self.phase).cos();
+        (x, d)
+    }
+}
+
+/// A time interval during which some marks of a vehicle are hidden
+/// (simulating occlusion; used to exercise the reinitialisation path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occlusion {
+    /// Index of the occluded vehicle.
+    pub vehicle: usize,
+    /// Start time (inclusive), seconds.
+    pub t0: f64,
+    /// End time (exclusive), seconds.
+    pub t1: f64,
+    /// How many of the three marks are hidden (1..=3).
+    pub hidden_marks: usize,
+}
+
+/// Ground truth for one vehicle in one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleTruth {
+    /// Vehicle index.
+    pub vehicle: usize,
+    /// Projected mark centres that are visible in this frame.
+    pub marks: Vec<Point2>,
+    /// Apparent mark side length, pixels.
+    pub mark_size_px: f64,
+    /// True distance, metres.
+    pub distance: f64,
+    /// True lateral offset, metres.
+    pub lateral: f64,
+}
+
+/// A complete, deterministic tracking scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    config: SceneConfig,
+    camera: Camera,
+    vehicles: Vec<VehicleTrack>,
+    occlusions: Vec<Occlusion>,
+}
+
+impl Scene {
+    /// Creates a scene with explicit vehicle tracks and occlusions.
+    pub fn new(config: SceneConfig, vehicles: Vec<VehicleTrack>, occlusions: Vec<Occlusion>) -> Self {
+        let camera = Camera::new(config.width, config.height, config.focal_px);
+        Scene {
+            config,
+            camera,
+            vehicles,
+            occlusions,
+        }
+    }
+
+    /// Standard scenario used by the experiments: `n` vehicles (1..=3, as in
+    /// the paper) with staggered distances and sway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_vehicles(config: SceneConfig, n: usize) -> Self {
+        assert!(n > 0, "a tracking scene needs at least one vehicle");
+        let vehicles = (0..n)
+            .map(|i| VehicleTrack {
+                base_distance: 14.0 + 9.0 * i as f64,
+                distance_amplitude: 4.0 + i as f64,
+                distance_period: 11.0 + 3.0 * i as f64,
+                base_lateral: -1.6 + 1.6 * i as f64,
+                lateral_amplitude: 0.6,
+                lateral_period: 7.0 + 2.0 * i as f64,
+                phase: 1.1 * i as f64,
+            })
+            .collect();
+        Scene::new(config, vehicles, Vec::new())
+    }
+
+    /// Adds an occlusion interval.
+    pub fn add_occlusion(&mut self, occ: Occlusion) {
+        self.occlusions.push(occ);
+    }
+
+    /// Scene configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// The scene camera.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Number of vehicles.
+    pub fn vehicle_count(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    fn hidden_marks_at(&self, vehicle: usize, t: f64) -> usize {
+        self.occlusions
+            .iter()
+            .filter(|o| o.vehicle == vehicle && t >= o.t0 && t < o.t1)
+            .map(|o| o.hidden_marks)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ground truth (visible mark centres, sizes, kinematic state) at `t`.
+    pub fn truth(&self, t: f64) -> Vec<VehicleTruth> {
+        self.vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let (lateral, distance) = v.state_at(t);
+                let hidden = self.hidden_marks_at(i, t);
+                let mark_size_px = self.camera.apparent_size(MARK_SIZE_M, distance);
+                let marks = MARK_OFFSETS
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k >= hidden) // first `hidden` marks removed
+                    .filter_map(|(_, &(dx, dy))| {
+                        self.camera.project(Vec3::new(lateral + dx, dy, distance))
+                    })
+                    .filter(|p| {
+                        p.x >= 0.0
+                            && p.y >= 0.0
+                            && p.x < self.config.width as f64
+                            && p.y < self.config.height as f64
+                    })
+                    .collect();
+                VehicleTruth {
+                    vehicle: i,
+                    marks,
+                    mark_size_px,
+                    distance,
+                    lateral,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the frame at time `t` seconds.
+    ///
+    /// The frame index used to derive the per-frame noise stream is
+    /// `round(t * 1000)`, so equal times give identical frames.
+    pub fn render(&self, t: f64) -> Image<u8> {
+        let cfg = &self.config;
+        let mut img = Image::new(cfg.width, cfg.height);
+        img.fill(cfg.background);
+        // Faint road-ish horizontal gradient to keep the background non-flat.
+        for y in 0..cfg.height {
+            let shade = (y * 20 / cfg.height.max(1)) as u8;
+            for x in 0..cfg.width {
+                img.set(x, y, cfg.background.saturating_add(shade));
+            }
+        }
+        // Vehicles: dark body silhouette + bright marks.
+        for truth in self.truth(t) {
+            let size = truth.mark_size_px.max(1.0);
+            // Body: a dark rectangle behind the marks.
+            if let Some(c) = self
+                .camera
+                .project(Vec3::new(truth.lateral, 0.0, truth.distance))
+            {
+                let bw = self.camera.apparent_size(1.9, truth.distance);
+                let bh = self.camera.apparent_size(1.4, truth.distance);
+                let x0 = (c.x - bw / 2.0).max(0.0) as usize;
+                let y0 = (c.y - bh).max(0.0) as usize;
+                img.fill_rect(x0, y0, bw as usize, (bh * 1.2) as usize, 25);
+            }
+            for m in &truth.marks {
+                draw_disc(&mut img, m.x, m.y, size / 2.0, cfg.mark_intensity);
+            }
+        }
+        // Additive uniform noise, deterministic per (seed, frame).
+        if cfg.noise_amplitude > 0 {
+            let frame_idx = (t * 1000.0).round() as u64;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let amp = cfg.noise_amplitude as i32;
+            for p in img.as_mut_slice() {
+                let n = rng.gen_range(-amp..=amp);
+                *p = (*p as i32 + n).clamp(0, 254) as u8;
+            }
+        }
+        img
+    }
+}
+
+/// Draws a filled disc of radius `r` centred at `(cx, cy)`, clipped.
+fn draw_disc(img: &mut Image<u8>, cx: f64, cy: f64, r: f64, value: u8) {
+    let r = r.max(0.5);
+    let x0 = (cx - r).floor().max(0.0) as usize;
+    let y0 = (cy - r).floor().max(0.0) as usize;
+    let x1 = ((cx + r).ceil() as usize).min(img.width().saturating_sub(1));
+    let y1 = ((cy + r).ceil() as usize).min(img.height().saturating_sub(1));
+    if img.is_empty() {
+        return;
+    }
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            if dx * dx + dy * dy <= r * r {
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Renders one frame of a road scene with a single white lane marking for
+/// the road-following application.
+///
+/// The marking is a perspective-foreshortened curve
+/// `x(y) = cx + offset·s + curvature·s²·w/4` with `s = (y - horizon)/(h -
+/// horizon)`; its width grows towards the bottom of the image. Returns the
+/// frame together with the true marking centre at the bottom row (the value
+/// the steering controller needs).
+pub fn render_road_frame(
+    width: usize,
+    height: usize,
+    offset_px: f64,
+    curvature: f64,
+    seed: u64,
+) -> (Image<u8>, f64) {
+    let mut img = Image::new(width, height);
+    let horizon = height / 3;
+    // Sky / far field darker, road lighter.
+    for y in 0..height {
+        let base = if y < horizon { 25 } else { 55 };
+        for x in 0..width {
+            img.set(x, y, base);
+        }
+    }
+    let cx = width as f64 / 2.0;
+    let mut bottom_x = cx;
+    for y in horizon..height {
+        let s = (y - horizon) as f64 / (height - horizon).max(1) as f64;
+        let line_x = cx + offset_px * s + curvature * s * s * width as f64 / 4.0;
+        let w = 1.0 + 5.0 * s; // marking widens with proximity
+        let x0 = (line_x - w).max(0.0) as usize;
+        let x1 = ((line_x + w) as usize).min(width.saturating_sub(1));
+        for x in x0..=x1 {
+            img.set(x, y, 230);
+        }
+        if y == height - 1 {
+            bottom_x = line_x;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in img.as_mut_slice() {
+        let n: i32 = rng.gen_range(-8..=8);
+        *p = (*p as i32 + n).clamp(0, 255) as u8;
+    }
+    (img, bottom_x)
+}
+
+/// Generates a binary image containing `n_blobs` random rectangles and
+/// discs — the workload of the connected-component labelling experiment.
+pub fn random_blobs(width: usize, height: usize, n_blobs: usize, seed: u64) -> Image<u8> {
+    let mut img = Image::new(width, height);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n_blobs {
+        let w = rng.gen_range(2..(width / 8).max(3));
+        let h = rng.gen_range(2..(height / 8).max(3));
+        let x = rng.gen_range(0..width.saturating_sub(w).max(1));
+        let y = rng.gen_range(0..height.saturating_sub(h).max(1));
+        if rng.gen_bool(0.5) {
+            img.fill_rect(x, y, w, h, 255);
+        } else {
+            draw_disc(
+                &mut img,
+                (x + w / 2) as f64,
+                (y + h / 2) as f64,
+                (w.min(h) as f64) / 2.0,
+                255,
+            );
+        }
+    }
+    img
+}
+
+/// Adds zero-mean uniform noise of amplitude `amp` to `img` (clamped),
+/// deterministically from `seed`.
+pub fn add_uniform_noise(img: &mut Image<u8>, amp: u8, seed: u64) {
+    if amp == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let amp = amp as i32;
+    for p in img.as_mut_slice() {
+        let n = rng.gen_range(-amp..=amp);
+        *p = (*p as i32 + n).clamp(0, 255) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::detect_blobs;
+
+    fn small_scene(n: usize) -> Scene {
+        let cfg = SceneConfig {
+            width: 256,
+            height: 256,
+            focal_px: 350.0,
+            noise_amplitude: 0,
+            ..SceneConfig::default()
+        };
+        Scene::with_vehicles(cfg, n)
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = Scene::with_vehicles(SceneConfig::default(), 2);
+        assert_eq!(scene.render(0.4), scene.render(0.4));
+    }
+
+    #[test]
+    fn truth_has_three_marks_per_visible_vehicle() {
+        let scene = small_scene(1);
+        let truth = scene.truth(0.0);
+        assert_eq!(truth.len(), 1);
+        assert_eq!(truth[0].marks.len(), 3);
+    }
+
+    #[test]
+    fn marks_are_detectable_blobs() {
+        let scene = small_scene(1);
+        let img = scene.render(0.0);
+        let blobs = detect_blobs(&img, 180, 2);
+        assert_eq!(blobs.len(), 3, "three marks should be found");
+        // Each blob centre close to some true mark.
+        let truth = &scene.truth(0.0)[0];
+        for b in &blobs {
+            let best = truth
+                .marks
+                .iter()
+                .map(|m| m.distance(b.centroid))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 3.0, "blob too far from any mark: {best}");
+        }
+    }
+
+    #[test]
+    fn mark_size_shrinks_with_distance() {
+        let scene = small_scene(1);
+        // Find times with different distances.
+        let t0 = scene.truth(0.0)[0].distance;
+        let mut t_far = 0.0;
+        for i in 1..200 {
+            let t = i as f64 * 0.1;
+            if scene.truth(t)[0].distance > t0 + 2.0 {
+                t_far = t;
+                break;
+            }
+        }
+        assert!(t_far > 0.0, "scenario should vary distance");
+        assert!(scene.truth(t_far)[0].mark_size_px < scene.truth(0.0)[0].mark_size_px);
+    }
+
+    #[test]
+    fn occlusion_hides_marks() {
+        let mut scene = small_scene(1);
+        scene.add_occlusion(Occlusion {
+            vehicle: 0,
+            t0: 1.0,
+            t1: 2.0,
+            hidden_marks: 2,
+        });
+        assert_eq!(scene.truth(0.5)[0].marks.len(), 3);
+        assert_eq!(scene.truth(1.5)[0].marks.len(), 1);
+        assert_eq!(scene.truth(2.5)[0].marks.len(), 3);
+    }
+
+    #[test]
+    fn noise_respects_seed() {
+        let cfg = SceneConfig {
+            noise_amplitude: 10,
+            seed: 7,
+            width: 64,
+            height: 64,
+            ..SceneConfig::default()
+        };
+        let a = Scene::with_vehicles(cfg.clone(), 1).render(0.2);
+        let b = Scene::with_vehicles(cfg, 1).render(0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn road_frame_line_at_reported_position() {
+        let (img, bottom_x) = render_road_frame(128, 96, 20.0, 0.0, 3);
+        let pts = crate::line::scan_line_points(&img.crop(0, 90, 128, 6), 128);
+        assert!(!pts.is_empty());
+        let mean_x: f64 = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - bottom_x).abs() < 4.0, "{mean_x} vs {bottom_x}");
+    }
+
+    #[test]
+    fn random_blobs_deterministic_and_nonempty() {
+        let a = random_blobs(128, 128, 12, 42);
+        let b = random_blobs(128, 128, 12, 42);
+        assert_eq!(a, b);
+        assert!(a.count_above(0) > 0);
+    }
+
+    #[test]
+    fn add_noise_zero_amp_is_noop() {
+        let mut img = Image::<u8>::new(8, 8);
+        img.fill(100);
+        let before = img.clone();
+        add_uniform_noise(&mut img, 0, 1);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn zero_vehicles_panics() {
+        let _ = Scene::with_vehicles(SceneConfig::default(), 0);
+    }
+}

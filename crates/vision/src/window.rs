@@ -1,0 +1,121 @@
+//! Windows of interest.
+//!
+//! A [`Window`] couples a rectangle with the pixels cropped from a source
+//! frame. Windows are the work items of the paper's `df` farm: "the input of
+//! the detection process is a list of windows \[which\] may vary in length …
+//! and each window may itself vary widely in size".
+
+use crate::geometry::Rect;
+use crate::Image;
+
+/// A window of interest: a sub-image plus its placement in the source frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Placement of the window in frame coordinates (already clipped).
+    pub rect: Rect,
+    /// Pixels cropped from the frame.
+    pub pixels: Image<u8>,
+}
+
+impl Window {
+    /// Extracts the window `rect` from `frame`, clipping to the frame bounds.
+    ///
+    /// The resulting `rect` reflects the clipped placement, so
+    /// `pixels.dimensions()` always agrees with `(rect.w, rect.h)`.
+    pub fn extract(frame: &Image<u8>, rect: Rect) -> Window {
+        let (x0, y0, w, h) = rect.clip_to(frame.width(), frame.height());
+        Window {
+            rect: Rect::new(x0 as i64, y0 as i64, w as i64, h as i64),
+            pixels: frame.crop(x0, y0, w, h),
+        }
+    }
+
+    /// Window area in pixels.
+    pub fn area(&self) -> i64 {
+        self.rect.area()
+    }
+
+    /// `true` when the window holds no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+}
+
+/// Splits a `width × height` frame into `n` equally-sized vertical-band
+/// windows covering the whole frame (the paper's reinitialisation strategy:
+/// "windows of interests are obtained by dividing up the whole image into n
+/// equally-sized sub-windows, where n is typically taken equal to the total
+/// number of processors").
+///
+/// When `n` does not divide `width`, the remainder pixels go to the last
+/// band. Returns rectangles only; pair with [`Window::extract`] to get
+/// pixels.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn split_into_windows(width: usize, height: usize, n: usize) -> Vec<Rect> {
+    assert!(n > 0, "cannot split into zero windows");
+    let n = n.min(width.max(1));
+    let base = width / n;
+    let mut rects = Vec::with_capacity(n);
+    for i in 0..n {
+        let x0 = i * base;
+        let w = if i == n - 1 { width - x0 } else { base };
+        rects.push(Rect::new(x0 as i64, 0, w as i64, height as i64));
+    }
+    rects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_clips_and_keeps_consistency() {
+        let frame = Image::from_fn(10, 10, |x, y| (x + y) as u8);
+        let w = Window::extract(&frame, Rect::new(7, 7, 6, 6));
+        assert_eq!(w.rect, Rect::new(7, 7, 3, 3));
+        assert_eq!(w.pixels.dimensions(), (3, 3));
+        assert_eq!(w.pixels.get(0, 0), 14);
+    }
+
+    #[test]
+    fn extract_negative_origin() {
+        let frame = Image::from_fn(10, 10, |x, y| (x * y) as u8);
+        let w = Window::extract(&frame, Rect::new(-5, -5, 8, 8));
+        assert_eq!(w.rect, Rect::new(0, 0, 3, 3));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn split_covers_frame_exactly() {
+        let rects = split_into_windows(512, 512, 8);
+        assert_eq!(rects.len(), 8);
+        assert!(rects.iter().all(|r| r.h == 512));
+        let total: i64 = rects.iter().map(|r| r.w).sum();
+        assert_eq!(total, 512);
+        // Contiguous, non-overlapping.
+        for pair in rects.windows(2) {
+            assert_eq!(pair[0].x + pair[0].w, pair[1].x);
+        }
+    }
+
+    #[test]
+    fn split_with_remainder() {
+        let rects = split_into_windows(10, 4, 3);
+        assert_eq!(rects.iter().map(|r| r.w).collect::<Vec<_>>(), vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn split_more_windows_than_columns() {
+        let rects = split_into_windows(2, 4, 8);
+        assert_eq!(rects.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero windows")]
+    fn split_zero_panics() {
+        let _ = split_into_windows(8, 8, 0);
+    }
+}

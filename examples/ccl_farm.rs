@@ -1,0 +1,23 @@
+//! Connected-component labelling with the scm skeleton (paper ref [7]).
+//!
+//! ```text
+//! cargo run --release --example ccl_farm
+//! ```
+
+use skipper_apps::ccl::{count_components_scm, count_components_seq};
+use skipper_vision::synth::random_blobs;
+use std::time::Instant;
+
+fn main() {
+    let img = random_blobs(512, 512, 80, 42);
+    let reference = count_components_seq(&img);
+    println!("512x512 random blob field, {reference} components\n");
+    println!("bands   components   wall-time (ms)");
+    for n in [1, 2, 4, 8, 16] {
+        let t0 = Instant::now();
+        let count = count_components_scm(&img, n);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{n:>5}   {count:>10}   {ms:>13.2}");
+        assert_eq!(count, reference, "parallel labelling must agree");
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the four SKiPPER skeletons on toy data.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use skipper::{Df, IterMem, Scm, Tf};
+
+fn main() {
+    // df — data farming: irregular items, dynamic load balancing.
+    let farm = Df::new(4, |s: &String| s.len(), |z, l| z + l, 0usize);
+    let words: Vec<String> = ["skeleton", "based", "parallel", "programming"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!("df   : total length = {}", farm.run_par(&words));
+    assert_eq!(farm.run_par(&words), farm.run_seq(&words));
+
+    // scm — split/compute/merge: regular geometric decomposition.
+    let scm = Scm::new(
+        4,
+        |v: &Vec<u64>, n| v.chunks(v.len().div_ceil(n)).map(<[u64]>::to_vec).collect(),
+        |chunk: Vec<u64>| chunk.iter().sum::<u64>(),
+        |partials: Vec<u64>| partials.into_iter().sum::<u64>(),
+    );
+    let data: Vec<u64> = (1..=100).collect();
+    println!("scm  : sum 1..=100 = {}", scm.run_par(&data));
+
+    // tf — task farming: divide and conquer with work generation.
+    let tf = Tf::new(
+        4,
+        |depth: u32| {
+            if depth == 0 {
+                (vec![], Some(1u64))
+            } else {
+                (vec![depth - 1, depth - 1], None)
+            }
+        },
+        |z, leaves| z + leaves,
+        0u64,
+    );
+    println!("tf   : leaves of a depth-10 binary tree = {}", tf.run_par(vec![10]));
+
+    // itermem — stream loop with state memory (Fig. 4).
+    let mut loop_ = IterMem::new(
+        skipper::itermem::stream_of(1..=5),
+        |state: i64, frame: i64| (state + frame, state + frame),
+        |running_total| println!("itermem: running total = {running_total}"),
+        0,
+    );
+    loop_.run();
+    println!("itermem final state = {}", loop_.into_state());
+}

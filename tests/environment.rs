@@ -1,0 +1,64 @@
+//! Cross-crate integration: the whole environment pipeline on one program
+//! (parse → type check → expand → schedule → macro-code → executive), with
+//! emulation-vs-execution equality.
+
+use skipper_bench::pipeline;
+use skipper_lang::parser::parse_program;
+use skipper_lang::types::check_program;
+use skipper_net::validate::is_well_formed;
+use skipper_syndex::analysis::{check_deadlock_free, comm_volume};
+use skipper_syndex::macrocode::generate;
+use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::Architecture;
+use std::collections::HashMap;
+use transvision::topology::ProcId;
+
+#[test]
+fn mini_tracker_source_typechecks() {
+    let prog = parse_program(pipeline::MINI_TRACKER_ML).unwrap();
+    let types = check_program(&pipeline::mini_tracker_env(), &prog).unwrap();
+    assert_eq!(types.scheme_of("main").unwrap().ty.to_string(), "unit");
+}
+
+#[test]
+fn expansion_is_well_formed_and_schedulable_everywhere() {
+    let ex = pipeline::expand_mini_tracker().unwrap();
+    assert!(is_well_formed(&ex.net));
+    for nprocs in [2usize, 3, 4, 8] {
+        let arch = Architecture::ring_t9000(nprocs);
+        let mut pins = HashMap::new();
+        for node in ex.net.nodes() {
+            if !matches!(node.kind, skipper_net::graph::NodeKind::Worker(_)) {
+                pins.insert(node.id, ProcId(0));
+            }
+        }
+        for f in &ex.farms {
+            for (i, &w) in f.handles.workers.iter().enumerate() {
+                pins.insert(w, ProcId(1 + i % (nprocs - 1)));
+            }
+        }
+        let sched = schedule_with(&ex.net, &arch, &pins, Strategy::MinFinish).unwrap();
+        let progs = generate(&ex.net, &sched, &arch);
+        check_deadlock_free(&progs, 3).unwrap_or_else(|e| panic!("{nprocs} procs: {e}"));
+        // All static stages are pinned to P0, so the *static* executive has
+        // no messages; the farm's traffic is scheduled dynamically at run
+        // time (the paper's mixed static/dynamic scheduling).
+        assert_eq!(comm_volume(&progs), 0);
+    }
+}
+
+#[test]
+fn emulation_equals_execution_across_machines() {
+    let emu = pipeline::emulate_mini_tracker(6).unwrap();
+    for nprocs in [1usize, 2, 5] {
+        let (out, _) = pipeline::simulate_mini_tracker(nprocs, 6).unwrap();
+        assert_eq!(out, emu, "{nprocs} processors");
+    }
+}
+
+#[test]
+fn bigger_machines_do_not_increase_makespan() {
+    let (_, r2) = pipeline::simulate_mini_tracker(2, 4).unwrap();
+    let (_, r5) = pipeline::simulate_mini_tracker(5, 4).unwrap();
+    assert!(r5.sim.end_ns <= r2.sim.end_ns * 11 / 10, "5 procs should not be much slower");
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the core invariants.
+//!
+//! - the parallel skeletons agree with their declarative specifications
+//!   under the paper's side conditions (commutative-associative folds);
+//! - the union-find substrate is a proper equivalence relation;
+//! - routing paths over every topology are contiguous and shortest-ish;
+//! - AAA schedules respect dataflow precedence on random DAGs.
+
+use proptest::prelude::*;
+use skipper::{Df, Scm, Tf};
+use skipper_net::dtype::DataType;
+use skipper_net::graph::{NodeKind, ProcessNetwork};
+use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::Architecture;
+use skipper_vision::label::DisjointSets;
+use std::collections::HashMap;
+use transvision::topology::{ProcId, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// df: parallel == sequential for a commutative-associative fold.
+    #[test]
+    fn df_par_equals_seq(xs in prop::collection::vec(0u64..1000, 0..200), workers in 1usize..8) {
+        let farm = Df::new(workers, |x: &u64| x.wrapping_mul(31) ^ 7, |z: u64, y| z.wrapping_add(y), 0u64);
+        prop_assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+    }
+
+    /// df ordered: parallel == sequential even for non-commutative folds.
+    #[test]
+    fn df_ordered_equals_seq_non_commutative(
+        xs in prop::collection::vec(0u32..100, 0..64),
+        workers in 1usize..6,
+    ) {
+        let farm = Df::new(
+            workers,
+            |x: &u32| x.to_string(),
+            |z: String, y: String| z + &y + ",",
+            String::new(),
+        );
+        prop_assert_eq!(farm.run_par_ordered(&xs), farm.run_seq(&xs));
+    }
+
+    /// scm: parallel == sequential always (merge sees fragment order).
+    #[test]
+    fn scm_par_equals_seq(xs in prop::collection::vec(0i64..1000, 1..200), workers in 1usize..8) {
+        let scm = Scm::new(
+            workers,
+            |v: &Vec<i64>, n| v.chunks(v.len().div_ceil(n)).map(<[i64]>::to_vec).collect(),
+            |c: Vec<i64>| c.into_iter().map(|x| x - 3).collect::<Vec<i64>>(),
+            |ps: Vec<Vec<i64>>| ps.concat(),
+        );
+        prop_assert_eq!(scm.run_par(&xs), scm.run_seq(&xs));
+    }
+
+    /// tf: parallel == sequential for commutative folds over generated work.
+    #[test]
+    fn tf_par_equals_seq(roots in prop::collection::vec(1u64..64, 1..8), workers in 1usize..6) {
+        let worker = |t: u64| {
+            if t >= 4 {
+                (vec![t / 2, t / 3], Some(t))
+            } else {
+                (vec![], Some(t))
+            }
+        };
+        let tf = Tf::new(workers, worker, |z: u64, o| z.wrapping_add(o), 0u64);
+        prop_assert_eq!(tf.run_par(roots.clone()), tf.run_seq(roots));
+    }
+
+    /// Union-find maintains an equivalence relation under arbitrary unions.
+    #[test]
+    fn disjoint_sets_equivalence(
+        n in 2usize..40,
+        unions in prop::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        let mut ds = DisjointSets::new(n);
+        let mut naive: Vec<usize> = (0..n).collect(); // naive set ids
+        for &(a, b) in &unions {
+            let (a, b) = (a % n, b % n);
+            ds.union(a, b);
+            let (ra, rb) = (naive[a], naive[b]);
+            if ra != rb {
+                for x in naive.iter_mut() {
+                    if *x == rb { *x = ra; }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(ds.same(i, j), naive[i] == naive[j], "{} {}", i, j);
+            }
+        }
+    }
+
+    /// Shortest-path routes are contiguous and within the diameter, on all
+    /// topology families.
+    #[test]
+    fn topology_paths_are_contiguous(kind in 0usize..5, size in 2usize..9, a in 0usize..9, b in 0usize..9) {
+        let topo = match kind {
+            0 => Topology::ring(size),
+            1 => Topology::chain(size),
+            2 => Topology::star(size),
+            3 => Topology::full(size),
+            _ => Topology::mesh(size.min(4).max(1), 2),
+        };
+        let n = topo.len();
+        let (src, dst) = (ProcId(a % n), ProcId(b % n));
+        let path = topo.path(src, dst).unwrap();
+        let mut cur = src;
+        for l in &path {
+            let (from, to) = topo.dlink(*l);
+            prop_assert_eq!(from, cur);
+            cur = to;
+        }
+        prop_assert_eq!(cur, dst);
+        prop_assert!(path.len() <= topo.diameter());
+    }
+
+    /// AAA schedules respect precedence on random layered DAGs, under all
+    /// strategies.
+    #[test]
+    fn schedules_respect_precedence(
+        seed in 0u64..500,
+        nprocs in 2usize..6,
+        strategy_pick in 0usize..3,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = ProcessNetwork::new("prop");
+        let mut prev: Vec<skipper_net::graph::NodeId> = Vec::new();
+        for l in 0..rng.gen_range(2..5) {
+            let mut cur = Vec::new();
+            for w in 0..rng.gen_range(1..4) {
+                let id = net.add_node(NodeKind::UserFn(format!("f{l}_{w}")), format!("f{l}_{w}"));
+                net.set_cost_hint(id, rng.gen_range(1..1_000_000));
+                for &p in &prev {
+                    if rng.gen_bool(0.5) {
+                        net.add_data_edge(p, 0, id, 0, DataType::Int).unwrap();
+                    }
+                }
+                cur.push(id);
+            }
+            prev = cur;
+        }
+        let strategy = [Strategy::MinFinish, Strategy::RoundRobin, Strategy::SingleProc][strategy_pick];
+        let arch = Architecture::ring_t9000(nprocs);
+        let s = schedule_with(&net, &arch, &HashMap::new(), strategy).unwrap();
+        for e in net.edges() {
+            prop_assert!(
+                s.start_ns[e.to.0] >= s.finish_ns[e.from.0],
+                "consumer before producer under {:?}", strategy
+            );
+        }
+        prop_assert_eq!(s.mapping.len(), net.nodes().len());
+    }
+}
