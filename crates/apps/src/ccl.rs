@@ -150,11 +150,7 @@ mod tests {
             let img = random_blobs(96, 96, 14, seed);
             let expected = count_components_seq(&img);
             for n in [1, 2, 3, 5, 8] {
-                assert_eq!(
-                    count_components_scm(&img, n),
-                    expected,
-                    "seed={seed} n={n}"
-                );
+                assert_eq!(count_components_scm(&img, n), expected, "seed={seed} n={n}");
                 assert_eq!(count_components_scm_seq(&img, n), expected);
             }
         }
@@ -178,9 +174,6 @@ mod tests {
     #[test]
     fn more_bands_than_rows_still_correct() {
         let img = random_blobs(64, 6, 5, 9);
-        assert_eq!(
-            count_components_scm(&img, 16),
-            count_components_seq(&img)
-        );
+        assert_eq!(count_components_scm(&img, 16), count_components_seq(&img));
     }
 }

@@ -176,7 +176,8 @@ impl MasterState {
                     if let Msg::Marks(widx, marks) = &msg.payload {
                         self.idle.push(*widx);
                         self.outstanding -= 1;
-                        self.acc = tracking::accum_marks(std::mem::take(&mut self.acc), (**marks).clone());
+                        self.acc =
+                            tracking::accum_marks(std::mem::take(&mut self.acc), (**marks).clone());
                         self.phase = MasterPhase::Dispatch;
                         return Action::Compute {
                             label: "accum_marks".into(),
@@ -298,7 +299,10 @@ pub fn run_handcrafted(
     nprocs: usize,
     frames: usize,
 ) -> Result<HandcraftedReport, SimError> {
-    assert!(nprocs >= 2, "the hand-crafted version needs master + workers");
+    assert!(
+        nprocs >= 2,
+        "the hand-crafted version needs master + workers"
+    );
     let topo = Topology::ring(nprocs);
     let cost = CostModel::t9000();
     let config = SimConfig::default();
@@ -389,7 +393,11 @@ mod tests {
     fn handcrafted_tracker_produces_marks() {
         let r = run_handcrafted(scene(), 8, 5).unwrap();
         assert_eq!(r.latencies_ns.len(), 5);
-        assert!(r.marks_per_frame[2..].iter().all(|&m| m == 3), "{:?}", r.marks_per_frame);
+        assert!(
+            r.marks_per_frame[2..].iter().all(|&m| m == 3),
+            "{:?}",
+            r.marks_per_frame
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
     fn lane_offset_sign_convention() {
         let (img, _) = render_road_frame(256, 192, 50.0, 0.0, 1);
         let line = detect_line_scm(&img, 4).unwrap();
-        assert!(lane_offset(&line, 256, 192) > 0.0, "marking right of centre");
+        assert!(
+            lane_offset(&line, 256, 192) > 0.0,
+            "marking right of centre"
+        );
         let (img2, _) = render_road_frame(256, 192, -50.0, 0.0, 1);
         let line2 = detect_line_scm(&img2, 4).unwrap();
         assert!(lane_offset(&line2, 256, 192) < 0.0);

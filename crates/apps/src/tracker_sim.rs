@@ -70,8 +70,14 @@ pub fn build_tracker_net(workers: usize) -> TrackerNet {
     net.add_data_edge(input, 0, gw, 1, DataType::Image)
         .expect("nodes exist");
     // windows -> farm -> predict (which also reads the state)
-    net.add_data_edge(gw, 0, farm.master, 0, DataType::list(DataType::named("window")))
-        .expect("nodes exist");
+    net.add_data_edge(
+        gw,
+        0,
+        farm.master,
+        0,
+        DataType::list(DataType::named("window")),
+    )
+    .expect("nodes exist");
     net.add_data_edge(mem, 0, predict, 0, DataType::named("state"))
         .expect("nodes exist");
     net.add_data_edge(
@@ -85,8 +91,14 @@ pub fn build_tracker_net(workers: usize) -> TrackerNet {
     // predict -> (state', display)
     net.add_memory_edge(predict, 0, mem, 0, DataType::named("state"))
         .expect("nodes exist");
-    net.add_data_edge(predict, 1, output, 0, DataType::list(DataType::named("mark")))
-        .expect("nodes exist");
+    net.add_data_edge(
+        predict,
+        1,
+        output,
+        0,
+        DataType::list(DataType::named("mark")),
+    )
+    .expect("nodes exist");
     // Static cost hints for the mapper (work units).
     let frame_px = 512 * 512u64;
     net.set_cost_hint(input, costs::READ_UNITS_PER_PX * frame_px);
@@ -147,10 +159,7 @@ impl TrackerSimReport {
 
 /// Builds the executive registry bridging the tracker's functions to
 /// [`Value`]s, rendering frames from `scene`.
-pub fn tracker_registry(
-    scene: Arc<Scene>,
-    records: Arc<Mutex<Vec<FrameRecord>>>,
-) -> Registry {
+pub fn tracker_registry(scene: Arc<Scene>, records: Arc<Mutex<Vec<FrameRecord>>>) -> Registry {
     let mut reg = Registry::new();
     let frame_px = {
         let c = scene.config();
@@ -178,9 +187,7 @@ pub fn tracker_registry(
         reg.register_with_cost(
             "get_windows",
             move |args| {
-                let state = args[0]
-                    .downcast_ref::<TrackState>()
-                    .expect("state payload");
+                let state = args[0].downcast_ref::<TrackState>().expect("state payload");
                 let img = args[1].downcast_ref::<Image<u8>>().expect("image payload");
                 records.lock().expect("records lock").push(FrameRecord {
                     frame: state.frame,
@@ -228,9 +235,7 @@ pub fn tracker_registry(
     reg.register_with_cost(
         "predict",
         |args| {
-            let state = args[0]
-                .downcast_ref::<TrackState>()
-                .expect("state payload");
+            let state = args[0].downcast_ref::<TrackState>().expect("state payload");
             let marks = args[1].downcast_ref::<Vec<Mark>>().expect("marks payload");
             let (next, display) = tracking::predict(state, marks.clone());
             let dbytes = costs::marks_bytes(display.len());
@@ -280,7 +285,14 @@ pub fn run_tracker_sim(
         Architecture::ring_t9000(nprocs)
     };
     let mut pins = HashMap::new();
-    for n in [t.input, t.output, t.mem, t.get_windows, t.predict, t.farm.master] {
+    for n in [
+        t.input,
+        t.output,
+        t.mem,
+        t.get_windows,
+        t.predict,
+        t.farm.master,
+    ] {
         pins.insert(n, ProcId(0));
     }
     if nprocs > 1 {
@@ -388,7 +400,11 @@ mod tests {
         );
         // Shape check against the paper's numbers (30 / 110 ms): generous
         // windows here; EXPERIMENTS.md records the precise values.
-        assert!((10 * MS..80 * MS).contains(&tracking), "{} ms", tracking / MS);
+        assert!(
+            (10 * MS..80 * MS).contains(&tracking),
+            "{} ms",
+            tracking / MS
+        );
         assert!((50 * MS..300 * MS).contains(&reinit), "{} ms", reinit / MS);
     }
 
@@ -396,7 +412,11 @@ mod tests {
     fn tracker_tracks_marks_on_simulator() {
         let report = run_tracker_sim(scene(), 5, 5).unwrap();
         // Once locked, three marks are displayed each frame.
-        assert!(report.frames[2..].iter().all(|f| f.marks == 3), "{:?}", report.frames);
+        assert!(
+            report.frames[2..].iter().all(|f| f.marks == 3),
+            "{:?}",
+            report.frames
+        );
     }
 
     #[test]

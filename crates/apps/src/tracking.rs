@@ -148,7 +148,9 @@ pub struct TrackState {
 /// vehicle locked).
 pub fn init_state(cfg: TrackerConfig) -> TrackState {
     TrackState {
-        vehicles: (0..cfg.n_vehicles).map(|_| VehicleEst::unlocked()).collect(),
+        vehicles: (0..cfg.n_vehicles)
+            .map(|_| VehicleEst::unlocked())
+            .collect(),
         mode: Mode::Init,
         frame: 0,
         cfg,
@@ -182,12 +184,14 @@ pub fn get_windows(state: &TrackState, frame: &Image<u8>) -> Vec<Window> {
     let rects: Vec<Rect> = match state.mode {
         Mode::Init => split_into_windows(cfg.width, cfg.height, cfg.nproc)
             .into_iter()
-            .map(|r| Rect::new(
-                r.x - INIT_WINDOW_OVERLAP,
-                r.y,
-                r.w + 2 * INIT_WINDOW_OVERLAP,
-                r.h,
-            ))
+            .map(|r| {
+                Rect::new(
+                    r.x - INIT_WINDOW_OVERLAP,
+                    r.y,
+                    r.w + 2 * INIT_WINDOW_OVERLAP,
+                    r.h,
+                )
+            })
             .collect(),
         Mode::Tracking => state
             .vehicles
@@ -196,12 +200,7 @@ pub fn get_windows(state: &TrackState, frame: &Image<u8>) -> Vec<Window> {
             .flat_map(|v| {
                 let side = window_side(cfg, v.distance);
                 v.predicted_marks().into_iter().map(move |m| {
-                    Rect::new(
-                        m.x as i64 - side / 2,
-                        m.y as i64 - side / 2,
-                        side,
-                        side,
-                    )
+                    Rect::new(m.x as i64 - side / 2, m.y as i64 - side / 2, side, side)
                 })
             })
             .collect(),
@@ -359,7 +358,7 @@ fn fit_pattern(cluster: &[Mark]) -> Option<[Point2; 3]> {
     }
     // Keep the 3 largest marks.
     let mut ms = cluster.to_vec();
-    ms.sort_by(|a, b| b.area.cmp(&a.area));
+    ms.sort_by_key(|m| std::cmp::Reverse(m.area));
     ms.truncate(3);
     // Bottom mark = largest y; the other two are the top pair.
     ms.sort_by(|a, b| a.center.y.partial_cmp(&b.center.y).expect("finite"));
@@ -683,7 +682,14 @@ mod tests {
             bbox: Rect::new(x as i64, 10, 2, 2),
             area: 4,
         };
-        let marks = vec![mk(10.0), mk(14.0), mk(12.0), mk(100.0), mk(104.0), mk(102.0)];
+        let marks = vec![
+            mk(10.0),
+            mk(14.0),
+            mk(12.0),
+            mk(100.0),
+            mk(104.0),
+            mk(102.0),
+        ];
         let mut sorted = marks.clone();
         sorted.sort_by(|a, b| a.center.x.partial_cmp(&b.center.x).unwrap());
         let clusters = cluster_marks(&sorted, 2);

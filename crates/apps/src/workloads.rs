@@ -15,7 +15,10 @@ use std::time::{Duration, Instant};
 /// given coefficient of variation `cv` (0 = perfectly regular), via a
 /// log-normal-style distribution. Deterministic in `seed`.
 pub fn skewed_units(n: usize, mean: f64, cv: f64, seed: u64) -> Vec<u64> {
-    assert!(mean > 0.0 && cv >= 0.0, "mean must be positive, cv non-negative");
+    assert!(
+        mean > 0.0 && cv >= 0.0,
+        "mean must be positive, cv non-negative"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let sigma2 = (1.0 + cv * cv).ln();
     let sigma = sigma2.sqrt();
@@ -95,8 +98,14 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        assert_eq!(skewed_units(32, 100.0, 1.0, 9), skewed_units(32, 100.0, 1.0, 9));
-        assert_ne!(skewed_units(32, 100.0, 1.0, 9), skewed_units(32, 100.0, 1.0, 10));
+        assert_eq!(
+            skewed_units(32, 100.0, 1.0, 9),
+            skewed_units(32, 100.0, 1.0, 9)
+        );
+        assert_ne!(
+            skewed_units(32, 100.0, 1.0, 9),
+            skewed_units(32, 100.0, 1.0, 10)
+        );
     }
 
     #[test]
@@ -111,9 +120,7 @@ mod tests {
     fn cv_increases_spread() {
         let regular = skewed_units(512, 1000.0, 0.1, 2);
         let skewed = skewed_units(512, 1000.0, 2.0, 2);
-        assert!(
-            coefficient_of_variation(&skewed) > 3.0 * coefficient_of_variation(&regular)
-        );
+        assert!(coefficient_of_variation(&skewed) > 3.0 * coefficient_of_variation(&regular));
     }
 
     #[test]

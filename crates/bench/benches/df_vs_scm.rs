@@ -8,12 +8,16 @@ fn bench_balance(c: &mut Criterion) {
     g.sample_size(10);
     for cv in [0.0f64, 2.0] {
         let items = skewed_units(48, 20_000.0, cv, 11);
-        g.bench_with_input(BenchmarkId::new("df", format!("cv{cv}")), &items, |b, it| {
-            b.iter(|| time_df(it, 4))
-        });
-        g.bench_with_input(BenchmarkId::new("scm", format!("cv{cv}")), &items, |b, it| {
-            b.iter(|| time_scm(it, 4))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("df", format!("cv{cv}")),
+            &items,
+            |b, it| b.iter(|| time_df(it, 4)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scm", format!("cv{cv}")),
+            &items,
+            |b, it| b.iter(|| time_scm(it, 4)),
+        );
     }
     g.finish();
 }

@@ -40,7 +40,10 @@ pub fn default_scene(vehicles: usize) -> Arc<Scene> {
 /// E1 — Fig. 1: structure of the expanded `df` PNT (ring shape) and its
 /// mapping onto a ring.
 pub fn e1() {
-    header("E1", "df process network template (Fig. 1, ring of 8 workers)");
+    header(
+        "E1",
+        "df process network template (Fig. 1, ring of 8 workers)",
+    );
     let mut net = ProcessNetwork::new("fig1");
     let inp = net.add_node(NodeKind::Input("xs".into()), "xs");
     let h = expand_df(
@@ -60,8 +63,12 @@ pub fn e1() {
         .expect("nodes exist");
     net.add_data_edge(h.master, 0, out, 0, DataType::named("'c"))
         .expect("nodes exist");
-    let masters = net.nodes_where(|k| matches!(k, NodeKind::Master(_))).count();
-    let workers = net.nodes_where(|k| matches!(k, NodeKind::Worker(_))).count();
+    let masters = net
+        .nodes_where(|k| matches!(k, NodeKind::Master(_)))
+        .count();
+    let workers = net
+        .nodes_where(|k| matches!(k, NodeKind::Worker(_)))
+        .count();
     let mw = net.nodes_where(|k| matches!(k, NodeKind::RouterMw)).count();
     let wm = net.nodes_where(|k| matches!(k, NodeKind::RouterWm)).count();
     println!("process            count   (paper Fig. 1)");
@@ -106,9 +113,15 @@ pub fn e1() {
 /// E2 — Fig. 2: the full environment pipeline on one source program, with
 /// emulation-vs-execution equality.
 pub fn e2() {
-    header("E2", "environment pipeline (Fig. 2): ML source -> executive");
+    header(
+        "E2",
+        "environment pipeline (Fig. 2): ML source -> executive",
+    );
     let ex = pipeline::expand_mini_tracker().expect("expansion succeeds");
-    println!("source     : {} bytes of Skipper-ML", pipeline::MINI_TRACKER_ML.len());
+    println!(
+        "source     : {} bytes of Skipper-ML",
+        pipeline::MINI_TRACKER_ML.len()
+    );
     println!("type check : ok (skeleton signatures of paper section 2)");
     println!(
         "expansion  : {} processes, {} channels, {} farm instance(s)",
@@ -126,7 +139,10 @@ pub fn e2() {
             report.sim.end_ns as f64 / MS as f64,
             report.sim.delivered,
         );
-        assert_eq!(out, emu, "executive must match the executable specification");
+        assert_eq!(
+            out, emu,
+            "executive must match the executable specification"
+        );
     }
 }
 
@@ -171,8 +187,16 @@ pub fn e3() {
         reinit as f64 / track.max(1) as f64,
         110.0 / 30.0
     );
-    let reinits = report.frames.iter().filter(|f| f.mode == Mode::Init).count();
-    println!("frames: {} total, {} in reinitialisation", report.frames.len(), reinits);
+    let reinits = report
+        .frames
+        .iter()
+        .filter(|f| f.mode == Mode::Init)
+        .count();
+    println!(
+        "frames: {} total, {} in reinitialisation",
+        report.frames.len(),
+        reinits
+    );
 }
 
 /// E4 — processor sweep: "almost instantaneous to get variant versions
@@ -226,7 +250,10 @@ pub fn e5() {
     println!("version        mean latency (ms)");
     println!("skeleton       {s:>17.1}");
     println!("hand-crafted   {h:>17.1}");
-    println!("overhead factor: {:.2} (paper: \"similar performances\")", s / h);
+    println!(
+        "overhead factor: {:.2} (paper: \"similar performances\")",
+        s / h
+    );
 }
 
 /// E6 — df vs scm under workload imbalance (the §2 motivation for `df`),
@@ -237,7 +264,10 @@ pub fn e5() {
 /// [`skipper_apps::workloads`], but this host may expose a single CPU, so
 /// the deterministic simulator is the meaningful measurement here.)
 pub fn e6() {
-    header("E6", "dynamic farming (df) vs static split (scm) under imbalance");
+    header(
+        "E6",
+        "dynamic farming (df) vs static split (scm) under imbalance",
+    );
     println!("cv      df makespan (ms)   scm makespan (ms)   scm/df");
     for cv in [0.0f64, 0.5, 1.0, 2.0, 4.0] {
         // Item costs shaped like a data-dependent window list, sorted by
@@ -375,7 +405,11 @@ fn sim_scm_makespan(items: &[u64]) -> f64 {
         |args| {
             args[0]
                 .as_list()
-                .map(|c| c.iter().map(|v| v.as_int().unwrap_or(0).unsigned_abs()).sum())
+                .map(|c| {
+                    c.iter()
+                        .map(|v| v.as_int().unwrap_or(0).unsigned_abs())
+                        .sum()
+                })
                 .unwrap_or(0)
         },
     );
@@ -406,7 +440,10 @@ fn sim_scm_makespan(items: &[u64]) -> f64 {
 /// E7 — Fig. 4: itermem state threading across iterations on the
 /// simulator.
 pub fn e7() {
-    header("E7", "itermem (Fig. 4): state memory across stream iterations");
+    header(
+        "E7",
+        "itermem (Fig. 4): state memory across stream iterations",
+    );
     let frames = 6;
     let emu = pipeline::emulate_mini_tracker(frames).expect("emulation succeeds");
     let (out, report) = pipeline::simulate_mini_tracker(3, frames).expect("simulation succeeds");
@@ -415,12 +452,18 @@ pub fn e7() {
         println!("{k:>9}   {v:>15}   {:>12.1}", *lat as f64 / 1e3);
     }
     assert_eq!(out, emu);
-    println!("simulated outputs equal the Fig. 4 executable specification: {}", out == emu);
+    println!(
+        "simulated outputs equal the Fig. 4 executable specification: {}",
+        out == emu
+    );
 }
 
 /// E8 — sequential emulation equivalence for the *real* tracker.
 pub fn e8() {
-    header("E8", "emulation == parallel execution (real tracker, seeded scene)");
+    header(
+        "E8",
+        "emulation == parallel execution (real tracker, seeded scene)",
+    );
     let scene = default_scene(1);
     let frames = 6;
     let seq = run_tracker_sim(Arc::clone(&scene), 1, frames).expect("sequential runs");
@@ -468,9 +511,7 @@ pub fn e10() {
         let est = line.x_at(383.0);
         let err = (est - truth).abs();
         worst = worst.max(err);
-        println!(
-            "{k:>5}   {off:>10.1}   {curv:>9.2}   {est:>12.1}   {truth:>13.1}   {err:>7.2}"
-        );
+        println!("{k:>5}   {off:>10.1}   {curv:>9.2}   {est:>12.1}   {truth:>13.1}   {err:>7.2}");
     }
     println!("worst-case error: {worst:.2} px");
 }
@@ -514,12 +555,18 @@ pub fn e11() {
         println!("{workers:>7}   {leaves:>12}   {dt:>14.2}");
         counts.push(leaves);
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "leaf count is schedule-independent");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "leaf count is schedule-independent"
+    );
 }
 
 /// E12 — the SynDEx contract: mapping quality and deadlock freedom.
 pub fn e12() {
-    header("E12", "AAA mapper: makespan vs round-robin; deadlock freedom");
+    header(
+        "E12",
+        "AAA mapper: makespan vs round-robin; deadlock freedom",
+    );
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(99);
@@ -536,14 +583,12 @@ pub fn e12() {
             let width = rng.gen_range(1..5);
             let mut cur = Vec::new();
             for w in 0..width {
-                let id = net.add_node(
-                    NodeKind::UserFn(format!("f{l}_{w}")),
-                    format!("f{l}_{w}"),
-                );
+                let id = net.add_node(NodeKind::UserFn(format!("f{l}_{w}")), format!("f{l}_{w}"));
                 net.set_cost_hint(id, rng.gen_range(10_000..2_000_000));
                 for &p in &prev {
                     if rng.gen_bool(0.6) {
-                        net.add_data_edge(p, 0, id, 0, DataType::Image).expect("nodes exist");
+                        net.add_data_edge(p, 0, id, 0, DataType::Image)
+                            .expect("nodes exist");
                     }
                 }
                 cur.push(id);
@@ -555,10 +600,10 @@ pub fn e12() {
             1 => Architecture::ring_t9000(8),
             _ => Architecture::now_workstations(4),
         };
-        let aaa = schedule_with(&net, &arch, &HashMap::new(), Strategy::MinFinish)
-            .expect("schedulable");
-        let rr = schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin)
-            .expect("schedulable");
+        let aaa =
+            schedule_with(&net, &arch, &HashMap::new(), Strategy::MinFinish).expect("schedulable");
+        let rr =
+            schedule_with(&net, &arch, &HashMap::new(), Strategy::RoundRobin).expect("schedulable");
         if aaa.makespan_ns <= rr.makespan_ns {
             wins += 1;
         }
@@ -571,7 +616,10 @@ pub fn e12() {
     }
     println!("random graphs            : {cases}");
     println!("AAA <= round-robin       : {wins}/{cases}");
-    println!("mean makespan ratio RR/AAA: {:.2}", total_ratio / cases as f64);
+    println!(
+        "mean makespan ratio RR/AAA: {:.2}",
+        total_ratio / cases as f64
+    );
     println!("executives deadlock-free : {checked}/{checked}");
 }
 

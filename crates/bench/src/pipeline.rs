@@ -89,7 +89,10 @@ pub fn emulate_mini_tracker(frames: usize) -> Result<Vec<i64>, String> {
         let state = a[1].as_int().expect("state int");
         let im = a[2].as_int().expect("frame int");
         Ok(MlValue::List(Rc::new(
-            windows_for(state, im).into_iter().map(MlValue::Int).collect(),
+            windows_for(state, im)
+                .into_iter()
+                .map(MlValue::Int)
+                .collect(),
         )))
     });
     ev.register_native("detect_mark", 1, |a| {
@@ -110,12 +113,17 @@ pub fn emulate_mini_tracker(frames: usize) -> Result<Vec<i64>, String> {
             .map(|m| m.as_int().expect("mark int"))
             .collect();
         let (s2, y) = predict_fn(state, &marks);
-        Ok(MlValue::Tuple(Rc::new(vec![MlValue::Int(s2), MlValue::Int(y)])))
+        Ok(MlValue::Tuple(Rc::new(vec![
+            MlValue::Int(s2),
+            MlValue::Int(y),
+        ])))
     });
     let shown = Rc::new(RefCell::new(Vec::new()));
     let shown2 = Rc::clone(&shown);
     ev.register_native("display_marks", 1, move |a| {
-        shown2.borrow_mut().push(a[0].as_int().expect("display int"));
+        shown2
+            .borrow_mut()
+            .push(a[0].as_int().expect("display int"));
         Ok(MlValue::Unit)
     });
     ev.register_value("s0", MlValue::Int(0));
@@ -166,8 +174,8 @@ pub fn simulate_mini_tracker(
             }
         }
     }
-    let sched = schedule_with(&ex.net, &arch, &pins, Strategy::MinFinish)
-        .map_err(|e| e.to_string())?;
+    let sched =
+        schedule_with(&ex.net, &arch, &pins, Strategy::MinFinish).map_err(|e| e.to_string())?;
     let progs = generate(&ex.net, &sched, &arch);
     check_deadlock_free(&progs, 3).map_err(|e| e.to_string())?;
 

@@ -87,7 +87,10 @@ impl fmt::Display for ExecError {
             ExecError::BadShape { node, what } => write!(f, "bad value shape at {node}: {what}"),
             ExecError::MissingMemInit(n) => write!(f, "missing initial state for MEM node {n}"),
             ExecError::MissingFarmInit { instance } => {
-                write!(f, "missing initial accumulator for farm instance {instance}")
+                write!(
+                    f,
+                    "missing initial accumulator for farm instance {instance}"
+                )
             }
             ExecError::MixedFarmPlacement { master } => write!(
                 f,
@@ -583,10 +586,13 @@ impl ProcBehavior {
                 let prev = ms.acc.take().expect("accumulator present");
                 let args = [prev, result];
                 let outputs = self.shared.registry.call(&farm.acc, &args)?;
-                let new_acc = outputs.into_iter().next().ok_or_else(|| ExecError::BadShape {
-                    node: master,
-                    what: "accumulation function must return one value".into(),
-                })?;
+                let new_acc = outputs
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| ExecError::BadShape {
+                        node: master,
+                        what: "accumulation function must return one value".into(),
+                    })?;
                 let cost = self.cost_of(&farm.acc, &args, 0);
                 ms.acc = Some(new_acc);
                 ms.sub = MasterSub::Dispatch;
@@ -600,19 +606,25 @@ impl ProcBehavior {
                 if let Some(item) = ms.items.pop_front() {
                     let args = [item];
                     let outputs = self.shared.registry.call(&farm.compute, &args)?;
-                    let r = outputs.into_iter().next().ok_or_else(|| ExecError::BadShape {
-                        node: master,
-                        what: "compute function must return one value".into(),
-                    })?;
+                    let r = outputs
+                        .into_iter()
+                        .next()
+                        .ok_or_else(|| ExecError::BadShape {
+                            node: master,
+                            what: "compute function must return one value".into(),
+                        })?;
                     let comp_cost = self.cost_of(&farm.compute, &args, 0);
                     let prev = ms.acc.take().expect("accumulator present");
                     let acc_args = [prev, r];
                     let acc_out = self.shared.registry.call(&farm.acc, &acc_args)?;
                     let new_acc =
-                        acc_out.into_iter().next().ok_or_else(|| ExecError::BadShape {
-                            node: master,
-                            what: "accumulation function must return one value".into(),
-                        })?;
+                        acc_out
+                            .into_iter()
+                            .next()
+                            .ok_or_else(|| ExecError::BadShape {
+                                node: master,
+                                what: "accumulation function must return one value".into(),
+                            })?;
                     let acc_cost = self.cost_of(&farm.acc, &acc_args, 0);
                     ms.acc = Some(new_acc);
                     self.phase = Phase::Master(ms);
@@ -655,10 +667,13 @@ impl ProcBehavior {
                 }
                 let args = [msg.payload.clone()];
                 let outputs = self.shared.registry.call(&farm.compute, &args)?;
-                let r = outputs.into_iter().next().ok_or_else(|| ExecError::BadShape {
-                    node: ws.worker,
-                    what: "compute function must return one value".into(),
-                })?;
+                let r = outputs
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| ExecError::BadShape {
+                        node: ws.worker,
+                        what: "compute function must return one value".into(),
+                    })?;
                 let cost = self.cost_of(&farm.compute, &args, 0);
                 let label = farm.compute.clone();
                 ws.sub = WorkerSub::Computed(r);
@@ -693,9 +708,9 @@ impl ProcBehavior {
                     return Ok(Action::Halt);
                 }
                 Phase::AfterRecv { edge } => {
-                    let msg = view
-                        .last_message
-                        .ok_or_else(|| ExecError::Internal("recv completed without message".into()))?;
+                    let msg = view.last_message.ok_or_else(|| {
+                        ExecError::Internal("recv completed without message".into())
+                    })?;
                     self.env.insert(edge, msg.payload.clone());
                 }
                 Phase::AfterInputWait { node } => {
@@ -823,7 +838,8 @@ pub fn run_simulated(
                 .ok_or_else(|| ExecError::Internal("farm without workers".into()))?
                 .to_string();
             let master_proc = schedule.proc_of(node.id);
-            let all_procs: Vec<ProcId> = worker_nodes.iter().map(|&w| schedule.proc_of(w)).collect();
+            let all_procs: Vec<ProcId> =
+                worker_nodes.iter().map(|&w| schedule.proc_of(w)).collect();
             let any_remote = all_procs.iter().any(|&p| p != master_proc);
             let any_colocated = all_procs.contains(&master_proc);
             if any_remote && any_colocated {
@@ -865,12 +881,12 @@ pub fn run_simulated(
         .edges()
         .iter()
         .enumerate()
-        .filter(|(_, e)| {
-            match (net.node(e.from).instance, net.node(e.to).instance) {
+        .filter(
+            |(_, e)| match (net.node(e.from).instance, net.node(e.to).instance) {
                 (Some(a), Some(b)) => a == b && farm_instances.contains(&a),
                 _ => false,
-            }
-        })
+            },
+        )
         .map(|(i, _)| i)
         .collect();
     let shared = Rc::new(Shared {

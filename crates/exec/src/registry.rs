@@ -103,7 +103,9 @@ impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<_> = self.fns.keys().collect();
         names.sort();
-        f.debug_struct("Registry").field("functions", &names).finish()
+        f.debug_struct("Registry")
+            .field("functions", &names)
+            .finish()
     }
 }
 

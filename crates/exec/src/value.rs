@@ -117,9 +117,7 @@ impl Value {
             Value::Unit | Value::Bool(_) | Value::End => 1,
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => s.len() as u64,
-            Value::List(v) | Value::Tuple(v) => {
-                8 + v.iter().map(Value::byte_size).sum::<u64>()
-            }
+            Value::List(v) | Value::Tuple(v) => 8 + v.iter().map(Value::byte_size).sum::<u64>(),
             Value::Opaque { bytes, .. } => *bytes,
         };
         raw.max(1)
@@ -177,9 +175,7 @@ impl PartialEq for Value {
             (Value::Float(a), Value::Float(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => a == b,
-            (Value::Opaque { data: a, .. }, Value::Opaque { data: b, .. }) => {
-                Arc::ptr_eq(a, b)
-            }
+            (Value::Opaque { data: a, .. }, Value::Opaque { data: b, .. }) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }

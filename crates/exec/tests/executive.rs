@@ -133,7 +133,14 @@ fn itermem_state_threads_across_processors() {
 }
 
 /// Builds a df-farm network: in -> master(+workers) -> out.
-fn farm_net(workers: usize) -> (ProcessNetwork, NodeId, NodeId, skipper_net::pnt::FarmHandles) {
+fn farm_net(
+    workers: usize,
+) -> (
+    ProcessNetwork,
+    NodeId,
+    NodeId,
+    skipper_net::pnt::FarmHandles,
+) {
     let mut net = ProcessNetwork::new("farm");
     let inp = net.add_node(NodeKind::Input("items".into()), "items");
     let h = expand_df(
@@ -151,7 +158,8 @@ fn farm_net(workers: usize) -> (ProcessNetwork, NodeId, NodeId, skipper_net::pnt
     let out = net.add_node(NodeKind::Output("sink".into()), "sink");
     net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
         .unwrap();
-    net.add_data_edge(h.master, 0, out, 0, DataType::Int).unwrap();
+    net.add_data_edge(h.master, 0, out, 0, DataType::Int)
+        .unwrap();
     (net, inp, out, h)
 }
 
@@ -170,7 +178,9 @@ fn farm_registry(outputs: &Collector) -> Registry {
         |args| 1000 * args[0].as_int().unwrap_or(1) as u64,
     );
     reg.register("add", |args| {
-        vec![Value::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap())]
+        vec![Value::Int(
+            args[0].as_int().unwrap() + args[1].as_int().unwrap(),
+        )]
     });
     reg.register("sink", move |args| {
         sink.lock().unwrap().push(args[0].as_int().unwrap());
@@ -409,7 +419,8 @@ fn ring_farm_pnt_is_rejected_at_execution() {
     let out = net.add_node(NodeKind::Output("sink".into()), "sink");
     net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
         .unwrap();
-    net.add_data_edge(h.master, 0, out, 0, DataType::Int).unwrap();
+    net.add_data_edge(h.master, 0, out, 0, DataType::Int)
+        .unwrap();
     let arch = Architecture::single_t9000();
     let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
     let progs = generate(&net, &sched, &arch);

@@ -116,7 +116,11 @@ impl Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.span {
-            Some(s) => write!(f, "{} at {}..{}: {}", self.stage, s.start, s.end, self.message),
+            Some(s) => write!(
+                f,
+                "{} at {}..{}: {}",
+                self.stage, s.start, s.end, self.message
+            ),
             None => write!(f, "{}: {}", self.stage, self.message),
         }
     }
@@ -147,7 +151,10 @@ mod tests {
     fn render_includes_position() {
         let src = "let x = @;;";
         let d = Diagnostic::new(Stage::Lex, "unexpected character `@`", Span::new(8, 9));
-        assert_eq!(d.render(src), "1:9: lexical error: unexpected character `@`");
+        assert_eq!(
+            d.render(src),
+            "1:9: lexical error: unexpected character `@`"
+        );
     }
 
     #[test]

@@ -201,7 +201,13 @@ impl fmt::Debug for MlValue {
             MlValue::List(v) => f.debug_list().entries(v.iter()).finish(),
             MlValue::Closure { .. } => write!(f, "<fun>"),
             MlValue::Native { entry, args } => {
-                write!(f, "<native {}/{} [{}]>", entry.name, entry.arity, args.len())
+                write!(
+                    f,
+                    "<native {}/{} [{}]>",
+                    entry.name,
+                    entry.arity,
+                    args.len()
+                )
             }
             MlValue::Skeleton { kind, args } => {
                 write!(f, "<skeleton {} [{}]>", kind.name(), args.len())
@@ -507,7 +513,10 @@ impl Evaluator {
             // df n comp acc z xs = fold_left acc z (map comp xs)
             SkelKind::Df => {
                 let [_n, comp, acc, z, xs] = args_array(args);
-                let xs = xs.as_list().ok_or_else(|| bad("last argument must be a list"))?.to_vec();
+                let xs = xs
+                    .as_list()
+                    .ok_or_else(|| bad("last argument must be a list"))?
+                    .to_vec();
                 let mut accv = z;
                 for x in xs {
                     let y = self.apply(comp.clone(), x, span)?;
@@ -685,7 +694,10 @@ mod tests {
     #[test]
     fn closures_capture_lexically() {
         let ev = Evaluator::new();
-        let v = eval_str(&ev, "let a = 10 in let f = fun x -> x + a in let a = 0 in f 5");
+        let v = eval_str(
+            &ev,
+            "let a = 10 in let f = fun x -> x + a in let a = 0 in f 5",
+        );
         assert_eq!(v.as_int(), Some(15));
     }
 
@@ -704,10 +716,7 @@ mod tests {
             Ok(MlValue::Int(s))
         });
         assert_eq!(eval_str(&ev, "add3 1 2 3").as_int(), Some(6));
-        assert_eq!(
-            eval_str(&ev, "let g = add3 1 2 in g 10").as_int(),
-            Some(13)
-        );
+        assert_eq!(eval_str(&ev, "let g = add3 1 2 in g 10").as_int(), Some(13));
     }
 
     #[test]
@@ -724,7 +733,10 @@ mod tests {
         // split a number n into [n; n], comp doubles, merge sums.
         ev.register_native("split2", 1, |a| {
             let n = a[0].as_int().unwrap();
-            Ok(MlValue::List(Rc::new(vec![MlValue::Int(n), MlValue::Int(n)])))
+            Ok(MlValue::List(Rc::new(vec![
+                MlValue::Int(n),
+                MlValue::Int(n),
+            ])))
         });
         let v = eval_str(
             &ev,

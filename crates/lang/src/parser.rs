@@ -150,7 +150,9 @@ impl Parser {
             self.bump();
             parts.push(self.simple_pattern()?);
         }
-        let span = parts[0].span().merge(parts.last().expect("non-empty").span());
+        let span = parts[0]
+            .span()
+            .merge(parts.last().expect("non-empty").span());
         Ok(Pattern::Tuple(parts, span))
     }
 

@@ -167,7 +167,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
         let start = i;
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
-            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            while i < n
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
             {
                 i += 1;
             }
@@ -223,7 +224,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                 })?)
             } else {
                 Tok::Int(text.parse().map_err(|_| {
-                    Diagnostic::new(Stage::Lex, "integer literal out of range", Span::new(start, i))
+                    Diagnostic::new(
+                        Stage::Lex,
+                        "integer literal out of range",
+                        Span::new(start, i),
+                    )
                 })?)
             };
             toks.push(Token {
@@ -380,10 +385,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb""#),
-            vec![Tok::Str("a\nb".into()), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""a\nb""#), vec![Tok::Str("a\nb".into()), Tok::Eof]);
         assert!(lex("\"open").is_err());
     }
 

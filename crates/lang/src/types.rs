@@ -168,7 +168,10 @@ pub struct Scheme {
 impl Scheme {
     /// A monomorphic scheme.
     pub fn mono(ty: Type) -> Scheme {
-        Scheme { vars: Vec::new(), ty }
+        Scheme {
+            vars: Vec::new(),
+            ty,
+        }
     }
 
     /// Generalises every free variable of `ty` (used for externals, whose
@@ -271,10 +274,7 @@ pub struct ProgramTypes {
 impl ProgramTypes {
     /// The scheme of a top-level name.
     pub fn scheme_of(&self, name: &str) -> Option<&Scheme> {
-        self.items
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.items.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 }
 
@@ -369,8 +369,7 @@ impl Infer {
 
     /// Instantiates a scheme with fresh variables.
     pub fn instantiate(&mut self, scheme: &Scheme) -> Type {
-        let mapping: HashMap<u32, Type> =
-            scheme.vars.iter().map(|&v| (v, self.fresh())).collect();
+        let mapping: HashMap<u32, Type> = scheme.vars.iter().map(|&v| (v, self.fresh())).collect();
         fn subst(t: &Type, m: &HashMap<u32, Type>) -> Type {
             match t {
                 Type::Var(v) => m.get(v).cloned().unwrap_or(Type::Var(*v)),
@@ -744,7 +743,8 @@ mod tests {
     fn df_signature_enforces_consistency() {
         let mut env = TypeEnv::with_skeletons();
         env.declare("detect", "window -> mark").unwrap();
-        env.declare("accum", "mark list -> mark -> mark list").unwrap();
+        env.declare("accum", "mark list -> mark -> mark list")
+            .unwrap();
         env.declare("empty", "mark list").unwrap();
         env.declare("windows", "window list").unwrap();
         assert_eq!(
@@ -783,10 +783,7 @@ mod tests {
         }
         let prog = parse_program(src).unwrap();
         let types = check_program(&env, &prog).unwrap();
-        assert_eq!(
-            types.scheme_of("main").unwrap().ty.to_string(),
-            "unit"
-        );
+        assert_eq!(types.scheme_of("main").unwrap().ty.to_string(), "unit");
         assert_eq!(
             types.scheme_of("loop").unwrap().ty.to_string(),
             "state * image -> state * mark_list_out"
@@ -825,6 +822,9 @@ mod tests {
         // In `fun x -> let y = x in y`, y generalises to nothing (x is
         // env-bound), so the function stays 'a -> 'a rather than exploding.
         let env = TypeEnv::new();
-        assert_eq!(infer_str(&env, "fun x -> let y = x in y").unwrap(), "'a -> 'a");
+        assert_eq!(
+            infer_str(&env, "fun x -> let y = x in y").unwrap(),
+            "'a -> 'a"
+        );
     }
 }

@@ -204,9 +204,18 @@ mod tests {
         // get_windows + master + 3 workers + predict
         assert_eq!(net.len(), 6);
         // get_windows feeds the master; the master feeds predict.
-        let gw = net.nodes_where(|k| k.function_name() == Some("get_windows")).next().unwrap();
-        let pr = net.nodes_where(|k| k.function_name() == Some("predict")).next().unwrap();
-        let master = net.nodes_where(|k| matches!(k, NodeKind::Master(_))).next().unwrap();
+        let gw = net
+            .nodes_where(|k| k.function_name() == Some("get_windows"))
+            .next()
+            .unwrap();
+        let pr = net
+            .nodes_where(|k| k.function_name() == Some("predict"))
+            .next()
+            .unwrap();
+        let master = net
+            .nodes_where(|k| matches!(k, NodeKind::Master(_)))
+            .next()
+            .unwrap();
         assert!(net.successors(gw).contains(&master));
         assert!(net.successors(master).contains(&pr));
     }

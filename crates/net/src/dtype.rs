@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(DataType::Int.to_string(), "int");
-        assert_eq!(DataType::list(DataType::named("mark")).to_string(), "mark list");
+        assert_eq!(
+            DataType::list(DataType::named("mark")).to_string(),
+            "mark list"
+        );
         assert_eq!(
             DataType::Tuple(vec![DataType::Int, DataType::Bool]).to_string(),
             "(int * bool)"

@@ -415,10 +415,7 @@ impl ProcessNetwork {
             }
         }
         if order.len() != n {
-            let stuck: Vec<NodeId> = (0..n)
-                .filter(|&i| indeg[i] > 0)
-                .map(NodeId)
-                .collect();
+            let stuck: Vec<NodeId> = (0..n).filter(|&i| indeg[i] > 0).map(NodeId).collect();
             return Err(GraphError::Cycle(stuck));
         }
         Ok(order)

@@ -105,11 +105,7 @@ pub fn expand_df(
             // one router pair per worker processor.
             let mut prev_mw = master;
             for i in 0..n {
-                let mw = net.add_instance_node(
-                    NodeKind::RouterMw,
-                    format!("{prefix}.mw{i}"),
-                    inst,
-                );
+                let mw = net.add_instance_node(NodeKind::RouterMw, format!("{prefix}.mw{i}"), inst);
                 net.add_data_edge(prev_mw, 1, mw, 0, types.item.clone())
                     .expect("nodes exist");
                 let w = net.add_instance_node(
@@ -124,15 +120,11 @@ pub fn expand_df(
                 prev_mw = mw;
             }
             let mut prev_wm = master;
-            for i in 0..n {
-                let wm = net.add_instance_node(
-                    NodeKind::RouterWm,
-                    format!("{prefix}.wm{i}"),
-                    inst,
-                );
+            for (i, &w) in workers.iter().enumerate() {
+                let wm = net.add_instance_node(NodeKind::RouterWm, format!("{prefix}.wm{i}"), inst);
                 net.add_data_edge(wm, 0, prev_wm, 2, types.result.clone())
                     .expect("nodes exist");
-                net.add_data_edge(workers[i], 0, wm, 1, types.result.clone())
+                net.add_data_edge(w, 0, wm, 1, types.result.clone())
                     .expect("nodes exist");
                 routers_wm.push(wm);
                 prev_wm = wm;
@@ -191,14 +183,12 @@ pub fn expand_scm(
     assert!(n > 0, "scm needs at least one compute node");
     let inst = net.fresh_instance();
     let prefix = format!("scm{inst}");
-    let split_n =
-        net.add_instance_node(
+    let split_n = net.add_instance_node(
         NodeKind::Split(split.to_string()),
         format!("{prefix}.split[{split}]"),
         inst,
     );
-    let merge_n =
-        net.add_instance_node(
+    let merge_n = net.add_instance_node(
         NodeKind::Merge(merge.to_string()),
         format!("{prefix}.merge[{merge}]"),
         inst,
@@ -245,8 +235,14 @@ pub fn expand_tf(
     for (i, &w) in handles.workers.iter().enumerate() {
         match shape {
             FarmShape::Star => {
-                net.add_data_edge(w, 1, handles.master, 100 + i, DataType::list(types.item.clone()))
-                    .expect("nodes exist");
+                net.add_data_edge(
+                    w,
+                    1,
+                    handles.master,
+                    100 + i,
+                    DataType::list(types.item.clone()),
+                )
+                .expect("nodes exist");
             }
             FarmShape::Ring => {
                 // New tasks travel the same W->M router chain.
@@ -310,8 +306,16 @@ pub fn expand_itermem(
 ) -> Result<IterMemHandles, GraphError> {
     let inst = net.fresh_instance();
     let prefix = format!("itermem{inst}");
-    let input = net.add_instance_node(NodeKind::Input(inp.to_string()), format!("{prefix}.inp[{inp}]"), inst);
-    let output = net.add_instance_node(NodeKind::Output(out.to_string()), format!("{prefix}.out[{out}]"), inst);
+    let input = net.add_instance_node(
+        NodeKind::Input(inp.to_string()),
+        format!("{prefix}.inp[{inp}]"),
+        inst,
+    );
+    let output = net.add_instance_node(
+        NodeKind::Output(out.to_string()),
+        format!("{prefix}.out[{out}]"),
+        inst,
+    );
     let mem = net.add_instance_node(NodeKind::Mem, format!("{prefix}.mem"), inst);
     net.add_data_edge(input, 0, loop_entry, 0, types.input.clone())?;
     net.add_data_edge(mem, 0, loop_entry, 1, types.state.clone())?;
@@ -345,12 +349,16 @@ mod tests {
         assert_eq!(h.workers.len(), 4);
         assert!(h.routers_mw.is_empty());
         assert_eq!(net.len(), 5); // master + 4 workers
+
         // Master connects to every worker both ways.
         for &w in &h.workers {
             assert!(net.successors(h.master).contains(&w));
             assert!(net.successors(w).contains(&h.master));
         }
-        assert!(net.topo_order().is_err(), "farm graphs are cyclic by design");
+        assert!(
+            net.topo_order().is_err(),
+            "farm graphs are cyclic by design"
+        );
     }
 
     #[test]
@@ -378,7 +386,14 @@ mod tests {
     #[test]
     fn df_workers_carry_function_name() {
         let mut net = ProcessNetwork::new("t");
-        let h = expand_df(&mut net, 2, "detect_mark", "accum_marks", int_types(), FarmShape::Star);
+        let h = expand_df(
+            &mut net,
+            2,
+            "detect_mark",
+            "accum_marks",
+            int_types(),
+            FarmShape::Star,
+        );
         for &w in &h.workers {
             assert_eq!(net.node(w).kind.function_name(), Some("detect_mark"));
         }
@@ -451,7 +466,10 @@ mod tests {
             .collect();
         assert_eq!(mem_edges.len(), 1);
         assert_eq!(mem_edges[0].to, h.mem);
-        assert!(net.topo_order().is_ok(), "memory edge must not create a data cycle");
+        assert!(
+            net.topo_order().is_ok(),
+            "memory edge must not create a data cycle"
+        );
         assert_eq!(net.predecessors(body).len(), 2);
     }
 

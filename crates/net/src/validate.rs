@@ -192,8 +192,10 @@ mod tests {
         // Close the pipeline with I/O so connectivity holds.
         let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
         let out = net.add_node(NodeKind::Output("disp".into()), "disp");
-        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
-        net.add_data_edge(h.merge, 0, out, 0, DataType::Image).unwrap();
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image)
+            .unwrap();
+        net.add_data_edge(h.merge, 0, out, 0, DataType::Image)
+            .unwrap();
         net
     }
 

@@ -234,7 +234,7 @@ mod tests {
         // small items flow to the idle workers. We check wall-clock is far
         // below the serial sum of sleeps.
         let xs: Vec<u64> = std::iter::once(40)
-            .chain(std::iter::repeat(2).take(40))
+            .chain(std::iter::repeat_n(2, 40))
             .collect();
         let farm = Df::new(
             4,

@@ -152,7 +152,12 @@ mod tests {
 
     #[test]
     fn empty_stream_runs_zero_iterations() {
-        let mut im = IterMem::new(stream_of(Vec::<i32>::new()), |z: i32, b| (z + b, ()), |_| {}, 5);
+        let mut im = IterMem::new(
+            stream_of(Vec::<i32>::new()),
+            |z: i32, b| (z + b, ()),
+            |_| {},
+            5,
+        );
         assert_eq!(im.run(), 0);
         assert_eq!(im.state(), &5);
     }
@@ -191,7 +196,7 @@ mod tests {
         );
         let mut lib_out = Vec::new();
         let mut im = IterMem::new(
-            stream_of(std::iter::repeat(7).take(4)),
+            stream_of(std::iter::repeat_n(7, 4)),
             |z: i32, b: i32| (z + b, z),
             |y| lib_out.push(y),
             0,

@@ -127,6 +127,9 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    // `&Vec` (not `&[_]`) is deliberate: the splitter's argument type fixes
+    // the skeleton's input type parameter `I`, which must be sized.
+    #[allow(clippy::ptr_arg)]
     fn chunk_split(v: &Vec<u64>, n: usize) -> Vec<Vec<u64>> {
         if v.is_empty() {
             return Vec::new();

@@ -185,12 +185,7 @@ mod tests {
     #[test]
     fn pure_df_workload_reduces_to_farm() {
         // No task generates children: tf degenerates to df.
-        let tf = Tf::new(
-            4,
-            |x: u64| (Vec::new(), Some(x * 3)),
-            |z, o| z + o,
-            0u64,
-        );
+        let tf = Tf::new(4, |x: u64| (Vec::new(), Some(x * 3)), |z, o| z + o, 0u64);
         let expected: u64 = (0..100).map(|x| x * 3).sum();
         assert_eq!(tf.run_par((0..100).collect()), expected);
     }
@@ -209,7 +204,7 @@ mod tests {
             |z, o| z + o,
             0u32,
         );
-        assert_eq!(tf.run_par((0..10).collect()), 2 + 4 + 6 + 8 + 0);
+        assert_eq!(tf.run_par((0..10).collect()), 2 + 4 + 6 + 8);
     }
 
     #[test]

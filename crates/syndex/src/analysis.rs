@@ -67,14 +67,9 @@ pub fn check_deadlock_free(
                         progressed = true;
                     }
                     MacroOp::Recv { from, tag, .. } => {
-                        let pending = channel
-                            .get(&(*from, prog.proc, *tag))
-                            .copied()
-                            .unwrap_or(0);
+                        let pending = channel.get(&(*from, prog.proc, *tag)).copied().unwrap_or(0);
                         if pending > 0 {
-                            *channel
-                                .entry((*from, prog.proc, *tag))
-                                .or_insert(0) -= 1;
+                            *channel.entry((*from, prog.proc, *tag)).or_insert(0) -= 1;
                             pc[i] += 1;
                             progressed = true;
                         } else {
@@ -251,12 +246,18 @@ mod tests {
         );
         let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
         let out = net.add_node(NodeKind::Output("disp".into()), "disp");
-        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
-        net.add_data_edge(h.merge, 0, out, 0, DataType::Image).unwrap();
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image)
+            .unwrap();
+        net.add_data_edge(h.merge, 0, out, 0, DataType::Image)
+            .unwrap();
         for &w in &h.workers {
             net.set_cost_hint(w, 50_000);
         }
-        for strategy in [Strategy::MinFinish, Strategy::RoundRobin, Strategy::SingleProc] {
+        for strategy in [
+            Strategy::MinFinish,
+            Strategy::RoundRobin,
+            Strategy::SingleProc,
+        ] {
             for nprocs in [1usize, 2, 4, 8] {
                 let arch = if nprocs == 1 {
                     Architecture::single_t9000()
@@ -318,7 +319,7 @@ mod tests {
                 },
             ],
         );
-        assert_eq!(comm_volume(&[p0.clone()]), 128);
+        assert_eq!(comm_volume(std::slice::from_ref(&p0)), 128);
         assert_eq!(message_count(&[p0]), 2);
     }
 }

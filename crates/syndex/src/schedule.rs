@@ -151,8 +151,9 @@ pub fn schedule_with(
     let dynamic_edges = farm_internal_edges(net);
     // A "static" edge constrains the schedule: data kind and not internal
     // to a dynamically-balanced farm.
-    let static_edge =
-        |i: usize, e: &skipper_net::graph::Edge| e.kind == EdgeKind::Data && !dynamic_edges.contains(&i);
+    let static_edge = |i: usize, e: &skipper_net::graph::Edge| {
+        e.kind == EdgeKind::Data && !dynamic_edges.contains(&i)
+    };
 
     // Topological order over static edges (Kahn), also the cycle check.
     let mut indeg0 = vec![0usize; n];
@@ -161,8 +162,7 @@ pub fn schedule_with(
             indeg0[e.to.0] += 1;
         }
     }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| indeg0[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg0[i] == 0).collect();
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
     {
         let mut indeg = indeg0.clone();
@@ -299,7 +299,8 @@ mod tests {
         );
         let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
         let out = net.add_node(NodeKind::Output("disp".into()), "disp");
-        net.add_data_edge(inp, 0, h.split, 0, DataType::Image).unwrap();
+        net.add_data_edge(inp, 0, h.split, 0, DataType::Image)
+            .unwrap();
         net.add_data_edge(h.merge, 0, out, 0, DataType::Named("result".into()))
             .unwrap();
         for &w in &h.workers {
@@ -401,7 +402,10 @@ mod tests {
     fn pins_are_honoured() {
         let net = scm_pipeline(4, 10_000);
         let arch = Architecture::ring_t9000(4);
-        let inp = net.nodes_where(|k| matches!(k, NodeKind::Input(_))).next().unwrap();
+        let inp = net
+            .nodes_where(|k| matches!(k, NodeKind::Input(_)))
+            .next()
+            .unwrap();
         let mut pins = HashMap::new();
         pins.insert(inp, ProcId(2));
         let s = schedule_with(&net, &arch, &pins, Strategy::MinFinish).unwrap();
@@ -439,8 +443,12 @@ mod tests {
         // Same graph on 2 vs 8 processors: makespan with 8 must not exceed
         // makespan with 2 (monotone resource augmentation for this greedy).
         let net = scm_pipeline(8, 500_000);
-        let m2 = schedule(&net, &Architecture::ring_t9000(2)).unwrap().makespan_ns;
-        let m8 = schedule(&net, &Architecture::ring_t9000(8)).unwrap().makespan_ns;
+        let m2 = schedule(&net, &Architecture::ring_t9000(2))
+            .unwrap()
+            .makespan_ns;
+        let m8 = schedule(&net, &Architecture::ring_t9000(8))
+            .unwrap()
+            .makespan_ns;
         assert!(m8 <= m2, "m8={m8} m2={m2}");
     }
 

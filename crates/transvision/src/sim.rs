@@ -208,7 +208,9 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
-            SimError::TimeLimit { limit_ns } => write!(f, "virtual time limit {limit_ns}ns exceeded"),
+            SimError::TimeLimit { limit_ns } => {
+                write!(f, "virtual time limit {limit_ns}ns exceeded")
+            }
             SimError::EventLimit { limit } => write!(f, "event limit {limit} exceeded"),
             SimError::Route(e) => write!(f, "routing failure: {e}"),
         }
@@ -267,7 +269,10 @@ enum Status {
     Ready,
     Running,
     BlockedSend,
-    BlockedRecv { from: Option<ProcId>, tag: Option<Tag> },
+    BlockedRecv {
+        from: Option<ProcId>,
+        tag: Option<Tag>,
+    },
     Waiting,
     Halted,
 }
@@ -307,9 +312,9 @@ impl<P> ProcState<P> {
     }
 
     fn find_match(&self, from: Option<ProcId>, tag: Option<Tag>) -> Option<usize> {
-        self.mailbox.iter().position(|m| {
-            from.is_none_or(|f| m.src == f) && tag.is_none_or(|t| m.tag == t)
-        })
+        self.mailbox
+            .iter()
+            .position(|m| from.is_none_or(|f| m.src == f) && tag.is_none_or(|t| m.tag == t))
     }
 }
 
@@ -963,7 +968,12 @@ mod tests {
         let without_dma = build(false);
         // Without DMA, the post-send compute starts only after the link
         // clears, so the span begins later.
-        let s_dma = with_dma.trace.spans_labelled("post").next().unwrap().start_ns;
+        let s_dma = with_dma
+            .trace
+            .spans_labelled("post")
+            .next()
+            .unwrap()
+            .start_ns;
         let s_blk = without_dma
             .trace
             .spans_labelled("post")

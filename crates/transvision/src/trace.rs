@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn busy_sums_per_proc() {
         let t = Trace {
-            spans: vec![span(0, "a", 0, 10), span(0, "b", 20, 25), span(1, "a", 0, 7)],
+            spans: vec![
+                span(0, "a", 0, 10),
+                span(0, "b", 20, 25),
+                span(1, "a", 0, 7),
+            ],
             comms: vec![],
         };
         assert_eq!(t.busy_ns(ProcId(0)), 15);

@@ -136,6 +136,7 @@ pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
         return labels;
     }
     let mut ds = DisjointSets::new(1); // id 0 reserved for background
+
     // First pass: provisional labels + equivalences.
     for y in 0..h {
         for x in 0..w {
@@ -147,7 +148,11 @@ pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
             let (nw, ne) = if conn == Connectivity::Eight && y > 0 {
                 (
                     if x > 0 { labels.get(x - 1, y - 1) } else { 0 },
-                    if x + 1 < w { labels.get(x + 1, y - 1) } else { 0 },
+                    if x + 1 < w {
+                        labels.get(x + 1, y - 1)
+                    } else {
+                        0
+                    },
                 )
             } else {
                 (0, 0)

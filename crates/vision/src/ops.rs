@@ -155,8 +155,8 @@ pub fn otsu_threshold(img: &Image<u8>) -> u8 {
         .sum();
     let (mut sum_b, mut w_b) = (0.0f64, 0u64);
     let (mut best_var, mut best_thr) = (0.0f64, 0u8);
-    for t in 0..256usize {
-        w_b += hist[t];
+    for (t, &count) in hist.iter().enumerate() {
+        w_b += count;
         if w_b == 0 {
             continue;
         }
@@ -164,7 +164,7 @@ pub fn otsu_threshold(img: &Image<u8>) -> u8 {
         if w_f == 0 {
             break;
         }
-        sum_b += t as f64 * hist[t] as f64;
+        sum_b += t as f64 * count as f64;
         let m_b = sum_b / w_b as f64;
         let m_f = (sum_all - sum_b) / w_f as f64;
         let between = w_b as f64 * w_f as f64 * (m_b - m_f).powi(2);

@@ -63,12 +63,7 @@ pub fn split_rows(img: &Image<u8>, n: usize, halo: usize) -> Vec<RowBand> {
         let rows = base + usize::from(i < rem);
         let halo_top = halo.min(y0);
         let halo_bottom = halo.min(h - (y0 + rows));
-        let pixels = img.crop(
-            0,
-            y0 - halo_top,
-            img.width(),
-            halo_top + rows + halo_bottom,
-        );
+        let pixels = img.crop(0, y0 - halo_top, img.width(), halo_top + rows + halo_bottom);
         bands.push(RowBand {
             index: i,
             y0,
@@ -177,7 +172,10 @@ mod tests {
         let img = ramp(17, 23);
         let bands = split_rows(&img, 4, 0);
         assert_eq!(bands.len(), 4);
-        let cores: Vec<_> = bands.iter().map(|b| (b.clone(), b.pixels.clone())).collect();
+        let cores: Vec<_> = bands
+            .iter()
+            .map(|b| (b.clone(), b.pixels.clone()))
+            .collect();
         assert_eq!(merge_rows(&cores), img);
     }
 

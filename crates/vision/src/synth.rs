@@ -139,7 +139,11 @@ pub struct Scene {
 
 impl Scene {
     /// Creates a scene with explicit vehicle tracks and occlusions.
-    pub fn new(config: SceneConfig, vehicles: Vec<VehicleTrack>, occlusions: Vec<Occlusion>) -> Self {
+    pub fn new(
+        config: SceneConfig,
+        vehicles: Vec<VehicleTrack>,
+        occlusions: Vec<Occlusion>,
+    ) -> Self {
         let camera = Camera::new(config.width, config.height, config.focal_px);
         Scene {
             config,
@@ -270,7 +274,8 @@ impl Scene {
         // Additive uniform noise, deterministic per (seed, frame).
         if cfg.noise_amplitude > 0 {
             let frame_idx = (t * 1000.0).round() as u64;
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let amp = cfg.noise_amplitude as i32;
             for p in img.as_mut_slice() {
                 let n = rng.gen_range(-amp..=amp);

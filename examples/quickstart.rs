@@ -39,7 +39,10 @@ fn main() {
         |z, leaves| z + leaves,
         0u64,
     );
-    println!("tf   : leaves of a depth-10 binary tree = {}", tf.run_par(vec![10]));
+    println!(
+        "tf   : leaves of a depth-10 binary tree = {}",
+        tf.run_par(vec![10])
+    );
 
     // itermem — stream loop with state memory (Fig. 4).
     let mut loop_ = IterMem::new(

@@ -42,10 +42,16 @@ fn main() {
         );
     }
     if let Some(t) = report.mean_latency_in(Mode::Tracking) {
-        println!("\nmean tracking latency      : {:.1} ms (paper: ~30 ms)", t as f64 / MS as f64);
+        println!(
+            "\nmean tracking latency      : {:.1} ms (paper: ~30 ms)",
+            t as f64 / MS as f64
+        );
     }
     if let Some(r) = report.mean_latency_in(Mode::Init) {
-        println!("mean reinitialisation      : {:.1} ms (paper: ~110 ms)", r as f64 / MS as f64);
+        println!(
+            "mean reinitialisation      : {:.1} ms (paper: ~110 ms)",
+            r as f64 / MS as f64
+        );
     }
     println!("\nprocessor chronogram (one row per processor, # = busy):");
     print!("{}", report.exec.sim.trace.chronogram(100));

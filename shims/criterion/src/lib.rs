@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a std-only shim exposing the criterion API surface the SKiPPER
+//! benches use: `Criterion`, benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — one warm-up iteration, then up to
+//! `sample_size` timed iterations inside a wall-clock budget — and results
+//! are printed as `name  ...  avg/iter` lines. No statistics, baselines,
+//! or HTML reports. The point is that `cargo bench` compiles and runs the
+//! bench suite end to end, so the benches cannot bit-rot.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+/// Wall-clock budget per benchmark, so slow simulations keep CI fast.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (No summary statistics in this shim.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            label: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (one warm-up, then timed iterations) and
+    /// records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, sample_size: usize, f: F) {
+    let mut b = Bencher {
+        sample_size,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no timed iterations)");
+    } else {
+        let avg = b.total / (b.iters as u32);
+        println!("{name:<40} {avg:>12.3?} avg/iter over {} iters", b.iters);
+    }
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        let mut runs = 0u32;
+        g.bench_function("counter", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        // one warm-up + up to ten timed iterations
+        assert!((2..=11).contains(&runs), "ran {runs} times");
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("scm", 8).label, "scm/8");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+}

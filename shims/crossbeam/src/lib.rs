@@ -1,0 +1,171 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a std-only shim exposing exactly the `crossbeam` API surface the
+//! SKiPPER crates use: `channel::unbounded`, `thread::scope`/`spawn`, and
+//! `utils::Backoff`. Semantics match crossbeam closely enough for the
+//! skeleton runtimes; the one documented divergence is that a panicking
+//! scoped thread propagates its panic out of [`thread::scope`] (as
+//! `std::thread::scope` does) instead of surfacing it as an `Err`.
+
+/// Multi-producer channels, backed by `std::sync::mpsc`.
+///
+/// Only the unbounded flavour is provided; `Sender` is `Clone` and
+/// `Receiver::iter` blocks until every sender is dropped, which is all the
+/// farm runtimes rely on.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads, backed by `std::thread::scope`.
+pub mod thread {
+    pub use std::thread::Result;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`: spawned
+    /// closures receive a `&Scope` so they can spawn further siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope again.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns once all of them have finished.
+    ///
+    /// Divergence from crossbeam: a panic in a spawned thread resumes on
+    /// the caller (so the conventional `.expect("worker panicked")` on the
+    /// result never observes an `Err`), rather than being collected.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Spin-then-yield backoff, mirroring `crossbeam::utils::Backoff`.
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Exponential backoff for spin loops.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        /// Creates a backoff in its initial (tightest) state.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Resets to the initial state after useful work was found.
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Spins briefly.
+        pub fn spin(&self) {
+            for _ in 0..(1u32 << self.step.get().min(SPIN_LIMIT)) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Spins while young, yields the thread once the budget is spent.
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                self.spin();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+
+        /// True once spinning is no longer productive and the caller
+        /// should consider parking.
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > SPIN_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            for x in &data {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(*x, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                inner.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        crate::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn backoff_completes() {
+        let b = crate::utils::Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a std-only shim exposing the proptest API surface the SKiPPER
+//! test-suite uses: the `proptest!` macro with `#![proptest_config(..)]`,
+//! `ProptestConfig::with_cases`, integer-range and tuple strategies,
+//! `prop::collection::vec`, and the `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - inputs are drawn from a deterministic per-test RNG (seeded from the
+//!   test name), so CI failures reproduce exactly;
+//! - there is **no shrinking**: a failing case reports the case number
+//!   and message but not a minimised input;
+//! - only the strategy combinators listed above exist.
+
+use rand::rngs::StdRng;
+
+/// Test-case configuration and failure types.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config`: how many random cases
+    /// each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A property-violation report produced by `prop_assert!`-style macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic RNG for drawing test inputs: the per-test stream is a
+    /// function of the test name only.
+    #[derive(Debug)]
+    pub struct TestRng {
+        inner: super::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: super::StdRng::seed_from_u64(h),
+            }
+        }
+
+        pub(crate) fn rng(&mut self) -> &mut super::StdRng {
+            &mut self.inner
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::Range;
+
+    /// A source of random values for one `proptest!` argument.
+    ///
+    /// Unlike real proptest there is no value tree: `sample` draws a
+    /// plain value and nothing shrinks.
+    pub trait Strategy {
+        /// The values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Produces a `T` verbatim for every case (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`super::prop::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                self.len.clone().sample_from(rng.rng())
+            };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategy combinators namespaced as in real proptest (`prop::...`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A `Vec` whose length is drawn from `len` and whose elements are
+        /// drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+    }
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __proptest_case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(
+                        &($strategy),
+                        &mut __proptest_rng,
+                    );
+                )+
+                let __proptest_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __proptest_result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        __proptest_case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Integer-range strategies respect their bounds.
+        #[test]
+        fn int_ranges_in_bounds(x in 0u64..100, y in 1usize..8) {
+            prop_assert!(x < 100);
+            prop_assert!((1..8).contains(&y), "y out of range: {}", y);
+        }
+
+        /// Vec strategies respect element and length bounds.
+        #[test]
+        fn vec_strategy_in_bounds(xs in prop::collection::vec(0i64..10, 0..20)) {
+            prop_assert!(xs.len() < 20);
+            for &x in &xs {
+                prop_assert!((0..10).contains(&x));
+            }
+        }
+
+        /// Tuple strategies sample componentwise.
+        #[test]
+        fn tuple_strategy(pairs in prop::collection::vec((0usize..4, 0usize..4), 1..10)) {
+            for &(a, b) in &pairs {
+                prop_assert!(a < 4 && b < 4);
+            }
+            prop_assert_eq!(pairs.is_empty(), false);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let mut a = crate::test_runner::TestRng::deterministic("some_test");
+        let mut b = crate::test_runner::TestRng::deterministic("some_test");
+        for _ in 0..32 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -60,5 +60,8 @@ fn emulation_equals_execution_across_machines() {
 fn bigger_machines_do_not_increase_makespan() {
     let (_, r2) = pipeline::simulate_mini_tracker(2, 4).unwrap();
     let (_, r5) = pipeline::simulate_mini_tracker(5, 4).unwrap();
-    assert!(r5.sim.end_ns <= r2.sim.end_ns * 11 / 10, "5 procs should not be much slower");
+    assert!(
+        r5.sim.end_ns <= r2.sim.end_ns * 11 / 10,
+        "5 procs should not be much slower"
+    );
 }

@@ -101,7 +101,7 @@ proptest! {
             1 => Topology::chain(size),
             2 => Topology::star(size),
             3 => Topology::full(size),
-            _ => Topology::mesh(size.min(4).max(1), 2),
+            _ => Topology::mesh(size.clamp(1, 4), 2),
         };
         let n = topo.len();
         let (src, dst) = (ProcId(a % n), ProcId(b % n));

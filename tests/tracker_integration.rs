@@ -2,9 +2,7 @@
 //! specification, thread backend and simulated platform must all agree.
 
 use skipper_apps::tracker_sim::run_tracker_sim;
-use skipper_apps::tracking::{
-    init_state, loop_step_seq, loop_step_threads, Mode, TrackerConfig,
-};
+use skipper_apps::tracking::{init_state, loop_step_seq, loop_step_threads, Mode, TrackerConfig};
 use skipper_vision::synth::{Scene, SceneConfig};
 use std::sync::Arc;
 
@@ -57,7 +55,10 @@ fn simulated_platform_results_are_machine_independent() {
     let r4 = run_tracker_sim(Arc::clone(&sc), 4, 5).unwrap();
     let r8 = run_tracker_sim(sc, 8, 5).unwrap();
     let key = |r: &skipper_apps::tracker_sim::TrackerSimReport| {
-        r.frames.iter().map(|f| (f.mode, f.marks)).collect::<Vec<_>>()
+        r.frames
+            .iter()
+            .map(|f| (f.mode, f.marks))
+            .collect::<Vec<_>>()
     };
     assert_eq!(key(&r1), key(&r4));
     assert_eq!(key(&r4), key(&r8));
