@@ -6,7 +6,7 @@
 //! band boundaries with a union-find pass — a textbook Split/Compute/Merge
 //! decomposition.
 
-use skipper::Scm;
+use skipper::{Backend, Scm, SeqBackend, ThreadBackend};
 use skipper_vision::label::{label_components, Connectivity, DisjointSets};
 use skipper_vision::split::{split_rows, RowBand};
 use skipper_vision::Image;
@@ -95,26 +95,26 @@ pub fn merge_bands(parts: Vec<LabelledBand>) -> u32 {
     roots.len() as u32
 }
 
+/// The `scm` program type built by [`ccl_program`].
+pub type CclProgram = Scm<
+    fn(&Image<u8>, usize) -> Vec<RowBand>,
+    fn(RowBand) -> LabelledBand,
+    fn(Vec<LabelledBand>) -> u32,
+>;
+
+/// The labelling program: one `scm` value shared by every backend.
+pub fn ccl_program(n: usize) -> CclProgram {
+    Scm::new(n, split_bands, label_band, merge_bands)
+}
+
 /// Parallel component count via the `scm` skeleton on `n` worker threads.
 pub fn count_components_scm(img: &Image<u8>, n: usize) -> u32 {
-    let scm = Scm::new(
-        n,
-        |img: &Image<u8>, n| split_bands(img, n),
-        label_band,
-        merge_bands,
-    );
-    scm.run_par(img)
+    ThreadBackend::new().run(&ccl_program(n), img)
 }
 
 /// The same count through the declarative semantics (sequential emulation).
 pub fn count_components_scm_seq(img: &Image<u8>, n: usize) -> u32 {
-    let scm = Scm::new(
-        n,
-        |img: &Image<u8>, n| split_bands(img, n),
-        label_band,
-        merge_bands,
-    );
-    scm.run_seq(img)
+    SeqBackend.run(&ccl_program(n), img)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! lane-marking run centres; the merge step fits one line through all the
 //! samples and reads the lane offset at the bottom of the image.
 
-use skipper::Scm;
+use skipper::{Backend, Scm, ThreadBackend};
 use skipper_vision::line::{fit_line, scan_line_points, FittedLine, LinePoint};
 use skipper_vision::split::{split_rows, RowBand};
 use skipper_vision::Image;
@@ -55,7 +55,7 @@ pub fn detect_line_scm(img: &Image<u8>, n: usize) -> Option<FittedLine> {
         scan_band,
         merge_scans,
     );
-    scm.run_par(img)
+    ThreadBackend::new().run(&scm, img)
 }
 
 /// Lane offset in pixels from the image centre at the bottom row.

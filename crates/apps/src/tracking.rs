@@ -509,11 +509,12 @@ pub fn loop_step_seq(state: &TrackState, frame: &Image<u8>) -> (TrackState, Vec<
 }
 
 /// The same iteration with the detection farm run on real threads via
-/// [`skipper::Df`].
+/// [`skipper::Df`] on the [`skipper::ThreadBackend`].
 pub fn loop_step_threads(state: &TrackState, frame: &Image<u8>) -> (TrackState, Vec<Mark>) {
+    use skipper::{Backend, ThreadBackend};
     let windows = get_windows(state, frame);
-    let farm = skipper::Df::new(state.cfg.nproc, detect_marks, accum_marks, Vec::new());
-    let marks = farm.run_par(&windows);
+    let farm = skipper::df(state.cfg.nproc, detect_marks, accum_marks, Vec::new());
+    let marks = ThreadBackend::new().run(&farm, &windows[..]);
     predict(state, marks)
 }
 

@@ -66,16 +66,18 @@ pub fn spin(units: u64) -> u64 {
 /// Wall-clock of processing `items` with a dynamic `df` farm on `workers`
 /// threads.
 pub fn time_df(items: &[u64], workers: usize) -> Duration {
-    let farm = skipper::Df::new(workers, |&u: &u64| spin(u), |z: u64, y: u64| z ^ y, 0u64);
+    use skipper::{Backend, ThreadBackend};
+    let farm = skipper::df(workers, |&u: &u64| spin(u), |z: u64, y: u64| z ^ y, 0u64);
     let t0 = Instant::now();
-    std::hint::black_box(farm.run_par(items));
+    std::hint::black_box(ThreadBackend::new().run(&farm, items));
     t0.elapsed()
 }
 
 /// Wall-clock of processing `items` with a static `scm` decomposition into
 /// `workers` contiguous chunks.
 pub fn time_scm(items: &[u64], workers: usize) -> Duration {
-    let scm = skipper::Scm::new(
+    use skipper::{Backend, ThreadBackend};
+    let scm = skipper::scm(
         workers,
         |v: &Vec<u64>, n| {
             if v.is_empty() {
@@ -88,7 +90,7 @@ pub fn time_scm(items: &[u64], workers: usize) -> Duration {
     );
     let owned = items.to_vec();
     let t0 = Instant::now();
-    std::hint::black_box(scm.run_par(&owned));
+    std::hint::black_box(ThreadBackend::new().run(&scm, &owned));
     t0.elapsed()
 }
 
@@ -126,9 +128,10 @@ mod tests {
     #[test]
     fn df_and_scm_compute_identical_results() {
         // Both runners fold with XOR, so results must agree exactly.
+        use skipper::{Backend, ThreadBackend};
         let items = skewed_units(40, 2000.0, 1.5, 3);
-        let farm = skipper::Df::new(4, |&u: &u64| spin(u), |z: u64, y: u64| z ^ y, 0u64);
-        let df_result = farm.run_par(&items);
+        let farm = skipper::df(4, |&u: &u64| spin(u), |z: u64, y: u64| z ^ y, 0u64);
+        let df_result = ThreadBackend::new().run(&farm, &items[..]);
         let seq_result = items.iter().map(|&u| spin(u)).fold(0u64, |z, y| z ^ y);
         assert_eq!(df_result, seq_result);
     }

@@ -1,30 +1,33 @@
-//! Skeleton-overhead micro-benchmarks (thread backend).
+//! Skeleton-overhead micro-benchmarks: the same program values timed on
+//! the sequential and thread backends.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skipper::{Df, IterMem, Scm, Tf};
+use skipper::{df, itermem, pure, scm, tf, Backend, IterMem, SeqBackend, ThreadBackend};
 
 fn bench_skeletons(c: &mut Criterion) {
     let xs: Vec<u64> = (0..512).collect();
+    let seq = SeqBackend;
+    let threads = ThreadBackend::new();
     let mut g = c.benchmark_group("skeletons");
     g.bench_function("df_seq_512", |b| {
-        let farm = Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
-        b.iter(|| farm.run_seq(&xs))
+        let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        b.iter(|| seq.run(&farm, &xs[..]))
     });
     g.bench_function("df_par_512", |b| {
-        let farm = Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
-        b.iter(|| farm.run_par(&xs))
+        let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        b.iter(|| threads.run(&farm, &xs[..]))
     });
     g.bench_function("scm_par_512", |b| {
-        let scm = Scm::new(
+        let prog = scm(
             4,
             |v: &Vec<u64>, n| v.chunks(v.len().div_ceil(n)).map(<[u64]>::to_vec).collect(),
             |c: Vec<u64>| c.iter().map(|x| x * x).sum::<u64>(),
             |ps: Vec<u64>| ps.into_iter().sum::<u64>(),
         );
-        b.iter(|| scm.run_par(&xs))
+        b.iter(|| threads.run(&prog, &xs))
     });
     g.bench_function("tf_par_tree", |b| {
-        let tf = Tf::new(
+        let prog = tf(
             4,
             |d: u32| {
                 if d > 0 {
@@ -36,9 +39,17 @@ fn bench_skeletons(c: &mut Criterion) {
             |z: u64, o| z + o,
             0u64,
         );
-        b.iter(|| tf.run_par(vec![8]))
+        b.iter(|| threads.run(&prog, vec![8]))
     });
-    g.bench_function("itermem_1000_steps", |b| {
+    g.bench_function("itermem_prog_1000_steps", |b| {
+        // Zero-sized frames: the per-iteration `frames.clone()` copies no
+        // element data, so the measurement is the IterLoop machinery
+        // itself, not input construction.
+        let loop_prog = itermem(pure(|t: &(u64, ())| (t.0 + 1, ())), 0u64);
+        let frames: Vec<()> = vec![(); 1000];
+        b.iter(|| seq.run(&loop_prog, frames.clone()))
+    });
+    g.bench_function("itermem_stream_1000_steps", |b| {
         b.iter(|| {
             let mut im = IterMem::new(
                 skipper::itermem::stream_of(0..1000u64),

@@ -3,32 +3,42 @@
 //! ```text
 //! experiments            # run everything
 //! experiments e3 e4      # run selected experiments
+//! experiments --list     # print the e1–e12 index
 //! ```
+//!
+//! Exits with a nonzero status when asked for an unknown experiment id.
 
 use skipper_bench::experiments as ex;
+use std::process::ExitCode;
 
-fn main() {
+fn print_index() {
+    println!("available experiments:");
+    for (id, title, _) in ex::INDEX {
+        println!("  {id:<4} {title}");
+    }
+    println!("  all  run every experiment in order");
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         ex::run_all();
-        return;
+        return ExitCode::SUCCESS;
     }
+    // Arguments are processed in order, so `experiments e3 --list` runs
+    // e3 and then prints the index.
     for a in &args {
         match a.as_str() {
-            "e1" => ex::e1(),
-            "e2" => ex::e2(),
-            "e3" => ex::e3(),
-            "e4" => ex::e4(),
-            "e5" => ex::e5(),
-            "e6" => ex::e6(),
-            "e7" => ex::e7(),
-            "e8" => ex::e8(),
-            "e9" => ex::e9(),
-            "e10" => ex::e10(),
-            "e11" => ex::e11(),
-            "e12" => ex::e12(),
+            "--list" | "-l" => print_index(),
             "all" => ex::run_all(),
-            other => eprintln!("unknown experiment `{other}` (use e1..e12 or all)"),
+            id => match ex::by_id(id) {
+                Some(f) => f(),
+                None => {
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e12)");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
+    ExitCode::SUCCESS
 }

@@ -25,6 +25,34 @@ fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// The experiment index: id, one-line title, runner.
+pub const INDEX: [(&str, &str, fn()); 12] = [
+    ("e1", "df process network template (Fig. 1)", e1),
+    (
+        "e2",
+        "environment pipeline (Fig. 2): ML source -> executive",
+        e2,
+    ),
+    ("e3", "vehicle tracker latency on ring(8)", e3),
+    ("e4", "latency vs number of processors", e4),
+    ("e5", "generated executive vs hand-crafted version", e5),
+    ("e6", "dynamic farming (df) vs static split (scm)", e6),
+    ("e7", "itermem (Fig. 4): state memory across iterations", e7),
+    ("e8", "emulation == parallel execution (real tracker)", e8),
+    ("e9", "connected-component labelling (scm)", e9),
+    ("e10", "road following: white-line detection (scm)", e10),
+    ("e11", "tf (task farming): quadtree region splitting", e11),
+    ("e12", "AAA mapper: makespan and deadlock freedom", e12),
+];
+
+/// Looks up an experiment runner by id (`"e1"`..`"e12"`).
+pub fn by_id(id: &str) -> Option<fn()> {
+    INDEX
+        .iter()
+        .find(|(name, _, _)| *name == id)
+        .map(|&(_, _, f)| f)
+}
+
 /// The default 512×512 single-vehicle scene.
 pub fn default_scene(vehicles: usize) -> Arc<Scene> {
     Arc::new(Scene::with_vehicles(
@@ -548,9 +576,10 @@ pub fn e11() {
     println!("workers   leaf regions   wall time (ms)");
     let mut counts = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let tf = skipper::Tf::new(workers, split.clone(), |z: u64, o: u64| z + o, 0u64);
+        use skipper::{Backend, ThreadBackend};
+        let tf = skipper::tf(workers, split.clone(), |z: u64, o: u64| z + o, 0u64);
         let t0 = Instant::now();
-        let leaves = tf.run_par(vec![(0, 0, 256, 256)]);
+        let leaves = ThreadBackend::new().run(&tf, vec![(0, 0, 256, 256)]);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         println!("{workers:>7}   {leaves:>12}   {dt:>14.2}");
         counts.push(leaves);
@@ -625,18 +654,9 @@ pub fn e12() {
 
 /// Runs every experiment in order.
 pub fn run_all() {
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
-    e10();
-    e11();
-    e12();
+    for (_, _, f) in INDEX {
+        f();
+    }
 }
 
 #[cfg(test)]

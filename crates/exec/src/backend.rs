@@ -1,0 +1,785 @@
+//! The simulator backend: running [`Skeleton`] programs through the full
+//! paper pipeline.
+//!
+//! [`SimBackend`] is the third execution strategy for a skeleton program
+//! (after `skipper::SeqBackend` and `skipper::ThreadBackend`): it lowers
+//! the program through [`skipper_net::pnt`] template expansion, SynDEx
+//! scheduling and macro-code generation, then interprets the generated
+//! executive on the simulated Transputer machine with real application
+//! values — so the one-line program that runs on host threads also runs,
+//! unmodified, on the modelled parallel machine.
+//!
+//! ```
+//! use skipper::{df, Backend, SeqBackend};
+//! use skipper_exec::SimBackend;
+//!
+//! let farm = df(4, |x: &i64| x * x, |z: i64, y| z + y, 0i64);
+//! let xs: Vec<i64> = (1..=10).collect();
+//! let simulated = SimBackend::ring(5).run(&farm, &xs[..]).expect("farm runs");
+//! assert_eq!(simulated, SeqBackend.run(&farm, &xs[..]));
+//! ```
+//!
+//! Lowering notes (all consistent with the paper's side conditions):
+//!
+//! - `df`/`tf` results are accumulated in **arrival order** by the farm
+//!   master, so simulated results equal the declarative semantics only for
+//!   commutative-associative accumulation functions — the same requirement
+//!   the paper states for the parallel implementation;
+//! - an `scm` split function must produce exactly `workers` fragments
+//!   (the process network has one statically-placed compute node per
+//!   fragment); any other count fails the run with
+//!   [`ExecError::BadShape`];
+//! - a `tf` root task's subtree is elaborated depth-first on the worker it
+//!   is dispatched to (dynamic balancing happens across root tasks);
+//! - `itermem` programs run one graph iteration per frame, with the state
+//!   threaded through a `MEM` node exactly as in Fig. 4. The loop body
+//!   must head with a lowerable skeleton over the `(state, frame)` tuple
+//!   (e.g. `scm(...)` or `scm(...).then(pure(...))`); a bare [`Pure`]
+//!   body has a by-reference input the executive cannot encode.
+
+use crate::executive::{run_simulated, ExecConfig, ExecError, ExecReport};
+use crate::registry::Registry;
+use crate::sim_value::SimValue;
+use crate::value::Value;
+use skipper::{Df, IterLoop, Pure, Scm, Skeleton, Tf, Then};
+use skipper_net::dtype::DataType;
+use skipper_net::graph::{NodeId, NodeKind, ProcessNetwork};
+use skipper_net::pnt::{expand_df, expand_itermem, expand_scm, DfTypes, IterMemTypes, ScmTypes};
+use skipper_net::FarmShape;
+use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::Architecture;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use transvision::sim::SimConfig;
+use transvision::topology::ProcId;
+
+fn internal(e: impl std::fmt::Display) -> ExecError {
+    ExecError::Internal(e.to_string())
+}
+
+fn decode<T: SimValue>(v: &Value, what: &str) -> Result<T, ExecError> {
+    T::from_value(v).ok_or_else(|| {
+        ExecError::Internal(format!("{what}: cannot decode {} value", v.type_name()))
+    })
+}
+
+/// One fragment of a lowered program: a subgraph consuming its encoded
+/// input on `entry` port 0 and producing its encoded output on `exit`
+/// port 0.
+#[derive(Debug, Clone, Copy)]
+pub struct Fragment {
+    /// Dataflow entry node.
+    pub entry: NodeId,
+    /// Dataflow exit node.
+    pub exit: NodeId,
+}
+
+/// Shared state threaded through a lowering pass.
+pub struct Lowering<'a> {
+    net: &'a mut ProcessNetwork,
+    reg: &'a mut Registry,
+    farm_init: &'a mut HashMap<usize, Value>,
+    workers: &'a mut Vec<NodeId>,
+    counter: &'a mut usize,
+}
+
+impl Lowering<'_> {
+    /// A registry/function name unique within this lowering.
+    fn fresh(&mut self, role: &str) -> String {
+        let id = *self.counter;
+        *self.counter += 1;
+        format!("p{id}_{role}")
+    }
+}
+
+/// A program shape [`SimBackend`] knows how to lower into a process
+/// network: [`Df`], [`Scm`], [`Tf`], [`Pure`] and [`Then`] pipelines of
+/// them ([`IterLoop`] is handled at the top level, since a stream loop
+/// wraps the whole graph).
+pub trait SimLower<I>: Skeleton<I> {
+    /// Expands this program into `lw`, registering its sequential
+    /// functions, and returns the fragment's dataflow endpoints.
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment;
+}
+
+fn named(t: &str) -> DataType {
+    DataType::named(t)
+}
+
+impl<I, O, C, A, Z> SimLower<&[I]> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    I: SimValue + Sync,
+    O: SimValue + Send,
+    Z: SimValue + Clone,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let comp_name = lw.fresh("df_comp");
+        let acc_name = lw.fresh("df_acc");
+        let h = expand_df(
+            lw.net,
+            self.workers(),
+            &comp_name,
+            &acc_name,
+            DfTypes {
+                item: named("item"),
+                result: named("result"),
+                acc: named("acc"),
+            },
+            FarmShape::Star,
+        );
+        let comp = self.compute_fn().clone();
+        lw.reg.register(&comp_name, move |args| {
+            let item = I::from_value(&args[0]).expect("df item decodes");
+            vec![comp(&item).to_value()]
+        });
+        let acc = self.acc_fn().clone();
+        lw.reg.register(&acc_name, move |args| {
+            let z = Z::from_value(&args[0]).expect("df accumulator decodes");
+            let o = O::from_value(&args[1]).expect("df result decodes");
+            vec![acc(z, o).to_value()]
+        });
+        lw.farm_init.insert(h.instance, self.init().to_value());
+        lw.workers.extend(h.workers.iter().copied());
+        Fragment {
+            entry: h.master,
+            exit: h.master,
+        }
+    }
+}
+
+impl<I, F, P, R, S, C, M> SimLower<&I> for Scm<S, C, M>
+where
+    S: Fn(&I, usize) -> Vec<F> + Clone + Send + Sync + 'static,
+    C: Fn(F) -> P + Clone + Send + Sync + 'static,
+    M: Fn(Vec<P>) -> R + Clone + Send + Sync + 'static,
+    I: SimValue,
+    F: SimValue + Send,
+    P: SimValue + Send,
+    R: SimValue,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let n = self.workers();
+        let split_name = lw.fresh("scm_split");
+        let comp_name = lw.fresh("scm_comp");
+        let merge_name = lw.fresh("scm_merge");
+        let h = expand_scm(
+            lw.net,
+            n,
+            &split_name,
+            &comp_name,
+            &merge_name,
+            ScmTypes {
+                input: named("input"),
+                fragment: named("fragment"),
+                partial: named("partial"),
+                output: named("output"),
+            },
+        );
+        let split = self.split_fn().clone();
+        lw.reg.register(&split_name, move |args| {
+            let x = I::from_value(&args[0]).expect("scm input decodes");
+            let frags = split(&x, n);
+            // The statically-expanded network has exactly `n` compute
+            // nodes, so any other fragment count cannot be published.
+            // Returning the short list (or an empty one, when too many
+            // fragments would otherwise be silently dropped) makes the
+            // executive fail the run with `ExecError::BadShape` instead
+            // of panicking or losing work items.
+            if frags.len() > n {
+                return vec![Value::list(Vec::new())];
+            }
+            vec![Value::list(frags.iter().map(SimValue::to_value).collect())]
+        });
+        let compute = self.compute_fn().clone();
+        lw.reg.register(&comp_name, move |args| {
+            let f = F::from_value(&args[0]).expect("scm fragment decodes");
+            vec![compute(f).to_value()]
+        });
+        let merge = self.merge_fn().clone();
+        lw.reg.register(&merge_name, move |args| {
+            let parts: Vec<P> = args[0]
+                .as_list()
+                .expect("scm partials arrive as a list")
+                .iter()
+                .map(|v| P::from_value(v).expect("scm partial decodes"))
+                .collect();
+            vec![merge(parts).to_value()]
+        });
+        lw.workers.extend(h.workers.iter().copied());
+        Fragment {
+            entry: h.split,
+            exit: h.merge,
+        }
+    }
+}
+
+impl<T, O, W, A, Z> SimLower<Vec<T>> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    T: SimValue + Send,
+    O: SimValue + Send,
+    Z: SimValue + Clone,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let worker_name = lw.fresh("tf_worker");
+        let acc_name = lw.fresh("tf_acc");
+        let h = expand_df(
+            lw.net,
+            self.workers(),
+            &worker_name,
+            &acc_name,
+            DfTypes {
+                item: named("task"),
+                result: DataType::list(named("result")),
+                acc: named("acc"),
+            },
+            FarmShape::Star,
+        );
+        let worker = self.worker_fn().clone();
+        lw.reg.register(&worker_name, move |args| {
+            // Depth-first elaboration of this root task's subtree (the
+            // same order as `skipper::spec::tf` within one subtree).
+            let root = T::from_value(&args[0]).expect("tf task decodes");
+            let mut stack = vec![root];
+            let mut results: Vec<Value> = Vec::new();
+            while let Some(t) = stack.pop() {
+                let (new_tasks, result) = worker(t);
+                stack.extend(new_tasks.into_iter().rev());
+                if let Some(o) = result {
+                    results.push(o.to_value());
+                }
+            }
+            vec![Value::list(results)]
+        });
+        let acc = self.acc_fn().clone();
+        lw.reg.register(&acc_name, move |args| {
+            let z = Z::from_value(&args[0]).expect("tf accumulator decodes");
+            let folded = args[1]
+                .as_list()
+                .expect("tf subtree results arrive as a list")
+                .iter()
+                .map(|v| O::from_value(v).expect("tf result decodes"))
+                .fold(z, &acc);
+            vec![folded.to_value()]
+        });
+        lw.farm_init.insert(h.instance, self.init().to_value());
+        lw.workers.extend(h.workers.iter().copied());
+        Fragment {
+            entry: h.master,
+            exit: h.master,
+        }
+    }
+}
+
+impl<In, Out, F> SimLower<In> for Pure<F>
+where
+    F: Fn(In) -> Out + Clone + Send + Sync + 'static,
+    In: SimValue,
+    Out: SimValue,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let name = lw.fresh("fn");
+        let node = lw
+            .net
+            .add_node(NodeKind::UserFn(name.clone()), name.clone());
+        let f = self.get().clone();
+        lw.reg.register(&name, move |args| {
+            let x = In::from_value(&args[0]).expect("function input decodes");
+            vec![f(x).to_value()]
+        });
+        Fragment {
+            entry: node,
+            exit: node,
+        }
+    }
+}
+
+impl<In, A, B> SimLower<In> for Then<A, B>
+where
+    A: SimLower<In>,
+    B: SimLower<<A as Skeleton<In>>::Output>,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let fa = self.first().lower(lw);
+        let fb = self.second().lower(lw);
+        lw.net
+            .add_data_edge(fa.exit, 0, fb.entry, 0, named("link"))
+            .expect("fragment endpoints exist");
+        Fragment {
+            entry: fa.entry,
+            exit: fb.exit,
+        }
+    }
+}
+
+/// Encoding of a top-level program input (by shape: slices, references,
+/// owned vectors).
+pub trait SimInput {
+    /// Encodes the input as the value the graph's `Input` node produces.
+    fn encode_input(&self) -> Value;
+}
+
+impl<T: SimValue> SimInput for &[T] {
+    fn encode_input(&self) -> Value {
+        Value::list(self.iter().map(SimValue::to_value).collect())
+    }
+}
+
+impl<T: SimValue> SimInput for &T {
+    fn encode_input(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: SimValue> SimInput for Vec<T> {
+    fn encode_input(&self) -> Value {
+        Value::list(self.iter().map(SimValue::to_value).collect())
+    }
+}
+
+/// The simulator execution strategy: the program is expanded into a
+/// process network, mapped onto a T9000-class machine (a ring of
+/// `nprocs` processors, or a single processor), compiled to per-processor
+/// macro-code and interpreted on the [`transvision`] discrete-event
+/// simulator.
+///
+/// The skeleton's control nodes run on `P0`; its worker nodes are pinned
+/// round-robin over `P1..`, reproducing the paper's master/workers
+/// placement. Run results come back as `Result`, since lowering, mapping
+/// or simulation can fail ([`ExecError`]).
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    nprocs: usize,
+    config: SimConfig,
+}
+
+impl SimBackend {
+    /// A backend simulating a ring of `nprocs` T9000-class processors
+    /// (`nprocs` is clamped to at least 1; 1 means a single processor).
+    pub fn ring(nprocs: usize) -> Self {
+        SimBackend {
+            nprocs: nprocs.max(1),
+            config: SimConfig::default(),
+        }
+    }
+
+    /// A backend simulating a single processor (the machine-side
+    /// equivalent of sequential emulation).
+    pub fn single() -> Self {
+        SimBackend::ring(1)
+    }
+
+    /// Replaces the simulated machine timing model.
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Maps the lowered network onto the simulated machine and runs it:
+    /// control nodes pinned to `P0`, worker nodes round-robin on `P1..`
+    /// (everything on `P0` when simulating a single processor).
+    fn execute(
+        &self,
+        net: &ProcessNetwork,
+        reg: Registry,
+        workers: &[NodeId],
+        mem_init: &HashMap<NodeId, Value>,
+        farm_init: &HashMap<usize, Value>,
+        iterations: usize,
+    ) -> Result<ExecReport, ExecError> {
+        let (arch, pins, strategy) = if self.nprocs == 1 {
+            (
+                Architecture::single_t9000(),
+                HashMap::new(),
+                Strategy::SingleProc,
+            )
+        } else {
+            let arch = Architecture::ring_t9000(self.nprocs);
+            let worker_set: HashSet<NodeId> = workers.iter().copied().collect();
+            let mut pins = HashMap::new();
+            for node in net.nodes() {
+                if !worker_set.contains(&node.id) {
+                    pins.insert(node.id, ProcId(0));
+                }
+            }
+            for (i, &w) in workers.iter().enumerate() {
+                pins.insert(w, ProcId(1 + i % (self.nprocs - 1)));
+            }
+            (arch, pins, Strategy::MinFinish)
+        };
+        let sched = schedule_with(net, &arch, &pins, strategy)
+            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
+        let progs = skipper_syndex::macrocode::generate(net, &sched, &arch);
+        let config = ExecConfig {
+            iterations,
+            frame_clock: None,
+            sim: self.config,
+        };
+        run_simulated(
+            net,
+            &sched,
+            &progs,
+            arch.topology().clone(),
+            Arc::new(reg),
+            mem_init,
+            farm_init,
+            &config,
+        )
+    }
+
+    /// Lowers a one-shot program, runs one graph iteration on the
+    /// simulated machine, and returns the raw output value.
+    fn run_value<I, P>(&self, prog: &P, encoded: Value) -> Result<Value, ExecError>
+    where
+        P: SimLower<I>,
+    {
+        let mut net = ProcessNetwork::new("simbackend");
+        let mut reg = Registry::new();
+        let mut farm_init = HashMap::new();
+        let mut workers = Vec::new();
+        let mut counter = 0usize;
+        let frag = prog.lower(&mut Lowering {
+            net: &mut net,
+            reg: &mut reg,
+            farm_init: &mut farm_init,
+            workers: &mut workers,
+            counter: &mut counter,
+        });
+        let inp = net.add_node(NodeKind::Input("simbackend_input".into()), "input");
+        let out = net.add_node(NodeKind::Output("simbackend_output".into()), "output");
+        net.add_data_edge(inp, 0, frag.entry, 0, named("input"))
+            .map_err(internal)?;
+        net.add_data_edge(frag.exit, 0, out, 0, named("output"))
+            .map_err(internal)?;
+        reg.register("simbackend_input", move |_| vec![encoded.clone()]);
+        let result = Arc::new(Mutex::new(None::<Value>));
+        let slot = Arc::clone(&result);
+        reg.register("simbackend_output", move |args| {
+            *slot.lock().expect("result slot") = Some(args[0].clone());
+            vec![]
+        });
+        self.execute(&net, reg, &workers, &HashMap::new(), &farm_init, 1)?;
+        let v = result.lock().expect("result slot").take();
+        v.ok_or_else(|| ExecError::Internal("program produced no output".into()))
+    }
+}
+
+use skipper::Backend;
+
+impl<'a, I, C, A, Z> Backend<Df<C, A, Z>, &'a [I]> for SimBackend
+where
+    Df<C, A, Z>: SimLower<&'a [I]> + Skeleton<&'a [I], Output = Z>,
+    I: SimValue,
+    Z: SimValue,
+{
+    type Output = Result<Z, ExecError>;
+
+    fn run(&self, prog: &Df<C, A, Z>, input: &'a [I]) -> Result<Z, ExecError> {
+        let out = self.run_value(prog, input.encode_input())?;
+        decode(&out, "df result")
+    }
+}
+
+impl<'a, I, R, S, C, M> Backend<Scm<S, C, M>, &'a I> for SimBackend
+where
+    Scm<S, C, M>: SimLower<&'a I> + Skeleton<&'a I, Output = R>,
+    I: SimValue,
+    R: SimValue,
+{
+    type Output = Result<R, ExecError>;
+
+    fn run(&self, prog: &Scm<S, C, M>, input: &'a I) -> Result<R, ExecError> {
+        let out = self.run_value(prog, input.encode_input())?;
+        decode(&out, "scm result")
+    }
+}
+
+impl<T, W, A, Z> Backend<Tf<W, A, Z>, Vec<T>> for SimBackend
+where
+    Tf<W, A, Z>: SimLower<Vec<T>> + Skeleton<Vec<T>, Output = Z>,
+    T: SimValue,
+    Z: SimValue,
+{
+    type Output = Result<Z, ExecError>;
+
+    fn run(&self, prog: &Tf<W, A, Z>, input: Vec<T>) -> Result<Z, ExecError> {
+        let out = self.run_value(prog, input.encode_input())?;
+        decode(&out, "tf result")
+    }
+}
+
+impl<In, Out, F> Backend<Pure<F>, In> for SimBackend
+where
+    Pure<F>: SimLower<In> + Skeleton<In, Output = Out>,
+    In: SimValue,
+    Out: SimValue,
+{
+    type Output = Result<Out, ExecError>;
+
+    fn run(&self, prog: &Pure<F>, input: In) -> Result<Out, ExecError> {
+        let out = self.run_value(prog, input.to_value())?;
+        decode(&out, "function result")
+    }
+}
+
+impl<In, Out, A, B> Backend<Then<A, B>, In> for SimBackend
+where
+    Then<A, B>: SimLower<In> + Skeleton<In, Output = Out>,
+    In: SimInput,
+    Out: SimValue,
+{
+    type Output = Result<Out, ExecError>;
+
+    fn run(&self, prog: &Then<A, B>, input: In) -> Result<Out, ExecError> {
+        let out = self.run_value(prog, input.encode_input())?;
+        decode(&out, "pipeline result")
+    }
+}
+
+impl<P, Z, B, Y> Backend<IterLoop<P, Z>, Vec<B>> for SimBackend
+where
+    P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+    Z: SimValue + Clone,
+    B: SimValue,
+    Y: SimValue,
+{
+    type Output = Result<(Z, Vec<Y>), ExecError>;
+
+    fn run(&self, prog: &IterLoop<P, Z>, frames: Vec<B>) -> Result<(Z, Vec<Y>), ExecError> {
+        if frames.is_empty() {
+            return Ok((prog.init().clone(), Vec::new()));
+        }
+        let iterations = frames.len();
+        let mut net = ProcessNetwork::new("simbackend-itermem");
+        let mut reg = Registry::new();
+        let mut farm_init = HashMap::new();
+        let mut workers = Vec::new();
+        let mut counter = 0usize;
+        let frag = prog.body().lower(&mut Lowering {
+            net: &mut net,
+            reg: &mut reg,
+            farm_init: &mut farm_init,
+            workers: &mut workers,
+            counter: &mut counter,
+        });
+        // Fig. 4 port contract around the body fragment: `pair` packs
+        // (frame on port 0, state on port 1) into the body's input tuple;
+        // `unpair` splits the body's (state', output) tuple back onto
+        // (output on port 0, next state on port 1).
+        let pair = net.add_node(NodeKind::UserFn("simbackend_pair".into()), "pair");
+        reg.register("simbackend_pair", |args| {
+            vec![Value::tuple(vec![args[1].clone(), args[0].clone()])]
+        });
+        let unpair = net.add_node(NodeKind::UserFn("simbackend_unpair".into()), "unpair");
+        let final_state = Arc::new(Mutex::new(None::<Value>));
+        let state_slot = Arc::clone(&final_state);
+        reg.register("simbackend_unpair", move |args| {
+            let t = args[0]
+                .as_tuple()
+                .expect("loop body must produce a (state, output) tuple");
+            *state_slot.lock().expect("state slot") = Some(t[0].clone());
+            vec![t[1].clone(), t[0].clone()]
+        });
+        net.add_data_edge(pair, 0, frag.entry, 0, named("state-frame"))
+            .map_err(internal)?;
+        net.add_data_edge(frag.exit, 0, unpair, 0, named("state-output"))
+            .map_err(internal)?;
+        let h = expand_itermem(
+            &mut net,
+            "simbackend_grab",
+            "simbackend_show",
+            pair,
+            unpair,
+            IterMemTypes {
+                input: named("frame"),
+                state: named("state"),
+                output: named("output"),
+            },
+        )
+        .map_err(internal)?;
+        let encoded: Vec<Value> = frames.iter().map(SimValue::to_value).collect();
+        reg.register("simbackend_grab", move |args| {
+            let k = args[0].as_int().unwrap_or(0).unsigned_abs() as usize;
+            vec![encoded[k.min(encoded.len() - 1)].clone()]
+        });
+        let outputs = Arc::new(Mutex::new(Vec::<Value>::new()));
+        let output_slot = Arc::clone(&outputs);
+        reg.register("simbackend_show", move |args| {
+            output_slot
+                .lock()
+                .expect("output slot")
+                .push(args[0].clone());
+            vec![]
+        });
+        let mut mem_init = HashMap::new();
+        mem_init.insert(h.mem, prog.init().to_value());
+        self.execute(&net, reg, &workers, &mem_init, &farm_init, iterations)?;
+        let z_value = final_state
+            .lock()
+            .expect("state slot")
+            .take()
+            .ok_or_else(|| ExecError::Internal("loop produced no final state".into()))?;
+        let z = decode(&z_value, "itermem final state")?;
+        let ys = outputs
+            .lock()
+            .expect("output slot")
+            .iter()
+            .map(|v| decode(v, "itermem output"))
+            .collect::<Result<Vec<Y>, _>>()?;
+        Ok((z, ys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper::{df, itermem, pure, scm, tf, Compose, SeqBackend};
+
+    #[test]
+    fn df_on_sim_matches_seq() {
+        let farm = df(4, |x: &i64| x * x, |z: i64, y| z + y, 0i64);
+        let xs: Vec<i64> = (1..=20).collect();
+        for nprocs in [1usize, 3, 5] {
+            let sim = SimBackend::ring(nprocs).run(&farm, &xs[..]).expect("runs");
+            assert_eq!(sim, SeqBackend.run(&farm, &xs[..]), "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn df_empty_input_returns_init_through_sim() {
+        let farm = df(3, |x: &i64| *x, |z: i64, y| z + y, 41i64);
+        let sim = SimBackend::ring(4).run(&farm, &[][..]).expect("runs");
+        assert_eq!(sim, 41);
+    }
+
+    #[test]
+    fn scm_on_sim_matches_seq() {
+        // Round-robin split: always exactly n fragments.
+        let prog = scm(
+            3,
+            |v: &Vec<i64>, n| {
+                let mut out = vec![Vec::new(); n];
+                for (i, &x) in v.iter().enumerate() {
+                    out[i % n].push(x);
+                }
+                out
+            },
+            |chunk: Vec<i64>| chunk.iter().map(|x| x * 2).sum::<i64>(),
+            |parts: Vec<i64>| parts.iter().sum::<i64>(),
+        );
+        let data: Vec<i64> = (0..50).collect();
+        for nprocs in [1usize, 4] {
+            let sim = SimBackend::ring(nprocs).run(&prog, &data).expect("runs");
+            assert_eq!(sim, SeqBackend.run(&prog, &data), "nprocs={nprocs}");
+        }
+    }
+
+    #[test]
+    fn tf_on_sim_matches_seq() {
+        let prog = tf(
+            4,
+            |s: u64| {
+                if s > 16 {
+                    (vec![s / 4; 4], None)
+                } else {
+                    (vec![], Some(s))
+                }
+            },
+            |z: u64, o| z + o,
+            0u64,
+        );
+        let roots = vec![1024u64, 256, 64];
+        let sim = SimBackend::ring(5).run(&prog, roots.clone()).expect("runs");
+        assert_eq!(sim, SeqBackend.run(&prog, roots));
+    }
+
+    #[test]
+    fn scm_split_count_mismatch_is_an_error_not_a_panic() {
+        // The doc-style chunk splitter yields fewer than n fragments for
+        // short inputs (2 items, n=4 -> 2 chunks); the run must fail
+        // gracefully with an ExecError, never abort.
+        let prog = scm(
+            4,
+            |v: &Vec<i64>, n| {
+                v.chunks(v.len().div_ceil(n))
+                    .map(<[i64]>::to_vec)
+                    .collect::<Vec<_>>()
+            },
+            |chunk: Vec<i64>| chunk.iter().sum::<i64>(),
+            |parts: Vec<i64>| parts.iter().sum::<i64>(),
+        );
+        let short: Vec<i64> = vec![1, 2];
+        let err = SimBackend::ring(3).run(&prog, &short).unwrap_err();
+        assert!(matches!(err, ExecError::BadShape { .. }), "got {err}");
+        // Too many fragments must not be silently dropped either.
+        let over = scm(
+            2,
+            |v: &Vec<i64>, _| v.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+            |chunk: Vec<i64>| chunk.iter().sum::<i64>(),
+            |parts: Vec<i64>| parts.iter().sum::<i64>(),
+        );
+        let long: Vec<i64> = (0..5).collect();
+        let err = SimBackend::ring(3).run(&over, &long).unwrap_err();
+        assert!(matches!(err, ExecError::BadShape { .. }), "got {err}");
+    }
+
+    #[test]
+    fn then_pipeline_runs_on_sim() {
+        let prog =
+            df(3, |x: &i64| x + 1, |z: i64, y| z + y, 0i64).then(pure(|total: i64| total * 10));
+        let xs: Vec<i64> = (1..=5).collect();
+        let sim = SimBackend::ring(4).run(&prog, &xs[..]).expect("runs");
+        assert_eq!(sim, SeqBackend.run(&prog, &xs[..]));
+    }
+
+    #[test]
+    fn itermem_scm_loop_threads_state_on_sim() {
+        // The paper's tracking-loop shape: an scm body nested in itermem.
+        let body = scm(
+            2,
+            |t: &(i64, i64), n| {
+                (0..n as i64)
+                    .map(|k| (t.0, t.1 + k))
+                    .collect::<Vec<(i64, i64)>>()
+            },
+            |(z, b): (i64, i64)| z + b,
+            |parts: Vec<i64>| {
+                let s: i64 = parts.iter().sum();
+                (s, s * 2)
+            },
+        );
+        let prog = itermem(body, 7i64);
+        let frames = vec![1i64, 2, 3, 4];
+        for nprocs in [1usize, 3] {
+            let sim = SimBackend::ring(nprocs)
+                .run(&prog, frames.clone())
+                .expect("runs");
+            assert_eq!(
+                sim,
+                SeqBackend.run(&prog, frames.clone()),
+                "nprocs={nprocs}"
+            );
+        }
+    }
+
+    #[test]
+    fn itermem_empty_stream_returns_init() {
+        let body = scm(
+            2,
+            |t: &(i64, i64), n| vec![t.0 + t.1; n],
+            |x: i64| x,
+            |parts: Vec<i64>| (parts[0], parts[1]),
+        );
+        let prog = itermem(body, 9i64);
+        let sim = SimBackend::ring(3).run(&prog, Vec::new()).expect("runs");
+        assert_eq!(sim, (9, Vec::new()));
+    }
+}

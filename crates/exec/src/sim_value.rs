@@ -1,0 +1,186 @@
+//! Encoding native program data as executive [`Value`]s.
+//!
+//! The simulator backend ships *real application data* through the
+//! modelled machine; [`SimValue`] is the bridge between a skeleton
+//! program's native Rust types and the dynamic [`Value`] messages the
+//! executive routes. Round-tripping must be lossless — the backend
+//! equivalence tests compare simulated results bit-for-bit against the
+//! sequential emulation.
+
+use crate::value::Value;
+
+/// A type that can cross the simulated machine as a [`Value`].
+///
+/// Implementations must round-trip: `T::from_value(&t.to_value())`
+/// yields `Some` of an equal value. (`'static` because decoded values are
+/// materialised inside the executive's registered functions.)
+pub trait SimValue: Sized + 'static {
+    /// Encodes `self` as an executive value.
+    fn to_value(&self) -> Value;
+
+    /// Decodes an executive value; `None` on shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+impl SimValue for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        matches!(v, Value::Unit).then_some(())
+    }
+}
+
+impl SimValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl SimValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_float()
+    }
+}
+
+impl SimValue for String {
+    fn to_value(&self) -> Value {
+        Value::str(self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => Some(s.to_string()),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_int_simvalue {
+    ($($t:ty),*) => {$(
+        impl SimValue for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+
+            fn from_value(v: &Value) -> Option<Self> {
+                v.as_int().and_then(|i| <$t>::try_from(i).ok())
+            }
+        }
+    )*};
+}
+
+// `u64`/`usize` ride the `i64` wire format, so values above `i64::MAX`
+// do not round-trip; the executive's messages are modelled data, not a
+// serialisation format.
+impl_int_simvalue!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: SimValue> SimValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::list(self.iter().map(SimValue::to_value).collect())
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_list()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: SimValue> SimValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            // Encoded as 0/1-element lists so `None` stays distinguishable
+            // from a unit payload.
+            Some(t) => Value::list(vec![t.to_value()]),
+            None => Value::list(Vec::new()),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.as_list()? {
+            [] => Some(None),
+            [x] => T::from_value(x).map(Some),
+            _ => None,
+        }
+    }
+}
+
+impl<A: SimValue, B: SimValue> SimValue for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::tuple(vec![self.0.to_value(), self.1.to_value()])
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.as_tuple()? {
+            [a, b] => Some((A::from_value(a)?, B::from_value(b)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: SimValue, B: SimValue, C: SimValue> SimValue for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::tuple(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.as_tuple()? {
+            [a, b, c] => Some((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: SimValue + PartialEq + std::fmt::Debug>(t: T) {
+        assert_eq!(T::from_value(&t.to_value()), Some(t));
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(-42i64);
+        roundtrip(42u32);
+        roundtrip(7usize);
+        roundtrip(1.5f64);
+        roundtrip("farm".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<i32>::new());
+        roundtrip((3i64, vec![1u32, 2]));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip(Some(9i64));
+        roundtrip(None::<i64>);
+        roundtrip(vec![Some(1i32), None]);
+    }
+
+    #[test]
+    fn mismatched_shapes_decode_to_none() {
+        assert_eq!(i64::from_value(&Value::Unit), None);
+        assert_eq!(<(i64, i64)>::from_value(&Value::Int(3)), None);
+        assert_eq!(Vec::<i64>::from_value(&Value::Float(0.0)), None);
+        assert_eq!(u8::from_value(&Value::Int(1000)), None);
+    }
+}

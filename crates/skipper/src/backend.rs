@@ -1,0 +1,142 @@
+//! Execution backends: interchangeable strategies for running a
+//! [`Skeleton`] program.
+//!
+//! A backend is "where the program runs": the same program value can be
+//! emulated sequentially ([`SeqBackend`]), executed on scoped threads
+//! ([`ThreadBackend`]), or — via `skipper_exec::SimBackend` — lowered
+//! through process-network expansion, SynDEx scheduling and macro-code
+//! generation onto the simulated Transputer machine, exactly as the paper
+//! derives the parallel implementation from the workstation emulation.
+//!
+//! # Choosing a backend
+//!
+//! | Backend | Crate | Use it for |
+//! |---|---|---|
+//! | [`SeqBackend`] | `skipper` | debugging, golden results, reference semantics |
+//! | [`ThreadBackend`] | `skipper` | real parallel speed on the host CPU |
+//! | `SimBackend` | `skipper-exec` | the paper pipeline: latency/scaling studies on a modelled machine |
+//!
+//! ```
+//! use skipper::{df, Backend, SeqBackend, ThreadBackend};
+//!
+//! let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+//! let xs: Vec<u64> = (1..=100).collect();
+//! assert_eq!(
+//!     ThreadBackend::new().run(&farm, &xs[..]),
+//!     SeqBackend.run(&farm, &xs[..]),
+//! );
+//! ```
+
+use crate::program::Skeleton;
+use std::num::NonZeroUsize;
+
+/// An execution strategy for programs of type `P` over input `I`.
+///
+/// The trait is parameterised by the program type so that strategies with
+/// extra requirements (such as the simulator backend, which needs
+/// value-encodable inputs and returns `Result`) can implement it for the
+/// program shapes they support while [`SeqBackend`] and [`ThreadBackend`]
+/// accept every [`Skeleton`].
+pub trait Backend<P, I>
+where
+    P: Skeleton<I>,
+{
+    /// What a run produces: `P::Output` for infallible backends, a
+    /// `Result` for fallible ones.
+    type Output;
+
+    /// Runs `prog` on `input` under this strategy.
+    fn run(&self, prog: &P, input: I) -> Self::Output;
+}
+
+/// The sequential-emulation backend: runs the declarative semantics, the
+/// executable specification of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqBackend;
+
+impl<P, I> Backend<P, I> for SeqBackend
+where
+    P: Skeleton<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, prog: &P, input: I) -> P::Output {
+        prog.run_declarative(input)
+    }
+}
+
+/// The thread backend: runs the operational semantics on crossbeam scoped
+/// threads.
+///
+/// By default each program runs with its own degree of parallelism (which
+/// itself defaults to [`crate::default_workers`] when the program was
+/// built with a worker count of 0); [`ThreadBackend::with_workers`]
+/// overrides it for every program run through this backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadBackend {
+    workers: Option<NonZeroUsize>,
+}
+
+impl ThreadBackend {
+    /// A thread backend using each program's own degree of parallelism.
+    pub fn new() -> Self {
+        ThreadBackend::default()
+    }
+
+    /// A thread backend that executes programs with `workers` threads
+    /// instead of each program's own degree.
+    ///
+    /// The override controls the *thread pool*, not the program's
+    /// decomposition: an `scm` split still produces fragments according
+    /// to the degree the program was built with, so its effective
+    /// parallelism is capped by that fragment count. Farms (`df`/`tf`)
+    /// self-schedule and use the full override.
+    pub fn with_workers(workers: NonZeroUsize) -> Self {
+        ThreadBackend {
+            workers: Some(workers),
+        }
+    }
+
+    /// The configured override, if any.
+    pub fn workers(&self) -> Option<NonZeroUsize> {
+        self.workers
+    }
+}
+
+impl<P, I> Backend<P, I> for ThreadBackend
+where
+    P: Skeleton<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, prog: &P, input: I) -> P::Output {
+        prog.run_threaded(input, self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::df;
+
+    #[test]
+    fn seq_and_thread_agree_on_a_farm() {
+        let farm = df(4, |x: &u64| x * 3, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..200).collect();
+        assert_eq!(
+            SeqBackend.run(&farm, &xs[..]),
+            ThreadBackend::new().run(&farm, &xs[..])
+        );
+    }
+
+    #[test]
+    fn worker_override_still_computes_the_same_result() {
+        let farm = df(2, |x: &u64| x + 1, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..50).collect();
+        let narrow = ThreadBackend::with_workers(NonZeroUsize::new(1).unwrap());
+        let wide = ThreadBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        assert_eq!(narrow.run(&farm, &xs[..]), wide.run(&farm, &xs[..]));
+        assert_eq!(narrow.workers(), NonZeroUsize::new(1));
+        assert_eq!(ThreadBackend::new().workers(), None);
+    }
+}

@@ -12,7 +12,9 @@
 //! Fig. 1, with identical load-balancing behaviour: a worker takes the next
 //! item the moment it finishes the previous one.
 
+use crate::program::{resolve_workers, Skeleton};
 use crossbeam::channel;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The data-farming skeleton.
@@ -24,29 +26,25 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// # Example
 ///
 /// ```
-/// use skipper::Df;
-/// let farm = Df::new(3, |s: &String| s.len(), |z, l| z + l, 0usize);
+/// use skipper::{df, Backend, ThreadBackend};
+/// let farm = df(3, |s: &String| s.len(), |z, l| z + l, 0usize);
 /// let words = vec!["skeleton".to_string(), "farm".to_string()];
-/// assert_eq!(farm.run_par(&words), 12);
+/// assert_eq!(ThreadBackend::new().run(&farm, &words[..]), 12);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Df<C, A, Z> {
-    workers: usize,
+    workers: NonZeroUsize,
     comp: C,
     acc: A,
     init: Z,
 }
 
 impl<C, A, Z> Df<C, A, Z> {
-    /// Creates a farm with `workers` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// Creates a farm with `workers` workers; 0 selects
+    /// [`crate::default_workers`].
     pub fn new(workers: usize, comp: C, acc: A, init: Z) -> Self {
-        assert!(workers > 0, "a farm needs at least one worker");
         Df {
-            workers,
+            workers: resolve_workers(workers),
             comp,
             acc,
             init,
@@ -55,24 +53,41 @@ impl<C, A, Z> Df<C, A, Z> {
 
     /// Degree of parallelism.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.workers.get()
+    }
+
+    /// The per-item computation function.
+    pub fn compute_fn(&self) -> &C {
+        &self.comp
+    }
+
+    /// The accumulation function.
+    pub fn acc_fn(&self) -> &A {
+        &self.acc
+    }
+
+    /// The initial accumulator.
+    pub fn init(&self) -> &Z {
+        &self.init
     }
 
     /// Declarative semantics: `fold_left acc z (map comp xs)`.
+    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&farm, xs)` instead")]
     pub fn run_seq<I, O>(&self, xs: &[I]) -> Z
     where
         C: Fn(&I) -> O,
         A: Fn(Z, O) -> Z,
         Z: Clone,
     {
-        xs.iter()
-            .map(|x| (self.comp)(x))
-            .fold(self.init.clone(), |z, o| (self.acc)(z, o))
+        crate::spec::df(self.workers(), &self.comp, &self.acc, self.init.clone(), xs)
     }
 
-    /// Operational semantics: dynamic farm, results folded **in arrival
-    /// order** (unpredictable). Equivalent to [`Df::run_seq`] only when
-    /// `acc` is commutative and associative, as the paper requires.
+    /// Operational semantics: dynamic farm on this farm's own worker
+    /// count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ThreadBackend::new().run(&farm, xs)` instead"
+    )]
     pub fn run_par<I, O>(&self, xs: &[I]) -> Z
     where
         C: Fn(&I) -> O + Sync,
@@ -81,18 +96,12 @@ impl<C, A, Z> Df<C, A, Z> {
         I: Sync,
         O: Send,
     {
-        let mut z = Some(self.init.clone());
-        self.farm(xs, |rx| {
-            for (_idx, o) in rx.iter() {
-                z = Some((self.acc)(z.take().expect("accumulator present"), o));
-            }
-        });
-        z.expect("accumulator present")
+        self.run_threaded(xs, None)
     }
 
     /// Operational semantics with **deterministic** accumulation: results
-    /// are buffered and folded in list order, so it agrees with
-    /// [`Df::run_seq`] for *any* `acc` at the price of buffering all
+    /// are buffered and folded in list order, so it agrees with the
+    /// declarative semantics for *any* `acc` at the price of buffering all
     /// results.
     pub fn run_par_ordered<I, O>(&self, xs: &[I]) -> Z
     where
@@ -103,7 +112,7 @@ impl<C, A, Z> Df<C, A, Z> {
         O: Send,
     {
         let mut slots: Vec<Option<O>> = (0..xs.len()).map(|_| None).collect();
-        self.farm(xs, |rx| {
+        self.farm(xs, self.workers.get(), |rx| {
             for (idx, o) in rx.iter() {
                 slots[idx] = Some(o);
             }
@@ -114,9 +123,9 @@ impl<C, A, Z> Df<C, A, Z> {
             .fold(self.init.clone(), |z, o| (self.acc)(z, o))
     }
 
-    /// Shared farm machinery: spawn self-scheduling workers over `xs` and
-    /// hand the master-side receiver to `collect`.
-    fn farm<I, O>(&self, xs: &[I], collect: impl FnOnce(channel::Receiver<(usize, O)>))
+    /// Shared farm machinery: spawn `n` self-scheduling workers over `xs`
+    /// and hand the master-side receiver to `collect`.
+    fn farm<I, O>(&self, xs: &[I], n: usize, collect: impl FnOnce(channel::Receiver<(usize, O)>))
     where
         C: Fn(&I) -> O + Sync,
         I: Sync,
@@ -128,7 +137,7 @@ impl<C, A, Z> Df<C, A, Z> {
             collect(rx);
             return;
         }
-        let n = self.workers.min(xs.len());
+        let n = n.min(xs.len());
         let next = AtomicUsize::new(0);
         let (tx, rx) = channel::unbounded::<(usize, O)>();
         let comp = &self.comp;
@@ -154,9 +163,43 @@ impl<C, A, Z> Df<C, A, Z> {
     }
 }
 
+/// The program-description semantics of a farm over an item slice.
+///
+/// The parallel result equals the declarative one only when `acc` is
+/// commutative and associative, as the paper requires ("since the
+/// accumulation order in the parallel case is intrinsically
+/// unpredictable"); [`Df::run_par_ordered`] restores determinism for
+/// non-commutative folds.
+impl<'a, I, O, C, A, Z> Skeleton<&'a [I]> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    I: Sync,
+    O: Send,
+{
+    type Output = Z;
+
+    fn run_declarative(&self, xs: &'a [I]) -> Z {
+        crate::spec::df(self.workers(), &self.comp, &self.acc, self.init.clone(), xs)
+    }
+
+    fn run_threaded(&self, xs: &'a [I], workers: Option<NonZeroUsize>) -> Z {
+        let n = workers.unwrap_or(self.workers).get();
+        let mut z = Some(self.init.clone());
+        self.farm(xs, n, |rx| {
+            for (_idx, o) in rx.iter() {
+                z = Some((self.acc)(z.take().expect("accumulator present"), o));
+            }
+        });
+        z.expect("accumulator present")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Backend, SeqBackend, ThreadBackend};
     use std::sync::atomic::AtomicU64;
     use std::time::Duration;
 
@@ -165,7 +208,7 @@ mod tests {
         let farm = Df::new(4, |x: &i64| x * 2, |z, y| z + y, 0);
         let xs: Vec<i64> = (1..=10).collect();
         assert_eq!(
-            farm.run_seq(&xs),
+            SeqBackend.run(&farm, &xs[..]),
             crate::spec::df(4, |x: &i64| x * 2, |z, y| z + y, 0, &xs)
         );
     }
@@ -174,7 +217,10 @@ mod tests {
     fn par_equals_seq_for_commutative_acc() {
         let farm = Df::new(4, |x: &u64| x * x, |z, y| z + y, 0u64);
         let xs: Vec<u64> = (0..500).collect();
-        assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+        assert_eq!(
+            ThreadBackend::new().run(&farm, &xs[..]),
+            SeqBackend.run(&farm, &xs[..])
+        );
     }
 
     #[test]
@@ -187,27 +233,35 @@ mod tests {
             String::new(),
         );
         let xs: Vec<u32> = (0..64).collect();
-        assert_eq!(farm.run_par_ordered(&xs), farm.run_seq(&xs));
+        assert_eq!(farm.run_par_ordered(&xs), SeqBackend.run(&farm, &xs[..]));
     }
 
     #[test]
     fn empty_input_returns_initial() {
         let farm = Df::new(2, |x: &i32| *x, |z: i32, y| z + y, 7);
-        assert_eq!(farm.run_par(&[]), 7);
+        assert_eq!(ThreadBackend::new().run(&farm, &[][..]), 7);
         assert_eq!(farm.run_par_ordered(&[]), 7);
-        assert_eq!(farm.run_seq(&[]), 7);
+        assert_eq!(SeqBackend.run(&farm, &[][..]), 7);
     }
 
     #[test]
     fn single_item_single_worker() {
         let farm = Df::new(1, |x: &i32| x + 1, |z: i32, y| z + y, 0);
-        assert_eq!(farm.run_par(&[41]), 42);
+        assert_eq!(ThreadBackend::new().run(&farm, &[41][..]), 42);
     }
 
     #[test]
     fn more_workers_than_items_is_fine() {
         let farm = Df::new(16, |x: &i32| *x, |z: i32, y| z + y, 0);
-        assert_eq!(farm.run_par(&[1, 2, 3]), 6);
+        assert_eq!(ThreadBackend::new().run(&farm, &[1, 2, 3][..]), 6);
+    }
+
+    #[test]
+    fn backend_override_wins_over_program_degree() {
+        let farm = Df::new(1, |x: &u64| *x, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..100).collect();
+        let wide = ThreadBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        assert_eq!(wide.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
     }
 
     #[test]
@@ -223,7 +277,7 @@ mod tests {
             0u64,
         );
         let xs: Vec<u64> = (0..1000).collect();
-        let total = farm.run_par(&xs);
+        let total = ThreadBackend::new().run(&farm, &xs[..]);
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
         assert_eq!(total, xs.iter().sum::<u64>());
     }
@@ -246,7 +300,7 @@ mod tests {
             0u64,
         );
         let t0 = std::time::Instant::now();
-        let total = farm.run_par(&xs);
+        let total = ThreadBackend::new().run(&farm, &xs[..]);
         let elapsed = t0.elapsed();
         assert_eq!(total, 40 + 40 * 2);
         let serial = Duration::from_millis(total);
@@ -264,18 +318,28 @@ mod tests {
             2,
             |v: &Vec<u64>| {
                 let inner = Df::new(2, |x: &u64| *x, |z, y| z + y, 0u64);
-                inner.run_par(v)
+                ThreadBackend::new().run(&inner, &v[..])
             },
             |z, y| z + y,
             0u64,
         );
         let expected: u64 = inner_sums.iter().flatten().sum();
-        assert_eq!(outer.run_par(&inner_sums), expected);
+        assert_eq!(ThreadBackend::new().run(&outer, &inner_sums[..]), expected);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let _ = Df::new(0, |x: &i32| *x, |z: i32, y: i32| z + y, 0);
+    fn zero_workers_selects_the_default() {
+        let farm = Df::new(0, |x: &i32| *x, |z: i32, y: i32| z + y, 0);
+        assert_eq!(farm.workers(), crate::default_workers().get());
+        assert_eq!(ThreadBackend::new().run(&farm, &[1, 2, 3][..]), 6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let farm = Df::new(4, |x: &u64| x * x, |z, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..64).collect();
+        assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+        assert_eq!(farm.run_seq(&xs), SeqBackend.run(&farm, &xs[..]));
     }
 }

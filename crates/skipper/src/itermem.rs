@@ -11,6 +11,10 @@
 //! `(state, input)` to `(state', output)`, and the output function consumes
 //! the result while the new state feeds the next iteration through the
 //! `MEM` process.
+//!
+//! [`IterMem`] is the *push-driven* runner for live emulation with
+//! input/display callbacks; the composable, backend-retargetable program
+//! form of the same loop is [`crate::itermem()`] / [`crate::IterLoop`].
 
 /// The stream-loop skeleton.
 ///
@@ -210,13 +214,14 @@ mod tests {
     #[test]
     fn loop_body_may_use_a_farm() {
         // The paper's tracker: a df farm inside the itermem loop.
+        use crate::{Backend, ThreadBackend};
         let farm = crate::Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
         let frames: Vec<Vec<u64>> = (1..=3).map(|k| (0..k * 4).collect()).collect();
         let mut totals = Vec::new();
         let mut im = IterMem::new(
             stream_of(frames.clone()),
             |z: u64, frame: Vec<u64>| {
-                let s = farm.run_par(&frame);
+                let s = ThreadBackend::new().run(&farm, &frame[..]);
                 (z + s, s)
             },
             |y| totals.push(y),

@@ -2,40 +2,61 @@
 //!
 //! This crate is the modern-library rendering of the paper's skeleton
 //! repertoire for real-time image processing (Sérot, Ginhac, Dérutin,
-//! PaCT-99). Each skeleton is a higher-order construct that coordinates
-//! user-supplied sequential functions, and — exactly as in the paper — each
-//! has **two semantics**:
+//! PaCT-99). A program is written **once** as a typed [`Skeleton`] value
+//! and then handed to an interchangeable [`Backend`] — the API form of the
+//! paper's central claim that one skeletal description serves both
+//! sequential emulation on a workstation and a parallel implementation
+//! derived for the target machine.
 //!
-//! - a *declarative* one (`run_seq`): the executable specification, a pure
-//!   combination of `map`/`fold` calls usable for sequential emulation and
-//!   debugging on a workstation;
-//! - an *operational* one (`run_par`): a parallel implementation, here
-//!   built on crossbeam scoped threads and channels instead of Transputer
-//!   process networks.
+//! The repertoire (paper §2), each a higher-order construct coordinating
+//! user-supplied sequential functions:
 //!
-//! The repertoire (paper §2):
-//!
-//! | Skeleton | Pattern | Module |
+//! | Skeleton | Pattern | Constructor |
 //! |---|---|---|
-//! | [`Scm`] | regular, geometric data parallelism (Split/Compute/Merge) | [`scm`] |
-//! | [`Df`]  | irregular data parallelism with dynamic load balancing (data farming) | [`df`] |
-//! | [`Tf`]  | divide-and-conquer: workers generate new packets (task farming) | [`tf`] |
-//! | [`IterMem`] | stream iteration with inter-frame state memory | [`itermem`] |
+//! | [`Scm`] | regular, geometric data parallelism (Split/Compute/Merge) | [`scm()`](scm()) |
+//! | [`Df`]  | irregular data parallelism with dynamic load balancing (data farming) | [`df()`](df()) |
+//! | [`Tf`]  | divide-and-conquer: workers generate new packets (task farming) | [`tf()`](tf()) |
+//! | [`IterLoop`] | stream iteration with inter-frame state memory (Fig. 4) | [`itermem()`](itermem()) |
 //!
-//! The [`spec`] module contains the paper's one-line Caml declarative
-//! definitions transliterated to Rust, used as the reference semantics in
-//! property tests.
+//! Programs compose: [`Compose::then`] pipelines two programs, and
+//! [`itermem()`](itermem()) nests any program as a tracking-loop body, so
+//! the paper's applications read as `itermem(scm(...), z0)`.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use skipper::Df;
+//! use skipper::{df, Backend, SeqBackend, ThreadBackend};
 //!
 //! // df 4 (·²) (+) 0 [1..=100] — irregular work, dynamic balancing.
-//! let farm = Df::new(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
+//! let farm = df(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
 //! let xs: Vec<u64> = (1..=100).collect();
-//! assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+//! assert_eq!(
+//!     ThreadBackend::new().run(&farm, &xs[..]),
+//!     SeqBackend.run(&farm, &xs[..]),
+//! );
 //! ```
+//!
+//! # Choosing a backend
+//!
+//! - [`SeqBackend`] runs the *declarative* semantics — the executable
+//!   specification, a pure combination of `map`/`fold` calls usable for
+//!   sequential emulation and debugging on a workstation.
+//! - [`ThreadBackend`] runs the *operational* semantics on crossbeam
+//!   scoped threads (the modern stand-in for the paper's Transputer
+//!   process networks). Worker counts default to
+//!   [`std::thread::available_parallelism`] when a program is built with
+//!   a degree of 0, and can be overridden per backend with
+//!   [`ThreadBackend::with_workers`].
+//! - `SimBackend` (in the `skipper-exec` crate) lowers the same program
+//!   through process-network expansion, SynDEx scheduling and macro-code
+//!   generation, and executes it on the simulated Transputer machine —
+//!   the full paper pipeline, used for latency and scaling studies.
+//!
+//! # Deprecated entry points
+//!
+//! The pre-0.2 per-skeleton methods `run_seq`/`run_par` are kept for one
+//! release as thin deprecated shims over `SeqBackend.run(..)` /
+//! `ThreadBackend::new().run(..)`; new code should go through a backend.
 //!
 //! # Equivalence requirements
 //!
@@ -44,15 +65,24 @@
 //! requires the accumulation function to be **commutative and associative**
 //! ("since the accumulation order in the parallel case is intrinsically
 //! unpredictable"); [`Df::run_par_ordered`] restores determinism for
-//! non-commutative folds at a small synchronisation cost.
+//! non-commutative folds at a small synchronisation cost. The [`spec`]
+//! module contains the paper's one-line Caml declarative definitions
+//! transliterated to Rust, used as the reference semantics in property
+//! tests.
 
+pub mod backend;
 pub mod df;
 pub mod itermem;
+pub mod program;
 pub mod scm;
 pub mod spec;
 pub mod tf;
 
+pub use backend::{Backend, SeqBackend, ThreadBackend};
 pub use df::Df;
 pub use itermem::IterMem;
+pub use program::{
+    default_workers, df, itermem, pure, scm, tf, Compose, IterLoop, Pure, Skeleton, Then,
+};
 pub use scm::Scm;
 pub use tf::Tf;

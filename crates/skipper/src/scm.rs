@@ -8,7 +8,9 @@
 //! exactly why the paper reserves `scm` for *regular* workloads and brings
 //! in `df` when per-item cost varies.
 
+use crate::program::{resolve_workers, Skeleton};
 use crossbeam::channel;
+use std::num::NonZeroUsize;
 
 /// The Split/Compute/Merge skeleton.
 ///
@@ -20,34 +22,30 @@ use crossbeam::channel;
 /// # Example
 ///
 /// ```
-/// use skipper::Scm;
-/// let scm = Scm::new(
+/// use skipper::{scm, Backend, ThreadBackend};
+/// let prog = scm(
 ///     4,
 ///     |v: &Vec<u32>, n| v.chunks(v.len().div_ceil(n)).map(<[u32]>::to_vec).collect(),
 ///     |chunk: Vec<u32>| chunk.iter().sum::<u32>(),
 ///     |partials: Vec<u32>| partials.iter().sum::<u32>(),
 /// );
 /// let data: Vec<u32> = (1..=100).collect();
-/// assert_eq!(scm.run_par(&data), 5050);
+/// assert_eq!(ThreadBackend::new().run(&prog, &data), 5050);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scm<S, C, M> {
-    workers: usize,
+    workers: NonZeroUsize,
     split: S,
     compute: C,
     merge: M,
 }
 
 impl<S, C, M> Scm<S, C, M> {
-    /// Creates an `scm` instance with `workers` compute processes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// Creates an `scm` instance with `workers` compute processes; 0
+    /// selects [`crate::default_workers`].
     pub fn new(workers: usize, split: S, compute: C, merge: M) -> Self {
-        assert!(workers > 0, "scm needs at least one worker");
         Scm {
-            workers,
+            workers: resolve_workers(workers),
             split,
             compute,
             merge,
@@ -56,24 +54,40 @@ impl<S, C, M> Scm<S, C, M> {
 
     /// Degree of parallelism.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.workers.get()
+    }
+
+    /// The domain-decomposition function.
+    pub fn split_fn(&self) -> &S {
+        &self.split
+    }
+
+    /// The per-fragment computation function.
+    pub fn compute_fn(&self) -> &C {
+        &self.compute
+    }
+
+    /// The result-merging function.
+    pub fn merge_fn(&self) -> &M {
+        &self.merge
     }
 
     /// Declarative semantics: `merge (map compute (split x))`.
+    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&prog, x)` instead")]
     pub fn run_seq<I, F, P, R>(&self, x: &I) -> R
     where
         S: Fn(&I, usize) -> Vec<F>,
         C: Fn(F) -> P,
         M: Fn(Vec<P>) -> R,
     {
-        let frags = (self.split)(x, self.workers);
-        let partials = frags.into_iter().map(|f| (self.compute)(f)).collect();
-        (self.merge)(partials)
+        crate::spec::scm(self.workers(), &self.split, &self.compute, &self.merge, x)
     }
 
-    /// Operational semantics: fragments are assigned statically (cyclically
-    /// by index) to `workers` threads; partial results are merged in
-    /// fragment order, so the result always equals [`Scm::run_seq`].
+    /// Operational semantics on this instance's own worker count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ThreadBackend::new().run(&prog, x)` instead"
+    )]
     pub fn run_par<I, F, P, R>(&self, x: &I) -> R
     where
         S: Fn(&I, usize) -> Vec<F>,
@@ -82,12 +96,35 @@ impl<S, C, M> Scm<S, C, M> {
         F: Send,
         P: Send,
     {
-        let frags = (self.split)(x, self.workers);
+        self.run_threaded(x, None)
+    }
+}
+
+/// The program-description semantics: fragments are assigned statically
+/// (cyclically by index) to worker threads; partial results are merged in
+/// fragment order, so the threaded result always equals the declarative
+/// one.
+impl<'a, I, F, P, R, S, C, M> Skeleton<&'a I> for Scm<S, C, M>
+where
+    S: Fn(&I, usize) -> Vec<F>,
+    C: Fn(F) -> P + Sync,
+    M: Fn(Vec<P>) -> R,
+    F: Send,
+    P: Send,
+{
+    type Output = R;
+
+    fn run_declarative(&self, x: &'a I) -> R {
+        crate::spec::scm(self.workers(), &self.split, &self.compute, &self.merge, x)
+    }
+
+    fn run_threaded(&self, x: &'a I, workers: Option<NonZeroUsize>) -> R {
+        let frags = (self.split)(x, self.workers());
         let count = frags.len();
         if count == 0 {
             return (self.merge)(Vec::new());
         }
-        let n = self.workers.min(count);
+        let n = workers.unwrap_or(self.workers).get().min(count);
         let (tx, rx) = channel::unbounded::<(usize, P)>();
         let compute = &self.compute;
         // Hand each worker its statically-assigned fragments.
@@ -125,6 +162,7 @@ impl<S, C, M> Scm<S, C, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Backend, SeqBackend, ThreadBackend};
     use std::time::Duration;
 
     // `&Vec` (not `&[_]`) is deliberate: the splitter's argument type fixes
@@ -146,7 +184,10 @@ mod tests {
             |ps: Vec<u64>| ps.iter().sum::<u64>(),
         );
         let data: Vec<u64> = (0..1000).collect();
-        assert_eq!(scm.run_par(&data), scm.run_seq(&data));
+        assert_eq!(
+            ThreadBackend::new().run(&scm, &data),
+            SeqBackend.run(&scm, &data)
+        );
     }
 
     #[test]
@@ -165,7 +206,7 @@ mod tests {
             |ps: Vec<usize>| ps.into_iter().sum::<usize>(),
             &data,
         );
-        assert_eq!(scm.run_par(&data), spec);
+        assert_eq!(ThreadBackend::new().run(&scm, &data), spec);
     }
 
     #[test]
@@ -182,7 +223,7 @@ mod tests {
             |ps: Vec<Vec<u64>>| ps.concat(),
         );
         let data: Vec<u64> = (0..20).rev().collect();
-        assert_eq!(scm.run_par(&data), data);
+        assert_eq!(ThreadBackend::new().run(&scm, &data), data);
     }
 
     #[test]
@@ -193,8 +234,8 @@ mod tests {
             |x: u32| x,
             |ps: Vec<u32>| ps.len(),
         );
-        assert_eq!(scm.run_par(&0), 0);
-        assert_eq!(scm.run_seq(&0), 0);
+        assert_eq!(ThreadBackend::new().run(&scm, &0), 0);
+        assert_eq!(SeqBackend.run(&scm, &0), 0);
     }
 
     #[test]
@@ -206,17 +247,35 @@ mod tests {
             |ps: Vec<u64>| ps.iter().sum::<u64>(),
         );
         let data: Vec<u64> = (1..=9).collect();
-        assert_eq!(scm.run_par(&data), 90);
+        assert_eq!(ThreadBackend::new().run(&scm, &data), 90);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let _ = Scm::new(
+    fn zero_workers_selects_the_default() {
+        let scm = Scm::new(
             0,
-            |_: &u32, _: usize| Vec::<u32>::new(),
+            |_: &u32, n: usize| vec![1u32; n],
             |x: u32| x,
             |ps: Vec<u32>| ps.len(),
         );
+        assert_eq!(scm.workers(), crate::default_workers().get());
+        assert_eq!(
+            ThreadBackend::new().run(&scm, &0),
+            crate::default_workers().get()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let scm = Scm::new(
+            3,
+            chunk_split,
+            |c: Vec<u64>| c.iter().sum::<u64>(),
+            |ps: Vec<u64>| ps.iter().sum::<u64>(),
+        );
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(scm.run_par(&data), scm.run_seq(&data));
+        assert_eq!(scm.run_seq(&data), 5050);
     }
 }

@@ -10,9 +10,11 @@
 //! accumulating master. Termination is detected when the pool is empty
 //! *and* no worker still holds a task.
 
+use crate::program::{resolve_workers, Skeleton};
 use crossbeam::channel;
 use crossbeam::utils::Backoff;
 use std::collections::VecDeque;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -25,9 +27,9 @@ use std::sync::Mutex;
 /// # Example
 ///
 /// ```
-/// use skipper::Tf;
+/// use skipper::{tf, Backend, ThreadBackend};
 /// // Count the nodes of an implicit binary tree of depth 4.
-/// let tf = Tf::new(
+/// let prog = tf(
 ///     4,
 ///     |d: u32| {
 ///         let children = if d > 0 { vec![d - 1, d - 1] } else { vec![] };
@@ -36,26 +38,22 @@ use std::sync::Mutex;
 ///     |z, c| z + c,
 ///     0u32,
 /// );
-/// assert_eq!(tf.run_par(vec![4]), 31);
+/// assert_eq!(ThreadBackend::new().run(&prog, vec![4]), 31);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tf<W, A, Z> {
-    workers: usize,
+    workers: NonZeroUsize,
     worker: W,
     acc: A,
     init: Z,
 }
 
 impl<W, A, Z> Tf<W, A, Z> {
-    /// Creates a task farm with `workers` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// Creates a task farm with `workers` workers; 0 selects
+    /// [`crate::default_workers`].
     pub fn new(workers: usize, worker: W, acc: A, init: Z) -> Self {
-        assert!(workers > 0, "a task farm needs at least one worker");
         Tf {
-            workers,
+            workers: resolve_workers(workers),
             worker,
             acc,
             init,
@@ -64,11 +62,27 @@ impl<W, A, Z> Tf<W, A, Z> {
 
     /// Degree of parallelism.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.workers.get()
+    }
+
+    /// The task-elaboration function.
+    pub fn worker_fn(&self) -> &W {
+        &self.worker
+    }
+
+    /// The accumulation function.
+    pub fn acc_fn(&self) -> &A {
+        &self.acc
+    }
+
+    /// The initial accumulator.
+    pub fn init(&self) -> &Z {
+        &self.init
     }
 
     /// Declarative semantics: depth-first elaboration of the task tree
     /// (see [`crate::spec::tf`]).
+    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&prog, tasks)` instead")]
     pub fn run_seq<T, O>(&self, tasks: Vec<T>) -> Z
     where
         W: Fn(T) -> (Vec<T>, Option<O>),
@@ -76,7 +90,7 @@ impl<W, A, Z> Tf<W, A, Z> {
         Z: Clone,
     {
         crate::spec::tf(
-            self.workers,
+            self.workers(),
             |t| (self.worker)(t),
             |z, o| (self.acc)(z, o),
             self.init.clone(),
@@ -84,8 +98,11 @@ impl<W, A, Z> Tf<W, A, Z> {
         )
     }
 
-    /// Operational semantics: shared task pool with work generation;
-    /// results folded in arrival order.
+    /// Operational semantics on this farm's own worker count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ThreadBackend::new().run(&prog, tasks)` instead"
+    )]
     pub fn run_par<T, O>(&self, tasks: Vec<T>) -> Z
     where
         W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
@@ -94,9 +111,38 @@ impl<W, A, Z> Tf<W, A, Z> {
         T: Send,
         O: Send,
     {
+        self.run_threaded(tasks, None)
+    }
+}
+
+/// The program-description semantics: shared task pool with work
+/// generation; results folded in arrival order (so the threaded result
+/// matches the declarative one only for commutative-associative `acc`).
+impl<T, O, W, A, Z> Skeleton<Vec<T>> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    T: Send,
+    O: Send,
+{
+    type Output = Z;
+
+    fn run_declarative(&self, tasks: Vec<T>) -> Z {
+        crate::spec::tf(
+            self.workers(),
+            |t| (self.worker)(t),
+            |z, o| (self.acc)(z, o),
+            self.init.clone(),
+            tasks,
+        )
+    }
+
+    fn run_threaded(&self, tasks: Vec<T>, workers: Option<NonZeroUsize>) -> Z {
         if tasks.is_empty() {
             return self.init.clone();
         }
+        let n = workers.unwrap_or(self.workers).get();
         // `outstanding` counts queued + in-process tasks; 0 means done.
         let outstanding = AtomicUsize::new(tasks.len());
         let queue = Mutex::new(VecDeque::from(tasks));
@@ -104,7 +150,7 @@ impl<W, A, Z> Tf<W, A, Z> {
         let worker = &self.worker;
         let mut z = Some(self.init.clone());
         crossbeam::thread::scope(|s| {
-            for _ in 0..self.workers {
+            for _ in 0..n {
                 let tx = tx.clone();
                 let queue = &queue;
                 let outstanding = &outstanding;
@@ -152,6 +198,7 @@ impl<W, A, Z> Tf<W, A, Z> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Backend, SeqBackend, ThreadBackend};
 
     /// Quadtree-style division: a "region" of size s splits into 4 regions
     /// of size s/4 until small, then reports its size.
@@ -166,20 +213,23 @@ mod tests {
     #[test]
     fn par_equals_seq_for_commutative_acc() {
         let tf = Tf::new(4, quad, |z, o| z + o, 0u64);
-        assert_eq!(tf.run_par(vec![1024]), tf.run_seq(vec![1024]));
+        assert_eq!(
+            ThreadBackend::new().run(&tf, vec![1024]),
+            SeqBackend.run(&tf, vec![1024])
+        );
     }
 
     #[test]
     fn leaf_mass_is_conserved() {
         // 1024 splits into 4x256 ... down to 4^3 leaves of 16: total 1024.
         let tf = Tf::new(8, quad, |z, o| z + o, 0u64);
-        assert_eq!(tf.run_par(vec![1024]), 1024);
+        assert_eq!(ThreadBackend::new().run(&tf, vec![1024]), 1024);
     }
 
     #[test]
     fn empty_task_list_returns_init() {
         let tf = Tf::new(2, quad, |z, o| z + o, 99u64);
-        assert_eq!(tf.run_par(Vec::new()), 99);
+        assert_eq!(ThreadBackend::new().run(&tf, Vec::new()), 99);
     }
 
     #[test]
@@ -187,7 +237,7 @@ mod tests {
         // No task generates children: tf degenerates to df.
         let tf = Tf::new(4, |x: u64| (Vec::new(), Some(x * 3)), |z, o| z + o, 0u64);
         let expected: u64 = (0..100).map(|x| x * 3).sum();
-        assert_eq!(tf.run_par((0..100).collect()), expected);
+        assert_eq!(ThreadBackend::new().run(&tf, (0..100).collect()), expected);
     }
 
     #[test]
@@ -204,7 +254,10 @@ mod tests {
             |z, o| z + o,
             0u32,
         );
-        assert_eq!(tf.run_par((0..10).collect()), 2 + 4 + 6 + 8);
+        assert_eq!(
+            ThreadBackend::new().run(&tf, (0..10).collect()),
+            2 + 4 + 6 + 8
+        );
     }
 
     #[test]
@@ -223,19 +276,30 @@ mod tests {
             |z, o| z + o,
             0u32,
         );
-        assert_eq!(tf.run_par(vec![500]), 1);
+        assert_eq!(ThreadBackend::new().run(&tf, vec![500]), 1);
     }
 
     #[test]
     fn many_roots_many_workers() {
         let tf = Tf::new(8, quad, |z, o| z + o, 0u64);
         let roots = vec![256u64; 16];
-        assert_eq!(tf.run_par(roots.clone()), tf.run_seq(roots));
+        assert_eq!(
+            ThreadBackend::new().run(&tf, roots.clone()),
+            SeqBackend.run(&tf, roots)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let _ = Tf::new(0, quad, |z: u64, o: u64| z + o, 0u64);
+    fn zero_workers_selects_the_default() {
+        let tf = Tf::new(0, quad, |z: u64, o: u64| z + o, 0u64);
+        assert_eq!(tf.workers(), crate::default_workers().get());
+        assert_eq!(ThreadBackend::new().run(&tf, vec![64]), 64);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let tf = Tf::new(4, quad, |z: u64, o: u64| z + o, 0u64);
+        assert_eq!(tf.run_par(vec![1024]), tf.run_seq(vec![1024]));
     }
 }

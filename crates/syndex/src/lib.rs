@@ -12,7 +12,7 @@
 //!
 //! - [`arch`]: the architecture graph (a [`transvision::Topology`] plus a
 //!   [`transvision::CostModel`]);
-//! - [`schedule`]: static distribution + scheduling — a critical-path
+//! - [`mod@schedule`]: static distribution + scheduling — a critical-path
 //!   (HEFT-style) list scheduler in the spirit of SynDEx's adequation
 //!   heuristic, with round-robin and single-processor baselines;
 //! - [`macrocode`]: generation of per-processor executive macro-code (the

@@ -15,7 +15,7 @@
 //! - connected-component labelling ([`label`]) and region properties
 //!   ([`region`]): areas, centroids, bounding boxes — the building blocks of
 //!   the paper's mark-detection function;
-//! - line extraction ([`line`]) for the road-following application;
+//! - line extraction ([`mod@line`]) for the road-following application;
 //! - window/ROI handling ([`window`]) and domain splitters ([`split`]) used
 //!   by the `scm` skeleton;
 //! - synthetic scene generation ([`synth`]): 3D vehicles carrying three

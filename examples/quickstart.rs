@@ -1,33 +1,37 @@
-//! Quickstart: the four SKiPPER skeletons on toy data.
+//! Quickstart: the four SKiPPER skeletons as programs, run through
+//! interchangeable backends.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use skipper::{Df, IterMem, Scm, Tf};
+use skipper::{df, itermem, scm, tf, Backend, SeqBackend, ThreadBackend};
 
 fn main() {
+    let seq = SeqBackend;
+    let threads = ThreadBackend::new();
+
     // df — data farming: irregular items, dynamic load balancing.
-    let farm = Df::new(4, |s: &String| s.len(), |z, l| z + l, 0usize);
+    let farm = df(4, |s: &String| s.len(), |z, l| z + l, 0usize);
     let words: Vec<String> = ["skeleton", "based", "parallel", "programming"]
         .iter()
         .map(ToString::to_string)
         .collect();
-    println!("df   : total length = {}", farm.run_par(&words));
-    assert_eq!(farm.run_par(&words), farm.run_seq(&words));
+    println!("df   : total length = {}", threads.run(&farm, &words[..]));
+    assert_eq!(threads.run(&farm, &words[..]), seq.run(&farm, &words[..]));
 
     // scm — split/compute/merge: regular geometric decomposition.
-    let scm = Scm::new(
+    let sum = scm(
         4,
         |v: &Vec<u64>, n| v.chunks(v.len().div_ceil(n)).map(<[u64]>::to_vec).collect(),
         |chunk: Vec<u64>| chunk.iter().sum::<u64>(),
         |partials: Vec<u64>| partials.into_iter().sum::<u64>(),
     );
     let data: Vec<u64> = (1..=100).collect();
-    println!("scm  : sum 1..=100 = {}", scm.run_par(&data));
+    println!("scm  : sum 1..=100 = {}", threads.run(&sum, &data));
 
     // tf — task farming: divide and conquer with work generation.
-    let tf = Tf::new(
+    let leaves = tf(
         4,
         |depth: u32| {
             if depth == 0 {
@@ -36,21 +40,27 @@ fn main() {
                 (vec![depth - 1, depth - 1], None)
             }
         },
-        |z, leaves| z + leaves,
+        |z, n| z + n,
         0u64,
     );
     println!(
         "tf   : leaves of a depth-10 binary tree = {}",
-        tf.run_par(vec![10])
+        threads.run(&leaves, vec![10])
     );
 
-    // itermem — stream loop with state memory (Fig. 4).
-    let mut loop_ = IterMem::new(
-        skipper::itermem::stream_of(1..=5),
-        |state: i64, frame: i64| (state + frame, state + frame),
-        |running_total| println!("itermem: running total = {running_total}"),
-        0,
+    // itermem — stream loop with state memory (Fig. 4), here with an scm
+    // body: the paper's tracking-loop shape `itermem(scm(...), z0)`.
+    let body = scm(
+        2,
+        |t: &(i64, i64), n| (0..n as i64).map(|k| t.0 + t.1 + k).collect::<Vec<_>>(),
+        |x: i64| x,
+        |parts: Vec<i64>| {
+            let s: i64 = parts.iter().sum();
+            (s, s)
+        },
     );
-    loop_.run();
-    println!("itermem final state = {}", loop_.into_state());
+    let tracker = itermem(body, 0i64);
+    let frames = vec![1i64, 2, 3, 4, 5];
+    let (final_state, outputs) = threads.run(&tracker, frames);
+    println!("itermem: per-frame outputs = {outputs:?}, final state = {final_state}");
 }

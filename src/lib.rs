@@ -20,11 +20,19 @@
 //!
 //! # Quickstart
 //!
+//! A program is written once as a [`skipper::Skeleton`] value and handed
+//! to an interchangeable [`skipper::Backend`] — sequential emulation,
+//! host threads, or the full SynDEx-to-simulator pipeline
+//! (`skipper_exec::SimBackend`):
+//!
 //! ```
-//! use skipper::Df;
-//! let farm = Df::new(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+//! use skipper::{df, Backend, SeqBackend, ThreadBackend};
+//! let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
 //! let xs: Vec<u64> = (1..=10).collect();
-//! assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+//! assert_eq!(
+//!     ThreadBackend::new().run(&farm, &xs[..]),
+//!     SeqBackend.run(&farm, &xs[..]),
+//! );
 //! ```
 
 pub use skipper;

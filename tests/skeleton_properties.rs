@@ -7,7 +7,7 @@
 //! - AAA schedules respect dataflow precedence on random DAGs.
 
 use proptest::prelude::*;
-use skipper::{Df, Scm, Tf};
+use skipper::{Backend, Df, Scm, SeqBackend, Tf, ThreadBackend};
 use skipper_net::dtype::DataType;
 use skipper_net::graph::{NodeKind, ProcessNetwork};
 use skipper_syndex::schedule::{schedule_with, Strategy};
@@ -23,7 +23,10 @@ proptest! {
     #[test]
     fn df_par_equals_seq(xs in prop::collection::vec(0u64..1000, 0..200), workers in 1usize..8) {
         let farm = Df::new(workers, |x: &u64| x.wrapping_mul(31) ^ 7, |z: u64, y| z.wrapping_add(y), 0u64);
-        prop_assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+        prop_assert_eq!(
+            ThreadBackend::new().run(&farm, &xs[..]),
+            SeqBackend.run(&farm, &xs[..])
+        );
     }
 
     /// df ordered: parallel == sequential even for non-commutative folds.
@@ -38,7 +41,7 @@ proptest! {
             |z: String, y: String| z + &y + ",",
             String::new(),
         );
-        prop_assert_eq!(farm.run_par_ordered(&xs), farm.run_seq(&xs));
+        prop_assert_eq!(farm.run_par_ordered(&xs), SeqBackend.run(&farm, &xs[..]));
     }
 
     /// scm: parallel == sequential always (merge sees fragment order).
@@ -50,7 +53,10 @@ proptest! {
             |c: Vec<i64>| c.into_iter().map(|x| x - 3).collect::<Vec<i64>>(),
             |ps: Vec<Vec<i64>>| ps.concat(),
         );
-        prop_assert_eq!(scm.run_par(&xs), scm.run_seq(&xs));
+        prop_assert_eq!(
+            ThreadBackend::new().run(&scm, &xs),
+            SeqBackend.run(&scm, &xs)
+        );
     }
 
     /// tf: parallel == sequential for commutative folds over generated work.
@@ -64,7 +70,10 @@ proptest! {
             }
         };
         let tf = Tf::new(workers, worker, |z: u64, o| z.wrapping_add(o), 0u64);
-        prop_assert_eq!(tf.run_par(roots.clone()), tf.run_seq(roots));
+        prop_assert_eq!(
+            ThreadBackend::new().run(&tf, roots.clone()),
+            SeqBackend.run(&tf, roots)
+        );
     }
 
     /// Union-find maintains an equivalence relation under arbitrary unions.

@@ -10,10 +10,13 @@
 /// paths rather than the direct crate names.
 #[test]
 fn umbrella_quickstart_runs() {
-    use skipper_env::skipper::Df;
-    let farm = Df::new(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
+    use skipper_env::skipper::{df, Backend, SeqBackend, ThreadBackend};
+    let farm = df(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
     let xs: Vec<u64> = (1..=10).collect();
-    assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
+    assert_eq!(
+        ThreadBackend::new().run(&farm, &xs[..]),
+        SeqBackend.run(&farm, &xs[..])
+    );
 }
 
 /// Touches one cheap, load-bearing item in each re-exported crate, in the
@@ -21,13 +24,17 @@ fn umbrella_quickstart_runs() {
 #[test]
 fn every_reexported_crate_is_reachable() {
     // skeleton library
-    let scm = skipper_env::skipper::Scm::new(
+    use skipper_env::skipper::{Backend, ThreadBackend};
+    let scm = skipper_env::skipper::scm(
         2,
         |v: &Vec<u32>, n| v.chunks(v.len().div_ceil(n)).map(<[u32]>::to_vec).collect(),
         |c: Vec<u32>| c.iter().sum::<u32>(),
         |ps: Vec<u32>| ps.iter().sum::<u32>(),
     );
-    assert_eq!(scm.run_par(&(1..=100).collect::<Vec<u32>>()), 5050);
+    assert_eq!(
+        ThreadBackend::new().run(&scm, &(1..=100).collect::<Vec<u32>>()),
+        5050
+    );
 
     // ML front-end
     let prog = skipper_env::skipper_lang::parse_program("let double = fun x -> x + x;;")
