@@ -117,6 +117,16 @@ pub fn count_components_scm_seq(img: &Image<u8>, n: usize) -> u32 {
     SeqBackend.run(&ccl_program(n), img)
 }
 
+/// The count on a caller-chosen backend (e.g. `skipper::HostBackend`
+/// parsed from a `--backend` flag, or a shared `skipper::PoolBackend`
+/// when labelling every frame of a stream).
+pub fn count_components_on<B>(backend: &B, img: &Image<u8>, n: usize) -> u32
+where
+    B: for<'a> Backend<CclProgram, &'a Image<u8>, Output = u32>,
+{
+    backend.run(&ccl_program(n), img)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

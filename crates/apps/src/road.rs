@@ -47,15 +47,34 @@ pub fn detect_line_seq(img: &Image<u8>) -> Option<FittedLine> {
     })])
 }
 
+/// The `scm` program type built by [`line_program`].
+pub type LineProgram = Scm<
+    fn(&Image<u8>, usize) -> Vec<RowBand>,
+    fn(RowBand) -> Vec<LinePoint>,
+    fn(Vec<Vec<LinePoint>>) -> Option<FittedLine>,
+>;
+
+fn split_line_bands(img: &Image<u8>, n: usize) -> Vec<RowBand> {
+    split_rows(img, n, 0)
+}
+
+/// The detection program: one `scm` value shared by every backend.
+pub fn line_program(n: usize) -> LineProgram {
+    Scm::new(n, split_line_bands, scan_band, merge_scans)
+}
+
 /// Parallel detection via `scm` over `n` bands.
 pub fn detect_line_scm(img: &Image<u8>, n: usize) -> Option<FittedLine> {
-    let scm = Scm::new(
-        n,
-        |img: &Image<u8>, n| split_rows(img, n, 0),
-        scan_band,
-        merge_scans,
-    );
-    ThreadBackend::new().run(&scm, img)
+    ThreadBackend::new().run(&line_program(n), img)
+}
+
+/// Detection on a caller-chosen backend (e.g. `skipper::HostBackend`
+/// parsed from a `--backend` flag).
+pub fn detect_line_on<B>(backend: &B, img: &Image<u8>, n: usize) -> Option<FittedLine>
+where
+    B: for<'a> Backend<LineProgram, &'a Image<u8>, Output = Option<FittedLine>>,
+{
+    backend.run(&line_program(n), img)
 }
 
 /// Lane offset in pixels from the image centre at the bottom row.

@@ -1,0 +1,68 @@
+//! Pool-vs-thread backend micro-benchmarks.
+//!
+//! Three regimes, same `df` program value on both backends:
+//!
+//! - `fine/*` — one run over small, cheap items: dominated by per-run
+//!   thread spawning, the case the persistent pool exists for;
+//! - `coarse/*` — one run over few expensive items: spawn cost is
+//!   amortised by the work itself, so the two backends should converge;
+//! - `stream/*` — an `itermem(scm(...))` tracking loop over many small
+//!   frames: the real-time regime, one skeleton run per frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipper::{df, itermem, scm, Backend, PoolBackend, ThreadBackend};
+use skipper_apps::workloads::spin;
+use std::num::NonZeroUsize;
+
+fn bench_pool_vs_thread(c: &mut Criterion) {
+    let threads = ThreadBackend::new();
+    let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+    let mut g = c.benchmark_group("pool_vs_thread");
+
+    // Fine-grained: 256 nearly-free items; the run is all coordination.
+    let fine: Vec<u64> = (0..256).collect();
+    let fine_farm = df(
+        4,
+        |x: &u64| x.wrapping_mul(31) ^ (x >> 3),
+        |z: u64, y| z ^ y,
+        0u64,
+    );
+    g.bench_function("fine/thread", |b| {
+        b.iter(|| threads.run(&fine_farm, &fine[..]))
+    });
+    g.bench_function("fine/pool", |b| b.iter(|| pool.run(&fine_farm, &fine[..])));
+
+    // Coarse-grained: 16 items of real work; spawn cost is in the noise.
+    let coarse: Vec<u64> = vec![20_000; 16];
+    let coarse_farm = df(4, |&u: &u64| spin(u), |z: u64, y| z ^ y, 0u64);
+    g.bench_function("coarse/thread", |b| {
+        b.iter(|| threads.run(&coarse_farm, &coarse[..]))
+    });
+    g.bench_function("coarse/pool", |b| {
+        b.iter(|| pool.run(&coarse_farm, &coarse[..]))
+    });
+
+    // Streaming: the paper's tracking-loop shape over 50 frames — one
+    // scm run per frame, where per-frame spawn cost compounds.
+    let body = scm(
+        4,
+        |t: &(u64, u64), n| (0..n as u64).map(|k| t.0 ^ (t.1 + k)).collect::<Vec<_>>(),
+        |x: u64| x.wrapping_mul(2654435761),
+        |parts: Vec<u64>| {
+            let s = parts.iter().fold(0u64, |z, &y| z ^ y);
+            (s, s)
+        },
+    );
+    let loop_prog = itermem(body, 1u64);
+    let frames: Vec<u64> = (0..50).collect();
+    g.bench_function("stream/thread", |b| {
+        b.iter(|| threads.run(&loop_prog, frames.clone()))
+    });
+    g.bench_function("stream/pool", |b| {
+        b.iter(|| pool.run(&loop_prog, frames.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_thread);
+criterion_main!(benches);

@@ -2,12 +2,15 @@
 //! the sequential and thread backends.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skipper::{df, itermem, pure, scm, tf, Backend, IterMem, SeqBackend, ThreadBackend};
+use skipper::{
+    df, itermem, pure, scm, tf, Backend, IterMem, PoolBackend, SeqBackend, ThreadBackend,
+};
 
 fn bench_skeletons(c: &mut Criterion) {
     let xs: Vec<u64> = (0..512).collect();
     let seq = SeqBackend;
     let threads = ThreadBackend::new();
+    let pool = PoolBackend::new();
     let mut g = c.benchmark_group("skeletons");
     g.bench_function("df_seq_512", |b| {
         let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
@@ -16,6 +19,10 @@ fn bench_skeletons(c: &mut Criterion) {
     g.bench_function("df_par_512", |b| {
         let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
         b.iter(|| threads.run(&farm, &xs[..]))
+    });
+    g.bench_function("df_pool_512", |b| {
+        let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+        b.iter(|| pool.run(&farm, &xs[..]))
     });
     g.bench_function("scm_par_512", |b| {
         let prog = scm(

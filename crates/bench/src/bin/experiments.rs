@@ -1,12 +1,16 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! experiments            # run everything
-//! experiments e3 e4      # run selected experiments
-//! experiments --list     # print the e1–e12 index
+//! experiments                   # run everything
+//! experiments e3 e4             # run selected experiments
+//! experiments --backend pool e9 # host-side experiments on the pool backend
+//! experiments --list            # print the e1–e13 index
 //! ```
 //!
-//! Exits with a nonzero status when asked for an unknown experiment id.
+//! `--backend {seq,thread,pool,sim}` selects the execution strategy for
+//! the host-side experiments (E9/E10/E11); the simulator experiments
+//! (E1–E8, E12) always run the paper pipeline. Exits with a nonzero
+//! status when asked for an unknown experiment id or backend.
 
 use skipper_bench::experiments as ex;
 use std::process::ExitCode;
@@ -17,24 +21,58 @@ fn print_index() {
         println!("  {id:<4} {title}");
     }
     println!("  all  run every experiment in order");
+    println!("options:");
+    println!("  --backend {{seq,thread,pool,sim}}  host-side execution strategy (default thread)");
+}
+
+fn parse_backend(name: &str) -> Result<(), String> {
+    let choice = name.parse::<ex::BackendChoice>()?;
+    ex::set_backend(choice);
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    // `--backend` is handled up front: it configures the whole run,
+    // wherever it appears on the command line.
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--backend" || a == "-b" {
+            match it.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("--backend needs a value (seq, thread, pool or sim)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            a.strip_prefix("--backend=").map(str::to_string)
+        };
+        match value {
+            Some(v) => {
+                if let Err(e) = parse_backend(&v) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => rest.push(a),
+        }
+    }
+    if rest.is_empty() {
         ex::run_all();
         return ExitCode::SUCCESS;
     }
     // Arguments are processed in order, so `experiments e3 --list` runs
     // e3 and then prints the index.
-    for a in &args {
+    for a in &rest {
         match a.as_str() {
             "--list" | "-l" => print_index(),
             "all" => ex::run_all(),
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e12)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e13)");
                     return ExitCode::FAILURE;
                 }
             },

@@ -25,8 +25,68 @@ fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// The execution strategy selected with the CLI's `--backend` flag for
+/// the host-side experiments (E9, E10, E11).
+///
+/// `Sim` routes a program through `skipper_exec::SimBackend` where its
+/// value types are encodable; experiments whose payloads are host-only
+/// (e.g. `Image` buffers) say so and fall back to the declarative
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// `SeqBackend`: declarative emulation.
+    Seq,
+    /// `ThreadBackend`: scoped threads per run (the default).
+    #[default]
+    Thread,
+    /// `PoolBackend`: one persistent work-stealing pool for all runs.
+    Pool,
+    /// `SimBackend`: the simulated Transputer machine, where lowerable.
+    Sim,
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" => Ok(BackendChoice::Seq),
+            "thread" | "threads" => Ok(BackendChoice::Thread),
+            "pool" => Ok(BackendChoice::Pool),
+            "sim" => Ok(BackendChoice::Sim),
+            other => Err(format!(
+                "unknown backend `{other}` (expected seq, thread, pool or sim)"
+            )),
+        }
+    }
+}
+
+static CHOICE: std::sync::OnceLock<BackendChoice> = std::sync::OnceLock::new();
+
+/// Selects the backend for subsequent host-side experiments. The first
+/// call wins (the CLI calls it once, before running anything).
+pub fn set_backend(choice: BackendChoice) {
+    let _ = CHOICE.set(choice);
+}
+
+/// The selected backend ([`BackendChoice::Thread`] when none was given).
+pub fn backend() -> BackendChoice {
+    CHOICE.get().copied().unwrap_or_default()
+}
+
+/// The selected choice as a runnable host backend (`Sim` maps to the
+/// declarative semantics: the workstation-emulation side of the paper's
+/// pipeline; simulator-specific paths handle `Sim` themselves).
+fn host_backend() -> skipper::HostBackend {
+    match backend() {
+        BackendChoice::Seq | BackendChoice::Sim => skipper::HostBackend::Seq,
+        BackendChoice::Thread => skipper::HostBackend::Thread(skipper::ThreadBackend::new()),
+        BackendChoice::Pool => skipper::HostBackend::Pool(skipper::PoolBackend::new()),
+    }
+}
+
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 12] = [
+pub const INDEX: [(&str, &str, fn()); 13] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -43,9 +103,14 @@ pub const INDEX: [(&str, &str, fn()); 12] = [
     ("e10", "road following: white-line detection (scm)", e10),
     ("e11", "tf (task farming): quadtree region splitting", e11),
     ("e12", "AAA mapper: makespan and deadlock freedom", e12),
+    (
+        "e13",
+        "pool vs thread: spawn amortisation on repeated fine-grained runs",
+        e13,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e12"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e13"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -508,17 +573,23 @@ pub fn e8() {
     assert_eq!(a, b);
 }
 
-/// E9 — connected-component labelling via scm.
+/// E9 — connected-component labelling via scm, on the `--backend`
+/// selected host strategy.
 pub fn e9() {
     header("E9", "connected-component labelling (scm) on 512x512 blobs");
     let img = random_blobs(512, 512, 80, 42);
     let expected = ccl::count_components_seq(&img);
+    let chosen = host_backend();
+    if backend() == BackendChoice::Sim {
+        println!("(image payloads are host-only; --backend sim falls back to seq emulation)");
+    }
+    println!("backend: {}", chosen.name());
     println!("components (sequential reference): {expected}");
     println!("bands   components   wall time (ms)   speedup");
     let mut base = None;
     for n in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
-        let count = ccl::count_components_scm(&img, n);
+        let count = ccl::count_components_on(&chosen, &img, n);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         let b = *base.get_or_insert(dt);
         println!("{n:>5}   {count:>10}   {dt:>14.1}   {:>7.2}", b / dt);
@@ -526,16 +597,22 @@ pub fn e9() {
     }
 }
 
-/// E10 — road following by white-line detection via scm.
+/// E10 — road following by white-line detection via scm, on the
+/// `--backend` selected host strategy.
 pub fn e10() {
     header("E10", "road following: white-line detection (scm, 4 bands)");
+    let chosen = host_backend();
+    if backend() == BackendChoice::Sim {
+        println!("(image payloads are host-only; --backend sim falls back to seq emulation)");
+    }
+    println!("backend: {}", chosen.name());
     println!("frame   offset(px)   curvature   est bottom x   true bottom x   err(px)");
     let mut worst = 0.0f64;
     for k in 0..8 {
         let off = -60.0 + 17.0 * k as f64;
         let curv = 0.05 * (k % 3) as f64;
         let (img, truth) = render_road_frame(512, 384, off, curv, k);
-        let line = road::detect_line_scm(&img, 4).expect("line found");
+        let line = road::detect_line_on(&chosen, &img, 4).expect("line found");
         let est = line.x_at(383.0);
         let err = (est - truth).abs();
         worst = worst.max(err);
@@ -573,13 +650,30 @@ pub fn e11() {
             }
         }
     };
+    let chosen = host_backend();
+    println!(
+        "backend: {}",
+        if backend() == BackendChoice::Sim {
+            "sim (ring of workers+1 T9000s)"
+        } else {
+            chosen.name()
+        }
+    );
     println!("workers   leaf regions   wall time (ms)");
     let mut counts = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        use skipper::{Backend, ThreadBackend};
+        use skipper::Backend;
         let tf = skipper::tf(workers, split.clone(), |z: u64, o: u64| z + o, 0u64);
         let t0 = Instant::now();
-        let leaves = ThreadBackend::new().run(&tf, vec![(0, 0, 256, 256)]);
+        let leaves = if backend() == BackendChoice::Sim {
+            // Regions are (x, y, w, h) tuples, which the executive can
+            // encode — the same tf value runs on the modelled machine.
+            skipper_exec::SimBackend::ring(workers + 1)
+                .run(&tf, vec![(0, 0, 256, 256)])
+                .expect("tf lowers, schedules and simulates")
+        } else {
+            chosen.run(&tf, vec![(0, 0, 256, 256)])
+        };
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         println!("{workers:>7}   {leaves:>12}   {dt:>14.2}");
         counts.push(leaves);
@@ -650,6 +744,51 @@ pub fn e12() {
         total_ratio / cases as f64
     );
     println!("executives deadlock-free : {checked}/{checked}");
+}
+
+/// E13 — the pool backend's reason to exist: repeated fine-grained runs
+/// (the real-time loop regime) on per-run spawned threads vs the
+/// persistent work-stealing pool.
+pub fn e13() {
+    use skipper::{df, Backend, PoolBackend, ThreadBackend};
+    header(
+        "E13",
+        "pool vs thread: spawn amortisation on repeated fine-grained runs",
+    );
+    let farm = df(
+        4,
+        |&u: &u64| workloads::spin(u),
+        |z: u64, y: u64| z ^ y,
+        0u64,
+    );
+    let threads = ThreadBackend::new();
+    let pool = PoolBackend::new();
+    println!(
+        "pool: {} persistent worker(s) (SKIPPER_WORKERS overrides)",
+        pool.workers()
+    );
+    println!("per-item units   runs   thread (us/run)   pool (us/run)   thread/pool");
+    for units in [50u64, 500, 5_000, 50_000] {
+        let items = vec![units; 64];
+        let runs = 100;
+        // Warm-up: fault in both paths, and pin result agreement.
+        assert_eq!(threads.run(&farm, &items[..]), pool.run(&farm, &items[..]));
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(threads.run(&farm, &items[..]));
+        }
+        let spawned = t0.elapsed().as_secs_f64() * 1e6 / runs as f64;
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(pool.run(&farm, &items[..]));
+        }
+        let pooled = t0.elapsed().as_secs_f64() * 1e6 / runs as f64;
+        println!(
+            "{units:>14}   {runs:>4}   {spawned:>15.1}   {pooled:>13.1}   {:>11.2}",
+            spawned / pooled
+        );
+    }
+    println!("(thread/pool > 1 means the persistent pool wins)");
 }
 
 /// Runs every experiment in order.

@@ -35,7 +35,14 @@
 //!   threaded through a `MEM` node exactly as in Fig. 4. The loop body
 //!   must head with a lowerable skeleton over the `(state, frame)` tuple
 //!   (e.g. `scm(...)` or `scm(...).then(pure(...))`); a bare [`Pure`]
-//!   body has a by-reference input the executive cannot encode.
+//!   body has a by-reference input the executive cannot encode;
+//! - a program's `with_cost_hint` declaration (e.g.
+//!   [`skipper::Df::with_cost_hint`]) is plumbed through the lowering:
+//!   stamped onto the lowered worker nodes as WCET hints for the SynDEx
+//!   scheduler (inspectable via [`SimBackend::plan`]) and registered as
+//!   the function's per-call cost model
+//!   ([`Registry::register_with_cost`]) for the executive's virtual
+//!   clock.
 
 use crate::executive::{run_simulated, ExecConfig, ExecError, ExecReport};
 use crate::registry::Registry;
@@ -46,7 +53,7 @@ use skipper_net::dtype::DataType;
 use skipper_net::graph::{NodeId, NodeKind, ProcessNetwork};
 use skipper_net::pnt::{expand_df, expand_itermem, expand_scm, DfTypes, IterMemTypes, ScmTypes};
 use skipper_net::FarmShape;
-use skipper_syndex::schedule::{schedule_with, Strategy};
+use skipper_syndex::schedule::{schedule_with, Schedule, Strategy};
 use skipper_syndex::Architecture;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
@@ -90,6 +97,33 @@ impl Lowering<'_> {
         *self.counter += 1;
         format!("p{id}_{role}")
     }
+
+    /// Registers `f` under `name`, carrying the program's declared
+    /// per-call cost into the executive's cost model
+    /// ([`Registry::register_with_cost`]) when one was given.
+    fn register_costed(
+        &mut self,
+        name: &str,
+        cost_hint: u64,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) {
+        if cost_hint > 0 {
+            self.reg.register_with_cost(name, f, move |_| cost_hint);
+        } else {
+            self.reg.register(name, f);
+        }
+    }
+
+    /// Stamps the program's declared per-call cost onto the lowered
+    /// compute nodes, so the SynDEx scheduler sees real WCET hints
+    /// instead of zero-cost placeholders.
+    fn hint_nodes(&mut self, nodes: &[NodeId], cost_hint: u64) {
+        if cost_hint > 0 {
+            for &node in nodes {
+                self.net.set_cost_hint(node, cost_hint);
+            }
+        }
+    }
 }
 
 /// A program shape [`SimBackend`] knows how to lower into a process
@@ -130,7 +164,7 @@ where
             FarmShape::Star,
         );
         let comp = self.compute_fn().clone();
-        lw.reg.register(&comp_name, move |args| {
+        lw.register_costed(&comp_name, self.cost_hint(), move |args| {
             let item = I::from_value(&args[0]).expect("df item decodes");
             vec![comp(&item).to_value()]
         });
@@ -141,6 +175,7 @@ where
             vec![acc(z, o).to_value()]
         });
         lw.farm_init.insert(h.instance, self.init().to_value());
+        lw.hint_nodes(&h.workers, self.cost_hint());
         lw.workers.extend(h.workers.iter().copied());
         Fragment {
             entry: h.master,
@@ -193,7 +228,7 @@ where
             vec![Value::list(frags.iter().map(SimValue::to_value).collect())]
         });
         let compute = self.compute_fn().clone();
-        lw.reg.register(&comp_name, move |args| {
+        lw.register_costed(&comp_name, self.cost_hint(), move |args| {
             let f = F::from_value(&args[0]).expect("scm fragment decodes");
             vec![compute(f).to_value()]
         });
@@ -207,6 +242,7 @@ where
                 .collect();
             vec![merge(parts).to_value()]
         });
+        lw.hint_nodes(&h.workers, self.cost_hint());
         lw.workers.extend(h.workers.iter().copied());
         Fragment {
             entry: h.split,
@@ -239,7 +275,7 @@ where
             FarmShape::Star,
         );
         let worker = self.worker_fn().clone();
-        lw.reg.register(&worker_name, move |args| {
+        lw.register_costed(&worker_name, self.cost_hint(), move |args| {
             // Depth-first elaboration of this root task's subtree (the
             // same order as `skipper::spec::tf` within one subtree).
             let root = T::from_value(&args[0]).expect("tf task decodes");
@@ -266,6 +302,7 @@ where
             vec![folded.to_value()]
         });
         lw.farm_init.insert(h.instance, self.init().to_value());
+        lw.hint_nodes(&h.workers, self.cost_hint());
         lw.workers.extend(h.workers.iter().copied());
         Fragment {
             entry: h.master,
@@ -383,19 +420,15 @@ impl SimBackend {
         self.nprocs
     }
 
-    /// Maps the lowered network onto the simulated machine and runs it:
-    /// control nodes pinned to `P0`, worker nodes round-robin on `P1..`
-    /// (everything on `P0` when simulating a single processor).
-    fn execute(
+    /// The paper's placement policy: control nodes pinned to `P0`, worker
+    /// nodes round-robin on `P1..` (everything on `P0` when simulating a
+    /// single processor).
+    fn placement(
         &self,
         net: &ProcessNetwork,
-        reg: Registry,
         workers: &[NodeId],
-        mem_init: &HashMap<NodeId, Value>,
-        farm_init: &HashMap<usize, Value>,
-        iterations: usize,
-    ) -> Result<ExecReport, ExecError> {
-        let (arch, pins, strategy) = if self.nprocs == 1 {
+    ) -> (Architecture, HashMap<NodeId, ProcId>, Strategy) {
+        if self.nprocs == 1 {
             (
                 Architecture::single_t9000(),
                 HashMap::new(),
@@ -414,7 +447,21 @@ impl SimBackend {
                 pins.insert(w, ProcId(1 + i % (self.nprocs - 1)));
             }
             (arch, pins, Strategy::MinFinish)
-        };
+        }
+    }
+
+    /// Maps the lowered network onto the simulated machine and runs it
+    /// (see [`SimBackend::placement`] for the pinning policy).
+    fn execute(
+        &self,
+        net: &ProcessNetwork,
+        reg: Registry,
+        workers: &[NodeId],
+        mem_init: &HashMap<NodeId, Value>,
+        farm_init: &HashMap<usize, Value>,
+        iterations: usize,
+    ) -> Result<ExecReport, ExecError> {
+        let (arch, pins, strategy) = self.placement(net, workers);
         let sched = schedule_with(net, &arch, &pins, strategy)
             .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
         let progs = skipper_syndex::macrocode::generate(net, &sched, &arch);
@@ -441,35 +488,83 @@ impl SimBackend {
     where
         P: SimLower<I>,
     {
-        let mut net = ProcessNetwork::new("simbackend");
-        let mut reg = Registry::new();
-        let mut farm_init = HashMap::new();
-        let mut workers = Vec::new();
-        let mut counter = 0usize;
-        let frag = prog.lower(&mut Lowering {
-            net: &mut net,
-            reg: &mut reg,
-            farm_init: &mut farm_init,
-            workers: &mut workers,
-            counter: &mut counter,
-        });
-        let inp = net.add_node(NodeKind::Input("simbackend_input".into()), "input");
-        let out = net.add_node(NodeKind::Output("simbackend_output".into()), "output");
-        net.add_data_edge(inp, 0, frag.entry, 0, named("input"))
-            .map_err(internal)?;
-        net.add_data_edge(frag.exit, 0, out, 0, named("output"))
-            .map_err(internal)?;
-        reg.register("simbackend_input", move |_| vec![encoded.clone()]);
+        let mut lowered = lower_one_shot(prog)?;
+        lowered
+            .reg
+            .register("simbackend_input", move |_| vec![encoded.clone()]);
         let result = Arc::new(Mutex::new(None::<Value>));
         let slot = Arc::clone(&result);
-        reg.register("simbackend_output", move |args| {
+        lowered.reg.register("simbackend_output", move |args| {
             *slot.lock().expect("result slot") = Some(args[0].clone());
             vec![]
         });
-        self.execute(&net, reg, &workers, &HashMap::new(), &farm_init, 1)?;
+        self.execute(
+            &lowered.net,
+            lowered.reg,
+            &lowered.workers,
+            &HashMap::new(),
+            &lowered.farm_init,
+            1,
+        )?;
         let v = result.lock().expect("result slot").take();
         v.ok_or_else(|| ExecError::Internal("program produced no output".into()))
     }
+
+    /// Lowers a one-shot program and returns the SynDEx schedule this
+    /// backend would execute it with — without running it. The schedule's
+    /// predicted makespan reflects the program's
+    /// [`with_cost_hint`](skipper::Df::with_cost_hint) declarations, which
+    /// the lowering stamps onto the worker nodes as WCET hints.
+    pub fn plan<I, P>(&self, prog: &P) -> Result<Schedule, ExecError>
+    where
+        P: SimLower<I>,
+    {
+        let lowered = lower_one_shot(prog)?;
+        let (arch, pins, strategy) = self.placement(&lowered.net, &lowered.workers);
+        schedule_with(&lowered.net, &arch, &pins, strategy)
+            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))
+    }
+}
+
+/// A one-shot program lowered to a process network with `Input`/`Output`
+/// endpoints wired around the program fragment. The registry holds the
+/// program's own functions; the `simbackend_input`/`simbackend_output`
+/// endpoint functions are bound by the caller.
+struct LoweredOneShot {
+    net: ProcessNetwork,
+    reg: Registry,
+    workers: Vec<NodeId>,
+    farm_init: HashMap<usize, Value>,
+}
+
+fn lower_one_shot<I, P>(prog: &P) -> Result<LoweredOneShot, ExecError>
+where
+    P: SimLower<I>,
+{
+    let mut net = ProcessNetwork::new("simbackend");
+    let mut reg = Registry::new();
+    let mut farm_init = HashMap::new();
+    let mut workers = Vec::new();
+    let mut counter = 0usize;
+    let frag = prog.lower(&mut Lowering {
+        net: &mut net,
+        reg: &mut reg,
+        farm_init: &mut farm_init,
+        workers: &mut workers,
+        counter: &mut counter,
+    });
+    let inp = net.add_node(NodeKind::Input("simbackend_input".into()), "input");
+    let out = net.add_node(NodeKind::Output("simbackend_output".into()), "output");
+    net.add_data_edge(inp, 0, frag.entry, 0, named("input"))
+        .map_err(internal)?;
+    net.add_data_edge(frag.exit, 0, out, 0, named("output"))
+        .map_err(internal)?;
+    Ok(LoweredOneShot {
+        net,
+        reg,
+        workers,
+        farm_init,
+    })
 }
 
 use skipper::Backend;
@@ -638,6 +733,42 @@ where
     }
 }
 
+/// [`SimBackend`]'s adapter into the shared backend-conformance kit
+/// ([`skipper::conformance`]): every conformance case must lower,
+/// schedule, simulate and agree with the sequential golden results —
+/// a failure to execute *is* a conformance failure.
+impl skipper::conformance::ConformanceHarness for SimBackend {
+    fn name(&self) -> String {
+        format!("SimBackend::ring({})", self.nprocs)
+    }
+
+    fn run_df(&self, prog: &skipper::conformance::DfProg, xs: &[i64]) -> i64 {
+        self.run(prog, xs).expect("df case lowers and simulates")
+    }
+
+    fn run_scm(&self, prog: &skipper::conformance::ScmProg, input: &Vec<i64>) -> Vec<i64> {
+        self.run(prog, input)
+            .expect("scm case lowers and simulates")
+    }
+
+    fn run_tf(&self, prog: &skipper::conformance::TfProg, roots: Vec<u64>) -> u64 {
+        self.run(prog, roots).expect("tf case lowers and simulates")
+    }
+
+    fn run_then(&self, prog: &skipper::conformance::ThenProg, xs: &[i64]) -> (i64, i64) {
+        self.run(prog, xs).expect("then case lowers and simulates")
+    }
+
+    fn run_itermem(
+        &self,
+        prog: &skipper::conformance::LoopProg,
+        frames: Vec<i64>,
+    ) -> (i64, Vec<i64>) {
+        self.run(prog, frames)
+            .expect("itermem case lowers and simulates")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,6 +899,36 @@ mod tests {
                 "nprocs={nprocs}"
             );
         }
+    }
+
+    #[test]
+    fn sim_backend_passes_the_conformance_kit() {
+        for nprocs in [1usize, 4] {
+            skipper::conformance::assert_backend_conforms(&SimBackend::ring(nprocs));
+        }
+    }
+
+    #[test]
+    fn cost_hint_changes_the_sim_schedule() {
+        let cheap = df(4, |x: &i64| *x, |z: i64, y| z + y, 0i64);
+        let costly = cheap.clone().with_cost_hint(5_000_000);
+        let backend = SimBackend::ring(3);
+        let plan_cheap = backend.plan::<&[i64], _>(&cheap).expect("cheap plan");
+        let plan_costly = backend.plan::<&[i64], _>(&costly).expect("costly plan");
+        assert!(
+            plan_costly.makespan_ns > plan_cheap.makespan_ns,
+            "a per-call cost hint must lengthen the predicted schedule: \
+             {} ns (hinted) vs {} ns (unhinted)",
+            plan_costly.makespan_ns,
+            plan_cheap.makespan_ns
+        );
+        // The hint is advisory for results: the simulated run still agrees
+        // with the declarative semantics.
+        let xs: Vec<i64> = (1..=12).collect();
+        assert_eq!(
+            backend.run(&costly, &xs[..]).expect("costly farm runs"),
+            SeqBackend.run(&costly, &xs[..])
+        );
     }
 
     #[test]

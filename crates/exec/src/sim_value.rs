@@ -129,6 +129,29 @@ impl<A: SimValue, B: SimValue> SimValue for (A, B) {
     }
 }
 
+impl<A: SimValue, B: SimValue, C: SimValue, D: SimValue> SimValue for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::tuple(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.as_tuple()? {
+            [a, b, c, d] => Some((
+                A::from_value(a)?,
+                B::from_value(b)?,
+                C::from_value(c)?,
+                D::from_value(d)?,
+            )),
+            _ => None,
+        }
+    }
+}
+
 impl<A: SimValue, B: SimValue, C: SimValue> SimValue for (A, B, C) {
     fn to_value(&self) -> Value {
         Value::tuple(vec![
@@ -171,6 +194,7 @@ mod tests {
         roundtrip(Vec::<i32>::new());
         roundtrip((3i64, vec![1u32, 2]));
         roundtrip((1u8, 2u16, 3u32));
+        roundtrip((1usize, 2usize, 3usize, 4usize));
         roundtrip(Some(9i64));
         roundtrip(None::<i64>);
         roundtrip(vec![Some(1i32), None]);

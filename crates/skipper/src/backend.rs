@@ -13,8 +13,12 @@
 //! | Backend | Crate | Use it for |
 //! |---|---|---|
 //! | [`SeqBackend`] | `skipper` | debugging, golden results, reference semantics |
-//! | [`ThreadBackend`] | `skipper` | real parallel speed on the host CPU |
+//! | [`ThreadBackend`] | `skipper` | one-shot coarse-grained parallel runs on the host CPU |
+//! | [`crate::PoolBackend`] | `skipper` | repeated fine-grained runs: a persistent work-stealing pool amortises thread spawn cost |
 //! | `SimBackend` | `skipper-exec` | the paper pipeline: latency/scaling studies on a modelled machine |
+//!
+//! Every backend is held to the same contract by the reusable suite in
+//! [`crate::conformance`].
 //!
 //! ```
 //! use skipper::{df, Backend, SeqBackend, ThreadBackend};

@@ -1,0 +1,400 @@
+//! The backend conformance kit: one reusable contract suite for every
+//! [`Backend`] implementation.
+//!
+//! The paper's central claim — one skeletal program, interchangeable
+//! execution strategies — only holds if every backend produces the
+//! **same results** as the declarative specification. In the spirit of
+//! consumer-driven contract testing, this module is that contract written
+//! once: a fixed repertoire of program cases (all four skeletons plus
+//! `then`/`nest` compositions), a fixed input matrix (empty, singleton,
+//! regular and skewed inputs), and a sweep over worker counts (1, 2, the
+//! host default, and `SKIPPER_WORKERS` when set). Golden results always
+//! come from [`SeqBackend`].
+//!
+//! A backend plugs in by implementing [`ConformanceHarness`] — five
+//! one-line methods, because a `Backend` impl is per program type and a
+//! generic suite cannot quantify over all of them. Implementations for
+//! [`SeqBackend`] (self-check), [`ThreadBackend`] and
+//! [`crate::PoolBackend`] live here; `skipper_exec` provides one for its
+//! `SimBackend`. The program cases are deliberately built from plain `fn`
+//! pointers so their types are nameable and lowerable by every backend,
+//! and the farm accumulators are commutative-associative (the paper's
+//! stated side condition for farm equivalence).
+//!
+//! ```
+//! use skipper::conformance::assert_backend_conforms;
+//! use skipper::ThreadBackend;
+//!
+//! assert_backend_conforms(&ThreadBackend::new());
+//! ```
+
+use crate::backend::Backend;
+use crate::pool::PoolBackend;
+use crate::program::{configured_workers, default_workers};
+use crate::{Df, IterLoop, Pure, Scm, SeqBackend, Tf, Then, ThreadBackend};
+
+/// The `df` conformance program type.
+pub type DfProg = Df<fn(&i64) -> i64, fn(i64, i64) -> i64, i64>;
+
+/// The `scm` conformance program type.
+pub type ScmProg = Scm<
+    fn(&Vec<i64>, usize) -> Vec<Vec<i64>>,
+    fn(Vec<i64>) -> Vec<i64>,
+    fn(Vec<Vec<i64>>) -> Vec<i64>,
+>;
+
+/// The `tf` conformance program type.
+pub type TfProg = Tf<fn(u64) -> (Vec<u64>, Option<u64>), fn(u64, u64) -> u64, u64>;
+
+/// The `then`-pipeline conformance program type (a farm piped into a
+/// lifted function).
+pub type ThenProg = Then<DfProg, Pure<fn(i64) -> (i64, i64)>>;
+
+/// The loop body of the `itermem` conformance program.
+pub type LoopBody = Scm<
+    fn(&(i64, i64), usize) -> Vec<(i64, i64)>,
+    fn((i64, i64)) -> i64,
+    fn(Vec<i64>) -> (i64, i64),
+>;
+
+/// The `itermem(scm(...))` conformance program type — the paper's
+/// tracking-loop shape.
+pub type LoopProg = IterLoop<LoopBody, i64>;
+
+fn df_comp(x: &i64) -> i64 {
+    x * x + 3
+}
+
+fn df_acc(z: i64, y: i64) -> i64 {
+    z + y
+}
+
+/// The `df` case: a commutative-associative sum over squared items.
+pub fn df_case(workers: usize) -> DfProg {
+    crate::df(workers, df_comp as _, df_acc as _, 10)
+}
+
+// Round-robin split: always exactly `n` fragments, which is what the
+// statically-expanded simulator process network requires. (`&Vec` rather
+// than `&[_]` because the splitter's argument fixes the skeleton's sized
+// input type parameter `I`.)
+#[allow(clippy::ptr_arg)]
+fn scm_split(v: &Vec<i64>, n: usize) -> Vec<Vec<i64>> {
+    let mut out = vec![Vec::new(); n];
+    for (i, &x) in v.iter().enumerate() {
+        out[i % n].push(x);
+    }
+    out
+}
+
+fn scm_comp(chunk: Vec<i64>) -> Vec<i64> {
+    chunk.iter().map(|x| x * 3 - 1).collect()
+}
+
+// The merge sorts, making it insensitive to fragment arrival order: the
+// same case then drives every backend, including simulated ones.
+// Fragment-*order* preservation is pinned separately by the thread/pool
+// unit tests.
+fn scm_merge(parts: Vec<Vec<i64>>) -> Vec<i64> {
+    let mut flat = parts.concat();
+    flat.sort_unstable();
+    flat
+}
+
+/// The `scm` case: round-robin split, per-item affine map, order-
+/// insensitive merge.
+pub fn scm_case(workers: usize) -> ScmProg {
+    crate::scm(workers, scm_split as _, scm_comp as _, scm_merge as _)
+}
+
+fn tf_work(t: u64) -> (Vec<u64>, Option<u64>) {
+    if t >= 8 {
+        (vec![t / 2, t / 3], Some(t))
+    } else {
+        (vec![], Some(t))
+    }
+}
+
+fn tf_acc(z: u64, o: u64) -> u64 {
+    z.wrapping_add(o.wrapping_mul(31))
+}
+
+/// The `tf` case: a divide-and-conquer task tree with a commutative fold.
+pub fn tf_case(workers: usize) -> TfProg {
+    crate::tf(workers, tf_work as _, tf_acc as _, 0)
+}
+
+fn then_post(total: i64) -> (i64, i64) {
+    (total, total % 7)
+}
+
+/// The `then` case: [`df_case`] piped into a lifted post-processing
+/// function.
+pub fn then_case(workers: usize) -> ThenProg {
+    use crate::Compose;
+    df_case(workers).then(crate::pure(then_post as _))
+}
+
+fn loop_split(t: &(i64, i64), n: usize) -> Vec<(i64, i64)> {
+    (0..n as i64).map(|k| (t.0 + k, t.1)).collect()
+}
+
+fn loop_comp(p: (i64, i64)) -> i64 {
+    p.0 * 2 + p.1
+}
+
+fn loop_merge(parts: Vec<i64>) -> (i64, i64) {
+    let s: i64 = parts.iter().sum();
+    (s, s - 1)
+}
+
+/// The `itermem` case: an `scm` body nested in the Fig. 4 stream loop,
+/// threading state across frames.
+pub fn itermem_case(workers: usize) -> LoopProg {
+    crate::itermem(
+        crate::scm(workers, loop_split as _, loop_comp as _, loop_merge as _),
+        5,
+    )
+}
+
+/// One backend's adapter into the conformance suite.
+///
+/// Each method runs the given conformance program on this backend and
+/// returns the plain output (fallible backends are expected to unwrap —
+/// failing to execute a conformance case *is* a conformance failure).
+pub trait ConformanceHarness {
+    /// Backend name used in assertion messages.
+    fn name(&self) -> String;
+
+    /// Runs the [`df_case`] program.
+    fn run_df(&self, prog: &DfProg, xs: &[i64]) -> i64;
+
+    /// Runs the [`scm_case`] program.
+    #[allow(clippy::ptr_arg)] // `&Vec` is the program's input type: `Skeleton<&I>` needs `I: Sized`.
+    fn run_scm(&self, prog: &ScmProg, input: &Vec<i64>) -> Vec<i64>;
+
+    /// Runs the [`tf_case`] program.
+    fn run_tf(&self, prog: &TfProg, roots: Vec<u64>) -> u64;
+
+    /// Runs the [`then_case`] pipeline.
+    fn run_then(&self, prog: &ThenProg, xs: &[i64]) -> (i64, i64);
+
+    /// Runs the [`itermem_case`] stream loop.
+    fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>);
+}
+
+macro_rules! host_harness {
+    ($ty:ty, $name:expr) => {
+        impl ConformanceHarness for $ty {
+            fn name(&self) -> String {
+                $name.to_string()
+            }
+
+            fn run_df(&self, prog: &DfProg, xs: &[i64]) -> i64 {
+                self.run(prog, xs)
+            }
+
+            fn run_scm(&self, prog: &ScmProg, input: &Vec<i64>) -> Vec<i64> {
+                self.run(prog, input)
+            }
+
+            fn run_tf(&self, prog: &TfProg, roots: Vec<u64>) -> u64 {
+                self.run(prog, roots)
+            }
+
+            fn run_then(&self, prog: &ThenProg, xs: &[i64]) -> (i64, i64) {
+                self.run(prog, xs)
+            }
+
+            fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
+                self.run(prog, frames)
+            }
+        }
+    };
+}
+
+host_harness!(SeqBackend, "SeqBackend");
+host_harness!(ThreadBackend, "ThreadBackend");
+host_harness!(PoolBackend, "PoolBackend");
+host_harness!(crate::HostBackend, "HostBackend");
+
+/// The worker counts the suite sweeps: 1 (degenerate scheduling), 2, the
+/// host default ([`default_workers`]) and the environment override
+/// ([`configured_workers`]), deduplicated.
+pub fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, default_workers().get(), configured_workers().get()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// The item-list input matrix: empty, singleton, regular, and a skewed
+/// list exercising dynamic balancing.
+fn list_inputs() -> Vec<Vec<i64>> {
+    vec![
+        Vec::new(),
+        vec![41],
+        (0..40).collect(),
+        vec![900, 1, 2, 3, 700, 4, 5, 6, 800, 7],
+    ]
+}
+
+/// The task-root input matrix for `tf`: empty, a leaf-only singleton, a
+/// generating singleton, and several mixed roots.
+fn root_inputs() -> Vec<Vec<u64>> {
+    vec![Vec::new(), vec![5], vec![100], vec![64, 3, 17, 200, 9]]
+}
+
+/// The frame-stream input matrix for `itermem`: empty, single-frame, and
+/// a short stream.
+fn frame_inputs() -> Vec<Vec<i64>> {
+    vec![Vec::new(), vec![7], vec![1, -2, 3, -4, 5]]
+}
+
+/// Checks the `df` contract for one worker count.
+pub fn check_df<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = df_case(workers);
+    for xs in list_inputs() {
+        let golden = SeqBackend.run(&prog, &xs[..]);
+        let got = h.run_df(&prog, &xs[..]);
+        assert_eq!(
+            got,
+            golden,
+            "df conformance failed on `{}` (workers={workers}, {} item(s))",
+            h.name(),
+            xs.len()
+        );
+    }
+}
+
+/// Checks the `scm` contract for one worker count.
+pub fn check_scm<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = scm_case(workers);
+    for xs in list_inputs() {
+        let golden = SeqBackend.run(&prog, &xs);
+        let got = h.run_scm(&prog, &xs);
+        assert_eq!(
+            got,
+            golden,
+            "scm conformance failed on `{}` (workers={workers}, {} item(s))",
+            h.name(),
+            xs.len()
+        );
+    }
+}
+
+/// Checks the `tf` contract for one worker count.
+pub fn check_tf<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = tf_case(workers);
+    for roots in root_inputs() {
+        let golden = SeqBackend.run(&prog, roots.clone());
+        let got = h.run_tf(&prog, roots.clone());
+        assert_eq!(
+            got,
+            golden,
+            "tf conformance failed on `{}` (workers={workers}, {} root(s))",
+            h.name(),
+            roots.len()
+        );
+    }
+}
+
+/// Checks the `then`-composition contract for one worker count.
+pub fn check_then<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = then_case(workers);
+    for xs in list_inputs() {
+        let golden = SeqBackend.run(&prog, &xs[..]);
+        let got = h.run_then(&prog, &xs[..]);
+        assert_eq!(
+            got,
+            golden,
+            "then conformance failed on `{}` (workers={workers}, {} item(s))",
+            h.name(),
+            xs.len()
+        );
+    }
+}
+
+/// Checks the `itermem`-nesting contract for one worker count.
+pub fn check_itermem<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_case(workers);
+    for frames in frame_inputs() {
+        let golden = SeqBackend.run(&prog, frames.clone());
+        let got = h.run_itermem(&prog, frames.clone());
+        assert_eq!(
+            got,
+            golden,
+            "itermem conformance failed on `{}` (workers={workers}, {} frame(s))",
+            h.name(),
+            frames.len()
+        );
+    }
+}
+
+/// Runs the full contract: every skeleton and composition case, across
+/// the whole input matrix and every [`worker_counts`] entry, asserting
+/// agreement with [`SeqBackend`] golden results. Panics with a
+/// case-identifying message on the first divergence.
+pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
+    for &workers in &worker_counts() {
+        check_df(h, workers);
+        check_scm(h, workers);
+        check_tf(h, workers);
+        check_then(h, workers);
+        check_itermem(h, workers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_backend_conforms_to_itself() {
+        assert_backend_conforms(&SeqBackend);
+    }
+
+    #[test]
+    fn worker_counts_start_at_one_and_are_strictly_increasing() {
+        let counts = worker_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(counts.contains(&default_workers().get()));
+    }
+
+    #[test]
+    fn case_constructors_respect_the_worker_degree() {
+        assert_eq!(df_case(3).workers(), 3);
+        assert_eq!(scm_case(5).workers(), 5);
+        assert_eq!(tf_case(2).workers(), 2);
+        assert_eq!(itermem_case(4).body().workers(), 4);
+    }
+
+    #[test]
+    fn a_divergent_backend_is_caught() {
+        // A deliberately broken harness: drops the df initial accumulator.
+        struct Broken;
+        impl ConformanceHarness for Broken {
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn run_df(&self, prog: &DfProg, xs: &[i64]) -> i64 {
+                SeqBackend.run(prog, xs) - prog.init()
+            }
+            fn run_scm(&self, prog: &ScmProg, input: &Vec<i64>) -> Vec<i64> {
+                SeqBackend.run(prog, input)
+            }
+            fn run_tf(&self, prog: &TfProg, roots: Vec<u64>) -> u64 {
+                SeqBackend.run(prog, roots)
+            }
+            fn run_then(&self, prog: &ThenProg, xs: &[i64]) -> (i64, i64) {
+                SeqBackend.run(prog, xs)
+            }
+            fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
+                SeqBackend.run(prog, frames)
+            }
+        }
+        let caught = std::panic::catch_unwind(|| check_df(&Broken, 2));
+        assert!(caught.is_err(), "the kit must flag a divergent backend");
+    }
+}

@@ -37,6 +37,7 @@ pub struct Df<C, A, Z> {
     comp: C,
     acc: A,
     init: Z,
+    cost_hint: u64,
 }
 
 impl<C, A, Z> Df<C, A, Z> {
@@ -48,7 +49,23 @@ impl<C, A, Z> Df<C, A, Z> {
             comp,
             acc,
             init,
+            cost_hint: 0,
         }
+    }
+
+    /// Declares the abstract work units one `comp` call costs (0 =
+    /// unknown). Host backends ignore the hint; `skipper_exec::SimBackend`
+    /// plumbs it into the lowered process network (as the worker nodes'
+    /// WCET hints for the SynDEx scheduler) and into the executive's
+    /// per-call cost model via `Registry::register_with_cost`.
+    pub fn with_cost_hint(mut self, units: u64) -> Self {
+        self.cost_hint = units;
+        self
+    }
+
+    /// The declared per-call work units (0 = unknown).
+    pub fn cost_hint(&self) -> u64 {
+        self.cost_hint
     }
 
     /// Degree of parallelism.
@@ -69,34 +86,6 @@ impl<C, A, Z> Df<C, A, Z> {
     /// The initial accumulator.
     pub fn init(&self) -> &Z {
         &self.init
-    }
-
-    /// Declarative semantics: `fold_left acc z (map comp xs)`.
-    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&farm, xs)` instead")]
-    pub fn run_seq<I, O>(&self, xs: &[I]) -> Z
-    where
-        C: Fn(&I) -> O,
-        A: Fn(Z, O) -> Z,
-        Z: Clone,
-    {
-        crate::spec::df(self.workers(), &self.comp, &self.acc, self.init.clone(), xs)
-    }
-
-    /// Operational semantics: dynamic farm on this farm's own worker
-    /// count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ThreadBackend::new().run(&farm, xs)` instead"
-    )]
-    pub fn run_par<I, O>(&self, xs: &[I]) -> Z
-    where
-        C: Fn(&I) -> O + Sync,
-        A: Fn(Z, O) -> Z,
-        Z: Clone,
-        I: Sync,
-        O: Send,
-    {
-        self.run_threaded(xs, None)
     }
 
     /// Operational semantics with **deterministic** accumulation: results
@@ -335,11 +324,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let farm = Df::new(4, |x: &u64| x * x, |z, y| z + y, 0u64);
-        let xs: Vec<u64> = (0..64).collect();
-        assert_eq!(farm.run_par(&xs), farm.run_seq(&xs));
-        assert_eq!(farm.run_seq(&xs), SeqBackend.run(&farm, &xs[..]));
+    fn cost_hint_defaults_to_unknown_and_is_builder_settable() {
+        let farm = Df::new(4, |x: &u64| x * x, |z: u64, y: u64| z + y, 0u64);
+        assert_eq!(farm.cost_hint(), 0);
+        let hinted = farm.with_cost_hint(250_000);
+        assert_eq!(hinted.cost_hint(), 250_000);
+        // The hint is advisory on host backends: results are unchanged.
+        let xs: Vec<u64> = (0..32).collect();
+        assert_eq!(
+            ThreadBackend::new().run(&hinted, &xs[..]),
+            SeqBackend.run(&hinted, &xs[..])
+        );
     }
 }

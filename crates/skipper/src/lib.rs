@@ -47,16 +47,22 @@
 //!   [`std::thread::available_parallelism`] when a program is built with
 //!   a degree of 0, and can be overridden per backend with
 //!   [`ThreadBackend::with_workers`].
+//! - [`PoolBackend`] runs the same operational semantics on a
+//!   **persistent work-stealing thread pool** created once per backend.
+//!   Prefer it when programs run repeatedly on small inputs (the
+//!   real-time `itermem` loop, per-frame farms): it amortises the thread
+//!   spawn cost [`ThreadBackend`] pays on every `run`.
 //! - `SimBackend` (in the `skipper-exec` crate) lowers the same program
 //!   through process-network expansion, SynDEx scheduling and macro-code
 //!   generation, and executes it on the simulated Transputer machine —
 //!   the full paper pipeline, used for latency and scaling studies.
 //!
-//! # Deprecated entry points
+//! [`HostBackend`] selects among the host strategies at runtime (e.g.
+//! from a CLI flag), and every backend is validated against the shared
+//! contract suite in [`conformance`].
 //!
-//! The pre-0.2 per-skeleton methods `run_seq`/`run_par` are kept for one
-//! release as thin deprecated shims over `SeqBackend.run(..)` /
-//! `ThreadBackend::new().run(..)`; new code should go through a backend.
+//! The pre-0.2 per-skeleton `run_seq`/`run_par` shims have been removed;
+//! all execution goes through a backend's `run`.
 //!
 //! # Equivalence requirements
 //!
@@ -71,8 +77,10 @@
 //! tests.
 
 pub mod backend;
+pub mod conformance;
 pub mod df;
 pub mod itermem;
+pub mod pool;
 pub mod program;
 pub mod scm;
 pub mod spec;
@@ -81,8 +89,10 @@ pub mod tf;
 pub use backend::{Backend, SeqBackend, ThreadBackend};
 pub use df::Df;
 pub use itermem::IterMem;
+pub use pool::{HostBackend, PoolBackend, PoolRun, WorkerPool};
 pub use program::{
-    default_workers, df, itermem, pure, scm, tf, Compose, IterLoop, Pure, Skeleton, Then,
+    configured_workers, default_workers, df, itermem, pure, scm, tf, Compose, IterLoop, Pure,
+    Skeleton, Then,
 };
 pub use scm::Scm;
 pub use tf::Tf;

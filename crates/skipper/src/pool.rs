@@ -1,0 +1,964 @@
+//! The pool backend: a persistent work-stealing thread pool.
+//!
+//! [`crate::ThreadBackend`] spawns fresh scoped threads on **every** `run`
+//! call — faithful to the paper's process networks, but a real-time image
+//! loop (`itermem` at 25 Hz, or the repeated-run harness in
+//! `skipper-bench`) pays thread-creation cost per frame. [`PoolBackend`]
+//! removes that overhead: a [`WorkerPool`] of OS threads is created once
+//! (when the backend is built) and reused across `run` calls, so
+//! fine-grained workloads amortise spawn cost to (almost) zero.
+//!
+//! # Design
+//!
+//! - **Persistent workers.** [`WorkerPool::new`] spawns its threads up
+//!   front; [`PoolBackend::run`] never creates a thread.
+//! - **Work stealing.** Each pool thread owns a job deque. Spawned jobs
+//!   are distributed round-robin; a worker pops its own deque from the
+//!   front and, when empty, steals from the *back* of a sibling's deque.
+//!   The caller of [`WorkerPool::scope`] also helps: while waiting for its
+//!   jobs it steals and runs queued work instead of blocking.
+//! - **Chunked self-scheduling.** Within one skeleton run, farm workers
+//!   claim *chunks* of the item range from a shared atomic cursor (the
+//!   master/worker self-scheduling of paper Fig. 1, batched to keep
+//!   per-item synchronisation off the hot path). Results travel back over
+//!   the `crossbeam` shim's channels, exactly as in the thread backend.
+//! - **Scoped, borrowing jobs.** Skeleton runs borrow their input
+//!   (`&[I]`) and user functions (`&C`), so jobs must be non-`'static`.
+//!   [`WorkerPool::scope`] provides the same guarantee as
+//!   `crossbeam::thread::scope`: it does not return until every job
+//!   spawned in it has finished, which makes handing borrowed closures to
+//!   the pool sound (see the `SAFETY` notes inline).
+//!
+//! # Semantics
+//!
+//! [`PoolBackend`] runs the same operational semantics as
+//! [`crate::ThreadBackend`] and is subject to the same paper side
+//! condition: `df`/`tf` accumulation must be commutative and associative,
+//! because results are folded in arrival order. The backend-conformance
+//! kit ([`crate::conformance`]) pins the agreement with
+//! [`crate::SeqBackend`] golden results for every skeleton.
+//!
+//! ```
+//! use skipper::{df, Backend, PoolBackend, SeqBackend};
+//!
+//! let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+//! let xs: Vec<u64> = (1..=100).collect();
+//! let pool = PoolBackend::new(); // threads created once...
+//! for _ in 0..10 {
+//!     // ...and reused for every run: no spawn cost per frame.
+//!     assert_eq!(pool.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
+//! }
+//! ```
+
+use crate::backend::Backend;
+use crate::program::{configured_workers, Skeleton};
+use crate::{Df, IterLoop, Pure, Scm, Tf, Then};
+use crossbeam::channel;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A type-erased unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool state shared between the owner and its worker threads.
+struct Shared {
+    /// One job deque per worker thread (round-robin push, owner pops the
+    /// front, thieves steal the back).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake bookkeeping: the number of queued-but-unclaimed jobs and
+    /// the shutdown flag, guarded together so wakeups cannot be lost.
+    status: Mutex<Status>,
+    /// Signalled whenever a job is pushed or shutdown begins.
+    work_cv: Condvar,
+}
+
+struct Status {
+    ready: usize,
+    shutdown: bool,
+}
+
+impl Shared {
+    /// Takes one job: worker `me` prefers the front of its own deque and
+    /// steals from the back of its siblings' deques otherwise. `None`
+    /// means every deque was empty at the time of the scan.
+    ///
+    /// Lock order is always `status` → queue (push does the same), which
+    /// keeps the `ready` count exact: a job is never visible in a deque
+    /// without its increment, so the decrement here cannot underflow.
+    fn take_job(&self, me: usize) -> Option<Job> {
+        let n = self.queues.len();
+        let mut status = self.status.lock().expect("pool status poisoned");
+        if status.ready == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let i = (me + k) % n;
+            let job = {
+                let mut q = self.queues[i].lock().expect("pool queue poisoned");
+                if k == 0 {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
+            };
+            if let Some(job) = job {
+                status.ready -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// The worker-thread main loop: run jobs while any are queued, sleep on
+/// the condvar otherwise, exit on shutdown.
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if let Some(job) = shared.take_job(me) {
+            job();
+            continue;
+        }
+        let mut status = shared.status.lock().expect("pool status poisoned");
+        loop {
+            if status.shutdown {
+                return;
+            }
+            if status.ready > 0 {
+                break;
+            }
+            status = shared.work_cv.wait(status).expect("pool status poisoned");
+        }
+    }
+}
+
+/// Per-[`WorkerPool::scope`] completion state.
+struct ScopeState {
+    /// Jobs spawned in this scope that have not finished yet.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` drops to zero.
+    done_cv: Condvar,
+    /// The first panic payload raised by a job of this scope.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A persistent pool of worker threads with scoped, borrowing job
+/// submission — the execution substrate of [`PoolBackend`].
+///
+/// The pool is created once and reused; [`scope`](WorkerPool::scope) is
+/// the only way to submit work, and it joins all of its jobs before
+/// returning (so jobs may borrow from the caller's stack). Dropping the
+/// pool shuts the threads down and joins them.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    rr: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers.
+    pub fn new(threads: NonZeroUsize) -> Self {
+        let n = threads.get();
+        let shared = Arc::new(Shared {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            status: Mutex::new(Status {
+                ready: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("skipper-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queues a type-erased job round-robin and wakes a sleeping worker.
+    fn push(&self, job: Job) {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        // Lock order `status` → queue, matching `Shared::take_job`.
+        let mut status = self.shared.status.lock().expect("pool status poisoned");
+        self.shared.queues[i]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        status.ready += 1;
+        // notify_all keeps the wake protocol trivially live; skeleton runs
+        // queue at most a handful of coarse jobs, so the cost is noise.
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Runs `f` with a [`PoolScope`] on which borrowing jobs can be
+    /// spawned; returns only after every spawned job has finished.
+    ///
+    /// While waiting, the calling thread *helps*: it steals queued jobs
+    /// (of any scope) and runs them, so a pool is never idle while its
+    /// owner blocks. If a job panics, the panic is re-raised here once
+    /// all jobs of the scope have completed (matching
+    /// `crossbeam::thread::scope`'s propagation in the shim).
+    pub fn scope<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'pool, 'scope>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            _marker: PhantomData,
+        };
+        // The wait must happen even when `f` itself panics mid-scope —
+        // jobs borrowing the caller's stack may still be running — so it
+        // lives in a drop guard.
+        struct WaitGuard<'a> {
+            pool: &'a WorkerPool,
+            state: &'a ScopeState,
+        }
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.pool.wait_scope(self.state);
+            }
+        }
+        let guard = WaitGuard {
+            pool: self,
+            state: &state,
+        };
+        let result = f(&scope);
+        drop(guard);
+        if let Some(payload) = state.panic.lock().expect("pool panic slot").take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Blocks until every job of `state`'s scope has finished, running
+    /// queued jobs in the meantime instead of sleeping.
+    fn wait_scope(&self, state: &ScopeState) {
+        loop {
+            if *state.pending.lock().expect("scope pending poisoned") == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.take_job(0) {
+                job();
+                continue;
+            }
+            let mut pending = state.pending.lock().expect("scope pending poisoned");
+            while *pending != 0 {
+                // The timeout re-checks for stealable jobs: our remaining
+                // jobs may sit queued behind another scope's work.
+                let (guard, timeout) = state
+                    .done_cv
+                    .wait_timeout(pending, Duration::from_millis(1))
+                    .expect("scope pending poisoned");
+                pending = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *pending == 0 {
+                return;
+            }
+            drop(pending);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut status = self.shared.status.lock().expect("pool status poisoned");
+            status.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+/// Handle for spawning borrowing jobs inside [`WorkerPool::scope`].
+///
+/// `'scope` is invariant (as in `std::thread::Scope`): it is the lifetime
+/// the spawned closures may borrow from, and it strictly outlives the
+/// `scope` call.
+pub struct PoolScope<'pool, 'scope> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    _marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> PoolScope<'_, 'scope> {
+    /// Spawns `f` on the pool. The job may borrow anything that lives for
+    /// `'scope`; the enclosing [`WorkerPool::scope`] call joins it before
+    /// returning. Panics inside `f` are captured and re-raised by `scope`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.pending.lock().expect("scope pending poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let wrapper = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state
+                    .panic
+                    .lock()
+                    .expect("pool panic slot")
+                    .get_or_insert(payload);
+            }
+            let mut pending = state.pending.lock().expect("scope pending poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done_cv.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
+        // SAFETY: the job is type-erased to 'static only so it can sit in
+        // the pool's 'static deques. It never outlives 'scope in practice:
+        // `WorkerPool::scope` does not return (even on panic — see its
+        // WaitGuard) until this scope's `pending` count, incremented above
+        // before the job became visible to any worker, has dropped back to
+        // zero, i.e. until the closure has been dropped or run to
+        // completion. `'scope` is invariant, so it cannot be shrunk to
+        // defeat that guarantee.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.push(job);
+    }
+}
+
+/// The pool execution strategy: persistent work-stealing threads, created
+/// once per backend and shared by clones.
+///
+/// Prefer it over [`crate::ThreadBackend`] when the same (or successive)
+/// programs run **repeatedly on small inputs** — the real-time `itermem`
+/// loop, per-frame farms, benchmark harnesses — where per-run thread
+/// spawning dominates. For one-shot coarse-grained runs the two backends
+/// perform alike.
+///
+/// The pool size defaults to [`configured_workers`] (the
+/// `SKIPPER_WORKERS` environment variable, else
+/// [`std::thread::available_parallelism`]); it bounds *physical*
+/// parallelism, while each program's own degree still governs its
+/// decomposition, exactly as with [`crate::ThreadBackend::with_workers`].
+#[derive(Debug, Clone)]
+pub struct PoolBackend {
+    pool: Arc<WorkerPool>,
+}
+
+impl PoolBackend {
+    /// A pool backend with [`configured_workers`] persistent threads.
+    pub fn new() -> Self {
+        PoolBackend::with_workers(configured_workers())
+    }
+
+    /// A pool backend with exactly `threads` persistent threads.
+    pub fn with_workers(threads: NonZeroUsize) -> Self {
+        PoolBackend {
+            pool: Arc::new(WorkerPool::new(threads)),
+        }
+    }
+
+    /// Number of persistent pool threads.
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The underlying pool (shared with every clone of this backend).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+impl Default for PoolBackend {
+    fn default() -> Self {
+        PoolBackend::new()
+    }
+}
+
+impl<P, I> Backend<P, I> for PoolBackend
+where
+    P: PoolRun<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, prog: &P, input: I) -> P::Output {
+        prog.run_pooled(&self.pool, input)
+    }
+}
+
+/// A program shape [`PoolBackend`] knows how to execute on a
+/// [`WorkerPool`]: every [`Skeleton`] of the repertoire plus the
+/// `then`/`nest` composition adapters.
+///
+/// The implementor contract mirrors [`Skeleton::run_threaded`]: the
+/// pooled semantics must agree with [`Skeleton::run_declarative`] under
+/// the paper's side conditions (commutative-associative accumulation for
+/// the farms).
+pub trait PoolRun<I>: Skeleton<I> {
+    /// Runs this program on `pool`, blocking until the result is ready.
+    fn run_pooled(&self, pool: &WorkerPool, input: I) -> Self::Output;
+}
+
+/// Chunk size for self-scheduling `len` items over `n` farm workers:
+/// enough chunks for dynamic balancing (≈4 per worker), but at least 1
+/// and at most 1024 items per claim.
+fn chunk_size(len: usize, n: usize) -> usize {
+    (len / (4 * n.max(1))).clamp(1, 1024)
+}
+
+impl<'a, I, O, C, A, Z> PoolRun<&'a [I]> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    I: Sync,
+    O: Send,
+{
+    fn run_pooled(&self, pool: &WorkerPool, xs: &'a [I]) -> Z {
+        let len = xs.len();
+        if len == 0 {
+            return self.init().clone();
+        }
+        let n = self.workers().min(len);
+        let chunk = chunk_size(len, n);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = channel::unbounded::<Vec<O>>();
+        let comp = self.compute_fn();
+        pool.scope(|s| {
+            for _ in 0..n {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    let batch: Vec<O> = xs[start..end].iter().map(comp).collect();
+                    if tx.send(batch).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut z = self.init().clone();
+            for batch in rx.iter() {
+                for o in batch {
+                    z = (self.acc_fn())(z, o);
+                }
+            }
+            z
+        })
+    }
+}
+
+impl<'a, I, F, P, R, S, C, M> PoolRun<&'a I> for Scm<S, C, M>
+where
+    S: Fn(&I, usize) -> Vec<F>,
+    C: Fn(F) -> P + Sync,
+    M: Fn(Vec<P>) -> R,
+    F: Send,
+    P: Send,
+{
+    fn run_pooled(&self, pool: &WorkerPool, x: &'a I) -> R {
+        let frags = (self.split_fn())(x, self.workers());
+        let count = frags.len();
+        if count == 0 {
+            return (self.merge_fn())(Vec::new());
+        }
+        let n = self.workers().min(count);
+        let (tx, rx) = channel::unbounded::<(usize, P)>();
+        let compute = self.compute_fn();
+        // Static assignment, as in the thread backend: fragment i goes to
+        // worker i mod n (scm is the skeleton for *regular* workloads).
+        let mut per_worker: Vec<Vec<(usize, F)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, f) in frags.into_iter().enumerate() {
+            per_worker[i % n].push((i, f));
+        }
+        pool.scope(|s| {
+            for assignment in per_worker {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for (i, f) in assignment {
+                        let p = compute(f);
+                        if tx.send((i, p)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let mut slots: Vec<Option<P>> = (0..count).map(|_| None).collect();
+        for (i, p) in rx.iter() {
+            slots[i] = Some(p);
+        }
+        let partials = slots
+            .into_iter()
+            .map(|s| s.expect("every fragment produces a partial"))
+            .collect();
+        (self.merge_fn())(partials)
+    }
+}
+
+impl<T, O, W, A, Z> PoolRun<Vec<T>> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    T: Send,
+    O: Send,
+{
+    fn run_pooled(&self, pool: &WorkerPool, tasks: Vec<T>) -> Z {
+        if tasks.is_empty() {
+            return self.init().clone();
+        }
+        let n = self.workers();
+        let outstanding = AtomicUsize::new(tasks.len());
+        let queue = Mutex::new(VecDeque::from(tasks));
+        let (tx, rx) = channel::unbounded::<O>();
+        let worker = self.worker_fn();
+        pool.scope(|s| {
+            for _ in 0..n {
+                let tx = tx.clone();
+                let queue = &queue;
+                let outstanding = &outstanding;
+                s.spawn(move || {
+                    // Counts the popped task as completed even when the
+                    // worker function unwinds: without this, a panicking
+                    // task leaves `outstanding` above zero forever, the
+                    // sibling jobs snooze indefinitely on persistent pool
+                    // threads, and the run never returns.
+                    struct TaskDone<'a>(&'a AtomicUsize);
+                    impl Drop for TaskDone<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let backoff = crossbeam::utils::Backoff::new();
+                    loop {
+                        let task = queue.lock().expect("task queue poisoned").pop_front();
+                        match task {
+                            Some(t) => {
+                                backoff.reset();
+                                let done = TaskDone(outstanding);
+                                let (new_tasks, result) = worker(t);
+                                if !new_tasks.is_empty() {
+                                    outstanding.fetch_add(new_tasks.len(), Ordering::SeqCst);
+                                    let mut q = queue.lock().expect("task queue poisoned");
+                                    q.extend(new_tasks);
+                                }
+                                if let Some(o) = result {
+                                    if tx.send(o).is_err() {
+                                        return;
+                                    }
+                                }
+                                // Completed AFTER children were registered.
+                                drop(done);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    return;
+                                }
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut z = self.init().clone();
+            for o in rx.iter() {
+                z = (self.acc_fn())(z, o);
+            }
+            z
+        })
+    }
+}
+
+impl<In, Out, F> PoolRun<In> for Pure<F>
+where
+    F: Fn(In) -> Out,
+{
+    fn run_pooled(&self, _pool: &WorkerPool, input: In) -> Out {
+        (self.get())(input)
+    }
+}
+
+impl<In, A, B> PoolRun<In> for Then<A, B>
+where
+    A: PoolRun<In>,
+    B: PoolRun<A::Output>,
+{
+    fn run_pooled(&self, pool: &WorkerPool, input: In) -> Self::Output {
+        self.second()
+            .run_pooled(pool, self.first().run_pooled(pool, input))
+    }
+}
+
+impl<P, Z, B, Y> PoolRun<Vec<B>> for IterLoop<P, Z>
+where
+    P: for<'a> PoolRun<&'a (Z, B), Output = (Z, Y)>,
+    Z: Clone,
+{
+    fn run_pooled(&self, pool: &WorkerPool, frames: Vec<B>) -> (Z, Vec<Y>) {
+        let mut z = self.init().clone();
+        let mut ys = Vec::with_capacity(frames.len());
+        for b in frames {
+            let pair = (z, b);
+            let (z2, y) = self.body().run_pooled(pool, &pair);
+            z = z2;
+            ys.push(y);
+        }
+        (z, ys)
+    }
+}
+
+/// A backend selected at runtime among the host execution strategies
+/// ([`crate::SeqBackend`], [`crate::ThreadBackend`], [`PoolBackend`]) —
+/// the CLI-friendly form used by `skipper-bench`'s `--backend` flag and
+/// the examples.
+///
+/// ```
+/// use skipper::{df, Backend, HostBackend};
+///
+/// let farm = df(2, |x: &u64| x + 1, |z: u64, y| z + y, 0u64);
+/// let backend: HostBackend = "pool".parse().unwrap();
+/// assert_eq!(backend.run(&farm, &[1, 2, 3][..]), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub enum HostBackend {
+    /// Declarative emulation ([`crate::SeqBackend`]).
+    Seq,
+    /// Scoped threads per run ([`crate::ThreadBackend`]).
+    Thread(crate::ThreadBackend),
+    /// Persistent work-stealing pool ([`PoolBackend`]).
+    Pool(PoolBackend),
+}
+
+impl HostBackend {
+    /// The strategy's CLI name (`seq`, `thread` or `pool`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HostBackend::Seq => "seq",
+            HostBackend::Thread(_) => "thread",
+            HostBackend::Pool(_) => "pool",
+        }
+    }
+}
+
+impl std::str::FromStr for HostBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" => Ok(HostBackend::Seq),
+            "thread" | "threads" => Ok(HostBackend::Thread(crate::ThreadBackend::new())),
+            "pool" => Ok(HostBackend::Pool(PoolBackend::new())),
+            other => Err(format!(
+                "unknown host backend `{other}` (expected seq, thread or pool)"
+            )),
+        }
+    }
+}
+
+impl<P, I> Backend<P, I> for HostBackend
+where
+    P: PoolRun<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, prog: &P, input: I) -> P::Output {
+        match self {
+            HostBackend::Seq => prog.run_declarative(input),
+            HostBackend::Thread(t) => t.run(prog, input),
+            HostBackend::Pool(p) => p.run(prog, input),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{df, itermem, pure, scm, tf, Compose, SeqBackend};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+
+    #[test]
+    fn df_on_pool_matches_seq() {
+        let farm = df(4, |x: &u64| x * x + 1, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..500).collect();
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        assert_eq!(pool.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
+    }
+
+    #[test]
+    fn pool_is_reused_across_runs() {
+        let farm = df(4, |x: &u64| x + 7, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..64).collect();
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(3).unwrap());
+        let golden = SeqBackend.run(&farm, &xs[..]);
+        for _ in 0..50 {
+            assert_eq!(pool.run(&farm, &xs[..]), golden);
+        }
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn single_thread_pool_degenerates_gracefully() {
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(1).unwrap());
+        let farm = df(8, |x: &u64| x * 2, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..100).collect();
+        assert_eq!(pool.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
+        let tree = tf(
+            4,
+            |d: u32| {
+                if d > 0 {
+                    (vec![d - 1, d - 1], Some(1u64))
+                } else {
+                    (vec![], Some(1u64))
+                }
+            },
+            |z: u64, o| z + o,
+            0u64,
+        );
+        assert_eq!(pool.run(&tree, vec![6]), SeqBackend.run(&tree, vec![6]));
+    }
+
+    #[test]
+    fn scm_on_pool_preserves_fragment_order() {
+        let prog = scm(
+            4,
+            |v: &Vec<u64>, _| v.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+            |c: Vec<u64>| c,
+            |ps: Vec<Vec<u64>>| ps.concat(),
+        );
+        let data: Vec<u64> = (0..20).rev().collect();
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        assert_eq!(pool.run(&prog, &data), data);
+    }
+
+    #[test]
+    fn tf_generates_and_terminates_on_pool() {
+        let quad = |s: u64| {
+            if s > 16 {
+                (vec![s / 4; 4], None)
+            } else {
+                (vec![], Some(s))
+            }
+        };
+        let prog = tf(4, quad, |z: u64, o| z + o, 0u64);
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        assert_eq!(pool.run(&prog, vec![1024]), 1024);
+    }
+
+    #[test]
+    fn empty_inputs_return_initial_values() {
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let farm = df(3, |x: &i32| *x, |z: i32, y| z + y, 7);
+        assert_eq!(pool.run(&farm, &[][..]), 7);
+        let tree = tf(3, |x: u32| (Vec::new(), Some(x)), |z: u32, o| z + o, 9u32);
+        assert_eq!(pool.run(&tree, Vec::new()), 9);
+        let prog = scm(
+            2,
+            |_: &u32, _| Vec::<u32>::new(),
+            |x: u32| x,
+            |ps: Vec<u32>| ps.len(),
+        );
+        assert_eq!(pool.run(&prog, &0), 0);
+    }
+
+    #[test]
+    fn then_and_nest_compose_on_the_pool() {
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(3).unwrap());
+        let prog = df(3, |x: &u64| x + 1, |z: u64, y| z + y, 0u64)
+            .then(pure(|total: u64| format!("{total}")));
+        assert_eq!(pool.run(&prog, &[1u64, 2, 3][..]), "9");
+        let body = scm(
+            3,
+            |t: &(i64, i64), n| (0..n as i64).map(|k| t.0 + t.1 * k).collect::<Vec<_>>(),
+            |x: i64| x * 2,
+            |parts: Vec<i64>| {
+                let s: i64 = parts.iter().sum();
+                (s, s + 1)
+            },
+        );
+        let loop_prog = itermem(body, 1i64);
+        let frames = vec![1i64, 2, 3];
+        assert_eq!(
+            pool.run(&loop_prog, frames.clone()),
+            SeqBackend.run(&loop_prog, frames)
+        );
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let farm = df(
+            8,
+            |x: &u64| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                *x
+            },
+            |z, y| z + y,
+            0u64,
+        );
+        let xs: Vec<u64> = (0..1000).collect();
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        let total = pool.run(&farm, &xs[..]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let b = a.clone();
+        assert!(std::ptr::eq(a.pool(), b.pool()));
+        let farm = df(2, |x: &u64| *x, |z: u64, y| z + y, 0u64);
+        assert_eq!(a.run(&farm, &[1, 2][..]), b.run(&farm, &[1, 2][..]));
+    }
+
+    #[test]
+    fn concurrent_scopes_on_one_pool_are_isolated() {
+        let backend = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        let farm = df(4, |x: &u64| x * 3, |z: u64, y| z + y, 0u64);
+        let xs: Vec<u64> = (0..200).collect();
+        let golden = SeqBackend.run(&farm, &xs[..]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let backend = backend.clone();
+                let farm = &farm;
+                let xs = &xs;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        assert_eq!(backend.run(farm, &xs[..]), golden);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let bomb = df(
+            2,
+            |x: &u64| {
+                assert!(*x != 3, "boom");
+                *x
+            },
+            |z: u64, y| z + y,
+            0u64,
+        );
+        let xs: Vec<u64> = (0..8).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(&bomb, &xs[..])));
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+        // The pool threads caught the panic and are still serviceable.
+        let fine = df(2, |x: &u64| *x, |z: u64, y| z + y, 0u64);
+        assert_eq!(pool.run(&fine, &xs[..]), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn tf_worker_panic_propagates_and_pool_survives() {
+        // tf termination detection counts outstanding tasks; a panicking
+        // worker function must still count its task as done, or sibling
+        // jobs snooze forever on the persistent pool threads.
+        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let bomb = tf(
+            2,
+            |t: u64| {
+                assert!(t != 3, "boom");
+                (Vec::new(), Some(t))
+            },
+            |z: u64, o: u64| z + o,
+            0u64,
+        );
+        let result =
+            std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(&bomb, vec![1, 2, 3, 4, 5])));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+        // Every pool thread is still serviceable afterwards.
+        let fine = tf(
+            2,
+            |t: u64| (Vec::new(), Some(t * 2)),
+            |z: u64, o: u64| z + o,
+            0u64,
+        );
+        assert_eq!(pool.run(&fine, vec![1, 2, 3]), 12);
+    }
+
+    #[test]
+    fn pool_beats_thread_spawn_on_repeated_fine_grained_runs() {
+        // The tentpole claim: repeated runs over small inputs are faster on
+        // the persistent pool than on per-run spawned threads. Generous
+        // margin (pool must merely not lose) keeps this stable on loaded CI.
+        let farm = df(4, |x: &u64| x.wrapping_mul(31) ^ x, |z: u64, y| z ^ y, 0u64);
+        let xs: Vec<u64> = (0..128).collect();
+        let runs = 100;
+        let threads = crate::ThreadBackend::new();
+        let pool = PoolBackend::new();
+        // Warm both paths.
+        let a = threads.run(&farm, &xs[..]);
+        let b = pool.run(&farm, &xs[..]);
+        assert_eq!(a, b);
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(threads.run(&farm, &xs[..]));
+        }
+        let spawned = t0.elapsed();
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(pool.run(&farm, &xs[..]));
+        }
+        let pooled = t0.elapsed();
+        assert!(
+            pooled <= spawned * 2,
+            "pool lost badly on fine-grained repeated runs: pool {pooled:?} vs thread {spawned:?}"
+        );
+    }
+
+    #[test]
+    fn host_backend_parses_and_runs() {
+        let farm = df(2, |x: &u64| x + 1, |z: u64, y| z + y, 0u64);
+        let xs = [1u64, 2, 3];
+        let golden = SeqBackend.run(&farm, &xs[..]);
+        for name in ["seq", "thread", "pool"] {
+            let backend: HostBackend = name.parse().expect("parses");
+            assert_eq!(backend.run(&farm, &xs[..]), golden, "backend {name}");
+            assert!(!backend.name().is_empty());
+        }
+        assert!("simd".parse::<HostBackend>().is_err());
+    }
+}

@@ -54,6 +54,22 @@ pub(crate) fn resolve_workers(workers: usize) -> NonZeroUsize {
     NonZeroUsize::new(workers).unwrap_or_else(default_workers)
 }
 
+/// The environment-configurable degree of parallelism: the
+/// `SKIPPER_WORKERS` environment variable when it holds a positive
+/// integer, else [`default_workers`].
+///
+/// [`crate::PoolBackend::new`] sizes its persistent pool with this, and
+/// the [`crate::conformance`] kit includes it in the worker counts it
+/// sweeps — CI runs the conformance suite with `SKIPPER_WORKERS=1` and
+/// `=4` so degenerate single-worker scheduling stays exercised.
+pub fn configured_workers() -> NonZeroUsize {
+    std::env::var("SKIPPER_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(default_workers)
+}
+
 /// A typed skeletal program description over input `I`.
 ///
 /// Exactly as in the paper, every program has **two** semantics, and the

@@ -38,6 +38,7 @@ pub struct Scm<S, C, M> {
     split: S,
     compute: C,
     merge: M,
+    cost_hint: u64,
 }
 
 impl<S, C, M> Scm<S, C, M> {
@@ -49,7 +50,22 @@ impl<S, C, M> Scm<S, C, M> {
             split,
             compute,
             merge,
+            cost_hint: 0,
         }
+    }
+
+    /// Declares the abstract work units one `compute` call costs (0 =
+    /// unknown). Host backends ignore the hint; `skipper_exec::SimBackend`
+    /// plumbs it into the lowered compute nodes' WCET hints for the SynDEx
+    /// scheduler and into the executive's per-call cost model.
+    pub fn with_cost_hint(mut self, units: u64) -> Self {
+        self.cost_hint = units;
+        self
+    }
+
+    /// The declared per-call work units (0 = unknown).
+    pub fn cost_hint(&self) -> u64 {
+        self.cost_hint
     }
 
     /// Degree of parallelism.
@@ -70,33 +86,6 @@ impl<S, C, M> Scm<S, C, M> {
     /// The result-merging function.
     pub fn merge_fn(&self) -> &M {
         &self.merge
-    }
-
-    /// Declarative semantics: `merge (map compute (split x))`.
-    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&prog, x)` instead")]
-    pub fn run_seq<I, F, P, R>(&self, x: &I) -> R
-    where
-        S: Fn(&I, usize) -> Vec<F>,
-        C: Fn(F) -> P,
-        M: Fn(Vec<P>) -> R,
-    {
-        crate::spec::scm(self.workers(), &self.split, &self.compute, &self.merge, x)
-    }
-
-    /// Operational semantics on this instance's own worker count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ThreadBackend::new().run(&prog, x)` instead"
-    )]
-    pub fn run_par<I, F, P, R>(&self, x: &I) -> R
-    where
-        S: Fn(&I, usize) -> Vec<F>,
-        C: Fn(F) -> P + Sync,
-        M: Fn(Vec<P>) -> R,
-        F: Send,
-        P: Send,
-    {
-        self.run_threaded(x, None)
     }
 }
 
@@ -266,16 +255,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn cost_hint_round_trips() {
         let scm = Scm::new(
             3,
             chunk_split,
             |c: Vec<u64>| c.iter().sum::<u64>(),
             |ps: Vec<u64>| ps.iter().sum::<u64>(),
         );
-        let data: Vec<u64> = (1..=100).collect();
-        assert_eq!(scm.run_par(&data), scm.run_seq(&data));
-        assert_eq!(scm.run_seq(&data), 5050);
+        assert_eq!(scm.cost_hint(), 0);
+        assert_eq!(scm.with_cost_hint(9_000).cost_hint(), 9_000);
     }
 }

@@ -46,6 +46,7 @@ pub struct Tf<W, A, Z> {
     worker: W,
     acc: A,
     init: Z,
+    cost_hint: u64,
 }
 
 impl<W, A, Z> Tf<W, A, Z> {
@@ -57,7 +58,22 @@ impl<W, A, Z> Tf<W, A, Z> {
             worker,
             acc,
             init,
+            cost_hint: 0,
         }
+    }
+
+    /// Declares the abstract work units one `worker` call costs (0 =
+    /// unknown). Host backends ignore the hint; `skipper_exec::SimBackend`
+    /// plumbs it into the lowered worker nodes' WCET hints for the SynDEx
+    /// scheduler and into the executive's per-call cost model.
+    pub fn with_cost_hint(mut self, units: u64) -> Self {
+        self.cost_hint = units;
+        self
+    }
+
+    /// The declared per-call work units (0 = unknown).
+    pub fn cost_hint(&self) -> u64 {
+        self.cost_hint
     }
 
     /// Degree of parallelism.
@@ -78,40 +94,6 @@ impl<W, A, Z> Tf<W, A, Z> {
     /// The initial accumulator.
     pub fn init(&self) -> &Z {
         &self.init
-    }
-
-    /// Declarative semantics: depth-first elaboration of the task tree
-    /// (see [`crate::spec::tf`]).
-    #[deprecated(since = "0.2.0", note = "use `SeqBackend.run(&prog, tasks)` instead")]
-    pub fn run_seq<T, O>(&self, tasks: Vec<T>) -> Z
-    where
-        W: Fn(T) -> (Vec<T>, Option<O>),
-        A: Fn(Z, O) -> Z,
-        Z: Clone,
-    {
-        crate::spec::tf(
-            self.workers(),
-            |t| (self.worker)(t),
-            |z, o| (self.acc)(z, o),
-            self.init.clone(),
-            tasks,
-        )
-    }
-
-    /// Operational semantics on this farm's own worker count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ThreadBackend::new().run(&prog, tasks)` instead"
-    )]
-    pub fn run_par<T, O>(&self, tasks: Vec<T>) -> Z
-    where
-        W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
-        A: Fn(Z, O) -> Z,
-        Z: Clone,
-        T: Send,
-        O: Send,
-    {
-        self.run_threaded(tasks, None)
     }
 }
 
@@ -155,12 +137,24 @@ where
                 let queue = &queue;
                 let outstanding = &outstanding;
                 s.spawn(move |_| {
+                    // Counts the popped task as completed even when the
+                    // worker function unwinds: without this, a panicking
+                    // task leaves `outstanding` above zero forever and the
+                    // surviving workers (and the master's collect loop)
+                    // hang instead of propagating the panic.
+                    struct TaskDone<'a>(&'a AtomicUsize);
+                    impl Drop for TaskDone<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
                     let backoff = Backoff::new();
                     loop {
                         let task = queue.lock().expect("task queue poisoned").pop_front();
                         match task {
                             Some(t) => {
                                 backoff.reset();
+                                let done = TaskDone(outstanding);
                                 let (new_tasks, result) = worker(t);
                                 if !new_tasks.is_empty() {
                                     outstanding.fetch_add(new_tasks.len(), Ordering::SeqCst);
@@ -173,7 +167,7 @@ where
                                     }
                                 }
                                 // Completed AFTER children were registered.
-                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                                drop(done);
                             }
                             None => {
                                 if outstanding.load(Ordering::SeqCst) == 0 {
@@ -297,9 +291,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A panicking worker function must not leave `outstanding` above
+        // zero: the siblings would snooze forever and the run would hang.
+        let bomb = Tf::new(
+            2,
+            |t: u64| {
+                assert!(t != 3, "boom");
+                (Vec::new(), Some(t))
+            },
+            |z: u64, o| z + o,
+            0u64,
+        );
+        let result =
+            std::panic::catch_unwind(|| ThreadBackend::new().run(&bomb, vec![1, 2, 3, 4, 5]));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn cost_hint_round_trips() {
         let tf = Tf::new(4, quad, |z: u64, o: u64| z + o, 0u64);
-        assert_eq!(tf.run_par(vec![1024]), tf.run_seq(vec![1024]));
+        assert_eq!(tf.cost_hint(), 0);
+        assert_eq!(tf.with_cost_hint(123).cost_hint(), 123);
     }
 }

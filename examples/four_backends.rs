@@ -1,23 +1,25 @@
-//! One program, three machines: the paper's retargetability claim as a
-//! seven-line demo.
+//! One program, four machines: the paper's retargetability claim as a
+//! short demo.
 //!
 //! A single `df` farm value is executed by
 //!
 //! 1. [`SeqBackend`] — the declarative specification (workstation
 //!    emulation),
 //! 2. [`ThreadBackend`] — the crossbeam operational semantics (real host
-//!    parallelism),
-//! 3. [`SimBackend`] — the full environment pipeline: process-network
+//!    parallelism, threads spawned per run),
+//! 3. [`PoolBackend`] — the same operational semantics on a persistent
+//!    work-stealing pool (threads created once, reused every run),
+//! 4. [`SimBackend`] — the full environment pipeline: process-network
 //!    expansion, SynDEx scheduling, macro-code generation and execution
 //!    on the simulated Transputer ring,
 //!
-//! and all three produce the same result.
+//! and all four produce the same result.
 //!
 //! ```text
-//! cargo run --example three_backends
+//! cargo run --example four_backends
 //! ```
 
-use skipper::{df, itermem, scm, Backend, SeqBackend, ThreadBackend};
+use skipper::{df, itermem, scm, Backend, PoolBackend, SeqBackend, ThreadBackend};
 use skipper_exec::SimBackend;
 
 fn main() {
@@ -27,18 +29,23 @@ fn main() {
 
     let emulated = SeqBackend.run(&farm, &xs[..]);
     let threaded = ThreadBackend::new().run(&farm, &xs[..]);
+    let pool = PoolBackend::new();
+    let pooled = pool.run(&farm, &xs[..]);
     let simulated = SimBackend::ring(5)
         .run(&farm, &xs[..])
         .expect("farm lowers, schedules and simulates");
 
     println!("SeqBackend     (declarative spec) : {emulated}");
     println!("ThreadBackend  (host threads)     : {threaded}");
+    println!("PoolBackend    (persistent pool)  : {pooled}");
     println!("SimBackend     (ring of 5 T9000s) : {simulated}");
     assert_eq!(emulated, threaded);
+    assert_eq!(emulated, pooled);
     assert_eq!(emulated, simulated);
 
     // The same retargetability holds for composed programs: the paper's
-    // tracking-loop shape, itermem(scm(...), z0).
+    // tracking-loop shape, itermem(scm(...), z0). This is where the pool
+    // earns its keep — one skeleton run per frame, zero spawns.
     let body = scm(
         3,
         |t: &(i64, i64), n| (0..n as i64).map(|k| (t.0, t.1 + k)).collect::<Vec<_>>(),
@@ -52,11 +59,13 @@ fn main() {
     let frames = vec![10i64, 20, 30];
     let seq = SeqBackend.run(&tracker, frames.clone());
     let par = ThreadBackend::new().run(&tracker, frames.clone());
+    let pld = pool.run(&tracker, frames.clone());
     let sim = SimBackend::ring(4)
         .run(&tracker, frames)
         .expect("loop lowers, schedules and simulates");
-    println!("itermem(scm)   seq/threads/sim   : {seq:?} / {par:?} / {sim:?}");
+    println!("itermem(scm)   seq/threads/pool/sim : {seq:?} / {par:?} / {pld:?} / {sim:?}");
     assert_eq!(seq, par);
+    assert_eq!(seq, pld);
     assert_eq!(seq, sim);
-    println!("all backends agree — one program, three machines");
+    println!("all backends agree — one program, four machines");
 }

@@ -157,6 +157,101 @@ mod tests {
         .unwrap();
     }
 
+    // The following tests pin the channel disconnect/iteration semantics
+    // the skeleton runtimes (including the pool backend's farm fan-in)
+    // rely on. If this shim ever diverges from upstream crossbeam on one
+    // of these points, the divergence fails loudly here instead of
+    // surfacing as a hung farm or a lost result.
+
+    #[test]
+    fn receiver_iter_ends_only_when_every_sender_is_dropped() {
+        // The farm master's collect loop is `for x in rx.iter()`: it must
+        // keep yielding while ANY worker still holds a sender, and end as
+        // soon as the last one is gone.
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn buffered_messages_survive_sender_disconnect() {
+        // Workers may finish (dropping their senders) before the master
+        // drains the channel; queued results must not be lost.
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<u32>>(), vec![0, 1, 2, 3, 4]);
+        // After the buffer is drained and all senders are gone, a blocking
+        // recv reports disconnection rather than hanging.
+        assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+    }
+
+    #[test]
+    fn send_to_a_dropped_receiver_fails_with_the_payload() {
+        // Worker loops bail out with `if tx.send(..).is_err() { break }`;
+        // the error must be observable (not a panic) and hand the value
+        // back.
+        let (tx, rx) = crate::channel::unbounded::<String>();
+        drop(rx);
+        let err = tx.send("orphan".to_string()).unwrap_err();
+        assert_eq!(err.0, "orphan");
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn per_sender_fifo_order_is_preserved() {
+        // scm/df masters rely on per-worker result batches arriving in
+        // the order they were sent.
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sender_cloned_into_threads_disconnects_when_all_finish() {
+        // The exact fan-in shape of a pooled farm run: n workers with
+        // cloned senders, master iterating until all are done.
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        crate::thread::scope(|s| {
+            for i in 0..8 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for k in 0..10 {
+                        tx.send(i * 10 + k).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..80).collect::<Vec<usize>>());
+        })
+        .unwrap();
+    }
+
     #[test]
     fn backoff_completes() {
         let b = crate::utils::Backoff::new();

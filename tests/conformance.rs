@@ -1,0 +1,78 @@
+//! The backend conformance suite, instantiated for every backend.
+//!
+//! One contract (`skipper::conformance`), four execution strategies: the
+//! declarative specification, scoped threads, the persistent
+//! work-stealing pool and the simulated Transputer machine. CI runs this
+//! file with `SKIPPER_WORKERS=1` and `=4` so degenerate single-worker
+//! scheduling and a fixed multi-worker configuration are both exercised
+//! on every push (`configured_workers` feeds the kit's worker-count sweep
+//! and sizes `PoolBackend::new`).
+
+use skipper::conformance::{assert_backend_conforms, worker_counts};
+use skipper::{configured_workers, HostBackend, PoolBackend, SeqBackend, ThreadBackend};
+use skipper_exec::SimBackend;
+use std::num::NonZeroUsize;
+
+#[test]
+fn seq_backend_conforms() {
+    assert_backend_conforms(&SeqBackend);
+}
+
+#[test]
+fn thread_backend_conforms() {
+    assert_backend_conforms(&ThreadBackend::new());
+}
+
+#[test]
+fn thread_backend_with_worker_override_conforms() {
+    assert_backend_conforms(&ThreadBackend::with_workers(
+        NonZeroUsize::new(2).expect("2 is nonzero"),
+    ));
+}
+
+#[test]
+fn pool_backend_conforms() {
+    assert_backend_conforms(&PoolBackend::new());
+}
+
+#[test]
+fn pool_backend_single_thread_conforms() {
+    assert_backend_conforms(&PoolBackend::with_workers(
+        NonZeroUsize::new(1).expect("1 is nonzero"),
+    ));
+}
+
+#[test]
+fn pool_backend_clone_shares_the_pool_and_conforms() {
+    let backend = PoolBackend::new();
+    let clone = backend.clone();
+    assert_backend_conforms(&backend);
+    assert_backend_conforms(&clone);
+}
+
+#[test]
+fn sim_backend_conforms() {
+    assert_backend_conforms(&SimBackend::ring(4));
+}
+
+#[test]
+fn sim_backend_single_processor_conforms() {
+    assert_backend_conforms(&SimBackend::ring(1));
+}
+
+#[test]
+fn host_backend_selector_conforms_for_every_choice() {
+    for name in ["seq", "thread", "pool"] {
+        let backend: HostBackend = name.parse().expect("known host backend");
+        assert_backend_conforms(&backend);
+    }
+}
+
+#[test]
+fn worker_counts_include_the_environment_override() {
+    // Whatever SKIPPER_WORKERS resolves to (the env var in CI, the host
+    // default locally), the sweep must include it alongside 1.
+    let counts = worker_counts();
+    assert!(counts.contains(&1));
+    assert!(counts.contains(&configured_workers().get()));
+}
