@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
 use transvision::cost::{CostModel, Ns};
-use transvision::sim::{Action, ProcView, SimConfig, SimError, Simulation};
+use transvision::sim::{Action, ProcView, SimConfig, SimError, Simulation, TagFilter};
 use transvision::stream::FrameClock;
 use transvision::topology::{ProcId, Topology};
 
@@ -165,7 +165,7 @@ impl MasterState {
                         self.phase = MasterPhase::Await;
                         return Action::Recv {
                             from: None,
-                            tag: Some(TAG_MARKS),
+                            tag: TagFilter::Exact(TAG_MARKS),
                         };
                     }
                     self.phase = MasterPhase::Predict;
@@ -241,7 +241,7 @@ impl WorkerState {
                     self.phase = WorkerPhase::AwaitWindow;
                     return Action::Recv {
                         from: Some(self.master),
-                        tag: Some(TAG_WINDOW),
+                        tag: TagFilter::Exact(TAG_WINDOW),
                     };
                 }
                 WorkerPhase::AwaitWindow => {

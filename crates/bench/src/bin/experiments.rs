@@ -4,7 +4,7 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e13 index
+//! experiments --list            # print the e1–e14 index
 //! ```
 //!
 //! `--backend {seq,thread,pool,sim}` selects the execution strategy for
@@ -25,17 +25,14 @@ fn print_index() {
     println!("  --backend {{seq,thread,pool,sim}}  host-side execution strategy (default thread)");
 }
 
-fn parse_backend(name: &str) -> Result<(), String> {
-    let choice = name.parse::<ex::BackendChoice>()?;
-    ex::set_backend(choice);
-    Ok(())
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--backend` is handled up front: it configures the whole run,
-    // wherever it appears on the command line.
+    // wherever it appears on the command line. Every occurrence is
+    // validated; the last one wins (the library's `set_backend` is
+    // one-shot, so it is called exactly once, below).
     let mut rest: Vec<String> = Vec::new();
+    let mut chosen: Option<ex::BackendChoice> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let value = if a == "--backend" || a == "-b" {
@@ -50,14 +47,18 @@ fn main() -> ExitCode {
             a.strip_prefix("--backend=").map(str::to_string)
         };
         match value {
-            Some(v) => {
-                if let Err(e) = parse_backend(&v) {
+            Some(v) => match v.parse::<ex::BackendChoice>() {
+                Ok(choice) => chosen = Some(choice),
+                Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
-            }
+            },
             None => rest.push(a),
         }
+    }
+    if let Some(choice) = chosen {
+        ex::set_backend(choice);
     }
     if rest.is_empty() {
         ex::run_all();
@@ -72,7 +73,7 @@ fn main() -> ExitCode {
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e13)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e14)");
                     return ExitCode::FAILURE;
                 }
             },

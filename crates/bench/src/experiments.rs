@@ -48,6 +48,10 @@ pub enum BackendChoice {
 impl std::str::FromStr for BackendChoice {
     type Err = String;
 
+    // Deliberately not delegated to `HostBackend::from_str`: that
+    // constructor *instantiates* the backend it names (parsing "pool"
+    // would spawn a persistent thread pool), while a CLI flag must parse
+    // without side effects. Keep the two name tables in sync.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "seq" => Ok(BackendChoice::Seq),
@@ -86,7 +90,7 @@ fn host_backend() -> skipper::HostBackend {
 }
 
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 13] = [
+pub const INDEX: [(&str, &str, fn()); 14] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -108,9 +112,14 @@ pub const INDEX: [(&str, &str, fn()); 13] = [
         "pool vs thread: spawn amortisation on repeated fine-grained runs",
         e13,
     ),
+    (
+        "e14",
+        "tracking loop on a ring farm: predicted vs simulated vs host wall-clock",
+        e14,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e13"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e14"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -791,6 +800,74 @@ pub fn e13() {
     println!("(thread/pool > 1 means the persistent pool wins)");
 }
 
+/// E14 — the paper's flagship regime end-to-end: the real-time tracking
+/// loop (`itermem(df(...))`, a farm threading tracked state across
+/// frames) lowered onto Fig. 1's ring-shaped farm PNT and simulated on a
+/// ring of T9000s, against the SynDEx predicted makespan and the host
+/// backend's wall clock — with results pinned equal to sequential
+/// emulation.
+pub fn e14() {
+    use skipper::{df, itermem, Backend, SeqBackend};
+    use skipper_exec::SimBackend;
+    use skipper_net::FarmShape;
+    header(
+        "E14",
+        "tracking loop on a ring farm: predicted vs simulated vs host wall-clock",
+    );
+    // Per-frame "windows": skewed synthetic workloads (one heavy window
+    // per frame, as a tracked vehicle produces), tracked state = the
+    // running detection accumulator.
+    const COST_UNITS: u64 = 40_000;
+    let frames: Vec<Vec<u64>> = (0..6)
+        .map(|k| {
+            let mut w: Vec<u64> = vec![COST_UNITS / 8; 9];
+            w[(k * 3) % 9] = COST_UNITS;
+            w
+        })
+        .collect();
+    // The detection burns real CPU (for the host wall-clock column) and
+    // masks its checksum into the executive's i64 wire range.
+    let body = df(
+        4,
+        |&u: &u64| workloads::spin(u) & 0x7fff_ffff,
+        |z: u64, y: u64| z.wrapping_add(y) & 0x7fff_ffff,
+        0u64,
+    )
+    .with_cost_hint(COST_UNITS / 4);
+    let tracker = itermem(body.clone(), 0u64);
+    let golden = SeqBackend.run(&tracker, frames.clone());
+    let host = host_backend();
+    println!(
+        "frames: {}, windows/frame: 9, host backend: {}",
+        frames.len(),
+        host.name()
+    );
+    println!("nprocs   predicted/frame (us)   simulated/frame (us)   host (us/frame)");
+    for nprocs in [2usize, 3, 5] {
+        let sim = SimBackend::ring(nprocs).with_farm_shape(FarmShape::Ring);
+        let plan = sim
+            .plan::<&(u64, Vec<u64>), _>(&body)
+            .expect("tracking body plans on the ring");
+        let (out, report) = sim
+            .run_loop_with_report(&tracker, frames.clone())
+            .expect("tracking loop simulates on the ring farm");
+        assert_eq!(
+            out, golden,
+            "simulated tracking loop must equal sequential emulation"
+        );
+        let t0 = Instant::now();
+        let host_out = host.run(&tracker, frames.clone());
+        let host_us = t0.elapsed().as_secs_f64() * 1e6 / frames.len() as f64;
+        assert_eq!(host_out, golden);
+        println!(
+            "{nprocs:>6}   {:>20.1}   {:>20.1}   {host_us:>15.1}",
+            plan.makespan_ns as f64 / 1e3,
+            report.mean_latency_ns() as f64 / 1e3,
+        );
+    }
+    println!("(simulated results bit-equal to sequential emulation on every ring size)");
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     for (_, _, f) in INDEX {
@@ -820,5 +897,10 @@ mod tests {
     #[test]
     fn e12_smoke() {
         super::e12();
+    }
+
+    #[test]
+    fn e14_smoke() {
+        super::e14();
     }
 }

@@ -25,6 +25,13 @@
 //!   master, so simulated results equal the declarative semantics only for
 //!   commutative-associative accumulation functions — the same requirement
 //!   the paper states for the parallel implementation;
+//! - farms lower onto either farm PNT shape
+//!   ([`SimBackend::with_farm_shape`]): the star expansion addresses
+//!   workers point-to-point over the simulator's store-and-forward links,
+//!   while [`skipper_net::FarmShape::Ring`] expands Fig. 1's explicit
+//!   `M->W`/`W->M` router processes, co-locates them with their workers,
+//!   and relays farm traffic hop-by-hop along the chain at application
+//!   level;
 //! - an `scm` split function must produce exactly `workers` fragments
 //!   (the process network has one statically-placed compute node per
 //!   fragment); any other count fails the run with
@@ -32,10 +39,16 @@
 //! - a `tf` root task's subtree is elaborated depth-first on the worker it
 //!   is dispatched to (dynamic balancing happens across root tasks);
 //! - `itermem` programs run one graph iteration per frame, with the state
-//!   threaded through a `MEM` node exactly as in Fig. 4. The loop body
-//!   must head with a lowerable skeleton over the `(state, frame)` tuple
-//!   (e.g. `scm(...)` or `scm(...).then(pure(...))`); a bare [`Pure`]
-//!   body has a by-reference input the executive cannot encode;
+//!   threaded through a `MEM` node exactly as in Fig. 4. Every skeleton of
+//!   the repertoire can head the loop body over the `(state, frame)`
+//!   tuple: `scm(...)` bodies split the tuple itself, while `df(...)` /
+//!   `tf(...)` bodies treat the frame as the iteration's item (task) list
+//!   and use the **carried state as the accumulator seed** (the
+//!   executive's seeded-master protocol; outputs are the updated
+//!   accumulator). A nested `itermem(...)` body — whose trip count is
+//!   data-dependent — is elaborated sequentially on its host processor,
+//!   like a `tf` subtree. A bare [`Pure`] body still cannot lower: its
+//!   by-reference input has no executive encoding;
 //! - a program's `with_cost_hint` declaration (e.g.
 //!   [`skipper::Df::with_cost_hint`]) is plumbed through the lowering:
 //!   stamped onto the lowered worker nodes as WCET hints for the SynDEx
@@ -87,6 +100,12 @@ pub struct Lowering<'a> {
     reg: &'a mut Registry,
     farm_init: &'a mut HashMap<usize, Value>,
     workers: &'a mut Vec<NodeId>,
+    /// `(router, worker)` co-location pairs: each ring router must be
+    /// mapped onto its worker's processor (Fig. 1 places one `M->W`/`W->M`
+    /// pair per worker processor).
+    colocated: &'a mut Vec<(NodeId, NodeId)>,
+    /// Farm PNT shape the backend lowers with.
+    shape: FarmShape,
     counter: &'a mut usize,
 }
 
@@ -96,6 +115,16 @@ impl Lowering<'_> {
         let id = *self.counter;
         *self.counter += 1;
         format!("p{id}_{role}")
+    }
+
+    /// Records the ring routers of a freshly expanded farm as co-located
+    /// with their workers (no-op for star farms, which have none).
+    fn colocate_routers(&mut self, h: &skipper_net::pnt::FarmHandles) {
+        for routers in [&h.routers_mw, &h.routers_wm] {
+            for (i, &r) in routers.iter().enumerate() {
+                self.colocated.push((r, h.workers[i]));
+            }
+        }
     }
 
     /// Registers `f` under `name`, carrying the program's declared
@@ -140,6 +169,76 @@ fn named(t: &str) -> DataType {
     DataType::named(t)
 }
 
+/// Expands a `df` farm into the network with the backend's farm shape,
+/// registering its compute/accumulate functions. Shared by the slice
+/// (one-shot) and loop-body lowerings — the node structure and functions
+/// are identical; only the master's accumulator seeding differs, and that
+/// is decided at run time by the input's shape (list vs `(state, items)`
+/// tuple).
+fn lower_df_nodes<I, O, C, A, Z>(prog: &Df<C, A, Z>, lw: &mut Lowering<'_>) -> Fragment
+where
+    C: Fn(&I) -> O + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    I: SimValue,
+    O: SimValue,
+    Z: SimValue,
+{
+    let comp_name = lw.fresh("df_comp");
+    let acc_name = lw.fresh("df_acc");
+    let h = expand_df(
+        lw.net,
+        prog.workers(),
+        &comp_name,
+        &acc_name,
+        DfTypes {
+            item: named("item"),
+            result: named("result"),
+            acc: named("acc"),
+        },
+        lw.shape,
+    );
+    let comp = prog.compute_fn().clone();
+    lw.register_costed(&comp_name, prog.cost_hint(), move |args| {
+        let item = I::from_value(&args[0]).expect("df item decodes");
+        vec![comp(&item).to_value()]
+    });
+    let acc = prog.acc_fn().clone();
+    lw.reg.register(&acc_name, move |args| {
+        let z = Z::from_value(&args[0]).expect("df accumulator decodes");
+        let o = O::from_value(&args[1]).expect("df result decodes");
+        vec![acc(z, o).to_value()]
+    });
+    lw.farm_init.insert(h.instance, prog.init().to_value());
+    lw.hint_nodes(&h.workers, prog.cost_hint());
+    lw.workers.extend(h.workers.iter().copied());
+    lw.colocate_routers(&h);
+    Fragment {
+        entry: h.master,
+        exit: h.master,
+    }
+}
+
+/// Wraps a farm fragment for loop-body use: the master's output `z'`
+/// becomes the `(state', output)` pair the Fig. 4 `unpair` contract
+/// expects (both components are the updated accumulator — see the
+/// matching `Skeleton<&(Z, Vec<_>)>` impls in `skipper`).
+fn state_pair_exit(lw: &mut Lowering<'_>, farm: Fragment) -> Fragment {
+    let name = lw.fresh("state_pair");
+    let node = lw
+        .net
+        .add_node(NodeKind::UserFn(name.clone()), name.clone());
+    lw.reg.register(&name, |args| {
+        vec![Value::tuple(vec![args[0].clone(), args[0].clone()])]
+    });
+    lw.net
+        .add_data_edge(farm.exit, 0, node, 0, named("state"))
+        .expect("fragment endpoints exist");
+    Fragment {
+        entry: farm.entry,
+        exit: node,
+    }
+}
+
 impl<I, O, C, A, Z> SimLower<&[I]> for Df<C, A, Z>
 where
     C: Fn(&I) -> O + Clone + Send + Sync + 'static,
@@ -149,38 +248,24 @@ where
     Z: SimValue + Clone,
 {
     fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
-        let comp_name = lw.fresh("df_comp");
-        let acc_name = lw.fresh("df_acc");
-        let h = expand_df(
-            lw.net,
-            self.workers(),
-            &comp_name,
-            &acc_name,
-            DfTypes {
-                item: named("item"),
-                result: named("result"),
-                acc: named("acc"),
-            },
-            FarmShape::Star,
-        );
-        let comp = self.compute_fn().clone();
-        lw.register_costed(&comp_name, self.cost_hint(), move |args| {
-            let item = I::from_value(&args[0]).expect("df item decodes");
-            vec![comp(&item).to_value()]
-        });
-        let acc = self.acc_fn().clone();
-        lw.reg.register(&acc_name, move |args| {
-            let z = Z::from_value(&args[0]).expect("df accumulator decodes");
-            let o = O::from_value(&args[1]).expect("df result decodes");
-            vec![acc(z, o).to_value()]
-        });
-        lw.farm_init.insert(h.instance, self.init().to_value());
-        lw.hint_nodes(&h.workers, self.cost_hint());
-        lw.workers.extend(h.workers.iter().copied());
-        Fragment {
-            entry: h.master,
-            exit: h.master,
-        }
+        lower_df_nodes(self, lw)
+    }
+}
+
+/// A data farm as an `itermem` loop body: the `(state, frame)` tuple
+/// arrives on the master, whose accumulator is seeded by the carried
+/// state (the executive's seeded-master protocol).
+impl<I, O, C, A, Z> SimLower<&(Z, Vec<I>)> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    I: SimValue + Sync,
+    O: SimValue + Send,
+    Z: SimValue + Clone,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let farm = lower_df_nodes(self, lw);
+        state_pair_exit(lw, farm)
     }
 }
 
@@ -251,6 +336,67 @@ where
     }
 }
 
+/// Expands a `tf` task farm into the network (shared by the owned-task
+/// and loop-body lowerings, as with [`lower_df_nodes`]).
+fn lower_tf_nodes<T, O, W, A, Z>(prog: &Tf<W, A, Z>, lw: &mut Lowering<'_>) -> Fragment
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    T: SimValue,
+    O: SimValue,
+    Z: SimValue,
+{
+    let worker_name = lw.fresh("tf_worker");
+    let acc_name = lw.fresh("tf_acc");
+    let h = expand_df(
+        lw.net,
+        prog.workers(),
+        &worker_name,
+        &acc_name,
+        DfTypes {
+            item: named("task"),
+            result: DataType::list(named("result")),
+            acc: named("acc"),
+        },
+        lw.shape,
+    );
+    let worker = prog.worker_fn().clone();
+    lw.register_costed(&worker_name, prog.cost_hint(), move |args| {
+        // Depth-first elaboration of this root task's subtree (the
+        // same order as `skipper::spec::tf` within one subtree).
+        let root = T::from_value(&args[0]).expect("tf task decodes");
+        let mut stack = vec![root];
+        let mut results: Vec<Value> = Vec::new();
+        while let Some(t) = stack.pop() {
+            let (new_tasks, result) = worker(t);
+            stack.extend(new_tasks.into_iter().rev());
+            if let Some(o) = result {
+                results.push(o.to_value());
+            }
+        }
+        vec![Value::list(results)]
+    });
+    let acc = prog.acc_fn().clone();
+    lw.reg.register(&acc_name, move |args| {
+        let z = Z::from_value(&args[0]).expect("tf accumulator decodes");
+        let folded = args[1]
+            .as_list()
+            .expect("tf subtree results arrive as a list")
+            .iter()
+            .map(|v| O::from_value(v).expect("tf result decodes"))
+            .fold(z, &acc);
+        vec![folded.to_value()]
+    });
+    lw.farm_init.insert(h.instance, prog.init().to_value());
+    lw.hint_nodes(&h.workers, prog.cost_hint());
+    lw.workers.extend(h.workers.iter().copied());
+    lw.colocate_routers(&h);
+    Fragment {
+        entry: h.master,
+        exit: h.master,
+    }
+}
+
 impl<T, O, W, A, Z> SimLower<Vec<T>> for Tf<W, A, Z>
 where
     W: Fn(T) -> (Vec<T>, Option<O>) + Clone + Send + Sync + 'static,
@@ -260,53 +406,52 @@ where
     Z: SimValue + Clone,
 {
     fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
-        let worker_name = lw.fresh("tf_worker");
-        let acc_name = lw.fresh("tf_acc");
-        let h = expand_df(
-            lw.net,
-            self.workers(),
-            &worker_name,
-            &acc_name,
-            DfTypes {
-                item: named("task"),
-                result: DataType::list(named("result")),
-                acc: named("acc"),
-            },
-            FarmShape::Star,
-        );
-        let worker = self.worker_fn().clone();
-        lw.register_costed(&worker_name, self.cost_hint(), move |args| {
-            // Depth-first elaboration of this root task's subtree (the
-            // same order as `skipper::spec::tf` within one subtree).
-            let root = T::from_value(&args[0]).expect("tf task decodes");
-            let mut stack = vec![root];
-            let mut results: Vec<Value> = Vec::new();
-            while let Some(t) = stack.pop() {
-                let (new_tasks, result) = worker(t);
-                stack.extend(new_tasks.into_iter().rev());
-                if let Some(o) = result {
-                    results.push(o.to_value());
-                }
-            }
-            vec![Value::list(results)]
+        lower_tf_nodes(self, lw)
+    }
+}
+
+/// A task farm as an `itermem` loop body: the frame's root tasks are
+/// elaborated with the carried state seeding the accumulator.
+impl<T, O, W, A, Z> SimLower<&(Z, Vec<T>)> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Clone + Send + Sync + 'static,
+    A: Fn(Z, O) -> Z + Clone + Send + Sync + 'static,
+    T: SimValue + Clone + Send,
+    O: SimValue + Send,
+    Z: SimValue + Clone,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let farm = lower_tf_nodes(self, lw);
+        state_pair_exit(lw, farm)
+    }
+}
+
+/// A stream loop as the body of an *outer* stream loop (nested
+/// `itermem`). The inner loop's trip count is data-dependent — one body
+/// run per element of the outer frame — so it cannot be unrolled into the
+/// static process network; like a `tf` root task's subtree, the whole
+/// burst is elaborated sequentially on the processor the node is mapped
+/// to, seeded with the carried state.
+impl<P, Z, B, Y> SimLower<&(Z, Vec<B>)> for IterLoop<P, Z>
+where
+    P: for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)> + Clone + Send + Sync + 'static,
+    Z: SimValue + Clone + Send + Sync,
+    B: SimValue + Clone + Send + Sync,
+    Y: SimValue,
+{
+    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+        let name = lw.fresh("inner_loop");
+        let node = lw
+            .net
+            .add_node(NodeKind::UserFn(name.clone()), name.clone());
+        let inner = self.clone();
+        lw.reg.register(&name, move |args| {
+            let pair = <(Z, Vec<B>)>::from_value(&args[0]).expect("inner loop input decodes");
+            vec![inner.run_declarative(&pair).to_value()]
         });
-        let acc = self.acc_fn().clone();
-        lw.reg.register(&acc_name, move |args| {
-            let z = Z::from_value(&args[0]).expect("tf accumulator decodes");
-            let folded = args[1]
-                .as_list()
-                .expect("tf subtree results arrive as a list")
-                .iter()
-                .map(|v| O::from_value(v).expect("tf result decodes"))
-                .fold(z, &acc);
-            vec![folded.to_value()]
-        });
-        lw.farm_init.insert(h.instance, self.init().to_value());
-        lw.hint_nodes(&h.workers, self.cost_hint());
-        lw.workers.extend(h.workers.iter().copied());
         Fragment {
-            entry: h.master,
-            exit: h.master,
+            entry: node,
+            exit: node,
         }
     }
 }
@@ -391,15 +536,19 @@ impl<T: SimValue> SimInput for Vec<T> {
 pub struct SimBackend {
     nprocs: usize,
     config: SimConfig,
+    farm_shape: FarmShape,
 }
 
 impl SimBackend {
     /// A backend simulating a ring of `nprocs` T9000-class processors
-    /// (`nprocs` is clamped to at least 1; 1 means a single processor).
+    /// (1 means a single processor). An `nprocs` of 0 is accepted at
+    /// construction — a machine description is just data — but every
+    /// lowering on it fails with [`ExecError::EmptyMachine`].
     pub fn ring(nprocs: usize) -> Self {
         SimBackend {
-            nprocs: nprocs.max(1),
+            nprocs,
             config: SimConfig::default(),
+            farm_shape: FarmShape::Star,
         }
     }
 
@@ -415,18 +564,44 @@ impl SimBackend {
         self
     }
 
+    /// Selects the farm PNT shape programs are lowered with:
+    /// [`FarmShape::Star`] (the default) addresses workers point-to-point
+    /// over the simulator's store-and-forward links, while
+    /// [`FarmShape::Ring`] expands Fig. 1's explicit `M->W`/`W->M` router
+    /// processes and relays farm traffic hop-by-hop along the worker
+    /// chain at application level.
+    pub fn with_farm_shape(mut self, shape: FarmShape) -> Self {
+        self.farm_shape = shape;
+        self
+    }
+
+    /// The farm PNT shape this backend lowers with.
+    pub fn farm_shape(&self) -> FarmShape {
+        self.farm_shape
+    }
+
     /// Number of simulated processors.
     pub fn nprocs(&self) -> usize {
         self.nprocs
     }
 
+    /// Lowering precondition: the machine must have at least one
+    /// processor.
+    fn require_procs(&self) -> Result<(), ExecError> {
+        if self.nprocs == 0 {
+            return Err(ExecError::EmptyMachine);
+        }
+        Ok(())
+    }
+
     /// The paper's placement policy: control nodes pinned to `P0`, worker
     /// nodes round-robin on `P1..` (everything on `P0` when simulating a
-    /// single processor).
+    /// single processor), and ring routers co-located with their workers.
     fn placement(
         &self,
         net: &ProcessNetwork,
         workers: &[NodeId],
+        colocated: &[(NodeId, NodeId)],
     ) -> (Architecture, HashMap<NodeId, ProcId>, Strategy) {
         if self.nprocs == 1 {
             (
@@ -446,22 +621,28 @@ impl SimBackend {
             for (i, &w) in workers.iter().enumerate() {
                 pins.insert(w, ProcId(1 + i % (self.nprocs - 1)));
             }
+            for &(node, with) in colocated {
+                let p = pins.get(&with).copied().unwrap_or(ProcId(0));
+                pins.insert(node, p);
+            }
             (arch, pins, Strategy::MinFinish)
         }
     }
 
     /// Maps the lowered network onto the simulated machine and runs it
     /// (see [`SimBackend::placement`] for the pinning policy).
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         net: &ProcessNetwork,
         reg: Registry,
         workers: &[NodeId],
+        colocated: &[(NodeId, NodeId)],
         mem_init: &HashMap<NodeId, Value>,
         farm_init: &HashMap<usize, Value>,
         iterations: usize,
     ) -> Result<ExecReport, ExecError> {
-        let (arch, pins, strategy) = self.placement(net, workers);
+        let (arch, pins, strategy) = self.placement(net, workers, colocated);
         let sched = schedule_with(net, &arch, &pins, strategy)
             .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
         let progs = skipper_syndex::macrocode::generate(net, &sched, &arch);
@@ -488,7 +669,8 @@ impl SimBackend {
     where
         P: SimLower<I>,
     {
-        let mut lowered = lower_one_shot(prog)?;
+        self.require_procs()?;
+        let mut lowered = lower_one_shot(prog, self.farm_shape)?;
         lowered
             .reg
             .register("simbackend_input", move |_| vec![encoded.clone()]);
@@ -502,6 +684,7 @@ impl SimBackend {
             &lowered.net,
             lowered.reg,
             &lowered.workers,
+            &lowered.colocated,
             &HashMap::new(),
             &lowered.farm_init,
             1,
@@ -519,8 +702,10 @@ impl SimBackend {
     where
         P: SimLower<I>,
     {
-        let lowered = lower_one_shot(prog)?;
-        let (arch, pins, strategy) = self.placement(&lowered.net, &lowered.workers);
+        self.require_procs()?;
+        let lowered = lower_one_shot(prog, self.farm_shape)?;
+        let (arch, pins, strategy) =
+            self.placement(&lowered.net, &lowered.workers, &lowered.colocated);
         schedule_with(&lowered.net, &arch, &pins, strategy)
             .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))
     }
@@ -534,10 +719,11 @@ struct LoweredOneShot {
     net: ProcessNetwork,
     reg: Registry,
     workers: Vec<NodeId>,
+    colocated: Vec<(NodeId, NodeId)>,
     farm_init: HashMap<usize, Value>,
 }
 
-fn lower_one_shot<I, P>(prog: &P) -> Result<LoweredOneShot, ExecError>
+fn lower_one_shot<I, P>(prog: &P, shape: FarmShape) -> Result<LoweredOneShot, ExecError>
 where
     P: SimLower<I>,
 {
@@ -545,12 +731,15 @@ where
     let mut reg = Registry::new();
     let mut farm_init = HashMap::new();
     let mut workers = Vec::new();
+    let mut colocated = Vec::new();
     let mut counter = 0usize;
     let frag = prog.lower(&mut Lowering {
         net: &mut net,
         reg: &mut reg,
         farm_init: &mut farm_init,
         workers: &mut workers,
+        colocated: &mut colocated,
+        shape,
         counter: &mut counter,
     });
     let inp = net.add_node(NodeKind::Input("simbackend_input".into()), "input");
@@ -563,6 +752,7 @@ where
         net,
         reg,
         workers,
+        colocated,
         farm_init,
     })
 }
@@ -639,30 +829,48 @@ where
     }
 }
 
-impl<P, Z, B, Y> Backend<IterLoop<P, Z>, Vec<B>> for SimBackend
-where
-    P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
-    Z: SimValue + Clone,
-    B: SimValue,
-    Y: SimValue,
-{
-    type Output = Result<(Z, Vec<Y>), ExecError>;
-
-    fn run(&self, prog: &IterLoop<P, Z>, frames: Vec<B>) -> Result<(Z, Vec<Y>), ExecError> {
+impl SimBackend {
+    /// Runs an `itermem` stream loop and returns the outputs **together
+    /// with the executive report** (virtual-time trace, per-frame
+    /// latencies, processor utilisations) — the measurement face of
+    /// `Backend::run` for loop programs, used by the latency experiments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`]; additionally, an empty frame stream is an
+    /// [`ExecError::Internal`] here because nothing is simulated (the
+    /// `Backend::run` wrapper short-circuits that case instead).
+    pub fn run_loop_with_report<P, Z, B, Y>(
+        &self,
+        prog: &IterLoop<P, Z>,
+        frames: Vec<B>,
+    ) -> Result<((Z, Vec<Y>), ExecReport), ExecError>
+    where
+        P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+        Z: SimValue + Clone,
+        B: SimValue,
+        Y: SimValue,
+    {
+        self.require_procs()?;
         if frames.is_empty() {
-            return Ok((prog.init().clone(), Vec::new()));
+            return Err(ExecError::Internal(
+                "cannot simulate a loop over an empty frame stream".into(),
+            ));
         }
         let iterations = frames.len();
         let mut net = ProcessNetwork::new("simbackend-itermem");
         let mut reg = Registry::new();
         let mut farm_init = HashMap::new();
         let mut workers = Vec::new();
+        let mut colocated = Vec::new();
         let mut counter = 0usize;
         let frag = prog.body().lower(&mut Lowering {
             net: &mut net,
             reg: &mut reg,
             farm_init: &mut farm_init,
             workers: &mut workers,
+            colocated: &mut colocated,
+            shape: self.farm_shape,
             counter: &mut counter,
         });
         // Fig. 4 port contract around the body fragment: `pair` packs
@@ -716,7 +924,9 @@ where
         });
         let mut mem_init = HashMap::new();
         mem_init.insert(h.mem, prog.init().to_value());
-        self.execute(&net, reg, &workers, &mem_init, &farm_init, iterations)?;
+        let report = self.execute(
+            &net, reg, &workers, &colocated, &mem_init, &farm_init, iterations,
+        )?;
         let z_value = final_state
             .lock()
             .expect("state slot")
@@ -729,7 +939,25 @@ where
             .iter()
             .map(|v| decode(v, "itermem output"))
             .collect::<Result<Vec<Y>, _>>()?;
-        Ok((z, ys))
+        Ok(((z, ys), report))
+    }
+}
+
+impl<P, Z, B, Y> Backend<IterLoop<P, Z>, Vec<B>> for SimBackend
+where
+    P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+    Z: SimValue + Clone,
+    B: SimValue,
+    Y: SimValue,
+{
+    type Output = Result<(Z, Vec<Y>), ExecError>;
+
+    fn run(&self, prog: &IterLoop<P, Z>, frames: Vec<B>) -> Result<(Z, Vec<Y>), ExecError> {
+        self.require_procs()?;
+        if frames.is_empty() {
+            return Ok((prog.init().clone(), Vec::new()));
+        }
+        self.run_loop_with_report(prog, frames).map(|(out, _)| out)
     }
 }
 
@@ -739,7 +967,14 @@ where
 /// a failure to execute *is* a conformance failure.
 impl skipper::conformance::ConformanceHarness for SimBackend {
     fn name(&self) -> String {
-        format!("SimBackend::ring({})", self.nprocs)
+        format!(
+            "SimBackend::ring({})[{} farms]",
+            self.nprocs,
+            match self.farm_shape {
+                FarmShape::Star => "star",
+                FarmShape::Ring => "ring",
+            }
+        )
     }
 
     fn run_df(&self, prog: &skipper::conformance::DfProg, xs: &[i64]) -> i64 {
@@ -766,6 +1001,42 @@ impl skipper::conformance::ConformanceHarness for SimBackend {
     ) -> (i64, Vec<i64>) {
         self.run(prog, frames)
             .expect("itermem case lowers and simulates")
+    }
+
+    fn run_itermem_df(
+        &self,
+        prog: &skipper::conformance::LoopDfProg,
+        frames: Vec<Vec<i64>>,
+    ) -> (i64, Vec<i64>) {
+        self.run(prog, frames)
+            .expect("itermem(df) case lowers and simulates")
+    }
+
+    fn run_itermem_tf(
+        &self,
+        prog: &skipper::conformance::LoopTfProg,
+        frames: Vec<Vec<u64>>,
+    ) -> (u64, Vec<u64>) {
+        self.run(prog, frames)
+            .expect("itermem(tf) case lowers and simulates")
+    }
+
+    fn run_nested_loop(
+        &self,
+        prog: &skipper::conformance::NestedLoopProg,
+        bursts: Vec<Vec<i64>>,
+    ) -> (i64, Vec<Vec<i64>>) {
+        self.run(prog, bursts)
+            .expect("nested-loop case lowers and simulates")
+    }
+
+    fn run_itermem_then(
+        &self,
+        prog: &skipper::conformance::LoopThenProg,
+        frames: Vec<i64>,
+    ) -> (i64, Vec<i64>) {
+        self.run(prog, frames)
+            .expect("then-inside-loop case lowers and simulates")
     }
 }
 
@@ -942,5 +1213,151 @@ mod tests {
         let prog = itermem(body, 9i64);
         let sim = SimBackend::ring(3).run(&prog, Vec::new()).expect("runs");
         assert_eq!(sim, (9, Vec::new()));
+    }
+
+    #[test]
+    fn itermem_df_loop_threads_state_on_sim() {
+        // A farm as the loop body: the carried state seeds the master's
+        // accumulator each frame (the seeded-master protocol).
+        let prog = itermem(df(3, |x: &i64| x * x, |z: i64, y| z + y, 0i64), 5i64);
+        let frames: Vec<Vec<i64>> = vec![vec![1, 2, 3], Vec::new(), vec![4], vec![5, 6]];
+        for nprocs in [1usize, 2, 4] {
+            for shape in [FarmShape::Star, FarmShape::Ring] {
+                let backend = SimBackend::ring(nprocs).with_farm_shape(shape);
+                let sim = backend.run(&prog, frames.clone()).expect("runs");
+                assert_eq!(
+                    sim,
+                    SeqBackend.run(&prog, frames.clone()),
+                    "nprocs={nprocs} shape={shape:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn itermem_tf_loop_on_sim_matches_seq() {
+        let body = tf(
+            2,
+            |s: u64| {
+                if s > 8 {
+                    (vec![s / 2, s / 3], Some(s))
+                } else {
+                    (vec![], Some(s))
+                }
+            },
+            |z: u64, o| z.wrapping_add(o),
+            0u64,
+        );
+        let prog = itermem(body, 3u64);
+        let frames: Vec<Vec<u64>> = vec![vec![40, 9], Vec::new(), vec![100]];
+        let sim = SimBackend::ring(3)
+            .run(&prog, frames.clone())
+            .expect("runs");
+        assert_eq!(sim, SeqBackend.run(&prog, frames));
+    }
+
+    #[test]
+    fn nested_loop_lowers_and_matches_seq() {
+        // itermem(itermem(scm)) — the inner loop is elaborated as one
+        // sequential composite node.
+        let body = scm(
+            2,
+            |t: &(i64, i64), n| (0..n as i64).map(|k| (t.0 + k, t.1)).collect::<Vec<_>>(),
+            |(a, b): (i64, i64)| a * 2 + b,
+            |parts: Vec<i64>| {
+                let s: i64 = parts.iter().sum();
+                (s, s - 1)
+            },
+        );
+        let prog = itermem(itermem(body, 0i64), 11i64);
+        let bursts: Vec<Vec<i64>> = vec![vec![1, -2], Vec::new(), vec![3]];
+        let sim = SimBackend::ring(3)
+            .run(&prog, bursts.clone())
+            .expect("runs");
+        assert_eq!(sim, SeqBackend.run(&prog, bursts));
+    }
+
+    #[test]
+    fn then_headed_by_df_inside_loop_lowers() {
+        // df.then(pure) as a loop body: the farm's (state', output) pair
+        // flows through the lifted post-processing stage.
+        let body = df(2, |x: &i64| x + 1, |z: i64, y| z + y, 0i64)
+            .then(pure(|t: (i64, i64)| (t.0, t.1 * 10)));
+        let prog = itermem(body, 4i64);
+        let frames: Vec<Vec<i64>> = vec![vec![1, 2], vec![3]];
+        let sim = SimBackend::ring(3)
+            .run(&prog, frames.clone())
+            .expect("runs");
+        assert_eq!(sim, SeqBackend.run(&prog, frames));
+    }
+
+    #[test]
+    fn ring_farm_shape_passes_the_conformance_kit() {
+        // The Fig. 1 explicit-router PNT must satisfy the same contract
+        // as the star expansion. Only the degenerate 1-worker-proc chain
+        // is swept here; the canonical full instantiation (ring(2) and
+        // ring(4), both shapes) lives in tests/conformance.rs.
+        skipper::conformance::assert_backend_conforms(
+            &SimBackend::ring(2).with_farm_shape(FarmShape::Ring),
+        );
+    }
+
+    #[test]
+    fn ring_farm_lowering_pins_routers_with_their_workers() {
+        let farm = df(3, |x: &i64| *x, |z: i64, y| z + y, 0i64);
+        let backend = SimBackend::ring(4).with_farm_shape(FarmShape::Ring);
+        let plan = backend.plan::<&[i64], _>(&farm).expect("plans");
+        let lowered = lower_one_shot::<&[i64], _>(&farm, FarmShape::Ring).expect("lowers");
+        assert_eq!(
+            lowered.colocated.len(),
+            6,
+            "one M->W and one W->M per worker"
+        );
+        for &(router, worker) in &lowered.colocated {
+            assert_eq!(
+                plan.proc_of(router),
+                plan.proc_of(worker),
+                "router {router} must sit on its worker's processor"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_zero_is_a_lowering_error() {
+        let backend = SimBackend::ring(0);
+        let farm = df(2, |x: &i64| *x, |z: i64, y| z + y, 0i64);
+        let err = backend.run(&farm, &[1i64, 2][..]).unwrap_err();
+        assert!(matches!(err, ExecError::EmptyMachine), "got {err:?}");
+        assert_eq!(
+            err.to_string(),
+            "cannot lower onto a machine with no processors (SimBackend::ring(0))"
+        );
+        let err = backend.plan::<&[i64], _>(&farm).unwrap_err();
+        assert!(matches!(err, ExecError::EmptyMachine));
+        // Loops too — even the empty-stream shortcut must not mask it.
+        let prog = itermem(df(2, |x: &i64| *x, |z: i64, y| z + y, 0i64), 0i64);
+        let err = backend.run(&prog, Vec::<Vec<i64>>::new()).unwrap_err();
+        assert!(matches!(err, ExecError::EmptyMachine));
+    }
+
+    #[test]
+    fn ring_shape_lengthens_the_plan_over_star() {
+        // Application-level relaying puts router processes on the
+        // schedule: the ring plan cannot be shorter than the star plan
+        // for the same costed farm.
+        let farm = df(3, |x: &i64| *x, |z: i64, y| z + y, 0i64).with_cost_hint(100_000);
+        let star = SimBackend::ring(4)
+            .plan::<&[i64], _>(&farm)
+            .expect("star plan");
+        let ring = SimBackend::ring(4)
+            .with_farm_shape(FarmShape::Ring)
+            .plan::<&[i64], _>(&farm)
+            .expect("ring plan");
+        assert!(
+            ring.makespan_ns >= star.makespan_ns,
+            "ring {} vs star {}",
+            ring.makespan_ns,
+            star.makespan_ns
+        );
     }
 }

@@ -14,13 +14,19 @@
 //!   *dynamically*: the master dispatches one work item to whichever worker
 //!   is idle, accumulates results in arrival order, then broadcasts
 //!   end-of-work markers — reproducing the dynamic load balancing of the
-//!   Fig. 1 process network (physical multi-hop routing is provided by the
-//!   simulator's store-and-forward links, which play the role of the
-//!   `M->W`/`W->M` router processes).
+//!   Fig. 1 process network.
 //!
-//! Farms must be expanded with [`skipper_net::FarmShape::Star`] to be
-//! executable; ring-shaped PNTs (with explicit router nodes) are for
-//! structural/mapping experiments.
+//! Both farm PNT shapes are executable. With
+//! [`skipper_net::FarmShape::Star`], messages are addressed point-to-point
+//! and physical multi-hop routing is provided by the simulator's
+//! store-and-forward links (which play the role of the `M->W`/`W->M`
+//! router processes). With [`skipper_net::FarmShape::Ring`] — Fig. 1's
+//! explicit-router PNT — forwarding is an *application-level* activity:
+//! each worker processor relays items travelling down the chain and
+//! results climbing back up (the internal `RingState` protocol), paying CPU
+//! setup cost per hop exactly as the paper's router processes do; a drain
+//! acknowledgement circulates back to the master so successive graph
+//! iterations cannot overlap on the chain.
 
 use crate::registry::{Registry, UnknownFunction};
 use crate::value::Value;
@@ -33,7 +39,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 use transvision::cost::Ns;
-use transvision::sim::{Action, Behavior, ProcView, SimConfig, SimReport, Simulation};
+use transvision::sim::{Action, Behavior, ProcView, SimConfig, SimReport, Simulation, TagFilter};
 use transvision::stream::FrameClock;
 use transvision::topology::{ProcId, Topology};
 
@@ -66,6 +72,8 @@ pub enum ExecError {
         /// The farm's master node.
         master: NodeId,
     },
+    /// The target machine has no processors (`SimBackend::ring(0)`).
+    EmptyMachine,
     /// The node kind is not executable (e.g. ring-farm routers).
     UnsupportedNode {
         /// The offending node.
@@ -95,6 +103,10 @@ impl fmt::Display for ExecError {
             ExecError::MixedFarmPlacement { master } => write!(
                 f,
                 "farm of master {master} has workers both on and off the master's processor"
+            ),
+            ExecError::EmptyMachine => write!(
+                f,
+                "cannot lower onto a machine with no processors (SimBackend::ring(0))"
             ),
             ExecError::UnsupportedNode { node, what } => {
                 write!(f, "node {node} not executable: {what}")
@@ -169,6 +181,11 @@ struct FarmRt {
     worker_procs: Vec<ProcId>,
     /// All workers co-located with the master: run items inline.
     local: bool,
+    /// Fig. 1 ring-shaped instance (the PNT has `M->W`/`W->M` router
+    /// processes): farm traffic is relayed hop-by-hop along the worker
+    /// chain by the workers themselves, instead of being addressed
+    /// point-to-point.
+    ring: bool,
     base_tag: u32,
 }
 
@@ -179,6 +196,27 @@ impl FarmRt {
 
     fn item_tag(&self, widx: usize) -> u32 {
         self.base_tag + 1 + widx as u32
+    }
+
+    /// The end-of-drain acknowledgement circulated up a ring farm's
+    /// worker chain (the last tag of this instance's 1024-tag window).
+    fn ack_tag(&self) -> u32 {
+        self.base_tag + 1023
+    }
+
+    /// Where worker `widx`'s upstream (towards-master) messages go.
+    fn upstream_of(&self, widx: usize) -> ProcId {
+        if widx == 0 {
+            self.master_proc
+        } else {
+            self.worker_procs[widx - 1]
+        }
+    }
+
+    /// The processor farm traffic enters on (the first worker of the ring
+    /// chain; in star mode the master addresses workers directly).
+    fn first_hop(&self) -> ProcId {
+        self.worker_procs[0]
     }
 }
 
@@ -210,6 +248,9 @@ struct SharedLog {
 enum MasterSub {
     Dispatch,
     AwaitResult,
+    /// Ring farms: all ends sent, waiting for the drain ack to climb back
+    /// up the worker chain before publishing the result.
+    AwaitAck,
     Local,
 }
 
@@ -237,12 +278,39 @@ struct WorkerState {
     sub: WorkerSub,
 }
 
+#[derive(Debug)]
+enum RingSub {
+    /// Decide: drain finished (send the ack) or wait for the next message.
+    AwaitMsg,
+    /// A farm message arrived: deliver, compute, or relay it.
+    Classify,
+    /// Local computation finished; send the result upstream.
+    Computed(Value),
+    /// Drain ack sent upstream; leave the farm phase.
+    AckSent,
+}
+
+/// One worker of a **ring-shaped** farm: it plays both its own `Worker`
+/// role and the `M->W`/`W->M` router roles of its processor (Fig. 1),
+/// relaying items addressed further down the chain and results/acks
+/// climbing back up, until its own end marker and the downstream drain
+/// ack have both arrived.
+struct RingState {
+    worker: NodeId,
+    master: NodeId,
+    widx: usize,
+    own_end: bool,
+    downstream_done: bool,
+    sub: RingSub,
+}
+
 enum Phase {
     Fetch,
     AfterRecv { edge: usize },
     AfterInputWait { node: NodeId },
     Master(MasterState),
     Worker(WorkerState),
+    Ring(RingState),
     Halted,
 }
 
@@ -463,14 +531,44 @@ impl ProcBehavior {
                     .cloned()
                     .ok_or_else(|| ExecError::Internal(format!("no farm for master {node}")))?;
                 let inputs = self.gather(node)?;
-                let items: VecDeque<Value> = inputs
-                    .first()
-                    .and_then(Value::as_list)
-                    .map(|v| v.iter().cloned().collect())
-                    .ok_or_else(|| ExecError::BadShape {
-                        node,
-                        what: "master input must be a list".into(),
-                    })?;
+                let first = inputs.first().ok_or_else(|| ExecError::BadShape {
+                    node,
+                    what: "master needs an input".into(),
+                })?;
+                // A farm may be seeded *dynamically*: a loop-body farm
+                // receives the `(state, items)` pair of the Fig. 4 loop
+                // contract and uses the carried state as its accumulator
+                // seed, while a plain farm receives the bare item list
+                // and seeds from the static per-instance init table.
+                let (seed, items): (Value, VecDeque<Value>) = match first {
+                    Value::Tuple(t) => match &t[..] {
+                        [z, items_v] => match items_v.as_list() {
+                            Some(list) => (z.clone(), list.iter().cloned().collect()),
+                            None => {
+                                return Err(ExecError::BadShape {
+                                    node,
+                                    what: "seeded master input must be (state, item list)".into(),
+                                })
+                            }
+                        },
+                        _ => {
+                            return Err(ExecError::BadShape {
+                                node,
+                                what: "seeded master input must be a 2-tuple".into(),
+                            })
+                        }
+                    },
+                    other => match other.as_list() {
+                        Some(list) => (farm.init.clone(), list.iter().cloned().collect()),
+                        None => {
+                            return Err(ExecError::BadShape {
+                                node,
+                                what: "master input must be a list or a (state, items) tuple"
+                                    .into(),
+                            })
+                        }
+                    },
+                };
                 let sub = if farm.local {
                     MasterSub::Local
                 } else {
@@ -481,7 +579,7 @@ impl ProcBehavior {
                     items,
                     idle: (0..farm.worker_procs.len()).rev().collect(),
                     outstanding: 0,
-                    acc: Some(farm.init.clone()),
+                    acc: Some(seed),
                     ends_sent: 0,
                     sub,
                 });
@@ -501,20 +599,35 @@ impl ProcBehavior {
                         cost_ns: 0,
                     }));
                 };
-                self.phase = Phase::Worker(WorkerState {
-                    worker: node,
-                    master,
-                    widx,
-                    sub: WorkerSub::Start,
-                });
+                let farm = &self.shared.farms[&master];
+                if farm.ring {
+                    let last = widx + 1 == farm.worker_procs.len();
+                    self.phase = Phase::Ring(RingState {
+                        worker: node,
+                        master,
+                        widx,
+                        own_end: false,
+                        downstream_done: last,
+                        sub: RingSub::AwaitMsg,
+                    });
+                } else {
+                    self.phase = Phase::Worker(WorkerState {
+                        worker: node,
+                        master,
+                        widx,
+                        sub: WorkerSub::Start,
+                    });
+                }
                 Ok(None)
             }
-            NodeKind::RouterMw | NodeKind::RouterWm => Err(ExecError::UnsupportedNode {
-                node,
-                what: "ring-farm router processes are not executable; \
-                       expand farms with FarmShape::Star"
-                    .into(),
-            }),
+            // The routers' forwarding work is performed by the ring relay
+            // phase entered at the worker node of the same processor (see
+            // `RingState`); the router nodes themselves exist for
+            // structural and mapping fidelity with Fig. 1.
+            NodeKind::RouterMw | NodeKind::RouterWm => Ok(Some(Action::Compute {
+                label: "router".into(),
+                cost_ns: 0,
+            })),
         }
     }
 
@@ -532,7 +645,13 @@ impl ProcBehavior {
                     let item = ms.items.pop_front().expect("items non-empty");
                     ms.outstanding += 1;
                     let bytes = item.byte_size();
-                    let to = farm.worker_procs[w];
+                    // Ring farms: everything enters the worker chain at
+                    // its head and is relayed to the addressed worker.
+                    let to = if farm.ring {
+                        farm.first_hop()
+                    } else {
+                        farm.worker_procs[w]
+                    };
                     let tag = farm.item_tag(w);
                     self.phase = Phase::Master(ms);
                     return Ok(Some(Action::Send {
@@ -547,13 +666,17 @@ impl ProcBehavior {
                     self.phase = Phase::Master(ms);
                     return Ok(Some(Action::Recv {
                         from: None,
-                        tag: Some(farm.result_tag()),
+                        tag: TagFilter::Exact(farm.result_tag()),
                     }));
                 }
                 if ms.ends_sent < farm.worker_procs.len() {
                     let w = ms.ends_sent;
                     ms.ends_sent += 1;
-                    let to = farm.worker_procs[w];
+                    let to = if farm.ring {
+                        farm.first_hop()
+                    } else {
+                        farm.worker_procs[w]
+                    };
                     let tag = farm.item_tag(w);
                     self.phase = Phase::Master(ms);
                     return Ok(Some(Action::Send {
@@ -563,6 +686,24 @@ impl ProcBehavior {
                         payload: Value::End,
                     }));
                 }
+                if farm.ring {
+                    // Wait for the drain ack so the chain is quiescent
+                    // before the next graph iteration reuses its tags.
+                    ms.sub = MasterSub::AwaitAck;
+                    self.phase = Phase::Master(ms);
+                    return Ok(Some(Action::Recv {
+                        from: Some(farm.first_hop()),
+                        tag: TagFilter::Exact(farm.ack_tag()),
+                    }));
+                }
+                let result = ms.acc.take().expect("accumulator present");
+                self.publish(master, &[result])?;
+                self.phase = Phase::Fetch;
+                Ok(None)
+            }
+            MasterSub::AwaitAck => {
+                view.last_message
+                    .ok_or_else(|| ExecError::Internal("master awaited ring ack, none".into()))?;
                 let result = ms.acc.take().expect("accumulator present");
                 self.publish(master, &[result])?;
                 self.phase = Phase::Fetch;
@@ -654,7 +795,7 @@ impl ProcBehavior {
                 self.phase = Phase::Worker(ws);
                 Ok(Some(Action::Recv {
                     from: Some(farm.master_proc),
-                    tag: Some(tag),
+                    tag: TagFilter::Exact(tag),
                 }))
             }
             WorkerSub::AwaitItem => {
@@ -700,6 +841,127 @@ impl ProcBehavior {
         }
     }
 
+    /// One step of the ring relay protocol (Fig. 1's `M->W`/`W->M`
+    /// routers folded into the worker process of each chain processor).
+    ///
+    /// Invariant used for termination: links deliver in FIFO order and
+    /// the master sends end markers only after the last item, so by the
+    /// time this worker holds its own end marker *and* the downstream
+    /// drain ack, no farm message can still be in flight through it —
+    /// forwarding the ack upstream is then safe.
+    fn ring_step(
+        &mut self,
+        mut rs: RingState,
+        view: &ProcView<'_, Value>,
+    ) -> Result<Option<Action<Value>>, ExecError> {
+        let farm = self.shared.farms[&rs.master].clone();
+        let upstream = farm.upstream_of(rs.widx);
+        match std::mem::replace(&mut rs.sub, RingSub::AwaitMsg) {
+            RingSub::AwaitMsg => {
+                if rs.own_end && rs.downstream_done {
+                    rs.sub = RingSub::AckSent;
+                    self.phase = Phase::Ring(rs);
+                    return Ok(Some(Action::Send {
+                        to: upstream,
+                        tag: farm.ack_tag(),
+                        bytes: 1,
+                        payload: Value::End,
+                    }));
+                }
+                // Match only this instance's 1024-tag window: messages for
+                // *later* static operations of this processor must stay
+                // queued, not be consumed by the farm phase.
+                rs.sub = RingSub::Classify;
+                self.phase = Phase::Ring(rs);
+                Ok(Some(Action::Recv {
+                    from: None,
+                    tag: TagFilter::Range {
+                        lo: farm.base_tag,
+                        hi: farm.ack_tag(),
+                    },
+                }))
+            }
+            RingSub::Classify => {
+                let msg = view.last_message.ok_or_else(|| {
+                    ExecError::Internal("ring worker awaited farm message, none".into())
+                })?;
+                let tag = msg.tag;
+                let payload = msg.payload.clone();
+                if tag == farm.ack_tag() {
+                    rs.downstream_done = true;
+                    self.phase = Phase::Ring(rs);
+                    return Ok(None);
+                }
+                if tag == farm.result_tag() {
+                    // A result climbing towards the master: relay it.
+                    let bytes = payload.byte_size();
+                    self.phase = Phase::Ring(rs);
+                    return Ok(Some(Action::Send {
+                        to: upstream,
+                        tag,
+                        bytes,
+                        payload,
+                    }));
+                }
+                let target = (tag - farm.base_tag - 1) as usize;
+                if target == rs.widx {
+                    if payload.is_end() {
+                        rs.own_end = true;
+                        self.phase = Phase::Ring(rs);
+                        return Ok(None);
+                    }
+                    let args = [payload];
+                    let outputs = self.shared.registry.call(&farm.compute, &args)?;
+                    let r = outputs
+                        .into_iter()
+                        .next()
+                        .ok_or_else(|| ExecError::BadShape {
+                            node: rs.worker,
+                            what: "compute function must return one value".into(),
+                        })?;
+                    let cost = self.cost_of(&farm.compute, &args, 0);
+                    let label = farm.compute.clone();
+                    rs.sub = RingSub::Computed(r);
+                    self.phase = Phase::Ring(rs);
+                    return Ok(Some(Action::Compute {
+                        label,
+                        cost_ns: cost,
+                    }));
+                }
+                // An item or end marker addressed further down the chain.
+                let downstream = *farm.worker_procs.get(rs.widx + 1).ok_or_else(|| {
+                    ExecError::Internal(format!(
+                        "ring relay at the end of the chain received a message for worker {target}"
+                    ))
+                })?;
+                let bytes = payload.byte_size();
+                self.phase = Phase::Ring(rs);
+                Ok(Some(Action::Send {
+                    to: downstream,
+                    tag,
+                    bytes,
+                    payload,
+                }))
+            }
+            RingSub::Computed(r) => {
+                let payload = Value::tuple(vec![Value::Int(rs.widx as i64), r]);
+                let bytes = payload.byte_size();
+                let tag = farm.result_tag();
+                self.phase = Phase::Ring(rs);
+                Ok(Some(Action::Send {
+                    to: upstream,
+                    tag,
+                    bytes,
+                    payload,
+                }))
+            }
+            RingSub::AckSent => {
+                self.phase = Phase::Fetch;
+                Ok(None)
+            }
+        }
+    }
+
     fn try_next(&mut self, view: &ProcView<'_, Value>) -> Result<Action<Value>, ExecError> {
         loop {
             match std::mem::replace(&mut self.phase, Phase::Fetch) {
@@ -726,6 +988,11 @@ impl ProcBehavior {
                         return Ok(a);
                     }
                 }
+                Phase::Ring(rs) => {
+                    if let Some(a) = self.ring_step(rs, view)? {
+                        return Ok(a);
+                    }
+                }
                 Phase::Fetch => {
                     if self.pc >= self.ops.len() {
                         self.commit_memory()?;
@@ -745,7 +1012,7 @@ impl ProcBehavior {
                             self.phase = Phase::AfterRecv { edge };
                             return Ok(Action::Recv {
                                 from: Some(from),
-                                tag: Some(tag),
+                                tag: TagFilter::Exact(tag),
                             });
                         }
                         MacroOp::Send { edge, to, tag, .. } => {
@@ -862,6 +1129,18 @@ pub fn run_simulated(
                 .get(&inst)
                 .cloned()
                 .ok_or(ExecError::MissingFarmInit { instance: inst })?;
+            // Router nodes mark a Fig. 1 ring-shaped instance: the farm
+            // protocol then relays messages along the worker chain.
+            let ring = net.nodes().iter().any(|n| {
+                n.instance == Some(inst)
+                    && matches!(n.kind, NodeKind::RouterMw | NodeKind::RouterWm)
+            });
+            if worker_procs.len() > 1022 {
+                return Err(ExecError::Internal(format!(
+                    "farm instance {inst} spans {} processors, exceeding its 1024-tag window",
+                    worker_procs.len()
+                )));
+            }
             let farm = FarmRt {
                 compute,
                 acc: acc.clone(),
@@ -869,6 +1148,7 @@ pub fn run_simulated(
                 master_proc,
                 worker_procs,
                 local,
+                ring,
                 base_tag: 1_000_000 + inst as u32 * 1024,
             };
             for (&w, &widx) in worker_nodes.iter().zip(&assignment) {

@@ -400,13 +400,20 @@ fn missing_farm_init_is_reported() {
     assert!(matches!(err, ExecError::MissingFarmInit { .. }));
 }
 
-#[test]
-fn ring_farm_pnt_is_rejected_at_execution() {
+/// Builds a Fig. 1 ring-shaped farm network wired to stream I/O.
+fn ring_farm_net(
+    workers: usize,
+) -> (
+    ProcessNetwork,
+    NodeId,
+    NodeId,
+    skipper_net::pnt::FarmHandles,
+) {
     let mut net = ProcessNetwork::new("ringfarm");
     let inp = net.add_node(NodeKind::Input("items".into()), "items");
     let h = expand_df(
         &mut net,
-        2,
+        workers,
         "square",
         "add",
         DfTypes {
@@ -421,6 +428,72 @@ fn ring_farm_pnt_is_rejected_at_execution() {
         .unwrap();
     net.add_data_edge(h.master, 0, out, 0, DataType::Int)
         .unwrap();
+    (net, inp, out, h)
+}
+
+/// The Fig. 1 ring-shaped farm PNT executes: items are relayed down the
+/// worker chain by the workers themselves, results climb back up, and the
+/// results equal the star-shaped farm's.
+#[test]
+fn ring_farm_pnt_executes_via_chain_relay() {
+    let (net, inp, out, h) = ring_farm_net(3);
+    let arch = Architecture::ring_t9000(4);
+    let mut pins = HashMap::new();
+    pins.insert(inp, ProcId(0));
+    pins.insert(h.master, ProcId(0));
+    pins.insert(out, ProcId(0));
+    for (i, &w) in h.workers.iter().enumerate() {
+        pins.insert(w, ProcId(1 + i));
+        // Fig. 1: one M->W / W->M router pair per worker processor.
+        pins.insert(h.routers_mw[i], ProcId(1 + i));
+        pins.insert(h.routers_wm[i], ProcId(1 + i));
+    }
+    let sched = schedule_with(&net, &arch, &pins, Strategy::MinFinish).unwrap();
+    let progs = generate(&net, &sched, &arch);
+    check_deadlock_free(&progs, 2).unwrap();
+
+    let outputs: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reg = farm_registry(&outputs);
+    let mut farm_init = HashMap::new();
+    farm_init.insert(h.instance, Value::Int(0));
+    let config = ExecConfig {
+        iterations: 2,
+        ..ExecConfig::default()
+    };
+    let report = run_simulated(
+        &net,
+        &sched,
+        &progs,
+        arch.topology().clone(),
+        Arc::new(reg),
+        &HashMap::new(),
+        &farm_init,
+        &config,
+    )
+    .unwrap();
+    // Iter 0: sum of squares 1..4 = 30; iter 1: 1..5 = 55.
+    assert_eq!(*outputs.lock().unwrap(), vec![30, 55]);
+    // Every chain processor worked, and relaying produced strictly more
+    // end-to-end deliveries than the item+result count alone.
+    for p in 1..=3 {
+        assert!(
+            report.sim.proc_busy_ns[p] > 0,
+            "chain processor P{p} never worked"
+        );
+    }
+    let items = 4 + 5;
+    assert!(
+        report.sim.delivered > 2 * items,
+        "chain relaying must multiply message deliveries: {}",
+        report.sim.delivered
+    );
+}
+
+/// A ring-shaped farm collapsed onto one processor degrades to the local
+/// (inline) farm mode, routers included.
+#[test]
+fn ring_farm_pnt_runs_locally_on_single_proc() {
+    let (net, _, _, h) = ring_farm_net(2);
     let arch = Architecture::single_t9000();
     let sched = schedule_with(&net, &arch, &HashMap::new(), Strategy::SingleProc).unwrap();
     let progs = generate(&net, &sched, &arch);
@@ -428,7 +501,7 @@ fn ring_farm_pnt_is_rejected_at_execution() {
     let reg = farm_registry(&outputs);
     let mut farm_init = HashMap::new();
     farm_init.insert(h.instance, Value::Int(0));
-    let err = run_simulated(
+    run_simulated(
         &net,
         &sched,
         &progs,
@@ -438,6 +511,6 @@ fn ring_farm_pnt_is_rejected_at_execution() {
         &farm_init,
         &ExecConfig::default(),
     )
-    .unwrap_err();
-    assert!(matches!(err, ExecError::UnsupportedNode { .. }));
+    .unwrap();
+    assert_eq!(*outputs.lock().unwrap(), vec![30]);
 }

@@ -245,12 +245,13 @@ pub fn expand_tf(
                 .expect("nodes exist");
             }
             FarmShape::Ring => {
-                // New tasks travel the same W->M router chain.
+                // New tasks travel the same W->M router chain, on their
+                // own port (port 2 carries the chain's result traffic).
                 net.add_data_edge(
                     w,
                     1,
                     handles.routers_wm[i],
-                    2,
+                    3,
                     DataType::list(types.item.clone()),
                 )
                 .expect("nodes exist");
@@ -471,6 +472,67 @@ mod tests {
             "memory edge must not create a data cycle"
         );
         assert_eq!(net.predecessors(body).len(), 2);
+    }
+
+    #[test]
+    fn ring_farm_node_and_edge_counts() {
+        // Fig. 1 with n workers: nodes = master + n workers + n M->W +
+        // n W->M; edges = the M->W chain (n), mw->worker drops (n),
+        // worker->wm feeds (n) and the W->M chain (n).
+        for n in [1usize, 2, 5] {
+            let mut net = ProcessNetwork::new("t");
+            let h = expand_df(&mut net, n, "comp", "acc", int_types(), FarmShape::Ring);
+            assert_eq!(net.len(), 1 + 3 * n, "nodes for n={n}");
+            assert_eq!(net.edges().len(), 4 * n, "edges for n={n}");
+            assert_eq!(h.workers.len(), n);
+            assert_eq!(h.routers_mw.len(), n);
+            assert_eq!(h.routers_wm.len(), n);
+        }
+    }
+
+    #[test]
+    fn degenerate_one_worker_ring_is_a_two_hop_chain() {
+        // n = 1: master -> mw0 -> worker0 -> wm0 -> master, one router
+        // pair, no router-to-router links.
+        let mut net = ProcessNetwork::new("t");
+        let h = expand_df(&mut net, 1, "comp", "acc", int_types(), FarmShape::Ring);
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.successors(h.master), vec![h.routers_mw[0]]);
+        assert_eq!(net.successors(h.routers_mw[0]), vec![h.workers[0]]);
+        assert_eq!(net.successors(h.workers[0]), vec![h.routers_wm[0]]);
+        assert_eq!(net.successors(h.routers_wm[0]), vec![h.master]);
+    }
+
+    #[test]
+    fn ring_farm_wired_to_stream_io_is_well_formed() {
+        // Every ring-farm node must pass structural validation once the
+        // farm is wired into a stream pipeline: the chain edges are
+        // farm-internal (dynamically scheduled) and thus exempt from the
+        // static acyclicity requirement.
+        let mut net = ProcessNetwork::new("t");
+        let inp = net.add_node(NodeKind::Input("cam".into()), "cam");
+        let h = expand_df(&mut net, 3, "comp", "acc", int_types(), FarmShape::Ring);
+        let out = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
+            .unwrap();
+        net.add_data_edge(h.master, 0, out, 0, DataType::Int)
+            .unwrap();
+        let issues = crate::validate::validate(&net);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn ring_tf_farm_is_well_formed_too() {
+        let mut net = ProcessNetwork::new("t");
+        let inp = net.add_node(NodeKind::Input("tasks".into()), "tasks");
+        let h = expand_tf(&mut net, 2, "work", "acc", int_types(), FarmShape::Ring);
+        let out = net.add_node(NodeKind::Output("disp".into()), "disp");
+        net.add_data_edge(inp, 0, h.master, 0, DataType::list(DataType::Int))
+            .unwrap();
+        net.add_data_edge(h.master, 0, out, 0, DataType::Int)
+            .unwrap();
+        let issues = crate::validate::validate(&net);
+        assert!(issues.is_empty(), "{issues:?}");
     }
 
     #[test]

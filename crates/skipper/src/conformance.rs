@@ -5,13 +5,16 @@
 //! execution strategies — only holds if every backend produces the
 //! **same results** as the declarative specification. In the spirit of
 //! consumer-driven contract testing, this module is that contract written
-//! once: a fixed repertoire of program cases (all four skeletons plus
-//! `then`/`nest` compositions), a fixed input matrix (empty, singleton,
-//! regular and skewed inputs), and a sweep over worker counts (1, 2, the
-//! host default, and `SKIPPER_WORKERS` when set). Golden results always
-//! come from [`SeqBackend`].
+//! once: a fixed repertoire of program cases (all four skeletons, the
+//! `then` pipeline, and the stream-loop compositions `itermem(scm)`,
+//! `itermem(df)`, `itermem(tf)`, nested `itermem(itermem(..))` and
+//! then-inside-loop), a fixed input matrix (empty, singleton, regular and
+//! skewed inputs — including empty frames inside non-empty streams), and
+//! a sweep over worker counts (1, 2, the host default, and
+//! `SKIPPER_WORKERS` when set). Golden results always come from
+//! [`SeqBackend`].
 //!
-//! A backend plugs in by implementing [`ConformanceHarness`] — five
+//! A backend plugs in by implementing [`ConformanceHarness`] — nine
 //! one-line methods, because a `Backend` impl is per program type and a
 //! generic suite cannot quantify over all of them. Implementations for
 //! [`SeqBackend`] (self-check), [`ThreadBackend`] and
@@ -157,6 +160,54 @@ pub fn itermem_case(workers: usize) -> LoopProg {
     )
 }
 
+/// The `itermem(df(...))` conformance program type — a data farm as the
+/// stream-loop body, with the carried state seeding the accumulator.
+pub type LoopDfProg = IterLoop<DfProg, i64>;
+
+/// The `itermem(df)` case: each frame is an item list farmed out and
+/// folded into the tracked state.
+pub fn itermem_df_case(workers: usize) -> LoopDfProg {
+    crate::itermem(df_case(workers), 100)
+}
+
+/// The `itermem(tf(...))` conformance program type — a task farm as the
+/// stream-loop body.
+pub type LoopTfProg = IterLoop<TfProg, u64>;
+
+/// The `itermem(tf)` case: each frame is a list of root tasks elaborated
+/// into the tracked state.
+pub fn itermem_tf_case(workers: usize) -> LoopTfProg {
+    crate::itermem(tf_case(workers), 7)
+}
+
+/// The nested-loop conformance program type: an inner `itermem(scm)` as
+/// the body of an outer stream loop (each outer frame is a burst of inner
+/// frames, continuing one state thread).
+pub type NestedLoopProg = IterLoop<LoopProg, i64>;
+
+/// The nested-loop case.
+pub fn nested_loop_case(workers: usize) -> NestedLoopProg {
+    crate::itermem(itermem_case(workers), 9)
+}
+
+fn loop_then_post(t: (i64, i64)) -> (i64, i64) {
+    (t.0 + 1, t.1 * 5)
+}
+
+/// The then-inside-loop conformance program type: an `scm` body piped
+/// into a lifted post-processing function, inside the stream loop.
+pub type LoopThenProg = IterLoop<Then<LoopBody, Pure<fn((i64, i64)) -> (i64, i64)>>, i64>;
+
+/// The then-inside-loop case.
+pub fn itermem_then_case(workers: usize) -> LoopThenProg {
+    use crate::Compose;
+    crate::itermem(
+        crate::scm(workers, loop_split as _, loop_comp as _, loop_merge as _)
+            .then(crate::pure(loop_then_post as _)),
+        3,
+    )
+}
+
 /// One backend's adapter into the conformance suite.
 ///
 /// Each method runs the given conformance program on this backend and
@@ -181,6 +232,20 @@ pub trait ConformanceHarness {
 
     /// Runs the [`itermem_case`] stream loop.
     fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>);
+
+    /// Runs the [`itermem_df_case`] stream loop (a farm as the body).
+    fn run_itermem_df(&self, prog: &LoopDfProg, frames: Vec<Vec<i64>>) -> (i64, Vec<i64>);
+
+    /// Runs the [`itermem_tf_case`] stream loop (a task farm as the body).
+    fn run_itermem_tf(&self, prog: &LoopTfProg, frames: Vec<Vec<u64>>) -> (u64, Vec<u64>);
+
+    /// Runs the [`nested_loop_case`] (a stream loop as the body of
+    /// another).
+    fn run_nested_loop(&self, prog: &NestedLoopProg, bursts: Vec<Vec<i64>>)
+        -> (i64, Vec<Vec<i64>>);
+
+    /// Runs the [`itermem_then_case`] (a `then` pipeline as the body).
+    fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>);
 }
 
 macro_rules! host_harness {
@@ -207,6 +272,26 @@ macro_rules! host_harness {
             }
 
             fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
+                self.run(prog, frames)
+            }
+
+            fn run_itermem_df(&self, prog: &LoopDfProg, frames: Vec<Vec<i64>>) -> (i64, Vec<i64>) {
+                self.run(prog, frames)
+            }
+
+            fn run_itermem_tf(&self, prog: &LoopTfProg, frames: Vec<Vec<u64>>) -> (u64, Vec<u64>) {
+                self.run(prog, frames)
+            }
+
+            fn run_nested_loop(
+                &self,
+                prog: &NestedLoopProg,
+                bursts: Vec<Vec<i64>>,
+            ) -> (i64, Vec<Vec<i64>>) {
+                self.run(prog, bursts)
+            }
+
+            fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
                 self.run(prog, frames)
             }
         }
@@ -249,6 +334,40 @@ fn root_inputs() -> Vec<Vec<u64>> {
 /// a short stream.
 fn frame_inputs() -> Vec<Vec<i64>> {
     vec![Vec::new(), vec![7], vec![1, -2, 3, -4, 5]]
+}
+
+/// The frame-stream matrix for `itermem(df)`: empty stream, a single
+/// empty frame, a singleton frame, and a stream mixing regular, empty and
+/// skewed frames.
+fn list_frame_inputs() -> Vec<Vec<Vec<i64>>> {
+    vec![
+        Vec::new(),
+        vec![Vec::new()],
+        vec![vec![41]],
+        vec![(0..12).collect(), Vec::new(), vec![900, 1, 2, 700, 3]],
+    ]
+}
+
+/// The frame-stream matrix for `itermem(tf)`: empty stream, one empty
+/// frame, and streams of root-task lists.
+fn root_frame_inputs() -> Vec<Vec<Vec<u64>>> {
+    vec![
+        Vec::new(),
+        vec![Vec::new()],
+        vec![vec![5]],
+        vec![vec![64, 3], Vec::new(), vec![17, 200, 9]],
+    ]
+}
+
+/// The burst matrix for nested loops: empty stream, one empty burst, and
+/// bursts of inner frames.
+fn burst_inputs() -> Vec<Vec<Vec<i64>>> {
+    vec![
+        Vec::new(),
+        vec![Vec::new()],
+        vec![vec![7]],
+        vec![vec![1, -2], Vec::new(), vec![3, -4, 5]],
+    ]
 }
 
 /// Checks the `df` contract for one worker count.
@@ -331,10 +450,76 @@ pub fn check_itermem<H: ConformanceHarness>(h: &H, workers: usize) {
     }
 }
 
-/// Runs the full contract: every skeleton and composition case, across
-/// the whole input matrix and every [`worker_counts`] entry, asserting
-/// agreement with [`SeqBackend`] golden results. Panics with a
-/// case-identifying message on the first divergence.
+/// Checks the `itermem(df)` contract for one worker count.
+pub fn check_itermem_df<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_df_case(workers);
+    for frames in list_frame_inputs() {
+        let golden = SeqBackend.run(&prog, frames.clone());
+        let got = h.run_itermem_df(&prog, frames.clone());
+        assert_eq!(
+            got,
+            golden,
+            "itermem(df) conformance failed on `{}` (workers={workers}, {} frame(s))",
+            h.name(),
+            frames.len()
+        );
+    }
+}
+
+/// Checks the `itermem(tf)` contract for one worker count.
+pub fn check_itermem_tf<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_tf_case(workers);
+    for frames in root_frame_inputs() {
+        let golden = SeqBackend.run(&prog, frames.clone());
+        let got = h.run_itermem_tf(&prog, frames.clone());
+        assert_eq!(
+            got,
+            golden,
+            "itermem(tf) conformance failed on `{}` (workers={workers}, {} frame(s))",
+            h.name(),
+            frames.len()
+        );
+    }
+}
+
+/// Checks the nested-loop contract for one worker count.
+pub fn check_nested_loop<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = nested_loop_case(workers);
+    for bursts in burst_inputs() {
+        let golden = SeqBackend.run(&prog, bursts.clone());
+        let got = h.run_nested_loop(&prog, bursts.clone());
+        assert_eq!(
+            got,
+            golden,
+            "nested-loop conformance failed on `{}` (workers={workers}, {} burst(s))",
+            h.name(),
+            bursts.len()
+        );
+    }
+}
+
+/// Checks the then-inside-loop contract for one worker count.
+pub fn check_itermem_then<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_then_case(workers);
+    for frames in frame_inputs() {
+        let golden = SeqBackend.run(&prog, frames.clone());
+        let got = h.run_itermem_then(&prog, frames.clone());
+        assert_eq!(
+            got,
+            golden,
+            "then-inside-loop conformance failed on `{}` (workers={workers}, {} frame(s))",
+            h.name(),
+            frames.len()
+        );
+    }
+}
+
+/// Runs the full contract: every skeleton and composition case —
+/// including `df`/`tf` as stream-loop bodies, nested loops and
+/// then-inside-loop pipelines — across the whole input matrix and every
+/// [`worker_counts`] entry, asserting agreement with [`SeqBackend`]
+/// golden results. Panics with a case-identifying message on the first
+/// divergence.
 pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
     for &workers in &worker_counts() {
         check_df(h, workers);
@@ -342,6 +527,10 @@ pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
         check_tf(h, workers);
         check_then(h, workers);
         check_itermem(h, workers);
+        check_itermem_df(h, workers);
+        check_itermem_tf(h, workers);
+        check_nested_loop(h, workers);
+        check_itermem_then(h, workers);
     }
 }
 
@@ -393,8 +582,48 @@ mod tests {
             fn run_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
                 SeqBackend.run(prog, frames)
             }
+            fn run_itermem_df(&self, prog: &LoopDfProg, frames: Vec<Vec<i64>>) -> (i64, Vec<i64>) {
+                SeqBackend.run(prog, frames)
+            }
+            fn run_itermem_tf(&self, prog: &LoopTfProg, frames: Vec<Vec<u64>>) -> (u64, Vec<u64>) {
+                SeqBackend.run(prog, frames)
+            }
+            fn run_nested_loop(
+                &self,
+                prog: &NestedLoopProg,
+                bursts: Vec<Vec<i64>>,
+            ) -> (i64, Vec<Vec<i64>>) {
+                SeqBackend.run(prog, bursts)
+            }
+            fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
+                SeqBackend.run(prog, frames)
+            }
         }
         let caught = std::panic::catch_unwind(|| check_df(&Broken, 2));
         assert!(caught.is_err(), "the kit must flag a divergent backend");
+    }
+
+    #[test]
+    fn loop_body_cases_thread_state_across_frames() {
+        // The itermem(df) case really threads state: a farm body seeded by
+        // the carried accumulator makes each frame's output depend on all
+        // previous frames.
+        let prog = itermem_df_case(2);
+        let frames = vec![vec![1i64, 2], vec![3]];
+        let (z, ys) = SeqBackend.run(&prog, frames);
+        // Frame 1: 100 + (1+3) + (4+3) = 111; frame 2: 111 + (9+3) = 123.
+        assert_eq!(ys, vec![111, 123]);
+        assert_eq!(z, 123);
+        // Nested loops continue one state thread across bursts: with equal
+        // initial states, bursting the frames must not change the result
+        // (the inner loop's own init is only honoured at top level).
+        let flat = itermem_case(2);
+        let nested = crate::itermem(itermem_case(2), *flat.init());
+        let (zn, _) = SeqBackend.run(&nested, vec![vec![1i64, -2], vec![3]]);
+        let (zf, _) = SeqBackend.run(&flat, vec![1i64, -2, 3]);
+        assert_eq!(
+            zn, zf,
+            "a nested loop over bursts must equal the flat loop over the same frames"
+        );
     }
 }

@@ -174,14 +174,58 @@ where
     }
 
     fn run_threaded(&self, xs: &'a [I], workers: Option<NonZeroUsize>) -> Z {
+        self.fold_threaded(xs, self.init.clone(), workers)
+    }
+}
+
+impl<C, A, Z> Df<C, A, Z> {
+    /// Threaded farm round folding into an explicit `seed` accumulator
+    /// (the loop-body form threads the carried state through here).
+    pub(crate) fn fold_threaded<I, O>(&self, xs: &[I], seed: Z, workers: Option<NonZeroUsize>) -> Z
+    where
+        C: Fn(&I) -> O + Sync,
+        A: Fn(Z, O) -> Z,
+        I: Sync,
+        O: Send,
+    {
         let n = workers.unwrap_or(self.workers).get();
-        let mut z = Some(self.init.clone());
+        let mut z = Some(seed);
         self.farm(xs, n, |rx| {
             for (_idx, o) in rx.iter() {
                 z = Some((self.acc)(z.take().expect("accumulator present"), o));
             }
         });
         z.expect("accumulator present")
+    }
+}
+
+/// A farm as an [`crate::itermem()`] loop body (the paper's tracking-loop
+/// regime): the input is the loop's `&(state, frame)` pair, with the frame
+/// being this iteration's item list.
+///
+/// The **carried state plays the accumulator role**: each frame's results
+/// are folded into the state threaded from the previous iteration, and the
+/// per-frame output is the updated accumulator — so `itermem(df(...), z0)`
+/// is "accumulate every frame's detections into the tracked state". The
+/// farm's own `init` seeds only non-loop runs.
+impl<'a, I, O, C, A, Z> Skeleton<&'a (Z, Vec<I>)> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    I: Sync,
+    O: Send,
+{
+    type Output = (Z, Z);
+
+    fn run_declarative(&self, t: &'a (Z, Vec<I>)) -> (Z, Z) {
+        let z = crate::spec::df(self.workers(), &self.comp, &self.acc, t.0.clone(), &t.1);
+        (z.clone(), z)
+    }
+
+    fn run_threaded(&self, t: &'a (Z, Vec<I>), workers: Option<NonZeroUsize>) -> (Z, Z) {
+        let z = self.fold_threaded(&t.1, t.0.clone(), workers);
+        (z.clone(), z)
     }
 }
 

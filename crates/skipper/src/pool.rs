@@ -438,6 +438,53 @@ fn chunk_size(len: usize, n: usize) -> usize {
     (len / (4 * n.max(1))).clamp(1, 1024)
 }
 
+/// Chunked self-scheduling farm round on the pool, folding into an
+/// explicit `seed` accumulator (shared by the slice form, which seeds
+/// with the program's `init`, and the loop-body form, which seeds with
+/// the carried state).
+fn df_fold_pooled<I, O, C, A, Z>(prog: &Df<C, A, Z>, pool: &WorkerPool, xs: &[I], seed: Z) -> Z
+where
+    C: Fn(&I) -> O + Sync,
+    A: Fn(Z, O) -> Z,
+    I: Sync,
+    O: Send,
+{
+    let len = xs.len();
+    if len == 0 {
+        return seed;
+    }
+    let n = prog.workers().min(len);
+    let chunk = chunk_size(len, n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<Vec<O>>();
+    let comp = prog.compute_fn();
+    pool.scope(|s| {
+        for _ in 0..n {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                let batch: Vec<O> = xs[start..end].iter().map(comp).collect();
+                if tx.send(batch).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut z = seed;
+        for batch in rx.iter() {
+            for o in batch {
+                z = (prog.acc_fn())(z, o);
+            }
+        }
+        z
+    })
+}
+
 impl<'a, I, O, C, A, Z> PoolRun<&'a [I]> for Df<C, A, Z>
 where
     C: Fn(&I) -> O + Sync,
@@ -447,40 +494,23 @@ where
     O: Send,
 {
     fn run_pooled(&self, pool: &WorkerPool, xs: &'a [I]) -> Z {
-        let len = xs.len();
-        if len == 0 {
-            return self.init().clone();
-        }
-        let n = self.workers().min(len);
-        let chunk = chunk_size(len, n);
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = channel::unbounded::<Vec<O>>();
-        let comp = self.compute_fn();
-        pool.scope(|s| {
-            for _ in 0..n {
-                let tx = tx.clone();
-                let next = &next;
-                s.spawn(move || loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= len {
-                        break;
-                    }
-                    let end = (start + chunk).min(len);
-                    let batch: Vec<O> = xs[start..end].iter().map(comp).collect();
-                    if tx.send(batch).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            let mut z = self.init().clone();
-            for batch in rx.iter() {
-                for o in batch {
-                    z = (self.acc_fn())(z, o);
-                }
-            }
-            z
-        })
+        df_fold_pooled(self, pool, xs, self.init().clone())
+    }
+}
+
+/// A farm as an `itermem` loop body on the pool: the carried state seeds
+/// the accumulator (see the matching `Skeleton<&(Z, Vec<I>)>` impl).
+impl<'a, I, O, C, A, Z> PoolRun<&'a (Z, Vec<I>)> for Df<C, A, Z>
+where
+    C: Fn(&I) -> O + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    I: Sync,
+    O: Send,
+{
+    fn run_pooled(&self, pool: &WorkerPool, t: &'a (Z, Vec<I>)) -> (Z, Z) {
+        let z = df_fold_pooled(self, pool, &t.1, t.0.clone());
+        (z.clone(), z)
     }
 }
 
@@ -533,6 +563,80 @@ where
     }
 }
 
+/// Task-farm round on the pool, folding into an explicit `seed`
+/// accumulator (shared by the owned-task form and the loop-body form).
+fn tf_fold_pooled<T, O, W, A, Z>(prog: &Tf<W, A, Z>, pool: &WorkerPool, tasks: Vec<T>, seed: Z) -> Z
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+    A: Fn(Z, O) -> Z,
+    T: Send,
+    O: Send,
+{
+    if tasks.is_empty() {
+        return seed;
+    }
+    let n = prog.workers();
+    let outstanding = AtomicUsize::new(tasks.len());
+    let queue = Mutex::new(VecDeque::from(tasks));
+    let (tx, rx) = channel::unbounded::<O>();
+    let worker = prog.worker_fn();
+    pool.scope(|s| {
+        for _ in 0..n {
+            let tx = tx.clone();
+            let queue = &queue;
+            let outstanding = &outstanding;
+            s.spawn(move || {
+                // Counts the popped task as completed even when the
+                // worker function unwinds: without this, a panicking
+                // task leaves `outstanding` above zero forever, the
+                // sibling jobs snooze indefinitely on persistent pool
+                // threads, and the run never returns.
+                struct TaskDone<'a>(&'a AtomicUsize);
+                impl Drop for TaskDone<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let backoff = crossbeam::utils::Backoff::new();
+                loop {
+                    let task = queue.lock().expect("task queue poisoned").pop_front();
+                    match task {
+                        Some(t) => {
+                            backoff.reset();
+                            let done = TaskDone(outstanding);
+                            let (new_tasks, result) = worker(t);
+                            if !new_tasks.is_empty() {
+                                outstanding.fetch_add(new_tasks.len(), Ordering::SeqCst);
+                                let mut q = queue.lock().expect("task queue poisoned");
+                                q.extend(new_tasks);
+                            }
+                            if let Some(o) = result {
+                                if tx.send(o).is_err() {
+                                    return;
+                                }
+                            }
+                            // Completed AFTER children were registered.
+                            drop(done);
+                        }
+                        None => {
+                            if outstanding.load(Ordering::SeqCst) == 0 {
+                                return;
+                            }
+                            backoff.snooze();
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut z = seed;
+        for o in rx.iter() {
+            z = (prog.acc_fn())(z, o);
+        }
+        z
+    })
+}
+
 impl<T, O, W, A, Z> PoolRun<Vec<T>> for Tf<W, A, Z>
 where
     W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
@@ -542,69 +646,24 @@ where
     O: Send,
 {
     fn run_pooled(&self, pool: &WorkerPool, tasks: Vec<T>) -> Z {
-        if tasks.is_empty() {
-            return self.init().clone();
-        }
-        let n = self.workers();
-        let outstanding = AtomicUsize::new(tasks.len());
-        let queue = Mutex::new(VecDeque::from(tasks));
-        let (tx, rx) = channel::unbounded::<O>();
-        let worker = self.worker_fn();
-        pool.scope(|s| {
-            for _ in 0..n {
-                let tx = tx.clone();
-                let queue = &queue;
-                let outstanding = &outstanding;
-                s.spawn(move || {
-                    // Counts the popped task as completed even when the
-                    // worker function unwinds: without this, a panicking
-                    // task leaves `outstanding` above zero forever, the
-                    // sibling jobs snooze indefinitely on persistent pool
-                    // threads, and the run never returns.
-                    struct TaskDone<'a>(&'a AtomicUsize);
-                    impl Drop for TaskDone<'_> {
-                        fn drop(&mut self) {
-                            self.0.fetch_sub(1, Ordering::SeqCst);
-                        }
-                    }
-                    let backoff = crossbeam::utils::Backoff::new();
-                    loop {
-                        let task = queue.lock().expect("task queue poisoned").pop_front();
-                        match task {
-                            Some(t) => {
-                                backoff.reset();
-                                let done = TaskDone(outstanding);
-                                let (new_tasks, result) = worker(t);
-                                if !new_tasks.is_empty() {
-                                    outstanding.fetch_add(new_tasks.len(), Ordering::SeqCst);
-                                    let mut q = queue.lock().expect("task queue poisoned");
-                                    q.extend(new_tasks);
-                                }
-                                if let Some(o) = result {
-                                    if tx.send(o).is_err() {
-                                        return;
-                                    }
-                                }
-                                // Completed AFTER children were registered.
-                                drop(done);
-                            }
-                            None => {
-                                if outstanding.load(Ordering::SeqCst) == 0 {
-                                    return;
-                                }
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            let mut z = self.init().clone();
-            for o in rx.iter() {
-                z = (self.acc_fn())(z, o);
-            }
-            z
-        })
+        tf_fold_pooled(self, pool, tasks, self.init().clone())
+    }
+}
+
+/// A task farm as an `itermem` loop body on the pool: the carried state
+/// seeds the accumulator (see the matching `Skeleton<&(Z, Vec<T>)>`
+/// impl).
+impl<'a, T, O, W, A, Z> PoolRun<&'a (Z, Vec<T>)> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    T: Clone + Send,
+    O: Send,
+{
+    fn run_pooled(&self, pool: &WorkerPool, t: &'a (Z, Vec<T>)) -> (Z, Z) {
+        let z = tf_fold_pooled(self, pool, t.1.clone(), t.0.clone());
+        (z.clone(), z)
     }
 }
 
@@ -638,6 +697,28 @@ where
         let mut ys = Vec::with_capacity(frames.len());
         for b in frames {
             let pair = (z, b);
+            let (z2, y) = self.body().run_pooled(pool, &pair);
+            z = z2;
+            ys.push(y);
+        }
+        (z, ys)
+    }
+}
+
+/// A stream loop as the body of an outer stream loop on the pool (nested
+/// `itermem`): the burst runs through the inner loop seeded with the
+/// carried outer state (see the matching `Skeleton<&(Z, Vec<B>)>` impl).
+impl<'a, P, Z, B, Y> PoolRun<&'a (Z, Vec<B>)> for IterLoop<P, Z>
+where
+    P: for<'x> PoolRun<&'x (Z, B), Output = (Z, Y)>,
+    Z: Clone,
+    B: Clone,
+{
+    fn run_pooled(&self, pool: &WorkerPool, t: &'a (Z, Vec<B>)) -> (Z, Vec<Y>) {
+        let mut z = t.0.clone();
+        let mut ys = Vec::with_capacity(t.1.len());
+        for b in &t.1 {
+            let pair = (z, b.clone());
             let (z2, y) = self.body().run_pooled(pool, &pair);
             z = z2;
             ys.push(y);

@@ -245,6 +245,45 @@ where
     }
 }
 
+/// A stream loop as the body of an *outer* stream loop (nested
+/// `itermem`): the outer frame is a burst `Vec<B>` of inner frames, run
+/// through the inner loop **seeded with the carried outer state** — the
+/// nesting continues one state thread across bursts, so the inner loop's
+/// own `init` seeds only top-level runs. The per-burst output is the
+/// inner loop's output vector.
+impl<'a, P, Z, B, Y> Skeleton<&'a (Z, Vec<B>)> for IterLoop<P, Z>
+where
+    P: for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+    Z: Clone,
+    B: Clone,
+{
+    type Output = (Z, Vec<Y>);
+
+    fn run_declarative(&self, t: &'a (Z, Vec<B>)) -> (Z, Vec<Y>) {
+        let mut z = t.0.clone();
+        let mut ys = Vec::with_capacity(t.1.len());
+        for b in &t.1 {
+            let pair = (z, b.clone());
+            let (z2, y) = self.body.run_declarative(&pair);
+            z = z2;
+            ys.push(y);
+        }
+        (z, ys)
+    }
+
+    fn run_threaded(&self, t: &'a (Z, Vec<B>), workers: Option<NonZeroUsize>) -> (Z, Vec<Y>) {
+        let mut z = t.0.clone();
+        let mut ys = Vec::with_capacity(t.1.len());
+        for b in &t.1 {
+            let pair = (z, b.clone());
+            let (z2, y) = self.body.run_threaded(&pair, workers);
+            z = z2;
+            ys.push(y);
+        }
+        (z, ys)
+    }
+}
+
 /// Composition adapters shared by every program type.
 pub trait Compose: Sized {
     /// Pipes this program's output into `next`.

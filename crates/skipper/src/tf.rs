@@ -121,8 +121,28 @@ where
     }
 
     fn run_threaded(&self, tasks: Vec<T>, workers: Option<NonZeroUsize>) -> Z {
+        self.fold_threaded(tasks, self.init.clone(), workers)
+    }
+}
+
+impl<W, A, Z> Tf<W, A, Z> {
+    /// Threaded task-farm round folding into an explicit `seed`
+    /// accumulator (the loop-body form threads the carried state through
+    /// here).
+    pub(crate) fn fold_threaded<T, O>(
+        &self,
+        tasks: Vec<T>,
+        seed: Z,
+        workers: Option<NonZeroUsize>,
+    ) -> Z
+    where
+        W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+        A: Fn(Z, O) -> Z,
+        T: Send,
+        O: Send,
+    {
         if tasks.is_empty() {
-            return self.init.clone();
+            return seed;
         }
         let n = workers.unwrap_or(self.workers).get();
         // `outstanding` counts queued + in-process tasks; 0 means done.
@@ -130,7 +150,7 @@ where
         let queue = Mutex::new(VecDeque::from(tasks));
         let (tx, rx) = channel::unbounded::<O>();
         let worker = &self.worker;
-        let mut z = Some(self.init.clone());
+        let mut z = Some(seed);
         crossbeam::thread::scope(|s| {
             for _ in 0..n {
                 let tx = tx.clone();
@@ -189,6 +209,41 @@ where
     }
 }
 
+/// A task farm as an [`crate::itermem()`] loop body: the input is the loop's
+/// `&(state, frame)` pair, the frame being this iteration's root tasks.
+///
+/// As with the `df` loop body, the **carried state plays the accumulator
+/// role**: the frame's task tree is elaborated with the threaded state as
+/// the accumulator seed, and the per-frame output is the updated
+/// accumulator. The farm's own `init` seeds only non-loop runs. Root
+/// tasks are cloned out of the borrowed frame (`T: Clone`).
+impl<'a, T, O, W, A, Z> Skeleton<&'a (Z, Vec<T>)> for Tf<W, A, Z>
+where
+    W: Fn(T) -> (Vec<T>, Option<O>) + Sync,
+    A: Fn(Z, O) -> Z,
+    Z: Clone,
+    T: Clone + Send,
+    O: Send,
+{
+    type Output = (Z, Z);
+
+    fn run_declarative(&self, t: &'a (Z, Vec<T>)) -> (Z, Z) {
+        let z = crate::spec::tf(
+            self.workers(),
+            |task| (self.worker)(task),
+            |z, o| (self.acc)(z, o),
+            t.0.clone(),
+            t.1.clone(),
+        );
+        (z.clone(), z)
+    }
+
+    fn run_threaded(&self, t: &'a (Z, Vec<T>), workers: Option<NonZeroUsize>) -> (Z, Z) {
+        let z = self.fold_threaded(t.1.clone(), t.0.clone(), workers);
+        (z.clone(), z)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,7 +286,8 @@ mod tests {
         // No task generates children: tf degenerates to df.
         let tf = Tf::new(4, |x: u64| (Vec::new(), Some(x * 3)), |z, o| z + o, 0u64);
         let expected: u64 = (0..100).map(|x| x * 3).sum();
-        assert_eq!(ThreadBackend::new().run(&tf, (0..100).collect()), expected);
+        let tasks: Vec<u64> = (0..100).collect();
+        assert_eq!(ThreadBackend::new().run(&tf, tasks), expected);
     }
 
     #[test]
@@ -248,10 +304,8 @@ mod tests {
             |z, o| z + o,
             0u32,
         );
-        assert_eq!(
-            ThreadBackend::new().run(&tf, (0..10).collect()),
-            2 + 4 + 6 + 8
-        );
+        let tasks: Vec<u32> = (0..10).collect();
+        assert_eq!(ThreadBackend::new().run(&tf, tasks), 2 + 4 + 6 + 8);
     }
 
     #[test]

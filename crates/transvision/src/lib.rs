@@ -31,7 +31,7 @@
 //!     Action::Send { to: ProcId(2), tag: 0, bytes: 1024, payload: 5 },
 //! ]));
 //! sim.set_behavior(ProcId(2), Script::new([
-//!     Action::Recv { from: None, tag: None },
+//!     Action::Recv { from: None, tag: TagFilter::Any },
 //! ]));
 //! let report = sim.run().unwrap();
 //! assert_eq!(report.delivered, 1);
@@ -47,7 +47,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::cost::{CostModel, Ns, MS, US};
     pub use crate::sim::{
-        Action, Behavior, ProcView, Script, SimConfig, SimError, SimReport, Simulation,
+        Action, Behavior, ProcView, Script, SimConfig, SimError, SimReport, Simulation, TagFilter,
     };
     pub use crate::stream::FrameClock;
     pub use crate::topology::{DLinkId, ProcId, Topology};

@@ -25,6 +25,51 @@ use std::fmt;
 /// Message discriminator used to match sends with receives.
 pub type Tag = u32;
 
+/// Tag pattern of a [`Action::Recv`].
+///
+/// Static executive operations receive one fixed tag
+/// ([`TagFilter::Exact`]); dynamically-scheduled protocols need more: a
+/// data-farm master takes a result from *whichever* worker finishes first
+/// ([`TagFilter::Any`]), and a ring-farm relay process waits for any
+/// message of its own farm instance — item, end marker, result or ack —
+/// while leaving unrelated statically-scheduled messages queued for later
+/// operations ([`TagFilter::Range`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagFilter {
+    /// Matches any tag.
+    Any,
+    /// Matches exactly this tag.
+    Exact(Tag),
+    /// Matches every tag in `lo..=hi`.
+    Range {
+        /// Lowest accepted tag.
+        lo: Tag,
+        /// Highest accepted tag (inclusive).
+        hi: Tag,
+    },
+}
+
+impl TagFilter {
+    /// `true` when `t` is accepted by this filter.
+    pub fn matches(self, t: Tag) -> bool {
+        match self {
+            TagFilter::Any => true,
+            TagFilter::Exact(x) => t == x,
+            TagFilter::Range { lo, hi } => (lo..=hi).contains(&t),
+        }
+    }
+}
+
+impl fmt::Display for TagFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagFilter::Any => write!(f, "any"),
+            TagFilter::Exact(t) => write!(f, "{t}"),
+            TagFilter::Range { lo, hi } => write!(f, "{lo}..={hi}"),
+        }
+    }
+}
+
 /// A message in flight or delivered.
 #[derive(Debug)]
 pub struct Message<P> {
@@ -65,14 +110,14 @@ pub enum Action<P> {
     },
     /// Block until a matching message is available, then consume it.
     ///
-    /// `None` acts as a wildcard (any source / any tag) — this is what a
+    /// A `from` of `None` acts as a source wildcard — this is what a
     /// data-farm master uses to collect results from whichever worker
-    /// finishes first.
+    /// finishes first; see [`TagFilter`] for the tag patterns.
     Recv {
         /// Source filter.
         from: Option<ProcId>,
         /// Tag filter.
-        tag: Option<Tag>,
+        tag: TagFilter,
     },
     /// Sleep until the given absolute virtual time (no-op if in the past).
     Wait {
@@ -271,7 +316,7 @@ enum Status {
     BlockedSend,
     BlockedRecv {
         from: Option<ProcId>,
-        tag: Option<Tag>,
+        tag: TagFilter,
     },
     Waiting,
     Halted,
@@ -284,9 +329,8 @@ impl Status {
             Status::Running => "running".into(),
             Status::BlockedSend => "blocked on send".into(),
             Status::BlockedRecv { from, tag } => format!(
-                "blocked on recv from={} tag={}",
+                "blocked on recv from={} tag={tag}",
                 from.map_or("any".into(), |p| p.to_string()),
-                tag.map_or("any".into(), |t| t.to_string())
             ),
             Status::Waiting => "waiting".into(),
             Status::Halted => "halted".into(),
@@ -311,10 +355,10 @@ impl<P> ProcState<P> {
         }
     }
 
-    fn find_match(&self, from: Option<ProcId>, tag: Option<Tag>) -> Option<usize> {
+    fn find_match(&self, from: Option<ProcId>, tag: TagFilter) -> Option<usize> {
         self.mailbox
             .iter()
-            .position(|m| from.is_none_or(|f| m.src == f) && tag.is_none_or(|t| m.tag == t))
+            .position(|m| from.is_none_or(|f| m.src == f) && tag.matches(m.tag))
     }
 }
 
@@ -356,7 +400,7 @@ struct InFlight<P> {
 /// # Example
 ///
 /// ```
-/// use transvision::sim::{Action, Script, Simulation, SimConfig};
+/// use transvision::sim::{Action, Script, Simulation, SimConfig, TagFilter};
 /// use transvision::topology::{Topology, ProcId};
 ///
 /// let mut sim = Simulation::<u64>::new(Topology::ring(2), SimConfig::default());
@@ -364,7 +408,7 @@ struct InFlight<P> {
 ///     Action::Send { to: ProcId(1), tag: 7, bytes: 100, payload: 42 },
 /// ]));
 /// sim.set_behavior(ProcId(1), Script::new([
-///     Action::Recv { from: None, tag: Some(7) },
+///     Action::Recv { from: None, tag: TagFilter::Exact(7) },
 /// ]));
 /// let report = sim.run().unwrap();
 /// assert_eq!(report.delivered, 1);
@@ -704,7 +748,7 @@ mod tests {
             match stage {
                 1 => Action::Recv {
                     from: Some(ProcId(0)),
-                    tag: Some(3),
+                    tag: TagFilter::Exact(3),
                 },
                 _ => {
                     *got2.lock().unwrap() = view.last_message.map(|m| m.payload);
@@ -736,7 +780,7 @@ mod tests {
             ProcId(1),
             Script::new([Action::Recv {
                 from: None,
-                tag: None,
+                tag: TagFilter::Any,
             }]),
         );
         let r = sim.run().unwrap();
@@ -761,7 +805,7 @@ mod tests {
             ProcId(2),
             Script::new([Action::Recv {
                 from: None,
-                tag: None,
+                tag: TagFilter::Any,
             }]),
         );
         let r = sim.run().unwrap();
@@ -800,11 +844,11 @@ mod tests {
             Script::new([
                 Action::Recv {
                     from: None,
-                    tag: Some(1),
+                    tag: TagFilter::Exact(1),
                 },
                 Action::Recv {
                     from: None,
-                    tag: Some(2),
+                    tag: TagFilter::Exact(2),
                 },
             ]),
         );
@@ -842,7 +886,7 @@ mod tests {
             if stage <= 2 {
                 Action::Recv {
                     from: None,
-                    tag: Some(9),
+                    tag: TagFilter::Exact(9),
                 }
             } else {
                 Action::Halt
@@ -861,14 +905,14 @@ mod tests {
             ProcId(0),
             Script::new([Action::Recv {
                 from: Some(ProcId(1)),
-                tag: None,
+                tag: TagFilter::Any,
             }]),
         );
         sim.set_behavior(
             ProcId(1),
             Script::new([Action::Recv {
                 from: Some(ProcId(0)),
-                tag: None,
+                tag: TagFilter::Any,
             }]),
         );
         match sim.run() {
@@ -925,7 +969,7 @@ mod tests {
                 },
                 Action::Recv {
                     from: Some(ProcId(0)),
-                    tag: Some(4),
+                    tag: TagFilter::Exact(4),
                 },
             ]),
         );
@@ -959,7 +1003,7 @@ mod tests {
                 ProcId(1),
                 Script::new([Action::Recv {
                     from: None,
-                    tag: None,
+                    tag: TagFilter::Any,
                 }]),
             );
             sim.run().unwrap()
@@ -1006,12 +1050,77 @@ mod tests {
             ProcId(1),
             Script::new([Action::Recv {
                 from: None,
-                tag: Some(1),
+                tag: TagFilter::Exact(1),
             }]),
         );
         let r = sim.run().unwrap();
         assert_eq!(r.delivered, 1);
         assert!(r.end_ns > 10 * MS);
+    }
+
+    #[test]
+    fn range_recv_skips_out_of_range_messages() {
+        // A tag-range receive must take the first in-range message while
+        // leaving out-of-range ones queued for later exact receives —
+        // the property the ring-farm relay protocol relies on.
+        let mut sim = Simulation::<u64>::new(Topology::ring(2), cfg());
+        sim.set_behavior(
+            ProcId(0),
+            Script::new([
+                Action::Send {
+                    to: ProcId(1),
+                    tag: 5, // static edge tag, outside the farm range
+                    bytes: 10,
+                    payload: 50,
+                },
+                Action::Send {
+                    to: ProcId(1),
+                    tag: 1_000_007,
+                    bytes: 10,
+                    payload: 70,
+                },
+            ]),
+        );
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut stage = 0;
+        sim.set_behavior(ProcId(1), move |view: ProcView<'_, u64>| {
+            if let Some(m) = view.last_message {
+                seen2.lock().unwrap().push((m.tag, m.payload));
+            }
+            stage += 1;
+            match stage {
+                1 => Action::Recv {
+                    from: None,
+                    tag: TagFilter::Range {
+                        lo: 1_000_000,
+                        hi: 1_001_023,
+                    },
+                },
+                2 => Action::Recv {
+                    from: None,
+                    tag: TagFilter::Exact(5),
+                },
+                _ => Action::Halt,
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(1_000_007, 70), (5, 50)],
+            "range recv must take the farm message first, exact recv the static one"
+        );
+    }
+
+    #[test]
+    fn tag_filter_matching() {
+        assert!(TagFilter::Any.matches(0) && TagFilter::Any.matches(u32::MAX));
+        assert!(TagFilter::Exact(7).matches(7) && !TagFilter::Exact(7).matches(8));
+        let r = TagFilter::Range { lo: 10, hi: 20 };
+        assert!(r.matches(10) && r.matches(20) && !r.matches(9) && !r.matches(21));
+        assert_eq!(TagFilter::Any.to_string(), "any");
+        assert_eq!(TagFilter::Exact(3).to_string(), "3");
+        assert_eq!(TagFilter::Range { lo: 1, hi: 2 }.to_string(), "1..=2");
     }
 
     #[test]

@@ -2,15 +2,20 @@
 //!
 //! One contract (`skipper::conformance`), four execution strategies: the
 //! declarative specification, scoped threads, the persistent
-//! work-stealing pool and the simulated Transputer machine. CI runs this
-//! file with `SKIPPER_WORKERS=1` and `=4` so degenerate single-worker
-//! scheduling and a fixed multi-worker configuration are both exercised
-//! on every push (`configured_workers` feeds the kit's worker-count sweep
-//! and sizes `PoolBackend::new`).
+//! work-stealing pool and the simulated Transputer machine. `SimBackend`
+//! runs the **full** case matrix — all skeletons plus `then`,
+//! `itermem(scm)`, `itermem(df)`, `itermem(tf)`, nested loops and
+//! then-inside-loop, over empty/singleton/regular/skewed inputs — with no
+//! carve-outs, in both farm PNT shapes (point-to-point star and Fig. 1's
+//! explicit-router ring). CI runs this file with `SKIPPER_WORKERS=1` and
+//! `=4` so degenerate single-worker scheduling and a fixed multi-worker
+//! configuration are both exercised on every push (`configured_workers`
+//! feeds the kit's worker-count sweep and sizes `PoolBackend::new`).
 
 use skipper::conformance::{assert_backend_conforms, worker_counts};
 use skipper::{configured_workers, HostBackend, PoolBackend, SeqBackend, ThreadBackend};
 use skipper_exec::SimBackend;
+use skipper_net::FarmShape;
 use std::num::NonZeroUsize;
 
 #[test]
@@ -58,6 +63,16 @@ fn sim_backend_conforms() {
 #[test]
 fn sim_backend_single_processor_conforms() {
     assert_backend_conforms(&SimBackend::ring(1));
+}
+
+#[test]
+fn sim_backend_ring_farms_conform() {
+    // Fig. 1's explicit-router farm PNT, relayed at application level,
+    // must satisfy the very same contract as the star expansion —
+    // including the degenerate single-worker-processor chain (ring(2)).
+    for nprocs in [2usize, 4] {
+        assert_backend_conforms(&SimBackend::ring(nprocs).with_farm_shape(FarmShape::Ring));
+    }
 }
 
 #[test]

@@ -2,14 +2,19 @@
 //!
 //! - the parallel skeletons agree with their declarative specifications
 //!   under the paper's side conditions (commutative-associative folds);
+//! - random skeleton compositions (bounded depth) lower through the full
+//!   SynDEx/transvision pipeline and agree with sequential emulation;
 //! - the union-find substrate is a proper equivalence relation;
 //! - routing paths over every topology are contiguous and shortest-ish;
 //! - AAA schedules respect dataflow precedence on random DAGs.
 
 use proptest::prelude::*;
+use skipper::{df, itermem, pure, scm, tf, Compose};
 use skipper::{Backend, Df, Scm, SeqBackend, Tf, ThreadBackend};
+use skipper_exec::SimBackend;
 use skipper_net::dtype::DataType;
 use skipper_net::graph::{NodeKind, ProcessNetwork};
+use skipper_net::FarmShape;
 use skipper_syndex::schedule::{schedule_with, Strategy};
 use skipper_syndex::Architecture;
 use skipper_vision::label::DisjointSets;
@@ -74,6 +79,131 @@ proptest! {
             ThreadBackend::new().run(&tf, roots.clone()),
             SeqBackend.run(&tf, roots)
         );
+    }
+
+    /// Random skeleton compositions, differential-tested on the simulated
+    /// machine: every generated program (bounded depth: a skeleton, an
+    /// optional `then` stage, an optional `itermem` wrapper, and one
+    /// doubly-nested loop shape) must lower through PNT expansion →
+    /// SynDEx → macro-code → transvision and reproduce the `SeqBackend`
+    /// golden result, on both farm PNT shapes.
+    #[test]
+    fn random_compositions_on_sim_match_seq(
+        shape in 0usize..7,
+        workers in 1usize..4,
+        nprocs in 1usize..5,
+        ring_pick in 0usize..2,
+        xs in prop::collection::vec(-30i64..30, 0..10),
+        mul in 1i64..4,
+    ) {
+        let backend = if ring_pick == 1 {
+            SimBackend::ring(nprocs).with_farm_shape(FarmShape::Ring)
+        } else {
+            SimBackend::ring(nprocs)
+        };
+        // Frames for the loop shapes: chunk xs into small bursts
+        // (including an empty one so empty frames stay covered).
+        let mut frames: Vec<Vec<i64>> = xs.chunks(3).map(<[i64]>::to_vec).collect();
+        frames.push(Vec::new());
+        match shape {
+            0 => {
+                let prog = df(workers, move |x: &i64| x * mul + 1, |z: i64, y| z + y, 7i64);
+                prop_assert_eq!(
+                    backend.run(&prog, &xs[..]).expect("df lowers"),
+                    SeqBackend.run(&prog, &xs[..])
+                );
+            }
+            1 => {
+                // Round-robin split: always exactly `workers` fragments.
+                let prog = scm(
+                    workers,
+                    |v: &Vec<i64>, n| {
+                        let mut out = vec![Vec::new(); n];
+                        for (i, &x) in v.iter().enumerate() {
+                            out[i % n].push(x);
+                        }
+                        out
+                    },
+                    move |chunk: Vec<i64>| chunk.iter().map(|x| x * mul).sum::<i64>(),
+                    |parts: Vec<i64>| parts.iter().sum::<i64>(),
+                );
+                prop_assert_eq!(
+                    backend.run(&prog, &xs).expect("scm lowers"),
+                    SeqBackend.run(&prog, &xs)
+                );
+            }
+            2 => {
+                let prog = tf(
+                    workers,
+                    |t: i64| {
+                        let t = t.abs();
+                        if t > 8 { (vec![t / 2, t / 3], Some(t)) } else { (vec![], Some(t)) }
+                    },
+                    |z: i64, o| z.wrapping_add(o),
+                    0i64,
+                );
+                prop_assert_eq!(
+                    backend.run(&prog, xs.clone()).expect("tf lowers"),
+                    SeqBackend.run(&prog, xs.clone())
+                );
+            }
+            3 => {
+                let prog = df(workers, |x: &i64| x - 2, |z: i64, y| z + y, 0i64)
+                    .then(pure(move |total: i64| (total, total * mul)));
+                prop_assert_eq!(
+                    backend.run(&prog, &xs[..]).expect("then lowers"),
+                    SeqBackend.run(&prog, &xs[..])
+                );
+            }
+            4 => {
+                let prog = itermem(
+                    df(workers, move |x: &i64| x * mul, |z: i64, y| z + y, 0i64),
+                    11i64,
+                );
+                prop_assert_eq!(
+                    backend.run(&prog, frames.clone()).expect("itermem(df) lowers"),
+                    SeqBackend.run(&prog, frames.clone())
+                );
+            }
+            5 => {
+                let prog = itermem(
+                    tf(
+                        workers,
+                        |t: i64| {
+                            let t = t.abs();
+                            if t > 8 { (vec![t / 2], Some(t)) } else { (vec![], Some(t)) }
+                        },
+                        |z: i64, o| z.wrapping_add(o),
+                        0i64,
+                    ),
+                    3i64,
+                );
+                prop_assert_eq!(
+                    backend.run(&prog, frames.clone()).expect("itermem(tf) lowers"),
+                    SeqBackend.run(&prog, frames.clone())
+                );
+            }
+            _ => {
+                // Depth 2: a loop nested inside a loop, over bursts.
+                let body = scm(
+                    workers,
+                    |t: &(i64, i64), n| {
+                        (0..n as i64).map(|k| (t.0 + k, t.1)).collect::<Vec<_>>()
+                    },
+                    move |(a, b): (i64, i64)| a * mul + b,
+                    |parts: Vec<i64>| {
+                        let s: i64 = parts.iter().sum();
+                        (s, s + 1)
+                    },
+                );
+                let prog = itermem(itermem(body, 0i64), 2i64);
+                let bursts: Vec<Vec<i64>> = frames.clone();
+                prop_assert_eq!(
+                    backend.run(&prog, bursts.clone()).expect("nested loop lowers"),
+                    SeqBackend.run(&prog, bursts)
+                );
+            }
+        }
     }
 
     /// Union-find maintains an equivalence relation under arbitrary unions.
