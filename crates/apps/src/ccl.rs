@@ -127,6 +127,20 @@ where
     backend.run(&ccl_program(n), img)
 }
 
+/// Labels a whole frame stream through **one prepared executable**
+/// (prepare-once/run-many): the labelling program is compiled for the
+/// backend once and every frame pays only the run cost — the per-frame
+/// regime `Backend::run` would re-derive dispatch structure for.
+pub fn count_components_stream_on<'f, B>(backend: &B, frames: &'f [Image<u8>], n: usize) -> Vec<u32>
+where
+    B: Backend<CclProgram, &'f Image<u8>, Output = u32>,
+{
+    use skipper::Executable;
+    let prog = ccl_program(n);
+    let exec = backend.prepare(&prog);
+    frames.iter().map(|img| exec.run(img)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

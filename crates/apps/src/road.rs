@@ -77,6 +77,24 @@ where
     backend.run(&line_program(n), img)
 }
 
+/// Detects the lane line in every frame of a stream through **one
+/// prepared executable** (prepare-once/run-many): the detection program
+/// is compiled for the backend once, each frame pays only the run cost —
+/// the 25 Hz road-following regime.
+pub fn detect_lines_stream_on<'f, B>(
+    backend: &B,
+    frames: &'f [Image<u8>],
+    n: usize,
+) -> Vec<Option<FittedLine>>
+where
+    B: Backend<LineProgram, &'f Image<u8>, Output = Option<FittedLine>>,
+{
+    use skipper::Executable;
+    let prog = line_program(n);
+    let exec = backend.prepare(&prog);
+    frames.iter().map(|img| exec.run(img)).collect()
+}
+
 /// Lane offset in pixels from the image centre at the bottom row.
 pub fn lane_offset(line: &FittedLine, width: usize, height: usize) -> f64 {
     line.x_at(height.saturating_sub(1) as f64) - width as f64 / 2.0

@@ -513,8 +513,34 @@ pub fn loop_step_seq(state: &TrackState, frame: &Image<u8>) -> (TrackState, Vec<
 pub fn loop_step_threads(state: &TrackState, frame: &Image<u8>) -> (TrackState, Vec<Mark>) {
     use skipper::{Backend, ThreadBackend};
     let windows = get_windows(state, frame);
-    let farm = skipper::df(state.cfg.nproc, detect_marks, accum_marks, Vec::new());
+    let farm = detection_farm(state.cfg.nproc);
     let marks = ThreadBackend::new().run(&farm, &windows[..]);
+    predict(state, marks)
+}
+
+/// The mark-detection farm program type, shared by every backend.
+pub type DetectFarm =
+    skipper::Df<fn(&Window) -> Vec<Mark>, fn(Vec<Mark>, Vec<Mark>) -> Vec<Mark>, Vec<Mark>>;
+
+/// The detection farm as a program value (`df nproc detect accum []`).
+pub fn detection_farm(nproc: usize) -> DetectFarm {
+    skipper::df(nproc, detect_marks as _, accum_marks as _, Vec::new())
+}
+
+/// One loop iteration with the detection farm run through a **prepared**
+/// executable: the tracking loop prepares [`detection_farm`] once on its
+/// backend (`Backend::prepare`) and hands the executable in per frame —
+/// the prepare-once/run-many regime the paper compiles offline for.
+pub fn loop_step_prepared<E>(
+    exec: &E,
+    state: &TrackState,
+    frame: &Image<u8>,
+) -> (TrackState, Vec<Mark>)
+where
+    E: for<'a> skipper::Executable<&'a [Window], Output = Vec<Mark>>,
+{
+    let windows = get_windows(state, frame);
+    let marks = exec.run(&windows[..]);
     predict(state, marks)
 }
 
@@ -661,6 +687,30 @@ mod tests {
             assert_eq!(n1, n2, "frame {k}: states differ");
             s_seq = n1;
             s_par = n2;
+        }
+    }
+
+    #[test]
+    fn prepared_loop_matches_sequential_loop() {
+        // The prepare-once/run-many tracking regime: one detection-farm
+        // executable, prepared on the persistent pool, drives every
+        // frame and must match the sequential emulation bit-for-bit.
+        use skipper::Backend;
+        let scene = Scene::with_vehicles(scene_cfg(256), 1);
+        let cfg = tracker_cfg(256, 2);
+        let farm = detection_farm(cfg.nproc);
+        let pool = skipper::PoolBackend::new();
+        let exec = Backend::<_, &[Window]>::prepare(&pool, &farm);
+        let mut s_seq = init_state(cfg);
+        let mut s_pre = init_state(cfg);
+        for k in 0..10 {
+            let img = scene.render(k as f64 / 25.0);
+            let (n1, m1) = loop_step_seq(&s_seq, &img);
+            let (n2, m2) = loop_step_prepared(&exec, &s_pre, &img);
+            assert_eq!(m1, m2, "frame {k}: display marks differ");
+            assert_eq!(n1, n2, "frame {k}: states differ");
+            s_seq = n1;
+            s_pre = n2;
         }
     }
 

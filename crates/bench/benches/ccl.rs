@@ -1,7 +1,8 @@
 //! E9 micro-benchmark: connected-component labelling via scm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skipper_apps::ccl::{count_components_scm, count_components_seq};
+use skipper::{Backend, Executable, ThreadBackend};
+use skipper_apps::ccl::{ccl_program, count_components_scm, count_components_seq};
 use skipper_vision::synth::random_blobs;
 
 fn bench_ccl(c: &mut Criterion) {
@@ -12,6 +13,14 @@ fn bench_ccl(c: &mut Criterion) {
     for n in [2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("scm", n), &n, |b, &n| {
             b.iter(|| count_components_scm(&img, n))
+        });
+        // The same labelling through a prepared executable: the frame
+        // loop pays no per-run program/backend derivation.
+        let prog = ccl_program(n);
+        let threads = ThreadBackend::new();
+        let exec = threads.prepare(&prog);
+        g.bench_with_input(BenchmarkId::new("scm_prepared", n), &n, |b, _| {
+            b.iter(|| exec.run(&img))
         });
     }
     g.finish();

@@ -1,0 +1,86 @@
+//! Prepare-once/run-many micro-benchmarks: the same ≥100-frame stream
+//! driven through the **fresh** path (engine setup / compilation paid
+//! per frame) and through **one prepared executable** per backend.
+//!
+//! - `pool/*` — the host amortisation story: `fresh` builds a new
+//!   `PoolBackend` (spawning its threads) for every frame, `prepared`
+//!   reuses one pool and one executable;
+//! - `sim/*` — the paper pipeline: `fresh` pays lowering, SynDEx
+//!   scheduling and macro-code generation per frame, `prepared` compiles
+//!   once and only simulates per frame;
+//! - `sim/stream_*` — the `itermem` form: a whole tracking-loop stream
+//!   per iteration, fresh `Backend::run` vs a prepared loop executable.
+//!
+//! The acceptance bar (prepared steady-state strictly below fresh) is
+//! asserted by experiment E15; these benches report the numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipper::{itermem, Backend, Executable, PoolBackend, SeqBackend};
+use skipper_bench::experiments::{amortisation_farm, amortisation_frames};
+use skipper_exec::SimBackend;
+
+const FRAMES: usize = 120;
+
+fn bench_prepare_vs_run(c: &mut Criterion) {
+    // The workload is E15's, shared through the library so the bench
+    // reports numbers for exactly what the experiment asserts on.
+    let frames = amortisation_frames(FRAMES);
+    let farm = amortisation_farm();
+    let golden: Vec<u64> = frames
+        .iter()
+        .map(|f| SeqBackend.run(&farm, &f[..]))
+        .collect();
+
+    let mut g = c.benchmark_group("prepare_vs_run");
+    g.sample_size(10);
+
+    // Host pool: per-frame engine setup vs one prepared executable.
+    g.bench_function("pool/fresh_120_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                std::hint::black_box(PoolBackend::new().run(&farm, &f[..]));
+            }
+        })
+    });
+    let pool = PoolBackend::new();
+    let pool_exec = Backend::<_, &[u64]>::prepare(&pool, &farm);
+    g.bench_function("pool/prepared_120_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                std::hint::black_box(pool_exec.run(&f[..]));
+            }
+        })
+    });
+
+    // Simulator: per-frame lower/schedule/codegen vs compile-once.
+    let sim = SimBackend::ring(4);
+    g.bench_function("sim/fresh_120_frames", |b| {
+        b.iter(|| {
+            for (f, g) in frames.iter().zip(&golden) {
+                assert_eq!(&sim.run(&farm, &f[..]).expect("fresh run"), g);
+            }
+        })
+    });
+    let sim_exec = Backend::<_, &[u64]>::prepare(&sim, &farm);
+    g.bench_function("sim/prepared_120_frames", |b| {
+        b.iter(|| {
+            for (f, g) in frames.iter().zip(&golden) {
+                assert_eq!(&sim_exec.run(&f[..]).expect("prepared run"), g);
+            }
+        })
+    });
+
+    // The itermem form: the whole stream as one loop program.
+    let tracker = itermem(amortisation_farm(), 0u64);
+    g.bench_function("sim/stream_fresh", |b| {
+        b.iter(|| sim.run(&tracker, frames.clone()).expect("fresh stream"))
+    });
+    let loop_exec = Backend::<_, Vec<Vec<u64>>>::prepare(&sim, &tracker);
+    g.bench_function("sim/stream_prepared", |b| {
+        b.iter(|| loop_exec.run(frames.clone()).expect("prepared stream"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prepare_vs_run);
+criterion_main!(benches);

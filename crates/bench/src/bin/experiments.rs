@@ -4,7 +4,7 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e14 index
+//! experiments --list            # print the e1–e15 index
 //! ```
 //!
 //! `--backend {seq,thread,pool,sim}` selects the execution strategy for
@@ -73,7 +73,7 @@ fn main() -> ExitCode {
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e14)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e15)");
                     return ExitCode::FAILURE;
                 }
             },

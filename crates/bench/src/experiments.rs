@@ -90,7 +90,7 @@ fn host_backend() -> skipper::HostBackend {
 }
 
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 14] = [
+pub const INDEX: [(&str, &str, fn()); 15] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -117,9 +117,14 @@ pub const INDEX: [(&str, &str, fn()); 14] = [
         "tracking loop on a ring farm: predicted vs simulated vs host wall-clock",
         e14,
     ),
+    (
+        "e15",
+        "prepare once, run many: per-frame amortisation (pool & sim)",
+        e15,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e14"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e15"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -607,22 +612,34 @@ pub fn e9() {
 }
 
 /// E10 — road following by white-line detection via scm, on the
-/// `--backend` selected host strategy.
+/// `--backend` selected host strategy. The frame loop runs through **one
+/// prepared executable** ([`road::detect_lines_stream_on`]): the
+/// detection program is compiled for the backend once, each frame pays
+/// only the run cost.
 pub fn e10() {
     header("E10", "road following: white-line detection (scm, 4 bands)");
     let chosen = host_backend();
     if backend() == BackendChoice::Sim {
         println!("(image payloads are host-only; --backend sim falls back to seq emulation)");
     }
-    println!("backend: {}", chosen.name());
-    println!("frame   offset(px)   curvature   est bottom x   true bottom x   err(px)");
-    let mut worst = 0.0f64;
+    println!(
+        "backend: {} (program prepared once for the whole stream)",
+        chosen.name()
+    );
+    let mut frames = Vec::new();
+    let mut truths = Vec::new();
     for k in 0..8 {
         let off = -60.0 + 17.0 * k as f64;
         let curv = 0.05 * (k % 3) as f64;
         let (img, truth) = render_road_frame(512, 384, off, curv, k);
-        let line = road::detect_line_on(&chosen, &img, 4).expect("line found");
-        let est = line.x_at(383.0);
+        frames.push(img);
+        truths.push((off, curv, truth));
+    }
+    let lines = road::detect_lines_stream_on(&chosen, &frames, 4);
+    println!("frame   offset(px)   curvature   est bottom x   true bottom x   err(px)");
+    let mut worst = 0.0f64;
+    for (k, (line, &(off, curv, truth))) in lines.iter().zip(&truths).enumerate() {
+        let est = line.as_ref().expect("line found").x_at(383.0);
         let err = (est - truth).abs();
         worst = worst.max(err);
         println!("{k:>5}   {off:>10.1}   {curv:>9.2}   {est:>12.1}   {truth:>13.1}   {err:>7.2}");
@@ -759,7 +776,7 @@ pub fn e12() {
 /// (the real-time loop regime) on per-run spawned threads vs the
 /// persistent work-stealing pool.
 pub fn e13() {
-    use skipper::{df, Backend, PoolBackend, ThreadBackend};
+    use skipper::{df, Backend, Executable, PoolBackend, ThreadBackend};
     header(
         "E13",
         "pool vs thread: spawn amortisation on repeated fine-grained runs",
@@ -772,6 +789,10 @@ pub fn e13() {
     );
     let threads = ThreadBackend::new();
     let pool = PoolBackend::new();
+    // The repeated-run regime is exactly what `prepare` is for: both
+    // inner loops below drive one prepared executable per backend.
+    let thread_exec = Backend::<_, &[u64]>::prepare(&threads, &farm);
+    let pool_exec = Backend::<_, &[u64]>::prepare(&pool, &farm);
     println!(
         "pool: {} persistent worker(s) (SKIPPER_WORKERS overrides)",
         pool.workers()
@@ -781,15 +802,15 @@ pub fn e13() {
         let items = vec![units; 64];
         let runs = 100;
         // Warm-up: fault in both paths, and pin result agreement.
-        assert_eq!(threads.run(&farm, &items[..]), pool.run(&farm, &items[..]));
+        assert_eq!(thread_exec.run(&items[..]), pool_exec.run(&items[..]));
         let t0 = Instant::now();
         for _ in 0..runs {
-            std::hint::black_box(threads.run(&farm, &items[..]));
+            std::hint::black_box(thread_exec.run(&items[..]));
         }
         let spawned = t0.elapsed().as_secs_f64() * 1e6 / runs as f64;
         let t0 = Instant::now();
         for _ in 0..runs {
-            std::hint::black_box(pool.run(&farm, &items[..]));
+            std::hint::black_box(pool_exec.run(&items[..]));
         }
         let pooled = t0.elapsed().as_secs_f64() * 1e6 / runs as f64;
         println!(
@@ -807,7 +828,7 @@ pub fn e13() {
 /// backend's wall clock — with results pinned equal to sequential
 /// emulation.
 pub fn e14() {
-    use skipper::{df, itermem, Backend, SeqBackend};
+    use skipper::{df, itermem, Backend, Executable, SeqBackend};
     use skipper_exec::SimBackend;
     use skipper_net::FarmShape;
     header(
@@ -837,6 +858,8 @@ pub fn e14() {
     let tracker = itermem(body.clone(), 0u64);
     let golden = SeqBackend.run(&tracker, frames.clone());
     let host = host_backend();
+    // The host tracker is prepared once, outside the machine-size sweep.
+    let host_exec = Backend::<_, Vec<Vec<u64>>>::prepare(&host, &tracker);
     println!(
         "frames: {}, windows/frame: 9, host backend: {}",
         frames.len(),
@@ -845,27 +868,143 @@ pub fn e14() {
     println!("nprocs   predicted/frame (us)   simulated/frame (us)   host (us/frame)");
     for nprocs in [2usize, 3, 5] {
         let sim = SimBackend::ring(nprocs).with_farm_shape(FarmShape::Ring);
-        let plan = sim
-            .plan::<&(u64, Vec<u64>), _>(&body)
-            .expect("tracking body plans on the ring");
-        let (out, report) = sim
-            .run_loop_with_report(&tracker, frames.clone())
+        // One prepared loop executable per machine size: its schedule is
+        // the per-frame prediction, its report the simulated latency.
+        let sim_exec = Backend::<_, Vec<Vec<u64>>>::prepare(&sim, &tracker);
+        let plan_us = sim_exec
+            .schedule()
+            .expect("tracking loop schedules on the ring")
+            .makespan_ns as f64
+            / 1e3;
+        let (out, report) = sim_exec
+            .run_with_report(frames.clone())
             .expect("tracking loop simulates on the ring farm");
         assert_eq!(
             out, golden,
             "simulated tracking loop must equal sequential emulation"
         );
         let t0 = Instant::now();
-        let host_out = host.run(&tracker, frames.clone());
+        let host_out = host_exec.run(frames.clone());
         let host_us = t0.elapsed().as_secs_f64() * 1e6 / frames.len() as f64;
         assert_eq!(host_out, golden);
         println!(
-            "{nprocs:>6}   {:>20.1}   {:>20.1}   {host_us:>15.1}",
-            plan.makespan_ns as f64 / 1e3,
+            "{nprocs:>6}   {plan_us:>20.1}   {:>20.1}   {host_us:>15.1}",
             report.mean_latency_ns() as f64 / 1e3,
         );
     }
     println!("(simulated results bit-equal to sequential emulation on every ring size)");
+}
+
+fn amort_window(u: &u64) -> u64 {
+    u.wrapping_mul(2654435761) ^ (u >> 3)
+}
+
+fn amort_acc(z: u64, y: u64) -> u64 {
+    z.wrapping_add(y)
+}
+
+/// The prepare-once/run-many workload's frame stream: `n` pseudo-random
+/// 16-window frames. Shared with the `prepare_vs_run` criterion bench so
+/// the bench reports numbers for **exactly** the workload E15 asserts
+/// on.
+pub fn amortisation_frames(n: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|k| {
+            (0..16)
+                .map(|i| ((k * 31 + i * 7) % 97 + 3) as u64)
+                .collect()
+        })
+        .collect()
+}
+
+/// The prepare-once/run-many workload's farm program type.
+pub type AmortisationFarm = skipper::Df<fn(&u64) -> u64, fn(u64, u64) -> u64, u64>;
+
+/// The prepare-once/run-many workload's detection farm (shared with the
+/// `prepare_vs_run` criterion bench, like [`amortisation_frames`]).
+pub fn amortisation_farm() -> AmortisationFarm {
+    skipper::df(4, amort_window as _, amort_acc as _, 0u64).with_cost_hint(20_000)
+}
+
+/// E15 — the prepare-once/run-many contract measured: a per-frame
+/// detection farm at video rate, comparing the **fresh path** (engine
+/// setup and/or compilation paid per frame: a new `PoolBackend` per
+/// frame on the host, a full lower/schedule/codegen per frame on the
+/// simulator) against **one prepared executable** driving the whole
+/// stream. Honours `--backend pool` / `--backend sim`; other choices
+/// report the pool table (the host amortisation story).
+pub fn e15() {
+    use skipper::{Backend, Executable, PoolBackend, SeqBackend};
+    use skipper_exec::SimBackend;
+    header("E15", "prepare once, run many: per-frame amortisation");
+    const FRAMES: usize = 120;
+    let frames = amortisation_frames(FRAMES);
+    let farm = amortisation_farm();
+    let golden: Vec<u64> = frames
+        .iter()
+        .map(|f| SeqBackend.run(&farm, &f[..]))
+        .collect();
+    println!("frames: {FRAMES}, windows/frame: 16");
+    println!(
+        "path            prepare (us)   fresh (us/frame)   prepared (us/frame)   fresh/prepared"
+    );
+    if backend() == BackendChoice::Sim {
+        let sim = SimBackend::ring(4);
+        // Fresh path: every frame pays lowering + scheduling + macro-code
+        // generation + simulation.
+        let t0 = Instant::now();
+        for (f, g) in frames.iter().zip(&golden) {
+            assert_eq!(&sim.run(&farm, &f[..]).expect("fresh farm simulates"), g);
+        }
+        let fresh = t0.elapsed().as_secs_f64() * 1e6 / FRAMES as f64;
+        // Prepared path: compile once, simulate per frame.
+        let t0 = Instant::now();
+        let exec = Backend::<_, &[u64]>::prepare(&sim, &farm);
+        let prepare_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        for (f, g) in frames.iter().zip(&golden) {
+            assert_eq!(&exec.run(&f[..]).expect("prepared farm simulates"), g);
+        }
+        let prepared = t0.elapsed().as_secs_f64() * 1e6 / FRAMES as f64;
+        println!(
+            "sim (ring 4)    {prepare_us:>12.1}   {fresh:>16.1}   {prepared:>19.1}   {:>14.2}",
+            fresh / prepared
+        );
+        assert!(
+            prepared < fresh,
+            "prepared steady-state frame latency ({prepared:.1} us) must be strictly below \
+             the fresh-run path ({fresh:.1} us) on a {FRAMES}-frame stream"
+        );
+    } else {
+        // Fresh path: a new engine (pool) is built for every frame — the
+        // one-shot cost Bobpp-style persistent engines amortise away.
+        let t0 = Instant::now();
+        for (f, g) in frames.iter().zip(&golden) {
+            assert_eq!(&PoolBackend::new().run(&farm, &f[..]), g);
+        }
+        let fresh = t0.elapsed().as_secs_f64() * 1e6 / FRAMES as f64;
+        // Prepared path: one pool, one executable, N frames.
+        let t0 = Instant::now();
+        let pool = PoolBackend::new();
+        let exec = Backend::<_, &[u64]>::prepare(&pool, &farm);
+        let prepare_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        for (f, g) in frames.iter().zip(&golden) {
+            assert_eq!(&exec.run(&f[..]), g);
+        }
+        let prepared = t0.elapsed().as_secs_f64() * 1e6 / FRAMES as f64;
+        println!(
+            "pool ({} thr)    {prepare_us:>12.1}   {fresh:>16.1}   {prepared:>19.1}   {:>14.2}",
+            pool.workers(),
+            fresh / prepared
+        );
+        assert!(
+            prepared < fresh,
+            "prepared steady-state frame latency ({prepared:.1} us) must be strictly below \
+             the per-frame engine-setup path ({fresh:.1} us) on a {FRAMES}-frame stream"
+        );
+    }
+    println!("(fresh/prepared > 1 is the amortisation the prepared pipeline buys)");
 }
 
 /// Runs every experiment in order.
@@ -902,5 +1041,11 @@ mod tests {
     #[test]
     fn e14_smoke() {
         super::e14();
+    }
+
+    #[test]
+    fn e15_smoke() {
+        // Default backend choice → the pool amortisation path.
+        super::e15();
     }
 }

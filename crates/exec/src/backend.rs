@@ -19,6 +19,32 @@
 //! assert_eq!(simulated, SeqBackend.run(&farm, &xs[..]));
 //! ```
 //!
+//! # Prepare once, run many
+//!
+//! Exactly as SKiPPER compiles offline and executes per frame at video
+//! rate, [`Backend::prepare`] performs the **whole compilation pipeline
+//! once** — lowering, SynDEx scheduling, macro-code generation — and
+//! hands back a [`SimExecutable`] (or [`SimLoopExecutable`] for `itermem`
+//! programs) whose `run` only resets per-run simulator state and
+//! re-interprets the cached macro-code. A frame loop over a prepared
+//! executable therefore pays lowering and scheduling exactly once (the
+//! [`lowering_count`] probe pins this), while `Backend::run` remains the
+//! prepare-then-run convenience for one-shot execution:
+//!
+//! ```
+//! use skipper::{df, Backend, Executable, SeqBackend};
+//! use skipper_exec::SimBackend;
+//!
+//! let farm = df(3, |x: &i64| x + 1, |z: i64, y| z + y, 0i64);
+//! let backend = SimBackend::ring(4);
+//! let exec = backend.prepare(&farm); // lower + schedule + codegen once
+//! for frame in 1..=3i64 {
+//!     let items: Vec<i64> = (0..frame).collect();
+//!     let simulated = exec.run(&items[..]).expect("prepared farm runs");
+//!     assert_eq!(simulated, SeqBackend.run(&farm, &items[..]));
+//! }
+//! ```
+//!
 //! Lowering notes (all consistent with the paper's side conditions):
 //!
 //! - `df`/`tf` results are accumulated in **arrival order** by the farm
@@ -47,15 +73,19 @@
 //!   executive's seeded-master protocol; outputs are the updated
 //!   accumulator). A nested `itermem(...)` body — whose trip count is
 //!   data-dependent — is elaborated sequentially on its host processor,
-//!   like a `tf` subtree. A bare [`Pure`] body still cannot lower: its
-//!   by-reference input has no executive encoding;
+//!   like a `tf` subtree. A bare [`Pure`] body cannot lower — its
+//!   by-reference input has no executive encoding — and fails with the
+//!   dedicated [`ExecError::PureLoopBody`];
 //! - a program's `with_cost_hint` declaration (e.g.
 //!   [`skipper::Df::with_cost_hint`]) is plumbed through the lowering:
 //!   stamped onto the lowered worker nodes as WCET hints for the SynDEx
 //!   scheduler (inspectable via [`SimBackend::plan`]) and registered as
 //!   the function's per-call cost model
 //!   ([`Registry::register_with_cost`]) for the executive's virtual
-//!   clock.
+//!   clock. An **argument-dependent** `with_cost_model` declaration
+//!   (e.g. [`skipper::Df::with_cost_model`]) goes further: the executive
+//!   evaluates the model on each actual argument's [`Value::size`], and
+//!   `model(1)` serves as the static WCET hint for the scheduler.
 
 use crate::executive::{run_simulated, ExecConfig, ExecError, ExecReport};
 use crate::registry::Registry;
@@ -71,7 +101,7 @@ use skipper_syndex::Architecture;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use transvision::sim::SimConfig;
-use transvision::topology::ProcId;
+use transvision::topology::{ProcId, Topology};
 
 fn internal(e: impl std::fmt::Display) -> ExecError {
     ExecError::Internal(e.to_string())
@@ -127,16 +157,24 @@ impl Lowering<'_> {
         }
     }
 
-    /// Registers `f` under `name`, carrying the program's declared
-    /// per-call cost into the executive's cost model
-    /// ([`Registry::register_with_cost`]) when one was given.
+    /// Registers `f` under `name`, carrying the program's declared cost
+    /// into the executive's cost model
+    /// ([`Registry::register_with_cost`]) when one was given. An
+    /// argument-dependent `cost_model` wins over a constant `cost_hint`:
+    /// the model is evaluated on the first actual argument's
+    /// [`Value::size`] at every call.
     fn register_costed(
         &mut self,
         name: &str,
         cost_hint: u64,
+        cost_model: Option<skipper::CostModel>,
         f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
     ) {
-        if cost_hint > 0 {
+        if let Some(model) = cost_model {
+            self.reg.register_with_cost(name, f, move |args| {
+                model(args.first().map(Value::size).unwrap_or(0))
+            });
+        } else if cost_hint > 0 {
             self.reg.register_with_cost(name, f, move |_| cost_hint);
         } else {
             self.reg.register(name, f);
@@ -145,11 +183,20 @@ impl Lowering<'_> {
 
     /// Stamps the program's declared per-call cost onto the lowered
     /// compute nodes, so the SynDEx scheduler sees real WCET hints
-    /// instead of zero-cost placeholders.
-    fn hint_nodes(&mut self, nodes: &[NodeId], cost_hint: u64) {
-        if cost_hint > 0 {
+    /// instead of zero-cost placeholders. With an argument-dependent
+    /// model, the static hint is the model evaluated at size 1 (or the
+    /// constant hint when that is larger): the scheduler has no actual
+    /// arguments to measure, so a nominal unit-size argument stands in.
+    fn hint_nodes(
+        &mut self,
+        nodes: &[NodeId],
+        cost_hint: u64,
+        cost_model: Option<skipper::CostModel>,
+    ) {
+        let effective = cost_model.map(|m| m(1)).unwrap_or(0).max(cost_hint);
+        if effective > 0 {
             for &node in nodes {
-                self.net.set_cost_hint(node, cost_hint);
+                self.net.set_cost_hint(node, effective);
             }
         }
     }
@@ -161,8 +208,79 @@ impl Lowering<'_> {
 /// wraps the whole graph).
 pub trait SimLower<I>: Skeleton<I> {
     /// Expands this program into `lw`, registering its sequential
-    /// functions, and returns the fragment's dataflow endpoints.
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment;
+    /// functions, and returns the fragment's dataflow endpoints — or the
+    /// [`ExecError`] explaining why this shape has no machine encoding.
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError>;
+}
+
+/// A program shape that can head an `itermem` loop body on the
+/// simulator: the loop machinery lowers the body through this trait
+/// rather than [`SimLower`] directly, so that shapes *without* a machine
+/// encoding — a bare [`Pure`] function over the by-reference
+/// `(state, frame)` tuple — surface a dedicated, diagnosable
+/// [`ExecError::PureLoopBody`] at lowering time instead of an opaque
+/// trait-bound failure.
+pub trait SimLowerBody<Z, B>: for<'x> Skeleton<&'x (Z, B)> {
+    /// Lowers this loop body into `lw`, or reports why it cannot lower.
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError>;
+}
+
+impl<Z, B, C, A, Z2> SimLowerBody<Z, B> for Df<C, A, Z2>
+where
+    Df<C, A, Z2>: for<'x> SimLower<&'x (Z, B)>,
+{
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        <Self as SimLower<&(Z, B)>>::lower(self, lw)
+    }
+}
+
+impl<Z, B, S, C, M> SimLowerBody<Z, B> for Scm<S, C, M>
+where
+    Scm<S, C, M>: for<'x> SimLower<&'x (Z, B)>,
+{
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        <Self as SimLower<&(Z, B)>>::lower(self, lw)
+    }
+}
+
+impl<Z, B, W, A, Z2> SimLowerBody<Z, B> for Tf<W, A, Z2>
+where
+    Tf<W, A, Z2>: for<'x> SimLower<&'x (Z, B)>,
+{
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        <Self as SimLower<&(Z, B)>>::lower(self, lw)
+    }
+}
+
+impl<Z, B, P, Z2> SimLowerBody<Z, B> for IterLoop<P, Z2>
+where
+    IterLoop<P, Z2>: for<'x> SimLower<&'x (Z, B)>,
+{
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        <Self as SimLower<&(Z, B)>>::lower(self, lw)
+    }
+}
+
+impl<Z, B, A, B2> SimLowerBody<Z, B> for Then<A, B2>
+where
+    Then<A, B2>: for<'x> SimLower<&'x (Z, B)>,
+{
+    fn lower_body(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        <Self as SimLower<&(Z, B)>>::lower(self, lw)
+    }
+}
+
+/// The ROADMAP's unlowerable case, made diagnosable: a bare `pure(...)`
+/// loop body types as a host-side [`Skeleton`] but has no executive
+/// encoding for its by-reference `(state, frame)` input, so lowering it
+/// fails with [`ExecError::PureLoopBody`] (message pinned by test).
+impl<Z, B, Y, F> SimLowerBody<Z, B> for Pure<F>
+where
+    F: for<'x> Fn(&'x (Z, B)) -> (Z, Y),
+{
+    fn lower_body(&self, _lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        Err(ExecError::PureLoopBody)
+    }
 }
 
 fn named(t: &str) -> DataType {
@@ -198,10 +316,15 @@ where
         lw.shape,
     );
     let comp = prog.compute_fn().clone();
-    lw.register_costed(&comp_name, prog.cost_hint(), move |args| {
-        let item = I::from_value(&args[0]).expect("df item decodes");
-        vec![comp(&item).to_value()]
-    });
+    lw.register_costed(
+        &comp_name,
+        prog.cost_hint(),
+        prog.cost_model(),
+        move |args| {
+            let item = I::from_value(&args[0]).expect("df item decodes");
+            vec![comp(&item).to_value()]
+        },
+    );
     let acc = prog.acc_fn().clone();
     lw.reg.register(&acc_name, move |args| {
         let z = Z::from_value(&args[0]).expect("df accumulator decodes");
@@ -209,7 +332,7 @@ where
         vec![acc(z, o).to_value()]
     });
     lw.farm_init.insert(h.instance, prog.init().to_value());
-    lw.hint_nodes(&h.workers, prog.cost_hint());
+    lw.hint_nodes(&h.workers, prog.cost_hint(), prog.cost_model());
     lw.workers.extend(h.workers.iter().copied());
     lw.colocate_routers(&h);
     Fragment {
@@ -247,8 +370,8 @@ where
     O: SimValue + Send,
     Z: SimValue + Clone,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
-        lower_df_nodes(self, lw)
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        Ok(lower_df_nodes(self, lw))
     }
 }
 
@@ -263,9 +386,9 @@ where
     O: SimValue + Send,
     Z: SimValue + Clone,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
         let farm = lower_df_nodes(self, lw);
-        state_pair_exit(lw, farm)
+        Ok(state_pair_exit(lw, farm))
     }
 }
 
@@ -279,7 +402,7 @@ where
     P: SimValue + Send,
     R: SimValue,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
         let n = self.workers();
         let split_name = lw.fresh("scm_split");
         let comp_name = lw.fresh("scm_comp");
@@ -313,10 +436,15 @@ where
             vec![Value::list(frags.iter().map(SimValue::to_value).collect())]
         });
         let compute = self.compute_fn().clone();
-        lw.register_costed(&comp_name, self.cost_hint(), move |args| {
-            let f = F::from_value(&args[0]).expect("scm fragment decodes");
-            vec![compute(f).to_value()]
-        });
+        lw.register_costed(
+            &comp_name,
+            self.cost_hint(),
+            self.cost_model(),
+            move |args| {
+                let f = F::from_value(&args[0]).expect("scm fragment decodes");
+                vec![compute(f).to_value()]
+            },
+        );
         let merge = self.merge_fn().clone();
         lw.reg.register(&merge_name, move |args| {
             let parts: Vec<P> = args[0]
@@ -327,12 +455,12 @@ where
                 .collect();
             vec![merge(parts).to_value()]
         });
-        lw.hint_nodes(&h.workers, self.cost_hint());
+        lw.hint_nodes(&h.workers, self.cost_hint(), self.cost_model());
         lw.workers.extend(h.workers.iter().copied());
-        Fragment {
+        Ok(Fragment {
             entry: h.split,
             exit: h.merge,
-        }
+        })
     }
 }
 
@@ -361,21 +489,26 @@ where
         lw.shape,
     );
     let worker = prog.worker_fn().clone();
-    lw.register_costed(&worker_name, prog.cost_hint(), move |args| {
-        // Depth-first elaboration of this root task's subtree (the
-        // same order as `skipper::spec::tf` within one subtree).
-        let root = T::from_value(&args[0]).expect("tf task decodes");
-        let mut stack = vec![root];
-        let mut results: Vec<Value> = Vec::new();
-        while let Some(t) = stack.pop() {
-            let (new_tasks, result) = worker(t);
-            stack.extend(new_tasks.into_iter().rev());
-            if let Some(o) = result {
-                results.push(o.to_value());
+    lw.register_costed(
+        &worker_name,
+        prog.cost_hint(),
+        prog.cost_model(),
+        move |args| {
+            // Depth-first elaboration of this root task's subtree (the
+            // same order as `skipper::spec::tf` within one subtree).
+            let root = T::from_value(&args[0]).expect("tf task decodes");
+            let mut stack = vec![root];
+            let mut results: Vec<Value> = Vec::new();
+            while let Some(t) = stack.pop() {
+                let (new_tasks, result) = worker(t);
+                stack.extend(new_tasks.into_iter().rev());
+                if let Some(o) = result {
+                    results.push(o.to_value());
+                }
             }
-        }
-        vec![Value::list(results)]
-    });
+            vec![Value::list(results)]
+        },
+    );
     let acc = prog.acc_fn().clone();
     lw.reg.register(&acc_name, move |args| {
         let z = Z::from_value(&args[0]).expect("tf accumulator decodes");
@@ -388,7 +521,7 @@ where
         vec![folded.to_value()]
     });
     lw.farm_init.insert(h.instance, prog.init().to_value());
-    lw.hint_nodes(&h.workers, prog.cost_hint());
+    lw.hint_nodes(&h.workers, prog.cost_hint(), prog.cost_model());
     lw.workers.extend(h.workers.iter().copied());
     lw.colocate_routers(&h);
     Fragment {
@@ -405,8 +538,8 @@ where
     O: SimValue + Send,
     Z: SimValue + Clone,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
-        lower_tf_nodes(self, lw)
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        Ok(lower_tf_nodes(self, lw))
     }
 }
 
@@ -420,9 +553,9 @@ where
     O: SimValue + Send,
     Z: SimValue + Clone,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
         let farm = lower_tf_nodes(self, lw);
-        state_pair_exit(lw, farm)
+        Ok(state_pair_exit(lw, farm))
     }
 }
 
@@ -439,7 +572,7 @@ where
     B: SimValue + Clone + Send + Sync,
     Y: SimValue,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
         let name = lw.fresh("inner_loop");
         let node = lw
             .net
@@ -449,10 +582,10 @@ where
             let pair = <(Z, Vec<B>)>::from_value(&args[0]).expect("inner loop input decodes");
             vec![inner.run_declarative(&pair).to_value()]
         });
-        Fragment {
+        Ok(Fragment {
             entry: node,
             exit: node,
-        }
+        })
     }
 }
 
@@ -462,7 +595,7 @@ where
     In: SimValue,
     Out: SimValue,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
         let name = lw.fresh("fn");
         let node = lw
             .net
@@ -472,10 +605,10 @@ where
             let x = In::from_value(&args[0]).expect("function input decodes");
             vec![f(x).to_value()]
         });
-        Fragment {
+        Ok(Fragment {
             entry: node,
             exit: node,
-        }
+        })
     }
 }
 
@@ -484,41 +617,128 @@ where
     A: SimLower<In>,
     B: SimLower<<A as Skeleton<In>>::Output>,
 {
-    fn lower(&self, lw: &mut Lowering<'_>) -> Fragment {
-        let fa = self.first().lower(lw);
-        let fb = self.second().lower(lw);
+    fn lower(&self, lw: &mut Lowering<'_>) -> Result<Fragment, ExecError> {
+        let fa = self.first().lower(lw)?;
+        let fb = self.second().lower(lw)?;
         lw.net
             .add_data_edge(fa.exit, 0, fb.entry, 0, named("link"))
             .expect("fragment endpoints exist");
-        Fragment {
+        Ok(Fragment {
             entry: fa.entry,
             exit: fb.exit,
-        }
+        })
     }
 }
 
 /// Encoding of a top-level program input (by shape: slices, references,
-/// owned vectors).
+/// owned values).
 pub trait SimInput {
+    /// A lifetime-free tag naming this input's shape — [`SliceInput<T>`]
+    /// for `&[T]`, [`RefInput<T>`] for `&T`, the type itself for owned
+    /// inputs. A prepared [`SimExecutable`] is typed with the shape its
+    /// program was compiled for, so handing it a differently-shaped
+    /// input (a scalar into a farm, a `(state, items)` seed tuple into a
+    /// one-shot lowering) is a compile error rather than a runtime
+    /// [`ExecError::BadShape`] — while borrows of any lifetime still
+    /// run, because the tag carries none.
+    type Shape: 'static;
+
     /// Encodes the input as the value the graph's `Input` node produces.
     fn encode_input(&self) -> Value;
 }
 
+/// The [`SimInput::Shape`] tag of an item-slice input `&[T]`.
+pub struct SliceInput<T>(std::marker::PhantomData<fn(T)>);
+
+/// The [`SimInput::Shape`] tag of a by-reference input `&T`.
+pub struct RefInput<T>(std::marker::PhantomData<fn(T)>);
+
 impl<T: SimValue> SimInput for &[T] {
+    type Shape = SliceInput<T>;
+
     fn encode_input(&self) -> Value {
         Value::list(self.iter().map(SimValue::to_value).collect())
     }
 }
 
 impl<T: SimValue> SimInput for &T {
+    type Shape = RefInput<T>;
+
     fn encode_input(&self) -> Value {
         (*self).to_value()
     }
 }
 
 impl<T: SimValue> SimInput for Vec<T> {
+    type Shape = Vec<T>;
+
     fn encode_input(&self) -> Value {
         Value::list(self.iter().map(SimValue::to_value).collect())
+    }
+}
+
+// Owned scalar/compound inputs (the `Pure` program shape takes its input
+// by value): encoded exactly like their [`SimValue`] form. Written per
+// concrete type rather than as a blanket so the `Vec<T>`/`&T` impls
+// above stay coherent.
+macro_rules! impl_owned_sim_input {
+    ($($t:ty),* $(,)?) => {$(
+        impl SimInput for $t {
+            type Shape = $t;
+
+            fn encode_input(&self) -> Value {
+                self.to_value()
+            }
+        }
+    )*};
+}
+
+impl_owned_sim_input!(
+    (),
+    bool,
+    f64,
+    String,
+    i8,
+    i16,
+    i32,
+    i64,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    isize
+);
+
+impl<A: SimValue, B: SimValue> SimInput for (A, B) {
+    type Shape = (A, B);
+
+    fn encode_input(&self) -> Value {
+        self.to_value()
+    }
+}
+
+impl<A: SimValue, B: SimValue, C: SimValue> SimInput for (A, B, C) {
+    type Shape = (A, B, C);
+
+    fn encode_input(&self) -> Value {
+        self.to_value()
+    }
+}
+
+impl<A: SimValue, B: SimValue, C: SimValue, D: SimValue> SimInput for (A, B, C, D) {
+    type Shape = (A, B, C, D);
+
+    fn encode_input(&self) -> Value {
+        self.to_value()
+    }
+}
+
+impl<T: SimValue> SimInput for Option<T> {
+    type Shape = Option<T>;
+
+    fn encode_input(&self) -> Value {
+        self.to_value()
     }
 }
 
@@ -629,76 +849,14 @@ impl SimBackend {
         }
     }
 
-    /// Maps the lowered network onto the simulated machine and runs it
-    /// (see [`SimBackend::placement`] for the pinning policy).
-    #[allow(clippy::too_many_arguments)]
-    fn execute(
+    /// Lowers and schedules a one-shot program: the offline pipeline up
+    /// to (and including) the SynDEx schedule, shared by
+    /// [`SimBackend::plan`] (which stops here) and
+    /// [`SimBackend::compile`] (which goes on to macro-code).
+    fn lower_and_schedule<I, P>(
         &self,
-        net: &ProcessNetwork,
-        reg: Registry,
-        workers: &[NodeId],
-        colocated: &[(NodeId, NodeId)],
-        mem_init: &HashMap<NodeId, Value>,
-        farm_init: &HashMap<usize, Value>,
-        iterations: usize,
-    ) -> Result<ExecReport, ExecError> {
-        let (arch, pins, strategy) = self.placement(net, workers, colocated);
-        let sched = schedule_with(net, &arch, &pins, strategy)
-            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
-        let progs = skipper_syndex::macrocode::generate(net, &sched, &arch);
-        let config = ExecConfig {
-            iterations,
-            frame_clock: None,
-            sim: self.config,
-        };
-        run_simulated(
-            net,
-            &sched,
-            &progs,
-            arch.topology().clone(),
-            Arc::new(reg),
-            mem_init,
-            farm_init,
-            &config,
-        )
-    }
-
-    /// Lowers a one-shot program, runs one graph iteration on the
-    /// simulated machine, and returns the raw output value.
-    fn run_value<I, P>(&self, prog: &P, encoded: Value) -> Result<Value, ExecError>
-    where
-        P: SimLower<I>,
-    {
-        self.require_procs()?;
-        let mut lowered = lower_one_shot(prog, self.farm_shape)?;
-        lowered
-            .reg
-            .register("simbackend_input", move |_| vec![encoded.clone()]);
-        let result = Arc::new(Mutex::new(None::<Value>));
-        let slot = Arc::clone(&result);
-        lowered.reg.register("simbackend_output", move |args| {
-            *slot.lock().expect("result slot") = Some(args[0].clone());
-            vec![]
-        });
-        self.execute(
-            &lowered.net,
-            lowered.reg,
-            &lowered.workers,
-            &lowered.colocated,
-            &HashMap::new(),
-            &lowered.farm_init,
-            1,
-        )?;
-        let v = result.lock().expect("result slot").take();
-        v.ok_or_else(|| ExecError::Internal("program produced no output".into()))
-    }
-
-    /// Lowers a one-shot program and returns the SynDEx schedule this
-    /// backend would execute it with — without running it. The schedule's
-    /// predicted makespan reflects the program's
-    /// [`with_cost_hint`](skipper::Df::with_cost_hint) declarations, which
-    /// the lowering stamps onto the worker nodes as WCET hints.
-    pub fn plan<I, P>(&self, prog: &P) -> Result<Schedule, ExecError>
+        prog: &P,
+    ) -> Result<(LoweredOneShot, Architecture, Schedule), ExecError>
     where
         P: SimLower<I>,
     {
@@ -706,8 +864,150 @@ impl SimBackend {
         let lowered = lower_one_shot(prog, self.farm_shape)?;
         let (arch, pins, strategy) =
             self.placement(&lowered.net, &lowered.workers, &lowered.colocated);
-        schedule_with(&lowered.net, &arch, &pins, strategy)
-            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))
+        let sched = schedule_with(&lowered.net, &arch, &pins, strategy)
+            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
+        Ok((lowered, arch, sched))
+    }
+
+    /// Compiles a one-shot program down to interpretable macro-code: the
+    /// prepare-once half of the pipeline (lowering → placement → SynDEx
+    /// scheduling → macro-code generation), shared by
+    /// [`Backend::prepare`] and [`Backend::run`].
+    fn compile<I, P>(&self, prog: &P) -> Result<CompiledSim, ExecError>
+    where
+        P: SimLower<I>,
+    {
+        let (lowered, arch, sched) = self.lower_and_schedule::<I, P>(prog)?;
+        let progs = skipper_syndex::macrocode::generate(&lowered.net, &sched, &arch);
+        Ok(CompiledSim {
+            net: lowered.net,
+            reg: lowered.reg,
+            sched,
+            progs,
+            topo: arch.topology().clone(),
+            farm_init: lowered.farm_init,
+            config: self.config,
+        })
+    }
+
+    /// Lowers a one-shot program and returns the SynDEx schedule this
+    /// backend would execute it with — without running it (macro-code is
+    /// not generated). The schedule's predicted makespan reflects the
+    /// program's [`with_cost_hint`](skipper::Df::with_cost_hint) and
+    /// [`with_cost_model`](skipper::Df::with_cost_model) declarations,
+    /// which the lowering stamps onto the worker nodes as WCET hints.
+    pub fn plan<I, P>(&self, prog: &P) -> Result<Schedule, ExecError>
+    where
+        P: SimLower<I>,
+    {
+        Ok(self.lower_and_schedule::<I, P>(prog)?.2)
+    }
+}
+
+/// A one-shot program compiled for repeated simulation: the lowered
+/// process network, the program's function registry, the SynDEx schedule,
+/// the generated per-processor macro-code and the machine topology — all
+/// the state [`SimBackend`] used to re-derive on every `run`. A run only
+/// binds fresh input/output endpoints onto a clone of the registry and
+/// re-interprets the cached macro-code with fresh simulator state.
+struct CompiledSim {
+    net: ProcessNetwork,
+    reg: Registry,
+    sched: Schedule,
+    progs: Vec<skipper_syndex::macrocode::MacroProgram>,
+    topo: Topology,
+    farm_init: HashMap<usize, Value>,
+    config: SimConfig,
+}
+
+impl CompiledSim {
+    /// One online run: bind the encoded input and an output slot, then
+    /// interpret the cached macro-code for a single graph iteration.
+    fn run_value(&self, encoded: Value) -> Result<Value, ExecError> {
+        let mut reg = self.reg.clone();
+        reg.register("simbackend_input", move |_| vec![encoded.clone()]);
+        let result = Arc::new(Mutex::new(None::<Value>));
+        let slot = Arc::clone(&result);
+        reg.register("simbackend_output", move |args| {
+            *slot.lock().expect("result slot") = Some(args[0].clone());
+            vec![]
+        });
+        let config = ExecConfig {
+            iterations: 1,
+            frame_clock: None,
+            sim: self.config,
+        };
+        run_simulated(
+            &self.net,
+            &self.sched,
+            &self.progs,
+            self.topo.clone(),
+            Arc::new(reg),
+            &HashMap::new(),
+            &self.farm_init,
+            &config,
+        )?;
+        let v = result.lock().expect("result slot").take();
+        v.ok_or_else(|| ExecError::Internal("program produced no output".into()))
+    }
+}
+
+/// A one-shot program prepared by [`SimBackend`] (see
+/// [`Backend::prepare`]): lowering, scheduling and macro-code generation
+/// already happened, exactly once; every [`Executable::run`] call only
+/// simulates. A preparation failure (e.g. [`ExecError::EmptyMachine`])
+/// is carried inside and handed back on every run.
+///
+/// `Shape` is the [`SimInput::Shape`] tag of the input the program was
+/// prepared for: it pins the compiled network's encoding, so an
+/// executable prepared over item slices cannot be handed a scalar (or a
+/// `(state, items)` seed tuple) by accident — the mismatch is a compile
+/// error, not a runtime [`ExecError::BadShape`]. The tag is
+/// lifetime-free, so inputs borrowed for any lifetime run.
+pub struct SimExecutable<Shape, Out> {
+    inner: Result<CompiledSim, ExecError>,
+    _io: std::marker::PhantomData<fn(Shape) -> Out>,
+}
+
+impl<Shape, Out> SimExecutable<Shape, Out> {
+    fn new(inner: Result<CompiledSim, ExecError>) -> Self {
+        SimExecutable {
+            inner,
+            _io: std::marker::PhantomData,
+        }
+    }
+
+    /// The SynDEx schedule every run of this executable follows (the
+    /// compiled counterpart of [`SimBackend::plan`]), or the preparation
+    /// error. Useful to assert plan identity across runs: the schedule is
+    /// computed once, at prepare time.
+    pub fn schedule(&self) -> Result<&Schedule, ExecError> {
+        match &self.inner {
+            Ok(c) => Ok(&c.sched),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+impl<Shape, Out> std::fmt::Debug for SimExecutable<Shape, Out> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimExecutable")
+            .field("prepared", &self.inner.is_ok())
+            .finish()
+    }
+}
+
+impl<In, Out> Executable<In> for SimExecutable<In::Shape, Out>
+where
+    In: SimInput,
+    Out: SimValue,
+{
+    type Output = Result<Out, ExecError>;
+
+    fn run(&self, input: In) -> Result<Out, ExecError> {
+        let compiled = self.inner.as_ref().map_err(Clone::clone)?;
+        let out = compiled.run_value(input.encode_input())?;
+        decode(&out, "prepared program result")
     }
 }
 
@@ -723,10 +1023,24 @@ struct LoweredOneShot {
     farm_init: HashMap<usize, Value>,
 }
 
+/// Counts every program lowering this process has performed (one-shot
+/// and loop lowerings alike): the prepare-once contract's observable.
+/// The prepared-reuse tests snapshot it around a prepare-then-run-many
+/// sequence and assert the delta is exactly one.
+static LOWERINGS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Total number of program lowerings performed by this process so far —
+/// a monotonic probe for asserting the prepare-once/run-many contract
+/// (compare deltas around a prepare + N runs sequence).
+pub fn lowering_count() -> usize {
+    LOWERINGS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 fn lower_one_shot<I, P>(prog: &P, shape: FarmShape) -> Result<LoweredOneShot, ExecError>
 where
     P: SimLower<I>,
 {
+    LOWERINGS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut net = ProcessNetwork::new("simbackend");
     let mut reg = Registry::new();
     let mut farm_init = HashMap::new();
@@ -741,7 +1055,7 @@ where
         colocated: &mut colocated,
         shape,
         counter: &mut counter,
-    });
+    })?;
     let inp = net.add_node(NodeKind::Input("simbackend_input".into()), "input");
     let out = net.add_node(NodeKind::Output("simbackend_output".into()), "output");
     net.add_data_edge(inp, 0, frag.entry, 0, named("input"))
@@ -757,7 +1071,7 @@ where
     })
 }
 
-use skipper::Backend;
+use skipper::{Backend, Executable};
 
 impl<'a, I, C, A, Z> Backend<Df<C, A, Z>, &'a [I]> for SimBackend
 where
@@ -767,9 +1081,14 @@ where
 {
     type Output = Result<Z, ExecError>;
 
-    fn run(&self, prog: &Df<C, A, Z>, input: &'a [I]) -> Result<Z, ExecError> {
-        let out = self.run_value(prog, input.encode_input())?;
-        decode(&out, "df result")
+    type Prepared<'p>
+        = SimExecutable<SliceInput<I>, Z>
+    where
+        Self: 'p,
+        Df<C, A, Z>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p Df<C, A, Z>) -> SimExecutable<SliceInput<I>, Z> {
+        SimExecutable::new(self.compile::<&'a [I], _>(prog))
     }
 }
 
@@ -781,9 +1100,14 @@ where
 {
     type Output = Result<R, ExecError>;
 
-    fn run(&self, prog: &Scm<S, C, M>, input: &'a I) -> Result<R, ExecError> {
-        let out = self.run_value(prog, input.encode_input())?;
-        decode(&out, "scm result")
+    type Prepared<'p>
+        = SimExecutable<RefInput<I>, R>
+    where
+        Self: 'p,
+        Scm<S, C, M>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p Scm<S, C, M>) -> SimExecutable<RefInput<I>, R> {
+        SimExecutable::new(self.compile::<&'a I, _>(prog))
     }
 }
 
@@ -795,23 +1119,33 @@ where
 {
     type Output = Result<Z, ExecError>;
 
-    fn run(&self, prog: &Tf<W, A, Z>, input: Vec<T>) -> Result<Z, ExecError> {
-        let out = self.run_value(prog, input.encode_input())?;
-        decode(&out, "tf result")
+    type Prepared<'p>
+        = SimExecutable<Vec<T>, Z>
+    where
+        Self: 'p,
+        Tf<W, A, Z>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p Tf<W, A, Z>) -> SimExecutable<Vec<T>, Z> {
+        SimExecutable::new(self.compile::<Vec<T>, _>(prog))
     }
 }
 
 impl<In, Out, F> Backend<Pure<F>, In> for SimBackend
 where
     Pure<F>: SimLower<In> + Skeleton<In, Output = Out>,
-    In: SimValue,
+    In: SimValue + SimInput,
     Out: SimValue,
 {
     type Output = Result<Out, ExecError>;
 
-    fn run(&self, prog: &Pure<F>, input: In) -> Result<Out, ExecError> {
-        let out = self.run_value(prog, input.to_value())?;
-        decode(&out, "function result")
+    type Prepared<'p>
+        = SimExecutable<In::Shape, Out>
+    where
+        Self: 'p,
+        Pure<F>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p Pure<F>) -> SimExecutable<In::Shape, Out> {
+        SimExecutable::new(self.compile::<In, _>(prog))
     }
 }
 
@@ -823,9 +1157,14 @@ where
 {
     type Output = Result<Out, ExecError>;
 
-    fn run(&self, prog: &Then<A, B>, input: In) -> Result<Out, ExecError> {
-        let out = self.run_value(prog, input.encode_input())?;
-        decode(&out, "pipeline result")
+    type Prepared<'p>
+        = SimExecutable<In::Shape, Out>
+    where
+        Self: 'p,
+        Then<A, B>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p Then<A, B>) -> SimExecutable<In::Shape, Out> {
+        SimExecutable::new(self.compile::<In, _>(prog))
     }
 }
 
@@ -846,25 +1185,33 @@ impl SimBackend {
         frames: Vec<B>,
     ) -> Result<((Z, Vec<Y>), ExecReport), ExecError>
     where
-        P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+        P: SimLowerBody<Z, B> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
         Z: SimValue + Clone,
         B: SimValue,
         Y: SimValue,
     {
+        let exec: SimLoopExecutable<Z, B, Y> =
+            SimLoopExecutable::new(self.compile_loop(prog), prog.init().clone());
+        exec.run_with_report(frames)
+    }
+
+    /// Compiles an `itermem` stream loop down to interpretable
+    /// macro-code: the body is lowered and wrapped in the Fig. 4
+    /// `pair`/`MEM`/`unpair` harness, then scheduled and code-generated —
+    /// all exactly once, shared by every run of the returned state.
+    fn compile_loop<P, Z, B>(&self, prog: &IterLoop<P, Z>) -> Result<CompiledSimLoop, ExecError>
+    where
+        P: SimLowerBody<Z, B>,
+    {
         self.require_procs()?;
-        if frames.is_empty() {
-            return Err(ExecError::Internal(
-                "cannot simulate a loop over an empty frame stream".into(),
-            ));
-        }
-        let iterations = frames.len();
+        LOWERINGS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut net = ProcessNetwork::new("simbackend-itermem");
         let mut reg = Registry::new();
         let mut farm_init = HashMap::new();
         let mut workers = Vec::new();
         let mut colocated = Vec::new();
         let mut counter = 0usize;
-        let frag = prog.body().lower(&mut Lowering {
+        let frag = prog.body().lower_body(&mut Lowering {
             net: &mut net,
             reg: &mut reg,
             farm_init: &mut farm_init,
@@ -872,25 +1219,18 @@ impl SimBackend {
             colocated: &mut colocated,
             shape: self.farm_shape,
             counter: &mut counter,
-        });
+        })?;
         // Fig. 4 port contract around the body fragment: `pair` packs
         // (frame on port 0, state on port 1) into the body's input tuple;
         // `unpair` splits the body's (state', output) tuple back onto
-        // (output on port 0, next state on port 1).
+        // (output on port 0, next state on port 1). Only `pair` is bound
+        // here — `unpair`, `grab` and `show` carry per-run state, so each
+        // run binds its own onto a clone of this registry.
         let pair = net.add_node(NodeKind::UserFn("simbackend_pair".into()), "pair");
         reg.register("simbackend_pair", |args| {
             vec![Value::tuple(vec![args[1].clone(), args[0].clone()])]
         });
         let unpair = net.add_node(NodeKind::UserFn("simbackend_unpair".into()), "unpair");
-        let final_state = Arc::new(Mutex::new(None::<Value>));
-        let state_slot = Arc::clone(&final_state);
-        reg.register("simbackend_unpair", move |args| {
-            let t = args[0]
-                .as_tuple()
-                .expect("loop body must produce a (state, output) tuple");
-            *state_slot.lock().expect("state slot") = Some(t[0].clone());
-            vec![t[1].clone(), t[0].clone()]
-        });
         net.add_data_edge(pair, 0, frag.entry, 0, named("state-frame"))
             .map_err(internal)?;
         net.add_data_edge(frag.exit, 0, unpair, 0, named("state-output"))
@@ -908,10 +1248,62 @@ impl SimBackend {
             },
         )
         .map_err(internal)?;
-        let encoded: Vec<Value> = frames.iter().map(SimValue::to_value).collect();
+        let (arch, pins, strategy) = self.placement(&net, &workers, &colocated);
+        let sched = schedule_with(&net, &arch, &pins, strategy)
+            .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
+        let progs = skipper_syndex::macrocode::generate(&net, &sched, &arch);
+        Ok(CompiledSimLoop {
+            base: CompiledSim {
+                net,
+                reg,
+                sched,
+                progs,
+                topo: arch.topology().clone(),
+                farm_init,
+                config: self.config,
+            },
+            mem: h.mem,
+        })
+    }
+}
+
+/// An `itermem` program compiled for repeated simulation, the loop
+/// counterpart of [`CompiledSim`]: the lowered body with its Fig. 4
+/// harness, schedule and macro-code. Per run, only the frame source, the
+/// output sink, the state observer and the `MEM` initial value are bound
+/// fresh.
+struct CompiledSimLoop {
+    /// The compiled form shared with the one-shot path (network,
+    /// registry, schedule, macro-code, topology, farm seeds).
+    base: CompiledSim,
+    /// The Fig. 4 `MEM` node, seeded per run with the loop's initial
+    /// state.
+    mem: NodeId,
+}
+
+impl CompiledSimLoop {
+    /// One online stream run: one graph iteration per encoded frame,
+    /// with the state memory seeded by `mem0`. Returns the final state,
+    /// the per-frame outputs and the executive report.
+    fn run_frames(
+        &self,
+        frames: Vec<Value>,
+        mem0: Value,
+    ) -> Result<(Value, Vec<Value>, ExecReport), ExecError> {
+        let iterations = frames.len();
+        let mut reg = self.base.reg.clone();
+        let final_state = Arc::new(Mutex::new(None::<Value>));
+        let state_slot = Arc::clone(&final_state);
+        reg.register("simbackend_unpair", move |args| {
+            let t = args[0]
+                .as_tuple()
+                .expect("loop body must produce a (state, output) tuple");
+            *state_slot.lock().expect("state slot") = Some(t[0].clone());
+            vec![t[1].clone(), t[0].clone()]
+        });
         reg.register("simbackend_grab", move |args| {
             let k = args[0].as_int().unwrap_or(0).unsigned_abs() as usize;
-            vec![encoded[k.min(encoded.len() - 1)].clone()]
+            vec![frames[k.min(frames.len() - 1)].clone()]
         });
         let outputs = Arc::new(Mutex::new(Vec::<Value>::new()));
         let output_slot = Arc::clone(&outputs);
@@ -923,19 +1315,101 @@ impl SimBackend {
             vec![]
         });
         let mut mem_init = HashMap::new();
-        mem_init.insert(h.mem, prog.init().to_value());
-        let report = self.execute(
-            &net, reg, &workers, &colocated, &mem_init, &farm_init, iterations,
+        mem_init.insert(self.mem, mem0);
+        let config = ExecConfig {
+            iterations,
+            frame_clock: None,
+            sim: self.base.config,
+        };
+        let report = run_simulated(
+            &self.base.net,
+            &self.base.sched,
+            &self.base.progs,
+            self.base.topo.clone(),
+            Arc::new(reg),
+            &mem_init,
+            &self.base.farm_init,
+            &config,
         )?;
         let z_value = final_state
             .lock()
             .expect("state slot")
             .take()
             .ok_or_else(|| ExecError::Internal("loop produced no final state".into()))?;
+        let ys = std::mem::take(&mut *outputs.lock().expect("output slot"));
+        Ok((z_value, ys, report))
+    }
+}
+
+/// An `itermem` stream-loop program prepared by [`SimBackend`] (see
+/// [`Backend::prepare`]): body lowering, scheduling and macro-code
+/// generation already happened, exactly once; every
+/// [`Executable::run`] over a frame stream only resets per-run simulator
+/// state (frame source, output sink, `MEM` seed) and re-interprets the
+/// cached macro-code. [`run_with_report`](SimLoopExecutable::run_with_report)
+/// additionally surfaces the executive report for latency studies.
+/// `B` is the frame type the loop was prepared for, pinned at prepare
+/// time for the same reason as [`SimExecutable`]'s `In`.
+pub struct SimLoopExecutable<Z, B, Y> {
+    inner: Result<CompiledSimLoop, ExecError>,
+    init: Z,
+    _io: std::marker::PhantomData<fn(Vec<B>) -> Y>,
+}
+
+impl<Z, B, Y> SimLoopExecutable<Z, B, Y> {
+    fn new(inner: Result<CompiledSimLoop, ExecError>, init: Z) -> Self {
+        SimLoopExecutable {
+            inner,
+            init,
+            _io: std::marker::PhantomData,
+        }
+    }
+
+    /// The SynDEx schedule every run of this executable follows, or the
+    /// preparation error.
+    pub fn schedule(&self) -> Result<&Schedule, ExecError> {
+        match &self.inner {
+            Ok(c) => Ok(&c.base.sched),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+impl<Z, B, Y> std::fmt::Debug for SimLoopExecutable<Z, B, Y> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimLoopExecutable")
+            .field("prepared", &self.inner.is_ok())
+            .finish()
+    }
+}
+
+impl<Z, B, Y> SimLoopExecutable<Z, B, Y>
+where
+    Z: SimValue + Clone,
+    B: SimValue,
+    Y: SimValue,
+{
+    /// Runs one frame stream and returns the outputs **together with the
+    /// executive report** (virtual-time trace, per-frame latencies,
+    /// processor utilisations) — the measurement face of
+    /// [`Executable::run`], used by the latency experiments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`]; additionally, an empty frame stream is an
+    /// [`ExecError::Internal`] here because nothing is simulated (the
+    /// [`Executable::run`] wrapper short-circuits that case instead).
+    pub fn run_with_report(&self, frames: Vec<B>) -> Result<((Z, Vec<Y>), ExecReport), ExecError> {
+        let compiled = self.inner.as_ref().map_err(Clone::clone)?;
+        if frames.is_empty() {
+            return Err(ExecError::Internal(
+                "cannot simulate a loop over an empty frame stream".into(),
+            ));
+        }
+        let encoded: Vec<Value> = frames.iter().map(SimValue::to_value).collect();
+        let (z_value, ys, report) = compiled.run_frames(encoded, self.init.to_value())?;
         let z = decode(&z_value, "itermem final state")?;
-        let ys = outputs
-            .lock()
-            .expect("output slot")
+        let ys = ys
             .iter()
             .map(|v| decode(v, "itermem output"))
             .collect::<Result<Vec<Y>, _>>()?;
@@ -943,21 +1417,42 @@ impl SimBackend {
     }
 }
 
-impl<P, Z, B, Y> Backend<IterLoop<P, Z>, Vec<B>> for SimBackend
+impl<Z, B, Y> Executable<Vec<B>> for SimLoopExecutable<Z, B, Y>
 where
-    P: for<'x> SimLower<&'x (Z, B)> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
     Z: SimValue + Clone,
     B: SimValue,
     Y: SimValue,
 {
     type Output = Result<(Z, Vec<Y>), ExecError>;
 
-    fn run(&self, prog: &IterLoop<P, Z>, frames: Vec<B>) -> Result<(Z, Vec<Y>), ExecError> {
-        self.require_procs()?;
-        if frames.is_empty() {
-            return Ok((prog.init().clone(), Vec::new()));
+    fn run(&self, frames: Vec<B>) -> Result<(Z, Vec<Y>), ExecError> {
+        if let Err(e) = &self.inner {
+            return Err(e.clone());
         }
-        self.run_loop_with_report(prog, frames).map(|(out, _)| out)
+        if frames.is_empty() {
+            return Ok((self.init.clone(), Vec::new()));
+        }
+        self.run_with_report(frames).map(|(out, _)| out)
+    }
+}
+
+impl<P, Z, B, Y> Backend<IterLoop<P, Z>, Vec<B>> for SimBackend
+where
+    P: SimLowerBody<Z, B> + for<'x> Skeleton<&'x (Z, B), Output = (Z, Y)>,
+    Z: SimValue + Clone,
+    B: SimValue,
+    Y: SimValue,
+{
+    type Output = Result<(Z, Vec<Y>), ExecError>;
+
+    type Prepared<'p>
+        = SimLoopExecutable<Z, B, Y>
+    where
+        Self: 'p,
+        IterLoop<P, Z>: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p IterLoop<P, Z>) -> SimLoopExecutable<Z, B, Y> {
+        SimLoopExecutable::new(self.compile_loop(prog), prog.init().clone())
     }
 }
 
@@ -1037,6 +1532,112 @@ impl skipper::conformance::ConformanceHarness for SimBackend {
     ) -> (i64, Vec<i64>) {
         self.run(prog, frames)
             .expect("then-inside-loop case lowers and simulates")
+    }
+
+    fn run_df_prepared(&self, prog: &skipper::conformance::DfProg, runs: &[Vec<i64>]) -> Vec<i64> {
+        let exec = Backend::<_, &[i64]>::prepare(self, prog);
+        runs.iter()
+            .map(|xs| exec.run(&xs[..]).expect("prepared df case simulates"))
+            .collect()
+    }
+
+    fn run_scm_prepared(
+        &self,
+        prog: &skipper::conformance::ScmProg,
+        runs: &[Vec<i64>],
+    ) -> Vec<Vec<i64>> {
+        let exec = Backend::<_, &Vec<i64>>::prepare(self, prog);
+        runs.iter()
+            .map(|xs| exec.run(xs).expect("prepared scm case simulates"))
+            .collect()
+    }
+
+    fn run_tf_prepared(&self, prog: &skipper::conformance::TfProg, runs: &[Vec<u64>]) -> Vec<u64> {
+        let exec = Backend::<_, Vec<u64>>::prepare(self, prog);
+        runs.iter()
+            .map(|roots| exec.run(roots.clone()).expect("prepared tf case simulates"))
+            .collect()
+    }
+
+    fn run_then_prepared(
+        &self,
+        prog: &skipper::conformance::ThenProg,
+        runs: &[Vec<i64>],
+    ) -> Vec<(i64, i64)> {
+        let exec = Backend::<_, &[i64]>::prepare(self, prog);
+        runs.iter()
+            .map(|xs| exec.run(&xs[..]).expect("prepared then case simulates"))
+            .collect()
+    }
+
+    fn run_itermem_prepared(
+        &self,
+        prog: &skipper::conformance::LoopProg,
+        runs: &[Vec<i64>],
+    ) -> Vec<(i64, Vec<i64>)> {
+        let exec = Backend::<_, Vec<i64>>::prepare(self, prog);
+        runs.iter()
+            .map(|frames| {
+                exec.run(frames.clone())
+                    .expect("prepared itermem case simulates")
+            })
+            .collect()
+    }
+
+    fn run_itermem_df_prepared(
+        &self,
+        prog: &skipper::conformance::LoopDfProg,
+        runs: &[Vec<Vec<i64>>],
+    ) -> Vec<(i64, Vec<i64>)> {
+        let exec = Backend::<_, Vec<Vec<i64>>>::prepare(self, prog);
+        runs.iter()
+            .map(|frames| {
+                exec.run(frames.clone())
+                    .expect("prepared itermem(df) case simulates")
+            })
+            .collect()
+    }
+
+    fn run_itermem_tf_prepared(
+        &self,
+        prog: &skipper::conformance::LoopTfProg,
+        runs: &[Vec<Vec<u64>>],
+    ) -> Vec<(u64, Vec<u64>)> {
+        let exec = Backend::<_, Vec<Vec<u64>>>::prepare(self, prog);
+        runs.iter()
+            .map(|frames| {
+                exec.run(frames.clone())
+                    .expect("prepared itermem(tf) case simulates")
+            })
+            .collect()
+    }
+
+    fn run_nested_loop_prepared(
+        &self,
+        prog: &skipper::conformance::NestedLoopProg,
+        runs: &[Vec<Vec<i64>>],
+    ) -> Vec<(i64, Vec<Vec<i64>>)> {
+        let exec = Backend::<_, Vec<Vec<i64>>>::prepare(self, prog);
+        runs.iter()
+            .map(|bursts| {
+                exec.run(bursts.clone())
+                    .expect("prepared nested-loop case simulates")
+            })
+            .collect()
+    }
+
+    fn run_itermem_then_prepared(
+        &self,
+        prog: &skipper::conformance::LoopThenProg,
+        runs: &[Vec<i64>],
+    ) -> Vec<(i64, Vec<i64>)> {
+        let exec = Backend::<_, Vec<i64>>::prepare(self, prog);
+        runs.iter()
+            .map(|frames| {
+                exec.run(frames.clone())
+                    .expect("prepared then-inside-loop case simulates")
+            })
+            .collect()
     }
 }
 
@@ -1338,6 +1939,140 @@ mod tests {
         let prog = itermem(df(2, |x: &i64| *x, |z: i64, y| z + y, 0i64), 0i64);
         let err = backend.run(&prog, Vec::<Vec<i64>>::new()).unwrap_err();
         assert!(matches!(err, ExecError::EmptyMachine));
+    }
+
+    #[test]
+    fn bare_pure_loop_body_fails_lowering_with_a_dedicated_error() {
+        // The ROADMAP gap, closed: a bare pure(...) loop body now types
+        // as a SimBackend program but fails lowering with a dedicated,
+        // message-pinned error instead of an opaque trait-bound failure.
+        let prog = itermem(pure(|t: &(i64, i64)| (t.0 + t.1, t.0)), 0i64);
+        let err = SimBackend::ring(3).run(&prog, vec![1i64, 2]).unwrap_err();
+        assert!(matches!(err, ExecError::PureLoopBody), "got {err:?}");
+        assert_eq!(
+            err.to_string(),
+            "a bare pure(...) loop body cannot be lowered: its by-reference \
+             (state, frame) input has no executive encoding — wrap it in an \
+             scm/df/tf skeleton head"
+        );
+        // The prepared path defers the same error to every run.
+        let exec = Backend::<_, Vec<i64>>::prepare(&SimBackend::ring(3), &prog);
+        let err = exec.run(vec![1i64]).unwrap_err();
+        assert!(matches!(err, ExecError::PureLoopBody));
+        let err = exec.schedule().unwrap_err();
+        assert!(matches!(err, ExecError::PureLoopBody));
+        // An empty stream is still short-circuited before lowering is
+        // consulted on `run` — but the prepared error wins.
+        let err = exec.run(Vec::<i64>::new()).unwrap_err();
+        assert!(matches!(err, ExecError::PureLoopBody));
+    }
+
+    #[test]
+    fn cost_model_changes_the_sim_schedule_and_virtual_time() {
+        // An argument-dependent cost model must reach the SynDEx
+        // scheduler (as the model evaluated at unit size) ...
+        let flat = df(
+            4,
+            |v: &Vec<i64>| v.iter().sum::<i64>(),
+            |z: i64, y| z + y,
+            0i64,
+        );
+        let modelled = flat.clone().with_cost_model(|size| size as u64 * 400_000);
+        let backend = SimBackend::ring(3);
+        let plan_flat = backend.plan::<&[Vec<i64>], _>(&flat).expect("flat plan");
+        let plan_modelled = backend
+            .plan::<&[Vec<i64>], _>(&modelled)
+            .expect("modelled plan");
+        assert!(
+            plan_modelled.makespan_ns > plan_flat.makespan_ns,
+            "a cost model must lengthen the predicted schedule: \
+             {} ns (modelled) vs {} ns (flat)",
+            plan_modelled.makespan_ns,
+            plan_flat.makespan_ns
+        );
+        // ... and the executive's virtual clock, where it is evaluated on
+        // each actual argument's size: bigger items take longer simulated
+        // time under the same schedule.
+        let small: Vec<Vec<i64>> = vec![vec![1; 2]; 6];
+        let large: Vec<Vec<i64>> = vec![vec![1; 40]; 6];
+        let t_small = backend
+            .run_loop_with_report(&itermem(modelled.clone(), 0i64), vec![small.clone()])
+            .expect("small frames simulate")
+            .1
+            .mean_latency_ns();
+        let t_large = backend
+            .run_loop_with_report(&itermem(modelled.clone(), 0i64), vec![large.clone()])
+            .expect("large frames simulate")
+            .1
+            .mean_latency_ns();
+        assert!(
+            t_large > t_small,
+            "virtual time must follow argument size: {t_large} ns (40-elem items) \
+             vs {t_small} ns (2-elem items)"
+        );
+        // The model is advisory for results: simulated output still
+        // agrees with the declarative semantics.
+        assert_eq!(
+            backend
+                .run(&modelled, &large[..])
+                .expect("modelled farm runs"),
+            SeqBackend.run(&modelled, &large[..])
+        );
+        // Round-trip of the builder.
+        assert!(flat.cost_model().is_none());
+        assert_eq!(modelled.cost_model().map(|m| m(3)), Some(1_200_000));
+    }
+
+    #[test]
+    fn prepared_executable_reuses_one_schedule_across_runs() {
+        let farm = df(3, |x: &i64| x * 2 + 1, |z: i64, y| z + y, 4i64);
+        let backend = SimBackend::ring(4);
+        let exec = Backend::<_, &[i64]>::prepare(&backend, &farm);
+        let plan = backend.plan::<&[i64], _>(&farm).expect("plans");
+        // The executable's schedule is the plan, computed once at prepare
+        // time; runs of different inputs share it.
+        assert_eq!(
+            exec.schedule().expect("prepared").makespan_ns,
+            plan.makespan_ns
+        );
+        for len in [0i64, 1, 7, 20] {
+            let xs: Vec<i64> = (0..len).collect();
+            assert_eq!(
+                exec.run(&xs[..]).expect("prepared farm runs"),
+                SeqBackend.run(&farm, &xs[..]),
+                "len={len}"
+            );
+        }
+        assert_eq!(
+            exec.schedule().expect("prepared").makespan_ns,
+            plan.makespan_ns
+        );
+    }
+
+    #[test]
+    fn prepared_loop_executable_reuses_state_machinery_between_streams() {
+        let prog = itermem(df(2, |x: &i64| x * x, |z: i64, y| z + y, 0i64), 5i64);
+        let backend = SimBackend::ring(3).with_farm_shape(FarmShape::Ring);
+        let exec = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &prog);
+        let streams: Vec<Vec<Vec<i64>>> = vec![
+            vec![vec![1, 2, 3], Vec::new(), vec![4]],
+            Vec::new(),
+            vec![vec![9]],
+            vec![vec![1, 2, 3], Vec::new(), vec![4]], // repeat: no state leak
+        ];
+        for frames in streams {
+            assert_eq!(
+                exec.run(frames.clone()).expect("prepared loop runs"),
+                SeqBackend.run(&prog, frames.clone()),
+                "frames={frames:?}"
+            );
+        }
+        // The report face works on the prepared form too.
+        let ((z, ys), report) = exec
+            .run_with_report(vec![vec![1i64, 2], vec![3]])
+            .expect("reportable run");
+        assert_eq!((z, ys), SeqBackend.run(&prog, vec![vec![1i64, 2], vec![3]]));
+        assert_eq!(report.latencies_ns.len(), 2);
     }
 
     #[test]

@@ -123,6 +123,22 @@ impl Value {
         raw.max(1)
     }
 
+    /// Structural size, the argument measure consumed by
+    /// argument-dependent cost models (`skipper::CostModel`,
+    /// [`crate::Registry::register_with_cost`]): scalars count 1, strings
+    /// their length, lists and tuples the sum of their elements' sizes
+    /// (so a list of `k` scalars has size `k`), opaque payloads their
+    /// modelled byte size, and the farm end marker 0.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(s) => s.len(),
+            Value::List(v) | Value::Tuple(v) => v.iter().map(Value::size).sum(),
+            Value::Opaque { bytes, .. } => *bytes as usize,
+            Value::End => 0,
+        }
+    }
+
     /// A short type description for diagnostics.
     pub fn type_name(&self) -> String {
         match self {

@@ -1,0 +1,57 @@
+//! The prepare-once/run-many acceptance probe: preparing a program and
+//! running it many times must perform lowering (and hence scheduling —
+//! the schedule is derived inside the same compilation) **exactly
+//! once**, while fresh `Backend::run` calls pay one lowering each.
+//!
+//! This is the only test in this binary on purpose: the probe is a
+//! process-global counter, so sibling tests lowering concurrently would
+//! make deltas meaningless.
+
+use skipper::{df, itermem, Backend, Executable, SeqBackend};
+use skipper_exec::{lowering_count, SimBackend};
+
+#[test]
+fn prepare_once_lowers_once_fresh_runs_lower_each_time() {
+    let farm = df(3, |x: &i64| x * x + 1, |z: i64, y| z + y, 2i64);
+    let backend = SimBackend::ring(4);
+    let xs: Vec<i64> = (0..12).collect();
+    let golden = SeqBackend.run(&farm, &xs[..]);
+
+    // Prepared path: one lowering, N simulations.
+    let before = lowering_count();
+    let exec = Backend::<_, &[i64]>::prepare(&backend, &farm);
+    for _ in 0..5 {
+        assert_eq!(exec.run(&xs[..]).expect("prepared farm runs"), golden);
+    }
+    assert_eq!(
+        lowering_count() - before,
+        1,
+        "prepare + 5 runs must lower exactly once"
+    );
+
+    // Fresh-run path: every run re-lowers (the cost the prepared path
+    // amortises away).
+    let before = lowering_count();
+    for _ in 0..3 {
+        assert_eq!(backend.run(&farm, &xs[..]).expect("farm runs"), golden);
+    }
+    assert_eq!(lowering_count() - before, 3, "3 fresh runs pay 3 lowerings");
+
+    // Stream loops follow the same contract.
+    let prog = itermem(df(2, |x: &i64| x + 3, |z: i64, y| z + y, 0i64), 7i64);
+    let frames: Vec<Vec<i64>> = vec![vec![1, 2], vec![3], Vec::new()];
+    let loop_golden = SeqBackend.run(&prog, frames.clone());
+    let before = lowering_count();
+    let exec = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &prog);
+    for _ in 0..4 {
+        assert_eq!(
+            exec.run(frames.clone()).expect("prepared loop runs"),
+            loop_golden
+        );
+    }
+    assert_eq!(
+        lowering_count() - before,
+        1,
+        "a prepared stream loop lowers its body exactly once"
+    );
+}

@@ -8,6 +8,44 @@
 //! generation onto the simulated Transputer machine, exactly as the paper
 //! derives the parallel implementation from the workstation emulation.
 //!
+//! # The prepare/run lifecycle
+//!
+//! SKiPPER compiles a skeleton program *offline* (PNT expansion, SynDEx
+//! scheduling, macro-code generation) and then executes it *online* once
+//! per frame at video rate. The API mirrors that split: every backend
+//! separates the **prepare** phase (resolve the execution structure for
+//! one program: worker counts, pool handles, lowering, scheduling) from
+//! the **run** phase (execute one input through the prepared structure).
+//!
+//! - [`Backend::prepare`] compiles a program into an [`Executable`] —
+//!   done once per program;
+//! - [`Executable::run`] executes one input — done once per frame;
+//! - [`Backend::run`] remains as the prepare-then-run convenience for
+//!   one-shot execution.
+//!
+//! For the host backends preparation is cheap (it pins down worker counts
+//! and pool handles), so `Backend::run` costs about the same as a
+//! prepared run. For `skipper_exec::SimBackend` preparation performs the
+//! whole lowering/scheduling/macro-code pipeline, so a frame loop should
+//! always prepare once and run many times:
+//!
+//! ```
+//! use skipper::{df, Backend, Executable, PoolBackend, SeqBackend};
+//!
+//! let farm = df(4, |x: &u64| x * x, |z: u64, y| z + y, 0u64);
+//! let backend = PoolBackend::new();
+//! // Compile once. The input type is spelled out because a farm is a
+//! // program over *two* input shapes (an item slice, or an `itermem`
+//! // loop's `(state, frame)` pair) and `prepare` has no input argument
+//! // to infer it from.
+//! let exec = Backend::<_, &[u64]>::prepare(&backend, &farm);
+//! for frame in 0..3u64 {
+//!     let items: Vec<u64> = (0..=frame).collect();
+//!     // ...run per frame: no per-run re-derivation of dispatch structure.
+//!     assert_eq!(exec.run(&items[..]), SeqBackend.run(&farm, &items[..]));
+//! }
+//! ```
+//!
 //! # Choosing a backend
 //!
 //! | Backend | Crate | Use it for |
@@ -18,7 +56,8 @@
 //! | `SimBackend` | `skipper-exec` | the paper pipeline: latency/scaling studies on a modelled machine |
 //!
 //! Every backend is held to the same contract by the reusable suite in
-//! [`crate::conformance`].
+//! [`crate::conformance`], including a prepared-equivalence axis: one
+//! executable, run repeatedly, must keep matching the golden results.
 //!
 //! ```
 //! use skipper::{df, Backend, SeqBackend, ThreadBackend};
@@ -34,6 +73,24 @@
 use crate::program::Skeleton;
 use std::num::NonZeroUsize;
 
+/// A program compiled by a [`Backend`] for repeated execution.
+///
+/// An executable is the run-many half of the prepare-once/run-many
+/// contract: it holds everything the backend derived from the program
+/// (worker counts, pool handles — or, for the simulator backend, the
+/// lowered process network, schedule and macro-code) and executes one
+/// input per [`run`](Executable::run) call. Runs must be independent: a
+/// prepared executable run `N` times must produce the same results as
+/// `N` fresh [`Backend::run`] calls.
+pub trait Executable<I> {
+    /// What one run produces (matches the preparing backend's
+    /// [`Backend::Output`]).
+    type Output;
+
+    /// Executes one input through the prepared program.
+    fn run(&self, input: I) -> Self::Output;
+}
+
 /// An execution strategy for programs of type `P` over input `I`.
 ///
 /// The trait is parameterised by the program type so that strategies with
@@ -41,6 +98,10 @@ use std::num::NonZeroUsize;
 /// value-encodable inputs and returns `Result`) can implement it for the
 /// program shapes they support while [`SeqBackend`] and [`ThreadBackend`]
 /// accept every [`Skeleton`].
+///
+/// Implementors provide [`prepare`](Backend::prepare) — the compile
+/// phase — and inherit [`run`](Backend::run) as the prepare-then-run
+/// convenience.
 pub trait Backend<P, I>
 where
     P: Skeleton<I>,
@@ -49,8 +110,23 @@ where
     /// `Result` for fallible ones.
     type Output;
 
-    /// Runs `prog` on `input` under this strategy.
-    fn run(&self, prog: &P, input: I) -> Self::Output;
+    /// The compiled form of a program on this backend. Borrows the
+    /// program (and the backend) for `'p`.
+    type Prepared<'p>: Executable<I, Output = Self::Output>
+    where
+        Self: 'p,
+        P: 'p;
+
+    /// Compiles `prog` for repeated execution on this strategy: the
+    /// prepare-once half of the prepare/run lifecycle.
+    fn prepare<'p>(&'p self, prog: &'p P) -> Self::Prepared<'p>;
+
+    /// Runs `prog` on `input` under this strategy (prepare-then-run; for
+    /// repeated runs of one program, [`prepare`](Backend::prepare) once
+    /// and call [`Executable::run`] per input instead).
+    fn run(&self, prog: &P, input: I) -> Self::Output {
+        self.prepare(prog).run(input)
+    }
 }
 
 /// The sequential-emulation backend: runs the declarative semantics, the
@@ -58,14 +134,38 @@ where
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SeqBackend;
 
+/// A program prepared by [`SeqBackend`]: declarative emulation needs no
+/// derived structure, so this is just the program.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqExecutable<'p, P> {
+    pub(crate) prog: &'p P,
+}
+
+impl<P, I> Executable<I> for SeqExecutable<'_, P>
+where
+    P: Skeleton<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, input: I) -> P::Output {
+        self.prog.run_declarative(input)
+    }
+}
+
 impl<P, I> Backend<P, I> for SeqBackend
 where
     P: Skeleton<I>,
 {
     type Output = P::Output;
 
-    fn run(&self, prog: &P, input: I) -> P::Output {
-        prog.run_declarative(input)
+    type Prepared<'p>
+        = SeqExecutable<'p, P>
+    where
+        Self: 'p,
+        P: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p P) -> SeqExecutable<'p, P> {
+        SeqExecutable { prog }
     }
 }
 
@@ -107,14 +207,42 @@ impl ThreadBackend {
     }
 }
 
+/// A program prepared by [`ThreadBackend`]: the worker-count override is
+/// resolved once, at prepare time.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadExecutable<'p, P> {
+    pub(crate) prog: &'p P,
+    pub(crate) workers: Option<NonZeroUsize>,
+}
+
+impl<P, I> Executable<I> for ThreadExecutable<'_, P>
+where
+    P: Skeleton<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, input: I) -> P::Output {
+        self.prog.run_threaded(input, self.workers)
+    }
+}
+
 impl<P, I> Backend<P, I> for ThreadBackend
 where
     P: Skeleton<I>,
 {
     type Output = P::Output;
 
-    fn run(&self, prog: &P, input: I) -> P::Output {
-        prog.run_threaded(input, self.workers)
+    type Prepared<'p>
+        = ThreadExecutable<'p, P>
+    where
+        Self: 'p,
+        P: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p P) -> ThreadExecutable<'p, P> {
+        ThreadExecutable {
+            prog,
+            workers: self.workers,
+        }
     }
 }
 
@@ -142,5 +270,33 @@ mod tests {
         assert_eq!(narrow.run(&farm, &xs[..]), wide.run(&farm, &xs[..]));
         assert_eq!(narrow.workers(), NonZeroUsize::new(1));
         assert_eq!(ThreadBackend::new().workers(), None);
+    }
+
+    #[test]
+    fn prepared_executables_match_fresh_runs() {
+        let farm = df(3, |x: &u64| x * 7 + 1, |z: u64, y| z + y, 5u64);
+        // The input type annotation picks the slice-input `Skeleton` impl
+        // (farms also run as `itermem` loop bodies over `&(Z, Vec<_>)`).
+        let seq = Backend::<_, &[u64]>::prepare(&SeqBackend, &farm);
+        let threads = ThreadBackend::new();
+        let thr = Backend::<_, &[u64]>::prepare(&threads, &farm);
+        for len in [0usize, 1, 17, 64] {
+            let xs: Vec<u64> = (0..len as u64).collect();
+            let golden = SeqBackend.run(&farm, &xs[..]);
+            // Re-running one executable must keep matching fresh runs.
+            assert_eq!(seq.run(&xs[..]), golden);
+            assert_eq!(seq.run(&xs[..]), golden);
+            assert_eq!(thr.run(&xs[..]), golden);
+            assert_eq!(thr.run(&xs[..]), golden);
+        }
+    }
+
+    #[test]
+    fn prepared_thread_executable_pins_the_override() {
+        let farm = df(2, |x: &u64| x + 2, |z: u64, y| z + y, 0u64);
+        let narrow = ThreadBackend::with_workers(NonZeroUsize::new(1).unwrap());
+        let exec = Backend::<_, &[u64]>::prepare(&narrow, &farm);
+        let xs: Vec<u64> = (0..30).collect();
+        assert_eq!(exec.run(&xs[..]), SeqBackend.run(&farm, &xs[..]));
     }
 }

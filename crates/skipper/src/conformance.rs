@@ -31,7 +31,7 @@
 //! assert_backend_conforms(&ThreadBackend::new());
 //! ```
 
-use crate::backend::Backend;
+use crate::backend::{Backend, Executable};
 use crate::pool::PoolBackend;
 use crate::program::{configured_workers, default_workers};
 use crate::{Df, IterLoop, Pure, Scm, SeqBackend, Tf, Then, ThreadBackend};
@@ -213,6 +213,13 @@ pub fn itermem_then_case(workers: usize) -> LoopThenProg {
 /// Each method runs the given conformance program on this backend and
 /// returns the plain output (fallible backends are expected to unwrap —
 /// failing to execute a conformance case *is* a conformance failure).
+///
+/// The `*_prepared` methods are the **prepared-equivalence axis**: each
+/// must call `Backend::prepare` exactly once for the given program and
+/// run every input of `runs` through that one executable (in order,
+/// returning one output per input). The kit passes each input of the
+/// matrix twice, so an executable that leaks state between runs — or
+/// re-derives it wrongly — diverges from the golden results.
 pub trait ConformanceHarness {
     /// Backend name used in assertion messages.
     fn name(&self) -> String;
@@ -246,6 +253,51 @@ pub trait ConformanceHarness {
 
     /// Runs the [`itermem_then_case`] (a `then` pipeline as the body).
     fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>);
+
+    /// Prepares the [`df_case`] program once and runs every input of
+    /// `runs` on the one executable.
+    fn run_df_prepared(&self, prog: &DfProg, runs: &[Vec<i64>]) -> Vec<i64>;
+
+    /// Prepares the [`scm_case`] program once and runs every input.
+    fn run_scm_prepared(&self, prog: &ScmProg, runs: &[Vec<i64>]) -> Vec<Vec<i64>>;
+
+    /// Prepares the [`tf_case`] program once and runs every input.
+    fn run_tf_prepared(&self, prog: &TfProg, runs: &[Vec<u64>]) -> Vec<u64>;
+
+    /// Prepares the [`then_case`] pipeline once and runs every input.
+    fn run_then_prepared(&self, prog: &ThenProg, runs: &[Vec<i64>]) -> Vec<(i64, i64)>;
+
+    /// Prepares the [`itermem_case`] loop once and runs every stream.
+    fn run_itermem_prepared(&self, prog: &LoopProg, runs: &[Vec<i64>]) -> Vec<(i64, Vec<i64>)>;
+
+    /// Prepares the [`itermem_df_case`] loop once and runs every stream.
+    fn run_itermem_df_prepared(
+        &self,
+        prog: &LoopDfProg,
+        runs: &[Vec<Vec<i64>>],
+    ) -> Vec<(i64, Vec<i64>)>;
+
+    /// Prepares the [`itermem_tf_case`] loop once and runs every stream.
+    fn run_itermem_tf_prepared(
+        &self,
+        prog: &LoopTfProg,
+        runs: &[Vec<Vec<u64>>],
+    ) -> Vec<(u64, Vec<u64>)>;
+
+    /// Prepares the [`nested_loop_case`] once and runs every burst
+    /// stream.
+    fn run_nested_loop_prepared(
+        &self,
+        prog: &NestedLoopProg,
+        runs: &[Vec<Vec<i64>>],
+    ) -> Vec<(i64, Vec<Vec<i64>>)>;
+
+    /// Prepares the [`itermem_then_case`] once and runs every stream.
+    fn run_itermem_then_prepared(
+        &self,
+        prog: &LoopThenProg,
+        runs: &[Vec<i64>],
+    ) -> Vec<(i64, Vec<i64>)>;
 }
 
 macro_rules! host_harness {
@@ -293,6 +345,71 @@ macro_rules! host_harness {
 
             fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
                 self.run(prog, frames)
+            }
+
+            fn run_df_prepared(&self, prog: &DfProg, runs: &[Vec<i64>]) -> Vec<i64> {
+                let exec = <Self as Backend<DfProg, &[i64]>>::prepare(self, prog);
+                runs.iter().map(|xs| exec.run(&xs[..])).collect()
+            }
+
+            fn run_scm_prepared(&self, prog: &ScmProg, runs: &[Vec<i64>]) -> Vec<Vec<i64>> {
+                let exec = <Self as Backend<ScmProg, &Vec<i64>>>::prepare(self, prog);
+                runs.iter().map(|xs| exec.run(xs)).collect()
+            }
+
+            fn run_tf_prepared(&self, prog: &TfProg, runs: &[Vec<u64>]) -> Vec<u64> {
+                let exec = <Self as Backend<TfProg, Vec<u64>>>::prepare(self, prog);
+                runs.iter().map(|roots| exec.run(roots.clone())).collect()
+            }
+
+            fn run_then_prepared(&self, prog: &ThenProg, runs: &[Vec<i64>]) -> Vec<(i64, i64)> {
+                let exec = <Self as Backend<ThenProg, &[i64]>>::prepare(self, prog);
+                runs.iter().map(|xs| exec.run(&xs[..])).collect()
+            }
+
+            fn run_itermem_prepared(
+                &self,
+                prog: &LoopProg,
+                runs: &[Vec<i64>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                let exec = <Self as Backend<LoopProg, Vec<i64>>>::prepare(self, prog);
+                runs.iter().map(|frames| exec.run(frames.clone())).collect()
+            }
+
+            fn run_itermem_df_prepared(
+                &self,
+                prog: &LoopDfProg,
+                runs: &[Vec<Vec<i64>>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                let exec = <Self as Backend<LoopDfProg, Vec<Vec<i64>>>>::prepare(self, prog);
+                runs.iter().map(|frames| exec.run(frames.clone())).collect()
+            }
+
+            fn run_itermem_tf_prepared(
+                &self,
+                prog: &LoopTfProg,
+                runs: &[Vec<Vec<u64>>],
+            ) -> Vec<(u64, Vec<u64>)> {
+                let exec = <Self as Backend<LoopTfProg, Vec<Vec<u64>>>>::prepare(self, prog);
+                runs.iter().map(|frames| exec.run(frames.clone())).collect()
+            }
+
+            fn run_nested_loop_prepared(
+                &self,
+                prog: &NestedLoopProg,
+                runs: &[Vec<Vec<i64>>],
+            ) -> Vec<(i64, Vec<Vec<i64>>)> {
+                let exec = <Self as Backend<NestedLoopProg, Vec<Vec<i64>>>>::prepare(self, prog);
+                runs.iter().map(|bursts| exec.run(bursts.clone())).collect()
+            }
+
+            fn run_itermem_then_prepared(
+                &self,
+                prog: &LoopThenProg,
+                runs: &[Vec<i64>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                let exec = <Self as Backend<LoopThenProg, Vec<i64>>>::prepare(self, prog);
+                runs.iter().map(|frames| exec.run(frames.clone())).collect()
             }
         }
     };
@@ -514,12 +631,149 @@ pub fn check_itermem_then<H: ConformanceHarness>(h: &H, workers: usize) {
     }
 }
 
+/// Doubles an input matrix: the prepared axis runs every input twice on
+/// one executable, so state leaking from any run into the next — or a
+/// per-run re-derivation going wrong — shows up as a divergence.
+fn doubled<T: Clone>(inputs: Vec<T>) -> Vec<T> {
+    let mut runs = inputs.clone();
+    runs.extend(inputs);
+    runs
+}
+
+/// Shared assertion for the prepared axis: one output per run, each
+/// matching the per-input [`SeqBackend`] golden result.
+fn check_prepared_outputs<In, Out>(
+    name: &str,
+    case: &str,
+    workers: usize,
+    runs: &[In],
+    got: &[Out],
+    golden: impl Fn(&In) -> Out,
+) where
+    Out: PartialEq + std::fmt::Debug,
+{
+    assert_eq!(
+        got.len(),
+        runs.len(),
+        "{case} prepared-conformance on `{name}` returned {} output(s) for {} run(s) \
+         (workers={workers})",
+        got.len(),
+        runs.len()
+    );
+    for (k, (input, out)) in runs.iter().zip(got).enumerate() {
+        assert_eq!(
+            *out,
+            golden(input),
+            "{case} prepared-conformance failed on `{name}` (workers={workers}, run #{k}): \
+             a prepared executable must keep matching fresh golden runs",
+        );
+    }
+}
+
+/// Checks the prepared-equivalence contract for the `df` case.
+pub fn check_df_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = df_case(workers);
+    let runs = doubled(list_inputs());
+    let got = h.run_df_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "df", workers, &runs, &got, |xs| {
+        SeqBackend.run(&prog, &xs[..])
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `scm` case.
+pub fn check_scm_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = scm_case(workers);
+    let runs = doubled(list_inputs());
+    let got = h.run_scm_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "scm", workers, &runs, &got, |xs| {
+        SeqBackend.run(&prog, xs)
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `tf` case.
+pub fn check_tf_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = tf_case(workers);
+    let runs = doubled(root_inputs());
+    let got = h.run_tf_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "tf", workers, &runs, &got, |roots| {
+        SeqBackend.run(&prog, roots.clone())
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `then` case.
+pub fn check_then_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = then_case(workers);
+    let runs = doubled(list_inputs());
+    let got = h.run_then_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "then", workers, &runs, &got, |xs| {
+        SeqBackend.run(&prog, &xs[..])
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `itermem` case.
+pub fn check_itermem_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_case(workers);
+    let runs = doubled(frame_inputs());
+    let got = h.run_itermem_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "itermem", workers, &runs, &got, |frames| {
+        SeqBackend.run(&prog, frames.clone())
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `itermem(df)` case.
+pub fn check_itermem_df_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_df_case(workers);
+    let runs = doubled(list_frame_inputs());
+    let got = h.run_itermem_df_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "itermem(df)", workers, &runs, &got, |frames| {
+        SeqBackend.run(&prog, frames.clone())
+    });
+}
+
+/// Checks the prepared-equivalence contract for the `itermem(tf)` case.
+pub fn check_itermem_tf_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_tf_case(workers);
+    let runs = doubled(root_frame_inputs());
+    let got = h.run_itermem_tf_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "itermem(tf)", workers, &runs, &got, |frames| {
+        SeqBackend.run(&prog, frames.clone())
+    });
+}
+
+/// Checks the prepared-equivalence contract for the nested-loop case.
+pub fn check_nested_loop_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = nested_loop_case(workers);
+    let runs = doubled(burst_inputs());
+    let got = h.run_nested_loop_prepared(&prog, &runs);
+    check_prepared_outputs(&h.name(), "nested-loop", workers, &runs, &got, |bursts| {
+        SeqBackend.run(&prog, bursts.clone())
+    });
+}
+
+/// Checks the prepared-equivalence contract for the then-inside-loop
+/// case.
+pub fn check_itermem_then_prepared<H: ConformanceHarness>(h: &H, workers: usize) {
+    let prog = itermem_then_case(workers);
+    let runs = doubled(frame_inputs());
+    let got = h.run_itermem_then_prepared(&prog, &runs);
+    check_prepared_outputs(
+        &h.name(),
+        "then-inside-loop",
+        workers,
+        &runs,
+        &got,
+        |frames| SeqBackend.run(&prog, frames.clone()),
+    );
+}
+
 /// Runs the full contract: every skeleton and composition case —
 /// including `df`/`tf` as stream-loop bodies, nested loops and
 /// then-inside-loop pipelines — across the whole input matrix and every
 /// [`worker_counts`] entry, asserting agreement with [`SeqBackend`]
-/// golden results. Panics with a case-identifying message on the first
-/// divergence.
+/// golden results; then the **prepared-equivalence axis**, where each
+/// case is prepared once and its whole input matrix is run **twice** on
+/// the one executable. Panics with a case-identifying message on the
+/// first divergence.
 pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
     for &workers in &worker_counts() {
         check_df(h, workers);
@@ -531,6 +785,15 @@ pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
         check_itermem_tf(h, workers);
         check_nested_loop(h, workers);
         check_itermem_then(h, workers);
+        check_df_prepared(h, workers);
+        check_scm_prepared(h, workers);
+        check_tf_prepared(h, workers);
+        check_then_prepared(h, workers);
+        check_itermem_prepared(h, workers);
+        check_itermem_df_prepared(h, workers);
+        check_itermem_tf_prepared(h, workers);
+        check_nested_loop_prepared(h, workers);
+        check_itermem_then_prepared(h, workers);
     }
 }
 
@@ -598,9 +861,83 @@ mod tests {
             fn run_itermem_then(&self, prog: &LoopThenProg, frames: Vec<i64>) -> (i64, Vec<i64>) {
                 SeqBackend.run(prog, frames)
             }
+            fn run_df_prepared(&self, prog: &DfProg, runs: &[Vec<i64>]) -> Vec<i64> {
+                // Divergent on the prepared axis only: the second pass
+                // over the matrix drifts, as a state-leaking executable
+                // would.
+                runs.iter()
+                    .enumerate()
+                    .map(|(k, xs)| SeqBackend.run(prog, &xs[..]) + (k / 4) as i64)
+                    .collect()
+            }
+            fn run_scm_prepared(&self, prog: &ScmProg, runs: &[Vec<i64>]) -> Vec<Vec<i64>> {
+                runs.iter().map(|xs| SeqBackend.run(prog, xs)).collect()
+            }
+            fn run_tf_prepared(&self, prog: &TfProg, runs: &[Vec<u64>]) -> Vec<u64> {
+                runs.iter()
+                    .map(|roots| SeqBackend.run(prog, roots.clone()))
+                    .collect()
+            }
+            fn run_then_prepared(&self, prog: &ThenProg, runs: &[Vec<i64>]) -> Vec<(i64, i64)> {
+                runs.iter()
+                    .map(|xs| SeqBackend.run(prog, &xs[..]))
+                    .collect()
+            }
+            fn run_itermem_prepared(
+                &self,
+                prog: &LoopProg,
+                runs: &[Vec<i64>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                runs.iter()
+                    .map(|frames| SeqBackend.run(prog, frames.clone()))
+                    .collect()
+            }
+            fn run_itermem_df_prepared(
+                &self,
+                prog: &LoopDfProg,
+                runs: &[Vec<Vec<i64>>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                runs.iter()
+                    .map(|frames| SeqBackend.run(prog, frames.clone()))
+                    .collect()
+            }
+            fn run_itermem_tf_prepared(
+                &self,
+                prog: &LoopTfProg,
+                runs: &[Vec<Vec<u64>>],
+            ) -> Vec<(u64, Vec<u64>)> {
+                runs.iter()
+                    .map(|frames| SeqBackend.run(prog, frames.clone()))
+                    .collect()
+            }
+            fn run_nested_loop_prepared(
+                &self,
+                prog: &NestedLoopProg,
+                runs: &[Vec<Vec<i64>>],
+            ) -> Vec<(i64, Vec<Vec<i64>>)> {
+                runs.iter()
+                    .map(|bursts| SeqBackend.run(prog, bursts.clone()))
+                    .collect()
+            }
+            fn run_itermem_then_prepared(
+                &self,
+                prog: &LoopThenProg,
+                runs: &[Vec<i64>],
+            ) -> Vec<(i64, Vec<i64>)> {
+                runs.iter()
+                    .map(|frames| SeqBackend.run(prog, frames.clone()))
+                    .collect()
+            }
         }
         let caught = std::panic::catch_unwind(|| check_df(&Broken, 2));
         assert!(caught.is_err(), "the kit must flag a divergent backend");
+        // The prepared axis catches state leaking across runs of one
+        // executable: the first matrix pass is golden, the second drifts.
+        let caught = std::panic::catch_unwind(|| check_df_prepared(&Broken, 2));
+        assert!(
+            caught.is_err(),
+            "the prepared axis must flag run-to-run divergence"
+        );
     }
 
     #[test]

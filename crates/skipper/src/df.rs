@@ -38,6 +38,7 @@ pub struct Df<C, A, Z> {
     acc: A,
     init: Z,
     cost_hint: u64,
+    cost_model: Option<crate::program::CostModel>,
 }
 
 impl<C, A, Z> Df<C, A, Z> {
@@ -50,6 +51,7 @@ impl<C, A, Z> Df<C, A, Z> {
             acc,
             init,
             cost_hint: 0,
+            cost_model: None,
         }
     }
 
@@ -63,9 +65,29 @@ impl<C, A, Z> Df<C, A, Z> {
         self
     }
 
+    /// Declares an **argument-dependent** cost model: the abstract work
+    /// units one `comp` call costs as a function of its argument's
+    /// structural size (see [`crate::program::CostModel`]). Host backends
+    /// ignore it; `skipper_exec::SimBackend` registers it as the
+    /// function's per-call cost model for the executive's virtual clock
+    /// and stamps `model(1)` onto the lowered worker nodes as the static
+    /// WCET hint for the SynDEx scheduler. When both a model and a
+    /// [`with_cost_hint`](Df::with_cost_hint) value are declared, the
+    /// model drives the dynamic cost and the larger of `model(1)` and the
+    /// hint drives the static schedule.
+    pub fn with_cost_model(mut self, model: crate::program::CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
     /// The declared per-call work units (0 = unknown).
     pub fn cost_hint(&self) -> u64 {
         self.cost_hint
+    }
+
+    /// The declared argument-dependent cost model, if any.
+    pub fn cost_model(&self) -> Option<crate::program::CostModel> {
+        self.cost_model
     }
 
     /// Degree of parallelism.

@@ -61,6 +61,15 @@
 //! from a CLI flag), and every backend is validated against the shared
 //! contract suite in [`conformance`].
 //!
+//! Every backend splits execution into a **prepare** phase
+//! ([`Backend::prepare`], compiling the program into an [`Executable`]:
+//! resolved worker counts and pool handles on the host backends, the full
+//! lowering/scheduling/macro-code pipeline on the simulator) and a
+//! **run** phase ([`Executable::run`], one input per call);
+//! [`Backend::run`] is the prepare-then-run convenience. Frame loops
+//! should prepare once and run once per frame — the paper's
+//! compile-offline/execute-per-frame regime.
+//!
 //! The pre-0.2 per-skeleton `run_seq`/`run_par` shims have been removed;
 //! all execution goes through a backend's `run`.
 //!
@@ -86,13 +95,15 @@ pub mod scm;
 pub mod spec;
 pub mod tf;
 
-pub use backend::{Backend, SeqBackend, ThreadBackend};
+pub use backend::{
+    Backend, Executable, SeqBackend, SeqExecutable, ThreadBackend, ThreadExecutable,
+};
 pub use df::Df;
 pub use itermem::IterMem;
-pub use pool::{HostBackend, PoolBackend, PoolRun, WorkerPool};
+pub use pool::{HostBackend, HostExecutable, PoolBackend, PoolExecutable, PoolRun, WorkerPool};
 pub use program::{
-    configured_workers, default_workers, df, itermem, pure, scm, tf, Compose, IterLoop, Pure,
-    Skeleton, Then,
+    configured_workers, default_workers, df, itermem, pure, scm, tf, Compose, CostModel, IterLoop,
+    Pure, Skeleton, Then,
 };
 pub use scm::Scm;
 pub use tf::Tf;

@@ -407,14 +407,43 @@ impl Default for PoolBackend {
     }
 }
 
+/// A program prepared by [`PoolBackend`]: the pool handle is resolved
+/// once, at prepare time, so a frame loop never touches the backend's
+/// `Arc` again.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolExecutable<'p, P> {
+    pool: &'p WorkerPool,
+    prog: &'p P,
+}
+
+impl<P, I> crate::backend::Executable<I> for PoolExecutable<'_, P>
+where
+    P: PoolRun<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, input: I) -> P::Output {
+        self.prog.run_pooled(self.pool, input)
+    }
+}
+
 impl<P, I> Backend<P, I> for PoolBackend
 where
     P: PoolRun<I>,
 {
     type Output = P::Output;
 
-    fn run(&self, prog: &P, input: I) -> P::Output {
-        prog.run_pooled(&self.pool, input)
+    type Prepared<'p>
+        = PoolExecutable<'p, P>
+    where
+        Self: 'p,
+        P: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p P) -> PoolExecutable<'p, P> {
+        PoolExecutable {
+            pool: &self.pool,
+            prog,
+        }
     }
 }
 
@@ -775,17 +804,50 @@ impl std::str::FromStr for HostBackend {
     }
 }
 
+/// A program prepared by [`HostBackend`]: the strategy choice is
+/// resolved once, at prepare time.
+#[derive(Debug, Clone, Copy)]
+pub enum HostExecutable<'p, P> {
+    /// Prepared declarative emulation.
+    Seq(crate::backend::SeqExecutable<'p, P>),
+    /// Prepared scoped-thread execution.
+    Thread(crate::backend::ThreadExecutable<'p, P>),
+    /// Prepared pool execution.
+    Pool(PoolExecutable<'p, P>),
+}
+
+impl<P, I> crate::backend::Executable<I> for HostExecutable<'_, P>
+where
+    P: PoolRun<I>,
+{
+    type Output = P::Output;
+
+    fn run(&self, input: I) -> P::Output {
+        match self {
+            HostExecutable::Seq(e) => e.run(input),
+            HostExecutable::Thread(e) => e.run(input),
+            HostExecutable::Pool(e) => e.run(input),
+        }
+    }
+}
+
 impl<P, I> Backend<P, I> for HostBackend
 where
     P: PoolRun<I>,
 {
     type Output = P::Output;
 
-    fn run(&self, prog: &P, input: I) -> P::Output {
+    type Prepared<'p>
+        = HostExecutable<'p, P>
+    where
+        Self: 'p,
+        P: 'p;
+
+    fn prepare<'p>(&'p self, prog: &'p P) -> HostExecutable<'p, P> {
         match self {
-            HostBackend::Seq => prog.run_declarative(input),
-            HostBackend::Thread(t) => t.run(prog, input),
-            HostBackend::Pool(p) => p.run(prog, input),
+            HostBackend::Seq => HostExecutable::Seq(crate::backend::SeqExecutable { prog }),
+            HostBackend::Thread(t) => HostExecutable::Thread(t.prepare(prog)),
+            HostBackend::Pool(p) => HostExecutable::Pool(p.prepare(prog)),
         }
     }
 }

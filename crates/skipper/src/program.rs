@@ -40,6 +40,21 @@
 use crate::{Df, Scm, Tf};
 use std::num::NonZeroUsize;
 
+/// An argument-dependent cost model: maps the structural *size* of a
+/// skeleton function's argument (element count for lists, 1 for scalars
+/// — see `skipper_exec::Value::size` for the executive's measure) to the
+/// abstract work units one call costs. Declared with
+/// `with_cost_model` on [`crate::Df`], [`crate::Scm`] and [`crate::Tf`];
+/// host backends ignore it, while `skipper_exec::SimBackend` plumbs it
+/// into the lowering: `model(1)` becomes the worker nodes' static WCET
+/// hint for the SynDEx scheduler, and the model itself becomes the
+/// function's per-call cost for the executive's virtual clock
+/// (`Registry::register_with_cost`).
+///
+/// A plain `fn` pointer so programs stay `Clone` + `Debug` and the model
+/// survives lowering without capturing state.
+pub type CostModel = fn(usize) -> u64;
+
 /// The degree of parallelism used when a caller does not supply one:
 /// [`std::thread::available_parallelism`], falling back to 1 when the
 /// platform cannot report it.

@@ -39,6 +39,7 @@ pub struct Scm<S, C, M> {
     compute: C,
     merge: M,
     cost_hint: u64,
+    cost_model: Option<crate::program::CostModel>,
 }
 
 impl<S, C, M> Scm<S, C, M> {
@@ -51,6 +52,7 @@ impl<S, C, M> Scm<S, C, M> {
             compute,
             merge,
             cost_hint: 0,
+            cost_model: None,
         }
     }
 
@@ -63,9 +65,23 @@ impl<S, C, M> Scm<S, C, M> {
         self
     }
 
+    /// Declares an **argument-dependent** cost model for one `compute`
+    /// call (see [`crate::program::CostModel`]): the dynamic cost follows
+    /// the fragment's structural size, while `model(1)` serves as the
+    /// static WCET hint for the SynDEx scheduler.
+    pub fn with_cost_model(mut self, model: crate::program::CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
     /// The declared per-call work units (0 = unknown).
     pub fn cost_hint(&self) -> u64 {
         self.cost_hint
+    }
+
+    /// The declared argument-dependent cost model, if any.
+    pub fn cost_model(&self) -> Option<crate::program::CostModel> {
+        self.cost_model
     }
 
     /// Degree of parallelism.

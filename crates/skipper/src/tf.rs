@@ -47,6 +47,7 @@ pub struct Tf<W, A, Z> {
     acc: A,
     init: Z,
     cost_hint: u64,
+    cost_model: Option<crate::program::CostModel>,
 }
 
 impl<W, A, Z> Tf<W, A, Z> {
@@ -59,6 +60,7 @@ impl<W, A, Z> Tf<W, A, Z> {
             acc,
             init,
             cost_hint: 0,
+            cost_model: None,
         }
     }
 
@@ -71,9 +73,23 @@ impl<W, A, Z> Tf<W, A, Z> {
         self
     }
 
+    /// Declares an **argument-dependent** cost model for one `worker`
+    /// call (see [`crate::program::CostModel`]): the dynamic cost follows
+    /// the task's structural size, while `model(1)` serves as the static
+    /// WCET hint for the SynDEx scheduler.
+    pub fn with_cost_model(mut self, model: crate::program::CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
     /// The declared per-call work units (0 = unknown).
     pub fn cost_hint(&self) -> u64 {
         self.cost_hint
+    }
+
+    /// The declared argument-dependent cost model, if any.
+    pub fn cost_model(&self) -> Option<crate::program::CostModel> {
+        self.cost_model
     }
 
     /// Degree of parallelism.
