@@ -6,7 +6,7 @@
 //! band boundaries with a union-find pass — a textbook Split/Compute/Merge
 //! decomposition.
 
-use skipper::{Backend, Scm, SeqBackend, ThreadBackend};
+use skipper::{Backend, Executable, FrameSource, Scm, SeqBackend, ThreadBackend};
 use skipper_vision::label::{label_components, Connectivity, DisjointSets};
 use skipper_vision::split::{split_rows, RowBand};
 use skipper_vision::Image;
@@ -135,10 +135,31 @@ pub fn count_components_stream_on<'f, B>(backend: &B, frames: &'f [Image<u8>], n
 where
     B: Backend<CclProgram, &'f Image<u8>, Output = u32>,
 {
-    use skipper::Executable;
     let prog = ccl_program(n);
     let exec = backend.prepare(&prog);
-    frames.iter().map(|img| exec.run(img)).collect()
+    let mut src = skipper::stream_of(frames);
+    let mut counts = Vec::with_capacity(frames.len());
+    while let Some(img) = src.next_frame() {
+        counts.push(exec.run(img));
+    }
+    counts
+}
+
+/// Labels every frame a [`FrameSource`] yields through an
+/// **already-prepared executable** — the source-consuming generalisation
+/// of [`count_components_stream_on`] for live feeds and the serving
+/// engine, where frames are owned and produced on demand rather than
+/// sliced from a pre-recorded buffer.
+pub fn count_components_from_source<E, S>(exec: &E, mut frames: S) -> Vec<u32>
+where
+    E: for<'a> Executable<&'a Image<u8>, Output = u32>,
+    S: FrameSource<Image<u8>>,
+{
+    let mut counts = Vec::new();
+    while let Some(img) = frames.next_frame() {
+        counts.push(exec.run(&img));
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -193,6 +214,18 @@ mod tests {
         img.fill_rect(20, 20, 4, 4, 255);
         img.fill_rect(10, 28, 4, 2, 255);
         assert_eq!(count_components_scm(&img, 4), 3);
+    }
+
+    #[test]
+    fn source_helper_matches_prepared_slice_helper() {
+        use skipper::{PoolBackend, VecSource, Workers};
+        let frames: Vec<Image<u8>> = (0..4).map(|s| random_blobs(48, 48, 6, s)).collect();
+        let backend = PoolBackend::configured(Workers::exact(2));
+        let expected = count_components_stream_on(&backend, &frames, 3);
+        let prog = ccl_program(3);
+        let exec = <PoolBackend as Backend<CclProgram, &Image<u8>>>::prepare(&backend, &prog);
+        let got = count_components_from_source(&exec, VecSource::new(frames));
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! lane-marking run centres; the merge step fits one line through all the
 //! samples and reads the lane offset at the bottom of the image.
 
-use skipper::{Backend, Scm, ThreadBackend};
+use skipper::{Backend, Executable, FrameSource, Scm, ThreadBackend};
 use skipper_vision::line::{fit_line, scan_line_points, FittedLine, LinePoint};
 use skipper_vision::split::{split_rows, RowBand};
 use skipper_vision::Image;
@@ -89,10 +89,30 @@ pub fn detect_lines_stream_on<'f, B>(
 where
     B: Backend<LineProgram, &'f Image<u8>, Output = Option<FittedLine>>,
 {
-    use skipper::Executable;
     let prog = line_program(n);
     let exec = backend.prepare(&prog);
-    frames.iter().map(|img| exec.run(img)).collect()
+    let mut src = skipper::stream_of(frames);
+    let mut lines = Vec::with_capacity(frames.len());
+    while let Some(img) = src.next_frame() {
+        lines.push(exec.run(img));
+    }
+    lines
+}
+
+/// Detects the lane line in every frame a [`FrameSource`] yields through
+/// an **already-prepared executable** — the source-consuming
+/// generalisation of [`detect_lines_stream_on`] for live feeds, where
+/// frames are owned and produced on demand.
+pub fn detect_lines_from_source<E, S>(exec: &E, mut frames: S) -> Vec<Option<FittedLine>>
+where
+    E: for<'a> Executable<&'a Image<u8>, Output = Option<FittedLine>>,
+    S: FrameSource<Image<u8>>,
+{
+    let mut lines = Vec::new();
+    while let Some(img) = frames.next_frame() {
+        lines.push(exec.run(&img));
+    }
+    lines
 }
 
 /// Lane offset in pixels from the image centre at the bottom row.
@@ -104,6 +124,20 @@ pub fn lane_offset(line: &FittedLine, width: usize, height: usize) -> f64 {
 mod tests {
     use super::*;
     use skipper_vision::synth::render_road_frame;
+
+    #[test]
+    fn source_helper_matches_prepared_slice_helper() {
+        use skipper::{PoolBackend, VecSource, Workers};
+        let frames: Vec<Image<u8>> = (0..4)
+            .map(|k| render_road_frame(128, 96, k as f64 * 10.0, 0.05, k).0)
+            .collect();
+        let backend = PoolBackend::configured(Workers::exact(2));
+        let expected = detect_lines_stream_on(&backend, &frames, 3);
+        let prog = line_program(3);
+        let exec = <PoolBackend as Backend<LineProgram, &Image<u8>>>::prepare(&backend, &prog);
+        let got = detect_lines_from_source(&exec, VecSource::new(frames));
+        assert_eq!(got, expected);
+    }
 
     #[test]
     fn parallel_matches_sequential_fit() {

@@ -10,13 +10,12 @@
 //!   frames: the real-time regime, one skeleton run per frame.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skipper::{df, itermem, scm, Backend, PoolBackend, ThreadBackend};
+use skipper::{df, itermem, scm, Backend, PoolBackend, ThreadBackend, Workers};
 use skipper_apps::workloads::spin;
-use std::num::NonZeroUsize;
 
 fn bench_pool_vs_thread(c: &mut Criterion) {
     let threads = ThreadBackend::new();
-    let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+    let pool = PoolBackend::configured(Workers::exact(4));
     let mut g = c.benchmark_group("pool_vs_thread");
 
     // Fine-grained: 256 nearly-free items; the run is all coordination.

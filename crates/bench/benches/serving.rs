@@ -1,0 +1,76 @@
+//! Serving-engine micro-benchmarks.
+//!
+//! Three knobs of `skipper::serve`, same loop body throughout (the E16
+//! 2-way scm over `(state, frame)` pairs):
+//!
+//! - `streams/*` — eager fan-in at 8/32/128 concurrent streams: how the
+//!   event loop scales with tenancy;
+//! - `batch/*` — batch cap 1 vs 16 at 64 streams: what cross-stream
+//!   batching buys when per-frame work is tiny;
+//! - `policy/*` — block vs reject under a tight admission window: the
+//!   cost (and shedding) of each policy at saturation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper::{stream_of, AdmissionPolicy, PoolBackend, ServeConfig, StreamSpec, Workers};
+use skipper_bench::experiments::{serving_body, ServingBody};
+
+fn eager_streams(n: usize, frames: usize) -> Vec<StreamSpec<u64, Vec<u64>>> {
+    (0..n)
+        .map(|s| {
+            let payload: Vec<Vec<u64>> = (0..frames)
+                .map(|k| (0..32u64).map(|i| (s + k) as u64 + i).collect())
+                .collect();
+            StreamSpec::eager(0u64, stream_of(payload))
+        })
+        .collect()
+}
+
+fn serve_once(
+    pool: &PoolBackend,
+    body: &ServingBody,
+    streams: Vec<StreamSpec<u64, Vec<u64>>>,
+    config: ServeConfig,
+) -> u64 {
+    skipper::serve(pool, body, streams, config).report.served
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let pool = PoolBackend::configured(Workers::exact(4));
+    let body = serving_body();
+    let mut g = c.benchmark_group("serving");
+
+    for n in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("streams", n), &n, |b, &n| {
+            b.iter(|| serve_once(&pool, &body, eager_streams(n, 4), ServeConfig::default()))
+        });
+    }
+
+    for batch in [1usize, 16] {
+        let config = ServeConfig {
+            max_batch: batch,
+            ..ServeConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("batch", batch), &config, |b, &config| {
+            b.iter(|| serve_once(&pool, &body, eager_streams(64, 4), config))
+        });
+    }
+
+    for (name, admission) in [
+        ("block", AdmissionPolicy::Block),
+        ("reject", AdmissionPolicy::Reject),
+    ] {
+        let config = ServeConfig {
+            max_in_flight: 8,
+            per_stream_queue: 1,
+            admission,
+            ..ServeConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("policy", name), &config, |b, &config| {
+            b.iter(|| serve_once(&pool, &body, eager_streams(32, 4), config))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

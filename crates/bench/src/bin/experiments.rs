@@ -4,12 +4,14 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e15 index
+//! experiments --list            # print the e1–e16 index
+//! experiments --streams 256 e16 # serving experiment at a chosen scale
 //! ```
 //!
 //! `--backend {seq,thread,pool,sim}` selects the execution strategy for
 //! the host-side experiments (E9/E10/E11); the simulator experiments
-//! (E1–E8, E12) always run the paper pipeline. Exits with a nonzero
+//! (E1–E8, E12) always run the paper pipeline. `--streams N` sizes the
+//! serving experiment (E16, default 128). Exits with a nonzero
 //! status when asked for an unknown experiment id or backend.
 
 use skipper_bench::experiments as ex;
@@ -23,6 +25,9 @@ fn print_index() {
     println!("  all  run every experiment in order");
     println!("options:");
     println!("  --backend {{seq,thread,pool,sim}}  host-side execution strategy (default thread)");
+    println!(
+        "  --streams N                      stream count for the serving experiment (default 128)"
+    );
 }
 
 fn main() -> ExitCode {
@@ -33,8 +38,32 @@ fn main() -> ExitCode {
     // one-shot, so it is called exactly once, below).
     let mut rest: Vec<String> = Vec::new();
     let mut chosen: Option<ex::BackendChoice> = None;
+    let mut streams: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
+        let streams_value = if a == "--streams" {
+            match it.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("--streams needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            a.strip_prefix("--streams=").map(str::to_string)
+        };
+        if let Some(v) = streams_value {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    streams = Some(n);
+                    continue;
+                }
+                _ => {
+                    eprintln!("--streams needs a positive count, got `{v}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         let value = if a == "--backend" || a == "-b" {
             match it.next() {
                 Some(v) => Some(v),
@@ -60,6 +89,9 @@ fn main() -> ExitCode {
     if let Some(choice) = chosen {
         ex::set_backend(choice);
     }
+    if let Some(n) = streams {
+        ex::set_streams(n);
+    }
     if rest.is_empty() {
         ex::run_all();
         return ExitCode::SUCCESS;
@@ -73,7 +105,7 @@ fn main() -> ExitCode {
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e15)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e16)");
                     return ExitCode::FAILURE;
                 }
             },

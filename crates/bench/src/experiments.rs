@@ -78,6 +78,20 @@ pub fn backend() -> BackendChoice {
     CHOICE.get().copied().unwrap_or_default()
 }
 
+static STREAMS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// Overrides the serving experiment's stream count (the CLI's
+/// `--streams` flag). The first call wins; zero is bumped to one.
+pub fn set_streams(n: usize) {
+    let _ = STREAMS.set(n.max(1));
+}
+
+/// E16's stream count: the `--streams` override, or 128 — comfortably
+/// past the 100-stream mark the serving engine is sized for.
+pub fn serving_streams() -> usize {
+    STREAMS.get().copied().unwrap_or(128)
+}
+
 /// The selected choice as a runnable host backend (`Sim` maps to the
 /// declarative semantics: the workstation-emulation side of the paper's
 /// pipeline; simulator-specific paths handle `Sim` themselves).
@@ -90,7 +104,7 @@ fn host_backend() -> skipper::HostBackend {
 }
 
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 15] = [
+pub const INDEX: [(&str, &str, fn()); 16] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -122,9 +136,14 @@ pub const INDEX: [(&str, &str, fn()); 15] = [
         "prepare once, run many: per-frame amortisation (pool & sim)",
         e15,
     ),
+    (
+        "e16",
+        "async frame serving: 100+ open-loop streams over one shared pool",
+        e16,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e15"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e16"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -795,7 +814,7 @@ pub fn e13() {
     let pool_exec = Backend::<_, &[u64]>::prepare(&pool, &farm);
     println!(
         "pool: {} persistent worker(s) (SKIPPER_WORKERS overrides)",
-        pool.workers()
+        pool.threads()
     );
     println!("per-item units   runs   thread (us/run)   pool (us/run)   thread/pool");
     for units in [50u64, 500, 5_000, 50_000] {
@@ -995,7 +1014,7 @@ pub fn e15() {
         let prepared = t0.elapsed().as_secs_f64() * 1e6 / FRAMES as f64;
         println!(
             "pool ({} thr)    {prepare_us:>12.1}   {fresh:>16.1}   {prepared:>19.1}   {:>14.2}",
-            pool.workers(),
+            pool.threads(),
             fresh / prepared
         );
         assert!(
@@ -1005,6 +1024,170 @@ pub fn e15() {
         );
     }
     println!("(fresh/prepared > 1 is the amortisation the prepared pipeline buys)");
+}
+
+/// The E16 loop-body program type: a 2-way `scm` over `(state, frame)`
+/// pairs (fn pointers keep it `Sync` and lifetime-polymorphic, as the
+/// serving engine requires).
+pub type ServingBody = skipper::Scm<
+    fn(&(u64, Vec<u64>), usize) -> Vec<(u64, Vec<u64>)>,
+    fn((u64, Vec<u64>)) -> u64,
+    fn(Vec<u64>) -> (u64, u64),
+>;
+
+fn serving_split(pair: &(u64, Vec<u64>), n: usize) -> Vec<(u64, Vec<u64>)> {
+    let (z, frame) = pair;
+    let n = n.max(1);
+    let chunk = frame.len().div_ceil(n).max(1);
+    let mut parts: Vec<(u64, Vec<u64>)> = frame.chunks(chunk).map(|c| (0, c.to_vec())).collect();
+    parts.resize(n, (0, Vec::new()));
+    parts[0].0 = *z;
+    parts
+}
+
+fn serving_comp((z, part): (u64, Vec<u64>)) -> u64 {
+    z + part
+        .iter()
+        .map(|&x| x.wrapping_mul(x) % 10_007)
+        .sum::<u64>()
+}
+
+fn serving_merge(parts: Vec<u64>) -> (u64, u64) {
+    let y = parts.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    (y % 1_000_003, y)
+}
+
+/// The E16 loop body.
+pub fn serving_body() -> ServingBody {
+    skipper::scm(2, serving_split as _, serving_comp as _, serving_merge as _)
+}
+
+fn serving_frame(stream: usize, k: usize) -> Vec<u64> {
+    (0..64u64)
+        .map(|i| (stream as u64).wrapping_mul(31) + (k as u64).wrapping_mul(7) + i)
+        .collect()
+}
+
+/// Renders the E16 report as the `BENCH_serving.json` document (hand
+/// rolled — the container has no serde; the schema is pinned by a unit
+/// test here and parsed for the p50/p95/p99 fields in CI).
+pub fn serving_json(
+    workers: usize,
+    streams: usize,
+    frames_per_stream: usize,
+    report: &skipper::ServeReport,
+) -> String {
+    format!(
+        "{{\n  \"experiment\": \"e16\",\n  \"backend\": \"pool\",\n  \"policy\": \"block\",\n  \
+         \"workers\": {workers},\n  \"streams\": {streams},\n  \
+         \"frames_per_stream\": {frames_per_stream},\n  \"served\": {},\n  \
+         \"rejected\": {},\n  \"batches\": {},\n  \"elapsed_ns\": {},\n  \
+         \"throughput_fps\": {:.1},\n  \"latency_ns\": {{\n    \"p50\": {},\n    \
+         \"p95\": {},\n    \"p99\": {}\n  }}\n}}\n",
+        report.served,
+        report.rejected,
+        report.batches,
+        report.elapsed_ns,
+        report.throughput_fps(),
+        report.latency_percentile_ns(50.0),
+        report.latency_percentile_ns(95.0),
+        report.latency_percentile_ns(99.0),
+    )
+}
+
+/// The measured core of E16, parameterised so the smoke test can run it
+/// small and without touching the filesystem. Returns the report.
+pub fn run_serving_experiment(
+    n_streams: usize,
+    frames_per_stream: usize,
+    json_path: Option<&std::path::Path>,
+) -> skipper::ServeReport {
+    use skipper::serve::traffic;
+    use skipper::{AdmissionPolicy, PoolBackend, ServeConfig, Skeleton, StreamSpec};
+    let body = serving_body();
+    let backend = PoolBackend::new();
+    // Open-loop traffic well above service capacity: a skewed rate
+    // ladder (hot head, long cool tail), every fourth stream bursty.
+    let rates = traffic::skewed_rates_hz(200_000.0, n_streams, 0.05);
+    let streams: Vec<StreamSpec<u64, Vec<u64>>> = (0..n_streams)
+        .map(|s| {
+            let arrivals = if s % 4 == 3 {
+                traffic::bursty_arrivals_ns(s as u64, rates[s], 8, frames_per_stream)
+            } else {
+                traffic::poisson_arrivals_ns(s as u64, rates[s], frames_per_stream)
+            };
+            let frames = (0..frames_per_stream).map(|k| serving_frame(s, k));
+            StreamSpec::timed(0u64, traffic::timed(&arrivals, frames))
+        })
+        .collect();
+    let config = ServeConfig {
+        max_in_flight: 256,
+        per_stream_queue: 4,
+        max_batch: 16,
+        admission: AdmissionPolicy::Block,
+    };
+    let outcome = skipper::serve(&backend, &body, streams, config);
+    // Correctness spine: sampled streams must match the sequential fold
+    // of the same body (Block is lossless, so streams are complete).
+    assert_eq!(
+        outcome.report.served,
+        (n_streams * frames_per_stream) as u64,
+        "block admission must serve every frame"
+    );
+    assert_eq!(outcome.report.rejected, 0);
+    for s in [0, n_streams / 2, n_streams - 1] {
+        let mut z = 0u64;
+        let mut outputs = Vec::new();
+        for k in 0..frames_per_stream {
+            let (z2, y) = body.run_declarative(&(z, serving_frame(s, k)));
+            z = z2;
+            outputs.push(y);
+        }
+        assert_eq!(outcome.streams[s].state, z, "stream {s} final state");
+        assert_eq!(outcome.streams[s].outputs, outputs, "stream {s} outputs");
+    }
+    let report = outcome.report;
+    println!(
+        "streams: {n_streams}, frames/stream: {frames_per_stream}, workers: {}, batch cap: {}",
+        backend.threads(),
+        config.max_batch
+    );
+    println!(
+        "served: {}, batches: {} ({:.1} frames/batch), throughput: {:.0} frames/s",
+        report.served,
+        report.batches,
+        report.served as f64 / report.batches.max(1) as f64,
+        report.throughput_fps()
+    );
+    println!(
+        "frame latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+        report.latency_percentile_ns(50.0) as f64 / 1e3,
+        report.latency_percentile_ns(95.0) as f64 / 1e3,
+        report.latency_percentile_ns(99.0) as f64 / 1e3,
+    );
+    if let Some(path) = json_path {
+        let json = serving_json(backend.threads(), n_streams, frames_per_stream, &report);
+        std::fs::write(path, json).expect("write BENCH_serving.json");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
+/// E16 — the frame-serving engine: ≥100 concurrent `itermem` streams
+/// multiplexed over one shared pool, driven open-loop (skewed Poisson +
+/// bursty arrivals) to saturation; reports p50/p95/p99 frame latency and
+/// aggregate throughput, and emits `BENCH_serving.json`.
+pub fn e16() {
+    header(
+        "E16",
+        "async frame serving: open-loop streams over one shared pool",
+    );
+    run_serving_experiment(
+        serving_streams(),
+        40,
+        Some(std::path::Path::new("BENCH_serving.json")),
+    );
+    println!("(block admission: lossless backpressure; outputs checked against sequential folds)");
 }
 
 /// Runs every experiment in order.
@@ -1047,5 +1230,52 @@ mod tests {
     fn e15_smoke() {
         // Default backend choice → the pool amortisation path.
         super::e15();
+    }
+
+    #[test]
+    fn e16_smoke() {
+        // Small but real: 16 streams through the full serving pipeline,
+        // no JSON file (the CLI run owns BENCH_serving.json).
+        let report = super::run_serving_experiment(16, 6, None);
+        assert_eq!(report.served, 96);
+        assert_eq!(report.latencies_ns.len(), 96);
+    }
+
+    #[test]
+    fn serving_json_schema_has_the_pinned_fields() {
+        let report = skipper::ServeReport {
+            served: 5120,
+            rejected: 0,
+            batches: 400,
+            elapsed_ns: 1_000_000_000,
+            latencies_ns: (1..=100u64).map(|i| i * 1000).collect(),
+            batch_trace: Vec::new(),
+        };
+        let json = super::serving_json(4, 128, 40, &report);
+        // The schema CI validates: top-level counters plus the latency
+        // percentile object.
+        for key in [
+            "\"experiment\": \"e16\"",
+            "\"backend\": \"pool\"",
+            "\"policy\": \"block\"",
+            "\"workers\": 4",
+            "\"streams\": 128",
+            "\"frames_per_stream\": 40",
+            "\"served\": 5120",
+            "\"rejected\": 0",
+            "\"batches\": 400",
+            "\"elapsed_ns\": 1000000000",
+            "\"throughput_fps\": 5120.0",
+            "\"latency_ns\"",
+            "\"p50\": 50000",
+            "\"p95\": 95000",
+            "\"p99\": 99000",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in:\n{json}");
+        }
+        // Structurally sound: balanced braces, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"));
+        assert!(!json.contains(",}"));
     }
 }

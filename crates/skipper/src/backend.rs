@@ -70,7 +70,7 @@
 //! );
 //! ```
 
-use crate::program::Skeleton;
+use crate::program::{Skeleton, Workers};
 use std::num::NonZeroUsize;
 
 /// A program compiled by a [`Backend`] for repeated execution.
@@ -174,40 +174,63 @@ where
 ///
 /// By default each program runs with its own degree of parallelism (which
 /// itself defaults to [`crate::default_workers`] when the program was
-/// built with a worker count of 0); [`ThreadBackend::with_workers`]
-/// overrides it for every program run through this backend.
+/// built with a worker count of 0); [`ThreadBackend::configured`] with
+/// [`Workers::Exact`] overrides it for every program run through this
+/// backend.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadBackend {
-    workers: Option<NonZeroUsize>,
+    workers: Workers,
 }
 
 impl ThreadBackend {
-    /// A thread backend using each program's own degree of parallelism.
+    /// A thread backend using each program's own degree of parallelism
+    /// (equivalent to `ThreadBackend::configured(Workers::Default)`).
     pub fn new() -> Self {
         ThreadBackend::default()
     }
 
-    /// A thread backend that executes programs with `workers` threads
-    /// instead of each program's own degree.
+    /// A thread backend with the given worker configuration.
+    /// [`Workers::Default`] runs each program with its own degree;
+    /// [`Workers::Exact`] / [`Workers::FromEnv`] override it for every
+    /// program run through this backend ([`Workers::FromEnv`] re-reads
+    /// the environment at prepare time).
     ///
     /// The override controls the *thread pool*, not the program's
     /// decomposition: an `scm` split still produces fragments according
     /// to the degree the program was built with, so its effective
     /// parallelism is capped by that fragment count. Farms (`df`/`tf`)
     /// self-schedule and use the full override.
+    pub fn configured(workers: Workers) -> Self {
+        ThreadBackend { workers }
+    }
+
+    /// A thread backend that executes programs with `workers` threads
+    /// instead of each program's own degree.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ThreadBackend::configured(Workers::Exact(n))`"
+    )]
     pub fn with_workers(workers: NonZeroUsize) -> Self {
-        ThreadBackend {
-            workers: Some(workers),
-        }
+        ThreadBackend::configured(Workers::Exact(workers))
+    }
+
+    /// The worker configuration this backend was built with.
+    pub fn worker_config(&self) -> Workers {
+        self.workers
     }
 
     /// The configured override, if any.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `worker_config()` (or `worker_config().resolve()` for the override)"
+    )]
     pub fn workers(&self) -> Option<NonZeroUsize> {
-        self.workers
+        self.workers.resolve()
     }
 }
 
-/// A program prepared by [`ThreadBackend`]: the worker-count override is
+/// A program prepared by [`ThreadBackend`]: the worker-count override
+/// (including any `SKIPPER_WORKERS` read for [`Workers::FromEnv`]) is
 /// resolved once, at prepare time.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadExecutable<'p, P> {
@@ -241,7 +264,7 @@ where
     fn prepare<'p>(&'p self, prog: &'p P) -> ThreadExecutable<'p, P> {
         ThreadExecutable {
             prog,
-            workers: self.workers,
+            workers: self.workers.resolve(),
         }
     }
 }
@@ -265,11 +288,20 @@ mod tests {
     fn worker_override_still_computes_the_same_result() {
         let farm = df(2, |x: &u64| x + 1, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..50).collect();
-        let narrow = ThreadBackend::with_workers(NonZeroUsize::new(1).unwrap());
-        let wide = ThreadBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        let narrow = ThreadBackend::configured(Workers::exact(1));
+        let wide = ThreadBackend::configured(Workers::exact(8));
         assert_eq!(narrow.run(&farm, &xs[..]), wide.run(&farm, &xs[..]));
-        assert_eq!(narrow.workers(), NonZeroUsize::new(1));
-        assert_eq!(ThreadBackend::new().workers(), None);
+        assert_eq!(narrow.worker_config().resolve(), NonZeroUsize::new(1));
+        assert_eq!(ThreadBackend::new().worker_config(), Workers::Default);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_configure_the_backend() {
+        // The pre-0.3 surface stays a thin shim over `configured`.
+        let old = ThreadBackend::with_workers(NonZeroUsize::new(3).unwrap());
+        assert_eq!(old, ThreadBackend::configured(Workers::exact(3)));
+        assert_eq!(old.workers(), NonZeroUsize::new(3));
     }
 
     #[test]
@@ -294,7 +326,7 @@ mod tests {
     #[test]
     fn prepared_thread_executable_pins_the_override() {
         let farm = df(2, |x: &u64| x + 2, |z: u64, y| z + y, 0u64);
-        let narrow = ThreadBackend::with_workers(NonZeroUsize::new(1).unwrap());
+        let narrow = ThreadBackend::configured(Workers::exact(1));
         let exec = Backend::<_, &[u64]>::prepare(&narrow, &farm);
         let xs: Vec<u64> = (0..30).collect();
         assert_eq!(exec.run(&xs[..]), SeqBackend.run(&farm, &xs[..]));

@@ -33,7 +33,7 @@
 
 use crate::backend::{Backend, Executable};
 use crate::pool::PoolBackend;
-use crate::program::{configured_workers, default_workers};
+use crate::program::{default_workers, Workers};
 use crate::{Df, IterLoop, Pure, Scm, SeqBackend, Tf, Then, ThreadBackend};
 
 /// The `df` conformance program type.
@@ -151,13 +151,20 @@ fn loop_merge(parts: Vec<i64>) -> (i64, i64) {
     (s, s - 1)
 }
 
+/// The bare stream-loop body of [`itermem_case`] — the `(state, frame) →
+/// (state', output)` program shape [`crate::serve::serve`] consumes.
+pub fn loop_body_case(workers: usize) -> LoopBody {
+    crate::scm(workers, loop_split as _, loop_comp as _, loop_merge as _)
+}
+
+/// The initial loop state [`itermem_case`] carries (and the serving axis
+/// must seed each stream with).
+pub const LOOP_CASE_INIT: i64 = 5;
+
 /// The `itermem` case: an `scm` body nested in the Fig. 4 stream loop,
 /// threading state across frames.
 pub fn itermem_case(workers: usize) -> LoopProg {
-    crate::itermem(
-        crate::scm(workers, loop_split as _, loop_comp as _, loop_merge as _),
-        5,
-    )
+    crate::itermem(loop_body_case(workers), LOOP_CASE_INIT)
 }
 
 /// The `itermem(df(...))` conformance program type — a data farm as the
@@ -422,9 +429,23 @@ host_harness!(crate::HostBackend, "HostBackend");
 
 /// The worker counts the suite sweeps: 1 (degenerate scheduling), 2, the
 /// host default ([`default_workers`]) and the environment override
-/// ([`configured_workers`]), deduplicated.
+/// ([`Workers::FromEnv`]), deduplicated — i.e.
+/// [`worker_counts_with`]`(Workers::FromEnv)`.
 pub fn worker_counts() -> Vec<usize> {
-    let mut counts = vec![1, 2, default_workers().get(), configured_workers().get()];
+    worker_counts_with(Workers::FromEnv)
+}
+
+/// The worker counts the suite sweeps for an explicit [`Workers`]
+/// configuration: 1 (degenerate scheduling), 2, the host default
+/// ([`default_workers`]) and whatever `configured` resolves to,
+/// deduplicated.
+pub fn worker_counts_with(configured: Workers) -> Vec<usize> {
+    let mut counts = vec![
+        1,
+        2,
+        default_workers().get(),
+        configured.resolve_or_default().get(),
+    ];
     counts.sort_unstable();
     counts.dedup();
     counts
@@ -794,6 +815,64 @@ pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
         check_itermem_tf_prepared(h, workers);
         check_nested_loop_prepared(h, workers);
         check_itermem_then_prepared(h, workers);
+    }
+}
+
+/// The serving conformance axis: N streams served *concurrently* through
+/// [`crate::serve::serve`] over one shared pool must each yield the final
+/// state and per-frame outputs of a **sequential prepared run** of the
+/// same `itermem` loop — admission control, batching and multiplexing
+/// must be observably transparent.
+///
+/// Uses [`AdmissionPolicy::Block`](crate::AdmissionPolicy::Block)
+/// (lossless, so the full stream is served) and eager arrivals (so the
+/// schedule is deterministic), sweeping the same worker counts and the
+/// `frame_inputs`-derived stream matrix as the rest of the kit.
+pub fn assert_serving_conforms(backend: &PoolBackend) {
+    use crate::serve::{serve, AdmissionPolicy, ServeConfig, StreamSpec};
+    let cases = frame_inputs();
+    for &workers in &worker_counts() {
+        // Goldens: one prepared sequential executable of the same loop,
+        // run once per input case.
+        let prog = itermem_case(workers);
+        let seq = <SeqBackend as Backend<LoopProg, Vec<i64>>>::prepare(&SeqBackend, &prog);
+        let goldens: Vec<(i64, Vec<i64>)> = cases.iter().map(|f| seq.run(f.clone())).collect();
+        let body = loop_body_case(workers);
+        // Enough streams to multiplex every input case several times over.
+        let n_streams = cases.len() * 6;
+        let streams = (0..n_streams)
+            .map(|s| {
+                StreamSpec::eager(
+                    LOOP_CASE_INIT,
+                    crate::stream_of(cases[s % cases.len()].clone()),
+                )
+            })
+            .collect();
+        let config = ServeConfig {
+            max_in_flight: 8,
+            per_stream_queue: 2,
+            max_batch: 4,
+            admission: AdmissionPolicy::Block,
+        };
+        let outcome = serve(backend, &body, streams, config);
+        assert_eq!(
+            outcome.report.rejected, 0,
+            "serving conformance: Block policy must be lossless (workers={workers})"
+        );
+        let total: usize = (0..n_streams).map(|s| cases[s % cases.len()].len()).sum();
+        assert_eq!(
+            outcome.report.served as usize, total,
+            "serving conformance: every frame must be served (workers={workers})"
+        );
+        for (s, result) in outcome.streams.iter().enumerate() {
+            let golden = &goldens[s % cases.len()];
+            assert_eq!(
+                (result.state, result.outputs.clone()),
+                *golden,
+                "serving conformance failed on stream {s} (workers={workers}, {} frame(s))",
+                cases[s % cases.len()].len()
+            );
+        }
     }
 }
 

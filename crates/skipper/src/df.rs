@@ -315,7 +315,7 @@ mod tests {
     fn backend_override_wins_over_program_degree() {
         let farm = Df::new(1, |x: &u64| *x, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..100).collect();
-        let wide = ThreadBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        let wide = ThreadBackend::configured(crate::Workers::exact(8));
         assert_eq!(wide.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
     }
 

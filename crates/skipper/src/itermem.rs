@@ -15,6 +15,118 @@
 //! [`IterMem`] is the *push-driven* runner for live emulation with
 //! input/display callbacks; the composable, backend-retargetable program
 //! form of the same loop is [`crate::itermem()`] / [`crate::IterLoop`].
+//!
+//! The input side of the loop is any [`FrameSource`] — named sources
+//! ([`VecSource`], [`BoundedSource`], [`frames_from_fn`]) or, via the
+//! blanket impl, any bare `FnMut() -> Option<B>` closure such as the ones
+//! [`stream_of`] builds.
+
+/// A named source of stream frames — the `inp` side of Fig. 4.
+///
+/// Pre-0.3, stream inputs were bare `FnMut() -> Option<B>` closures. This
+/// trait names that contract so sources can be stored, composed and shared
+/// between [`IterMem`], the prepared stream helpers in `skipper-apps` and
+/// the `serve` frame-serving engine. Every such closure still implements
+/// it through the blanket impl, so no call site has to change.
+///
+/// ```
+/// use skipper::itermem::{frames_from_fn, stream_of, FrameSource, VecSource};
+/// let mut v = VecSource::new(vec![1, 2, 3]);
+/// assert_eq!(v.next_frame(), Some(1));
+/// assert_eq!(v.remaining(), 2);
+/// // Closures keep working, and infinite generators can be bounded.
+/// let mut ticks = frames_from_fn(|k| k * 10).take_frames(2);
+/// assert_eq!(ticks.next_frame(), Some(0));
+/// assert_eq!(ticks.next_frame(), Some(10));
+/// assert_eq!(ticks.next_frame(), None);
+/// let mut s = stream_of(["a"]);
+/// assert_eq!(s.next_frame(), Some("a"));
+/// ```
+pub trait FrameSource<B> {
+    /// Produces the next frame, or `None` once the stream has ended.
+    fn next_frame(&mut self) -> Option<B>;
+
+    /// Caps this source at `max` frames, then reports end-of-stream —
+    /// the finite window a real-time emulation takes of an endless camera.
+    fn take_frames(self, max: usize) -> BoundedSource<Self>
+    where
+        Self: Sized,
+    {
+        BoundedSource {
+            inner: self,
+            left: max,
+        }
+    }
+}
+
+impl<B, F: FnMut() -> Option<B>> FrameSource<B> for F {
+    fn next_frame(&mut self) -> Option<B> {
+        self()
+    }
+}
+
+/// A source that serves the frames of a `Vec` in order.
+#[derive(Debug, Clone)]
+pub struct VecSource<B> {
+    frames: std::vec::IntoIter<B>,
+}
+
+impl<B> VecSource<B> {
+    /// Wraps an owned frame buffer.
+    pub fn new(frames: Vec<B>) -> Self {
+        VecSource {
+            frames: frames.into_iter(),
+        }
+    }
+
+    /// Frames not yet served.
+    pub fn remaining(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl<B> FrameSource<B> for VecSource<B> {
+    fn next_frame(&mut self) -> Option<B> {
+        self.frames.next()
+    }
+}
+
+/// A source capped at a fixed number of frames; built by
+/// [`FrameSource::take_frames`].
+#[derive(Debug, Clone)]
+pub struct BoundedSource<S> {
+    inner: S,
+    left: usize,
+}
+
+impl<S> BoundedSource<S> {
+    /// Frames this bound still admits (the inner source may end sooner).
+    pub fn frames_left(&self) -> usize {
+        self.left
+    }
+}
+
+impl<B, S: FrameSource<B>> FrameSource<B> for BoundedSource<S> {
+    fn next_frame(&mut self) -> Option<B> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.inner.next_frame()
+    }
+}
+
+/// An endless generator source: frame `k` is `f(k)`, counting from 0.
+/// Pair with [`FrameSource::take_frames`] for a finite stream (synthetic
+/// camera feeds in benches and the serving traffic generator).
+pub fn frames_from_fn<B, F: FnMut(usize) -> B>(mut f: F) -> impl FrameSource<B> {
+    let mut k = 0usize;
+    move || {
+        let frame = f(k);
+        k += 1;
+        Some(frame)
+    }
+}
 
 /// The stream-loop skeleton.
 ///
@@ -84,11 +196,11 @@ impl<In, L, Out, Z> IterMem<In, L, Out, Z> {
     /// (no state change happens in that case).
     pub fn step<B, Y>(&mut self) -> bool
     where
-        In: FnMut() -> Option<B>,
+        In: FrameSource<B>,
         L: FnMut(Z, B) -> (Z, Y),
         Out: FnMut(Y),
     {
-        let Some(b) = (self.inp)() else {
+        let Some(b) = self.inp.next_frame() else {
             return false;
         };
         let z = self.state.take().expect("state present");
@@ -103,7 +215,7 @@ impl<In, L, Out, Z> IterMem<In, L, Out, Z> {
     /// executed by this call.
     pub fn run<B, Y>(&mut self) -> usize
     where
-        In: FnMut() -> Option<B>,
+        In: FrameSource<B>,
         L: FnMut(Z, B) -> (Z, Y),
         Out: FnMut(Y),
     {
@@ -115,7 +227,7 @@ impl<In, L, Out, Z> IterMem<In, L, Out, Z> {
     /// Runs at most `max_iters` iterations; returns how many actually ran.
     pub fn run_n<B, Y>(&mut self, max_iters: usize) -> usize
     where
-        In: FnMut() -> Option<B>,
+        In: FrameSource<B>,
         L: FnMut(Z, B) -> (Z, Y),
         Out: FnMut(Y),
     {
@@ -129,8 +241,9 @@ impl<In, L, Out, Z> IterMem<In, L, Out, Z> {
     }
 }
 
-/// Convenience: builds the input function of an [`IterMem`] from any
-/// iterator of frames (the sequential-emulation stand-in for `read_img`).
+/// Convenience: builds a [`FrameSource`] from any iterator of frames (the
+/// sequential-emulation stand-in for `read_img`). The concrete return type
+/// is still a bare closure, so it can also be called directly.
 pub fn stream_of<B>(frames: impl IntoIterator<Item = B>) -> impl FnMut() -> Option<B> {
     let mut it = frames.into_iter();
     move || it.next()
@@ -209,6 +322,42 @@ mod tests {
         let lib_final = im.into_state();
         assert_eq!(spec_out, lib_out);
         assert_eq!(spec_final, lib_final);
+    }
+
+    #[test]
+    fn named_sources_feed_the_loop() {
+        let mut outputs = Vec::new();
+        let mut im = IterMem::new(
+            VecSource::new(vec![1, 2, 3]),
+            |z: i32, b: i32| (z + b, b * 2),
+            |y| outputs.push(y),
+            0,
+        );
+        assert_eq!(im.run(), 3);
+        assert_eq!(im.into_state(), 6);
+        assert_eq!(outputs, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn bounded_generator_terminates_the_loop() {
+        let mut im = IterMem::new(
+            frames_from_fn(|k| k as i32).take_frames(4),
+            |z: i32, b: i32| (z + b, ()),
+            |_| {},
+            0,
+        );
+        assert_eq!(im.run(), 4);
+        assert_eq!(im.state(), &6); // 0 + 1 + 2 + 3
+    }
+
+    #[test]
+    fn bounded_source_ends_with_its_inner_source() {
+        // The bound admits 10 frames but the vec holds 2.
+        let mut src = VecSource::new(vec![5, 6]).take_frames(10);
+        assert_eq!(src.next_frame(), Some(5));
+        assert_eq!(src.next_frame(), Some(6));
+        assert_eq!(src.frames_left(), 8);
+        assert_eq!(src.next_frame(), None);
     }
 
     #[test]

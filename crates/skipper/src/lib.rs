@@ -46,7 +46,7 @@
 //!   process networks). Worker counts default to
 //!   [`std::thread::available_parallelism`] when a program is built with
 //!   a degree of 0, and can be overridden per backend with
-//!   [`ThreadBackend::with_workers`].
+//!   [`ThreadBackend::configured`] and a [`Workers`] value.
 //! - [`PoolBackend`] runs the same operational semantics on a
 //!   **persistent work-stealing thread pool** created once per backend.
 //!   Prefer it when programs run repeatedly on small inputs (the
@@ -92,6 +92,7 @@ pub mod itermem;
 pub mod pool;
 pub mod program;
 pub mod scm;
+pub mod serve;
 pub mod spec;
 pub mod tf;
 
@@ -99,11 +100,17 @@ pub use backend::{
     Backend, Executable, SeqBackend, SeqExecutable, ThreadBackend, ThreadExecutable,
 };
 pub use df::Df;
-pub use itermem::IterMem;
+pub use itermem::{frames_from_fn, stream_of, BoundedSource, FrameSource, IterMem, VecSource};
 pub use pool::{HostBackend, HostExecutable, PoolBackend, PoolExecutable, PoolRun, WorkerPool};
+#[allow(deprecated)]
+pub use program::configured_workers;
 pub use program::{
-    configured_workers, default_workers, df, itermem, pure, scm, tf, Compose, CostModel, IterLoop,
-    Pure, Skeleton, Then,
+    default_workers, df, itermem, pure, scm, tf, Compose, CostModel, IterLoop, Pure, Skeleton,
+    Then, Workers,
 };
 pub use scm::Scm;
+pub use serve::{
+    serve, AdmissionPolicy, ServeConfig, ServeOutcome, ServeReport, StreamResult, StreamSpec,
+    TimedFrame,
+};
 pub use tf::Tf;

@@ -51,7 +51,7 @@
 //! ```
 
 use crate::backend::Backend;
-use crate::program::{configured_workers, Skeleton};
+use crate::program::{Skeleton, Workers};
 use crate::{Df, IterLoop, Pure, Scm, Tf, Then};
 use crossbeam::channel;
 use std::any::Any;
@@ -367,30 +367,60 @@ impl<'scope> PoolScope<'_, 'scope> {
 /// spawning dominates. For one-shot coarse-grained runs the two backends
 /// perform alike.
 ///
-/// The pool size defaults to [`configured_workers`] (the
-/// `SKIPPER_WORKERS` environment variable, else
-/// [`std::thread::available_parallelism`]); it bounds *physical*
-/// parallelism, while each program's own degree still governs its
-/// decomposition, exactly as with [`crate::ThreadBackend::with_workers`].
+/// The pool size defaults to [`Workers::FromEnv`] (the `SKIPPER_WORKERS`
+/// environment variable, else [`std::thread::available_parallelism`]); it
+/// bounds *physical* parallelism, while each program's own degree still
+/// governs its decomposition, exactly as with a
+/// [`crate::ThreadBackend::configured`] worker override.
 #[derive(Debug, Clone)]
 pub struct PoolBackend {
     pool: Arc<WorkerPool>,
+    config: Workers,
 }
 
 impl PoolBackend {
-    /// A pool backend with [`configured_workers`] persistent threads.
+    /// A pool backend sized by the environment (equivalent to
+    /// `PoolBackend::configured(Workers::FromEnv)`): `SKIPPER_WORKERS`
+    /// persistent threads when the variable holds a positive integer,
+    /// else [`crate::default_workers`].
     pub fn new() -> Self {
-        PoolBackend::with_workers(configured_workers())
+        PoolBackend::configured(Workers::FromEnv)
     }
 
-    /// A pool backend with exactly `threads` persistent threads.
-    pub fn with_workers(threads: NonZeroUsize) -> Self {
+    /// A pool backend with the given worker configuration. A pool always
+    /// has a concrete size, so the configuration is resolved **here**
+    /// (including any `SKIPPER_WORKERS` read for [`Workers::FromEnv`]):
+    /// [`Workers::Default`] spawns [`crate::default_workers`] threads.
+    pub fn configured(workers: Workers) -> Self {
         PoolBackend {
-            pool: Arc::new(WorkerPool::new(threads)),
+            pool: Arc::new(WorkerPool::new(workers.resolve_or_default())),
+            config: workers,
         }
     }
 
+    /// A pool backend with exactly `threads` persistent threads.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PoolBackend::configured(Workers::Exact(n))`"
+    )]
+    pub fn with_workers(threads: NonZeroUsize) -> Self {
+        PoolBackend::configured(Workers::Exact(threads))
+    }
+
+    /// The worker configuration this backend was built with (already
+    /// resolved into the pool size — see [`threads`](PoolBackend::threads)
+    /// for the concrete count).
+    pub fn worker_config(&self) -> Workers {
+        self.config
+    }
+
     /// Number of persistent pool threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of persistent pool threads.
+    #[deprecated(since = "0.2.0", note = "use `threads()`")]
     pub fn workers(&self) -> usize {
         self.pool.threads()
     }
@@ -779,6 +809,25 @@ pub enum HostBackend {
 }
 
 impl HostBackend {
+    /// Selects a host strategy by CLI name with an explicit worker
+    /// configuration: `seq` ignores it, `thread` and `pool` apply it as
+    /// [`crate::ThreadBackend::configured`] /
+    /// [`PoolBackend::configured`] do. (`FromStr` keeps each backend's
+    /// own default: no override for threads, `SKIPPER_WORKERS` for the
+    /// pool.)
+    pub fn configured(kind: &str, workers: Workers) -> Result<Self, String> {
+        match kind {
+            "seq" => Ok(HostBackend::Seq),
+            "thread" | "threads" => Ok(HostBackend::Thread(crate::ThreadBackend::configured(
+                workers,
+            ))),
+            "pool" => Ok(HostBackend::Pool(PoolBackend::configured(workers))),
+            other => Err(format!(
+                "unknown host backend `{other}` (expected seq, thread or pool)"
+            )),
+        }
+    }
+
     /// The strategy's CLI name (`seq`, `thread` or `pool`).
     pub fn name(&self) -> &'static str {
         match self {
@@ -863,7 +912,7 @@ mod tests {
     fn df_on_pool_matches_seq() {
         let farm = df(4, |x: &u64| x * x + 1, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..500).collect();
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(4));
         assert_eq!(pool.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
     }
 
@@ -871,17 +920,17 @@ mod tests {
     fn pool_is_reused_across_runs() {
         let farm = df(4, |x: &u64| x + 7, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..64).collect();
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(3).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(3));
         let golden = SeqBackend.run(&farm, &xs[..]);
         for _ in 0..50 {
             assert_eq!(pool.run(&farm, &xs[..]), golden);
         }
-        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.threads(), 3);
     }
 
     #[test]
     fn single_thread_pool_degenerates_gracefully() {
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(1).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(1));
         let farm = df(8, |x: &u64| x * 2, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..100).collect();
         assert_eq!(pool.run(&farm, &xs[..]), SeqBackend.run(&farm, &xs[..]));
@@ -909,7 +958,7 @@ mod tests {
             |ps: Vec<Vec<u64>>| ps.concat(),
         );
         let data: Vec<u64> = (0..20).rev().collect();
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(4));
         assert_eq!(pool.run(&prog, &data), data);
     }
 
@@ -923,13 +972,13 @@ mod tests {
             }
         };
         let prog = tf(4, quad, |z: u64, o| z + o, 0u64);
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(4));
         assert_eq!(pool.run(&prog, vec![1024]), 1024);
     }
 
     #[test]
     fn empty_inputs_return_initial_values() {
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(2));
         let farm = df(3, |x: &i32| *x, |z: i32, y| z + y, 7);
         assert_eq!(pool.run(&farm, &[][..]), 7);
         let tree = tf(3, |x: u32| (Vec::new(), Some(x)), |z: u32, o| z + o, 9u32);
@@ -945,7 +994,7 @@ mod tests {
 
     #[test]
     fn then_and_nest_compose_on_the_pool() {
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(3).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(3));
         let prog = df(3, |x: &u64| x + 1, |z: u64, y| z + y, 0u64)
             .then(pure(|total: u64| format!("{total}")));
         assert_eq!(pool.run(&prog, &[1u64, 2, 3][..]), "9");
@@ -979,7 +1028,7 @@ mod tests {
             0u64,
         );
         let xs: Vec<u64> = (0..1000).collect();
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(8).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(8));
         let total = pool.run(&farm, &xs[..]);
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
         assert_eq!(total, xs.iter().sum::<u64>());
@@ -987,7 +1036,7 @@ mod tests {
 
     #[test]
     fn clones_share_one_pool() {
-        let a = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let a = PoolBackend::configured(Workers::exact(2));
         let b = a.clone();
         assert!(std::ptr::eq(a.pool(), b.pool()));
         let farm = df(2, |x: &u64| *x, |z: u64, y| z + y, 0u64);
@@ -996,7 +1045,7 @@ mod tests {
 
     #[test]
     fn concurrent_scopes_on_one_pool_are_isolated() {
-        let backend = PoolBackend::with_workers(NonZeroUsize::new(4).unwrap());
+        let backend = PoolBackend::configured(Workers::exact(4));
         let farm = df(4, |x: &u64| x * 3, |z: u64, y| z + y, 0u64);
         let xs: Vec<u64> = (0..200).collect();
         let golden = SeqBackend.run(&farm, &xs[..]);
@@ -1016,7 +1065,7 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_and_pool_survives() {
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(2));
         let bomb = df(
             2,
             |x: &u64| {
@@ -1039,7 +1088,7 @@ mod tests {
         // tf termination detection counts outstanding tasks; a panicking
         // worker function must still count its task as done, or sibling
         // jobs snooze forever on the persistent pool threads.
-        let pool = PoolBackend::with_workers(NonZeroUsize::new(2).unwrap());
+        let pool = PoolBackend::configured(Workers::exact(2));
         let bomb = tf(
             2,
             |t: u64| {

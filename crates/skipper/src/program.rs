@@ -69,20 +69,93 @@ pub(crate) fn resolve_workers(workers: usize) -> NonZeroUsize {
     NonZeroUsize::new(workers).unwrap_or_else(default_workers)
 }
 
-/// The environment-configurable degree of parallelism: the
-/// `SKIPPER_WORKERS` environment variable when it holds a positive
-/// integer, else [`default_workers`].
-///
-/// [`crate::PoolBackend::new`] sizes its persistent pool with this, and
-/// the [`crate::conformance`] kit includes it in the worker counts it
-/// sweeps — CI runs the conformance suite with `SKIPPER_WORKERS=1` and
-/// `=4` so degenerate single-worker scheduling stays exercised.
-pub fn configured_workers() -> NonZeroUsize {
+/// The `SKIPPER_WORKERS` environment variable as a worker count, when it
+/// holds a positive integer. This is the **single** environment read site
+/// in the workspace; everything else goes through [`Workers`].
+fn env_workers() -> Option<NonZeroUsize> {
     std::env::var("SKIPPER_WORKERS")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
         .and_then(NonZeroUsize::new)
-        .unwrap_or_else(default_workers)
+}
+
+/// The environment-configurable degree of parallelism: the
+/// `SKIPPER_WORKERS` environment variable when it holds a positive
+/// integer, else [`default_workers`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Workers::FromEnv.resolve_or_default()` (the unified worker-config type)"
+)]
+pub fn configured_workers() -> NonZeroUsize {
+    Workers::FromEnv.resolve_or_default()
+}
+
+/// The unified worker-count configuration accepted by every host backend
+/// ([`crate::ThreadBackend::configured`], [`crate::PoolBackend::configured`],
+/// [`crate::HostBackend::configured`]) and the [`crate::conformance`]
+/// harness — one type replacing the pre-0.3 per-backend constructor zoo
+/// (`with_workers`, `Option<NonZeroUsize>` vs `usize` accessors, scattered
+/// `SKIPPER_WORKERS` reads).
+///
+/// The three policies:
+///
+/// - [`Workers::Default`] — the backend's natural default: no override on
+///   [`crate::ThreadBackend`] (each program runs with its own degree),
+///   [`default_workers`] threads on [`crate::PoolBackend`];
+/// - [`Workers::Exact`] — exactly this many workers;
+/// - [`Workers::FromEnv`] — the `SKIPPER_WORKERS` environment variable
+///   when it holds a positive integer, else the `Default` behaviour.
+///
+/// ```
+/// use skipper::{PoolBackend, ThreadBackend, Workers};
+/// use std::num::NonZeroUsize;
+///
+/// let exact = Workers::Exact(NonZeroUsize::new(2).unwrap());
+/// let pool = PoolBackend::configured(exact);
+/// assert_eq!(pool.threads(), 2);
+/// let threads = ThreadBackend::configured(exact);
+/// assert_eq!(threads.worker_config(), exact);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Workers {
+    /// The backend's natural default (no override / host parallelism).
+    #[default]
+    Default,
+    /// Exactly this many workers.
+    Exact(NonZeroUsize),
+    /// `SKIPPER_WORKERS` when set to a positive integer, else the
+    /// `Default` behaviour. Resolved when a backend is built (pool) or a
+    /// program is prepared (threads), not when the config value is
+    /// created.
+    FromEnv,
+}
+
+impl Workers {
+    /// Shorthand for `Workers::Exact` from a plain count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero (use [`Workers::Default`] to mean "pick
+    /// for me").
+    pub fn exact(n: usize) -> Workers {
+        Workers::Exact(NonZeroUsize::new(n).expect("Workers::exact needs a nonzero count"))
+    }
+
+    /// Resolves to an explicit override: `None` for `Default` (and for
+    /// `FromEnv` when the variable is unset), `Some` otherwise.
+    pub fn resolve(self) -> Option<NonZeroUsize> {
+        match self {
+            Workers::Default => None,
+            Workers::Exact(n) => Some(n),
+            Workers::FromEnv => env_workers(),
+        }
+    }
+
+    /// Resolves to a concrete count, falling back to [`default_workers`]
+    /// where [`resolve`](Workers::resolve) has no explicit override.
+    pub fn resolve_or_default(self) -> NonZeroUsize {
+        self.resolve().unwrap_or_else(default_workers)
+    }
 }
 
 /// A typed skeletal program description over input `I`.
@@ -396,6 +469,37 @@ mod tests {
         assert!(default_workers().get() >= 1);
         assert_eq!(resolve_workers(7).get(), 7);
         assert_eq!(resolve_workers(0), default_workers());
+    }
+
+    #[test]
+    fn workers_config_resolves_per_policy() {
+        assert_eq!(Workers::Default.resolve(), None);
+        assert_eq!(Workers::Default.resolve_or_default(), default_workers());
+        assert_eq!(Workers::exact(6).resolve(), NonZeroUsize::new(6));
+        assert_eq!(
+            Workers::exact(6),
+            Workers::Exact(NonZeroUsize::new(6).unwrap())
+        );
+        // FromEnv honours SKIPPER_WORKERS when set, falls back to the
+        // default otherwise; either way it resolves to something usable.
+        let from_env = Workers::FromEnv.resolve_or_default();
+        match env_workers() {
+            Some(n) => assert_eq!(from_env, n),
+            None => assert_eq!(from_env, default_workers()),
+        }
+        assert_eq!(Workers::default(), Workers::Default);
+    }
+
+    #[test]
+    fn workers_exact_rejects_zero() {
+        let caught = std::panic::catch_unwind(|| Workers::exact(0));
+        assert!(caught.is_err(), "Workers::exact(0) must panic");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn configured_workers_shim_matches_from_env() {
+        assert_eq!(configured_workers(), Workers::FromEnv.resolve_or_default());
     }
 
     #[test]

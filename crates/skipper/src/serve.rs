@@ -1,0 +1,898 @@
+//! The frame-serving engine: many `itermem` streams over one shared pool.
+//!
+//! The paper's applications each own their machine — one tracking loop,
+//! one Transputer network. This module is the modern many-tenant
+//! counterpart: a single-threaded **event loop** multiplexes N concurrent
+//! stream-processing loops (each the Fig. 4 `itermem` pattern: state `Z`
+//! threaded across frames `B`) over one shared [`PoolBackend`], so a
+//! workstation-class host can serve many cameras with one set of worker
+//! threads.
+//!
+//! Architecture (one `serve` call):
+//!
+//! - Each stream is an async task on a `futures::executor::LocalPool`.
+//!   A task awaits its next admitted frame, moves its state into a
+//!   request, and awaits the result on a `futures::channel::oneshot`.
+//! - The event loop runs **admission control** at (virtual) frame-arrival
+//!   times: a global bound on admitted-but-incomplete frames
+//!   ([`ServeConfig::max_in_flight`]) plus a per-stream waiting-queue
+//!   bound ([`ServeConfig::per_stream_queue`]). When a bound is hit the
+//!   [`AdmissionPolicy`] decides: `Reject` drops the frame at the door
+//!   (counted per stream), `Block` holds it there — per-stream
+//!   head-of-line only, so a stalled stream cannot starve its neighbours.
+//! - Submitted requests are **batched across streams**: up to
+//!   [`ServeConfig::max_batch`] small frames ride one pool job, amortising
+//!   queue and wake costs exactly where per-frame work is tiny. Worker
+//!   threads run the loop body's *declarative* semantics per frame —
+//!   parallelism comes from serving frames concurrently, not from inside
+//!   a frame.
+//! - Completions flow back on a channel; the loop frees capacity, records
+//!   the frame latency (completion − arrival) and re-admits.
+//!
+//! Everything observable is deterministic for eager arrivals (all
+//! `at_ns = 0`): admission order, rejection counts, batch composition and
+//! per-stream outputs — the properties the unit tests and the serving
+//! conformance axis pin down. Wall-clock latencies are metrics only.
+//!
+//! Frame arrivals are [`TimedFrame`]s pulled from any
+//! [`FrameSource`]; [`traffic`] generates open-loop
+//! arrival processes (Poisson, bursty, skewed rate ladders) on the
+//! deterministic `rand` shim for saturation experiments (E16).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::rc::Rc;
+use std::task::{Poll, Waker};
+use std::time::{Duration, Instant};
+
+use futures::channel::oneshot;
+use futures::executor::LocalPool;
+
+use crate::itermem::FrameSource;
+use crate::pool::PoolBackend;
+use crate::program::Skeleton;
+
+/// What happens to a frame that arrives while the engine is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Drop the frame at arrival and count it in
+    /// [`StreamResult::rejected`] — the load-shedding regime of a
+    /// real-time server that must stay current.
+    Reject,
+    /// Hold the frame at the door until capacity frees — lossless
+    /// backpressure; arrival timestamps still drive latency accounting.
+    #[default]
+    Block,
+}
+
+/// Capacity and batching knobs for [`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Global bound on frames admitted but not yet completed (waiting in
+    /// a stream queue or running on the pool).
+    pub max_in_flight: usize,
+    /// Bound on each stream's admitted-but-unsubmitted waiting queue.
+    pub per_stream_queue: usize,
+    /// Most frames packed into one pool job (cross-stream batching).
+    pub max_batch: usize,
+    /// Reject-vs-block at the admission door.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 64,
+            per_stream_queue: 4,
+            max_batch: 8,
+            admission: AdmissionPolicy::Block,
+        }
+    }
+}
+
+/// A frame stamped with its (virtual) arrival time in nanoseconds from
+/// the start of the `serve` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFrame<B> {
+    /// Arrival offset in nanoseconds (0 = available immediately).
+    pub at_ns: u64,
+    /// The frame payload.
+    pub frame: B,
+}
+
+impl<B> TimedFrame<B> {
+    /// A frame arriving `at_ns` nanoseconds into the run.
+    pub fn at(at_ns: u64, frame: B) -> Self {
+        TimedFrame { at_ns, frame }
+    }
+
+    /// A frame available from the start (arrival time 0).
+    pub fn eager(frame: B) -> Self {
+        TimedFrame { at_ns: 0, frame }
+    }
+}
+
+/// One stream to serve: the loop's initial state plus its arrival
+/// process, any [`FrameSource`] of [`TimedFrame`]s.
+pub struct StreamSpec<Z, B> {
+    init: Z,
+    source: Box<dyn FrameSource<TimedFrame<B>>>,
+}
+
+impl<Z, B> StreamSpec<Z, B> {
+    /// A stream fed by an arbitrary timed source.
+    pub fn new(init: Z, source: impl FrameSource<TimedFrame<B>> + 'static) -> Self {
+        StreamSpec {
+            init,
+            source: Box::new(source),
+        }
+    }
+
+    /// A stream whose frames are all available immediately — the closed
+    /// feed the determinism tests and the conformance axis use.
+    pub fn eager(init: Z, mut frames: impl FrameSource<B> + 'static) -> Self {
+        StreamSpec::new(init, move || frames.next_frame().map(TimedFrame::eager))
+    }
+
+    /// A stream replaying a recorded arrival trace.
+    pub fn timed(init: Z, arrivals: Vec<TimedFrame<B>>) -> Self
+    where
+        B: 'static,
+    {
+        StreamSpec::new(init, crate::itermem::VecSource::new(arrivals))
+    }
+}
+
+impl<Z, B> std::fmt::Debug for StreamSpec<Z, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSpec").finish_non_exhaustive()
+    }
+}
+
+/// Per-stream results of a [`serve`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamResult<Z, Y> {
+    /// Final loop state after the last served frame.
+    pub state: Z,
+    /// One output per **served** frame, in frame order.
+    pub outputs: Vec<Y>,
+    /// Frames dropped at the admission door
+    /// ([`AdmissionPolicy::Reject`] only).
+    pub rejected: u64,
+}
+
+/// Aggregate metrics of a [`serve`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Frames served to completion across all streams.
+    pub served: u64,
+    /// Frames rejected at admission across all streams.
+    pub rejected: u64,
+    /// Pool jobs submitted (each carrying up to `max_batch` frames).
+    pub batches: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed_ns: u64,
+    /// Per-served-frame latency (completion − arrival), completion order.
+    pub latencies_ns: Vec<u64>,
+    /// `(stream, seq)` composition of every batch, submission order —
+    /// the deterministic trace the batching tests assert on.
+    pub batch_trace: Vec<Vec<(usize, u64)>>,
+}
+
+impl ServeReport {
+    /// Nearest-rank latency percentile (`p` in 0..=100) in nanoseconds;
+    /// 0 when nothing was served.
+    pub fn latency_percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Served frames per second of wall-clock time.
+    pub fn throughput_fps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// Everything a [`serve`] call produces.
+#[derive(Debug)]
+pub struct ServeOutcome<Z, Y> {
+    /// Per-stream states, outputs and rejection counts, stream order.
+    pub streams: Vec<StreamResult<Z, Y>>,
+    /// Aggregate latency/throughput/batching metrics.
+    pub report: ServeReport,
+}
+
+/// A submitted frame: the moved loop state + frame pair, and the oneshot
+/// that carries `(state', output)` back to the stream's task.
+struct Request<Z, B, Y> {
+    stream: usize,
+    seq: u64,
+    at_ns: u64,
+    pair: (Z, B),
+    tx: oneshot::Sender<(Z, Y)>,
+}
+
+/// What a stream task sees when it asks for its next admitted frame.
+enum Pop<B> {
+    Frame(u64, u64, B),
+    Finished,
+    Pending,
+}
+
+/// Per-stream lane state shared between the event loop and the tasks.
+struct Lane<Z, B, Y> {
+    source: Box<dyn FrameSource<TimedFrame<B>>>,
+    /// Peeked arrival not yet past the admission door.
+    head: Option<TimedFrame<B>>,
+    source_done: bool,
+    /// Admitted frames waiting for the stream task: `(seq, at_ns, frame)`.
+    queue: VecDeque<(u64, u64, B)>,
+    next_seq: u64,
+    rejected: u64,
+    outputs: Vec<Y>,
+    final_state: Option<Z>,
+    task_done: bool,
+    waker: Option<Waker>,
+}
+
+impl<Z, B, Y> Lane<Z, B, Y> {
+    /// Ensures `head` holds the next pending arrival, if any.
+    fn peek(&mut self) {
+        if self.head.is_none() && !self.source_done {
+            self.head = self.source.next_frame();
+            if self.head.is_none() {
+                self.source_done = true;
+            }
+        }
+    }
+
+    fn wake(&mut self) {
+        if let Some(w) = self.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Loop-side engine state, shared with the stream tasks through
+/// `Rc<RefCell<..>>` (everything here runs on the event-loop thread).
+struct Engine<Z, B, Y> {
+    lanes: Vec<Lane<Z, B, Y>>,
+    /// Requests submitted by tasks, not yet flushed into batches.
+    pending: Vec<Request<Z, B, Y>>,
+    /// Frames admitted and not yet completed (queues + pool).
+    admitted_incomplete: usize,
+    report: ServeReport,
+}
+
+impl<Z, B, Y> Engine<Z, B, Y> {
+    /// One admission pass at virtual time `now_ns`: moves arrived frames
+    /// past the door per the policy, waking tasks that got work.
+    fn admit(&mut self, now_ns: u64, cfg: &ServeConfig) {
+        for i in 0..self.lanes.len() {
+            loop {
+                let global_full = self.admitted_incomplete >= cfg.max_in_flight;
+                let lane = &mut self.lanes[i];
+                lane.peek();
+                let Some(h) = &lane.head else { break };
+                if h.at_ns > now_ns {
+                    break;
+                }
+                if global_full || lane.queue.len() >= cfg.per_stream_queue {
+                    match cfg.admission {
+                        AdmissionPolicy::Reject => {
+                            lane.head = None;
+                            lane.rejected += 1;
+                            self.report.rejected += 1;
+                            continue;
+                        }
+                        // Head-of-line for this stream only; neighbours
+                        // keep being admitted.
+                        AdmissionPolicy::Block => break,
+                    }
+                }
+                let h = lane.head.take().expect("peeked head");
+                let seq = lane.next_seq;
+                lane.next_seq += 1;
+                lane.queue.push_back((seq, h.at_ns, h.frame));
+                lane.wake();
+                self.admitted_incomplete += 1;
+            }
+        }
+    }
+
+    /// Earliest pending arrival time across all lanes (heads are peeked
+    /// by [`Engine::admit`]).
+    fn next_arrival_ns(&self) -> Option<u64> {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.head.as_ref().map(|h| h.at_ns))
+            .min()
+    }
+
+    fn pop_admitted(&mut self, i: usize) -> Pop<B> {
+        let lane = &mut self.lanes[i];
+        if let Some((seq, at, frame)) = lane.queue.pop_front() {
+            return Pop::Frame(seq, at, frame);
+        }
+        if lane.source_done && lane.head.is_none() {
+            Pop::Finished
+        } else {
+            Pop::Pending
+        }
+    }
+
+    /// Drains pending requests into batches of at most `max_batch`
+    /// frames, recording the batch trace.
+    fn take_batches(&mut self, max_batch: usize) -> Vec<Vec<Request<Z, B, Y>>> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut batches = Vec::new();
+        let mut pending = std::mem::take(&mut self.pending);
+        while !pending.is_empty() {
+            let take = pending.len().min(max_batch.max(1));
+            let batch: Vec<_> = pending.drain(..take).collect();
+            self.report
+                .batch_trace
+                .push(batch.iter().map(|r| (r.stream, r.seq)).collect());
+            self.report.batches += 1;
+            batches.push(batch);
+        }
+        batches
+    }
+
+    fn complete(&mut self, latency_ns: u64) {
+        self.admitted_incomplete -= 1;
+        self.report.served += 1;
+        self.report.latencies_ns.push(latency_ns);
+    }
+
+    fn all_tasks_done(&self) -> bool {
+        self.lanes.iter().all(|l| l.task_done)
+    }
+}
+
+/// Serves every stream to completion over the backend's shared pool and
+/// returns per-stream results plus aggregate metrics.
+///
+/// `body` is the stream-loop body in the [`crate::itermem()`] shape —
+/// any skeleton program mapping `&(Z, B)` to `(Z, Y)` — and runs its
+/// declarative semantics on a pool worker per frame: the engine's
+/// parallelism is *across* concurrently-served frames.
+///
+/// Per-stream outputs are exactly those of a sequential prepared
+/// `itermem` run over the admitted frames (the serving conformance axis);
+/// under [`AdmissionPolicy::Block`] no frame is dropped, so they equal
+/// the full sequential run.
+///
+/// # Example
+///
+/// ```
+/// use skipper::{scm, serve, PoolBackend, ServeConfig, StreamSpec, Workers};
+///
+/// // Loop body: split the frame, square the halves, sum with the state.
+/// let body = scm(
+///     2,
+///     |&(z, ref frame): &(u64, Vec<u64>), n| {
+///         let mid = frame.len() / 2;
+///         vec![(z, frame[..mid].to_vec()), (0, frame[mid..].to_vec())].into_iter().take(n).collect()
+///     },
+///     |(z, part): (u64, Vec<u64>)| z + part.iter().map(|x| x * x).sum::<u64>(),
+///     |parts: Vec<u64>| {
+///         let y: u64 = parts.iter().sum();
+///         (y, y)
+///     },
+/// );
+/// let backend = PoolBackend::configured(Workers::exact(2));
+/// let streams = (0..4)
+///     .map(|s| StreamSpec::eager(0u64, skipper::stream_of(vec![vec![s, s + 1], vec![s + 2]])))
+///     .collect();
+/// let outcome = serve(&backend, &body, streams, ServeConfig::default());
+/// assert_eq!(outcome.report.served, 8);
+/// assert_eq!(outcome.streams.len(), 4);
+/// ```
+pub fn serve<P, Z, B, Y>(
+    backend: &PoolBackend,
+    body: &P,
+    streams: Vec<StreamSpec<Z, B>>,
+    config: ServeConfig,
+) -> ServeOutcome<Z, Y>
+where
+    P: for<'a> Skeleton<&'a (Z, B), Output = (Z, Y)> + Sync,
+    Z: Send + 'static,
+    B: Send + 'static,
+    Y: Send + 'static,
+{
+    assert!(config.max_in_flight > 0, "max_in_flight must be positive");
+    assert!(
+        config.per_stream_queue > 0,
+        "per_stream_queue must be positive"
+    );
+    let t0 = Instant::now();
+    let engine: Rc<RefCell<Engine<Z, B, Y>>> = Rc::new(RefCell::new(Engine {
+        lanes: Vec::with_capacity(streams.len()),
+        pending: Vec::new(),
+        admitted_incomplete: 0,
+        report: ServeReport::default(),
+    }));
+    let mut inits = Vec::with_capacity(streams.len());
+    for spec in streams {
+        inits.push(spec.init);
+        engine.borrow_mut().lanes.push(Lane {
+            source: spec.source,
+            head: None,
+            source_done: false,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            rejected: 0,
+            outputs: Vec::new(),
+            final_state: None,
+            task_done: false,
+            waker: None,
+        });
+    }
+
+    let (pulse_tx, pulse_rx) = crossbeam::channel::unbounded::<(usize, u64)>();
+    let mut local = LocalPool::new();
+    // One async task per stream: await admitted frame → submit → await
+    // result → record, threading the state through the oneshots.
+    for (i, init) in inits.into_iter().enumerate() {
+        let engine = Rc::clone(&engine);
+        local.spawn(async move {
+            let mut state = Some(init);
+            loop {
+                let popped = poll_fn(|cx| {
+                    let mut eng = engine.borrow_mut();
+                    match eng.pop_admitted(i) {
+                        Pop::Frame(seq, at, frame) => Poll::Ready(Some((seq, at, frame))),
+                        Pop::Finished => Poll::Ready(None),
+                        Pop::Pending => {
+                            eng.lanes[i].waker = Some(cx.waker().clone());
+                            Poll::Pending
+                        }
+                    }
+                })
+                .await;
+                let Some((seq, at_ns, frame)) = popped else {
+                    break;
+                };
+                let (tx, rx) = oneshot::channel();
+                engine.borrow_mut().pending.push(Request {
+                    stream: i,
+                    seq,
+                    at_ns,
+                    pair: (state.take().expect("stream state present"), frame),
+                    tx,
+                });
+                let (z2, y) = rx.await.expect("serve worker dropped a frame result");
+                state = Some(z2);
+                engine.borrow_mut().lanes[i].outputs.push(y);
+            }
+            let mut eng = engine.borrow_mut();
+            eng.lanes[i].final_state = state;
+            eng.lanes[i].task_done = true;
+        });
+    }
+
+    let pool = backend.pool();
+    pool.scope(|scope| {
+        let mut completed = 0u64;
+        let mut submitted = 0u64;
+        loop {
+            let now_ns = t0.elapsed().as_nanos() as u64;
+            engine.borrow_mut().admit(now_ns, &config);
+            // Tasks run until every runnable one is waiting; each pass
+            // may submit new requests, flushed as cross-stream batches.
+            loop {
+                local.run_until_stalled();
+                let batches = engine.borrow_mut().take_batches(config.max_batch);
+                if batches.is_empty() {
+                    break;
+                }
+                for batch in batches {
+                    submitted += batch.len() as u64;
+                    let pulse_tx = pulse_tx.clone();
+                    scope.spawn(move || {
+                        for req in batch {
+                            let out = body.run_declarative(&req.pair);
+                            let done_ns = t0.elapsed().as_nanos() as u64;
+                            let latency = done_ns.saturating_sub(req.at_ns);
+                            // The task may already be gone under a panic
+                            // unwind; dropping the result is fine then.
+                            let _ = req.tx.send(out);
+                            let _ = pulse_tx.send((req.stream, latency));
+                        }
+                    });
+                }
+            }
+            if engine.borrow().all_tasks_done() {
+                break;
+            }
+            // Wait for a completion pulse, or for the next arrival when
+            // nothing is on the pool (capped so the clock stays live).
+            let wait = if completed < submitted {
+                Duration::from_micros(200)
+            } else {
+                let next = engine.borrow().next_arrival_ns();
+                match next {
+                    Some(at) => Duration::from_nanos(at.saturating_sub(now_ns).clamp(1, 1_000_000)),
+                    None => Duration::from_micros(200),
+                }
+            };
+            if let Ok((_stream, latency)) = pulse_rx.recv_timeout(wait) {
+                completed += 1;
+                engine.borrow_mut().complete(latency);
+            }
+            while let Ok((_stream, latency)) = pulse_rx.try_recv() {
+                completed += 1;
+                engine.borrow_mut().complete(latency);
+            }
+        }
+        // Tasks finish as soon as their oneshot resolves; trailing pulses
+        // may still sit in the channel. Account every submitted frame.
+        while completed < submitted {
+            let (_stream, latency) = pulse_rx.recv().expect("serve worker pulse channel closed");
+            completed += 1;
+            engine.borrow_mut().complete(latency);
+        }
+    });
+
+    let engine = Rc::into_inner(engine)
+        .expect("stream tasks completed")
+        .into_inner();
+    let mut report = engine.report;
+    report.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let streams = engine
+        .lanes
+        .into_iter()
+        .map(|lane| StreamResult {
+            state: lane.final_state.expect("stream task finished"),
+            outputs: lane.outputs,
+            rejected: lane.rejected,
+        })
+        .collect();
+    ServeOutcome { streams, report }
+}
+
+/// Open-loop arrival-process generators on the deterministic `rand`
+/// shim — the traffic side of the serving experiments (E16).
+pub mod traffic {
+    use super::TimedFrame;
+    use rand::prelude::*;
+
+    /// Cumulative Poisson arrival times in nanoseconds: exponential
+    /// interarrivals at `rate_hz`, deterministic for a given seed.
+    pub fn poisson_arrivals_ns(seed: u64, rate_hz: f64, n: usize) -> Vec<u64> {
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_hz;
+            out.push((t * 1e9) as u64);
+        }
+        out
+    }
+
+    /// Bursty arrivals: groups of `burst` frames land together, groups
+    /// spaced by exponential gaps so the *average* rate stays `rate_hz`.
+    pub fn bursty_arrivals_ns(seed: u64, rate_hz: f64, burst: usize, n: usize) -> Vec<u64> {
+        assert!(burst > 0, "burst size must be positive");
+        let gaps = poisson_arrivals_ns(seed, rate_hz / burst as f64, n.div_ceil(burst));
+        (0..n).map(|k| gaps[k / burst]).collect()
+    }
+
+    /// A skewed per-stream rate ladder: stream `i` runs at
+    /// `base_hz / (1 + i * skew)` — a few hot streams, a long cool tail.
+    pub fn skewed_rates_hz(base_hz: f64, streams: usize, skew: f64) -> Vec<f64> {
+        (0..streams)
+            .map(|i| base_hz / (1.0 + i as f64 * skew))
+            .collect()
+    }
+
+    /// Stamps frames with an arrival trace (frames beyond the trace are
+    /// dropped, matching lengths is the caller's norm).
+    pub fn timed<B>(arrivals: &[u64], frames: impl IntoIterator<Item = B>) -> Vec<TimedFrame<B>> {
+        arrivals
+            .iter()
+            .zip(frames)
+            .map(|(&at_ns, frame)| TimedFrame { at_ns, frame })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itermem::VecSource;
+    use crate::program::{scm, Workers};
+    use crate::stream_of;
+
+    /// The shared test body: `(z, b) -> (z + b, z + b)` as a 2-way scm
+    /// (fn pointers, so the program is `Sync` and lifetime-polymorphic).
+    fn running_sum() -> impl for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)> + Sync {
+        fn split(pair: &(u64, u64), n: usize) -> Vec<(u64, u64)> {
+            let mut parts = vec![(pair.0, pair.1 / 2), (0, pair.1 - pair.1 / 2)];
+            parts.truncate(n.max(1));
+            parts
+        }
+        fn compute(part: (u64, u64)) -> u64 {
+            part.0 + part.1
+        }
+        fn merge(parts: Vec<u64>) -> (u64, u64) {
+            let y: u64 = parts.iter().sum();
+            (y, y)
+        }
+        scm(
+            2,
+            split as fn(&(u64, u64), usize) -> Vec<(u64, u64)>,
+            compute as fn((u64, u64)) -> u64,
+            merge as fn(Vec<u64>) -> (u64, u64),
+        )
+    }
+
+    /// Sequential reference: fold the body over the frames.
+    fn sequential<P>(body: &P, init: u64, frames: &[u64]) -> (u64, Vec<u64>)
+    where
+        P: for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)>,
+    {
+        let mut z = init;
+        let mut outputs = Vec::new();
+        for &b in frames {
+            let (z2, y) = body.run_declarative(&(z, b));
+            z = z2;
+            outputs.push(y);
+        }
+        (z, outputs)
+    }
+
+    fn backend() -> PoolBackend {
+        PoolBackend::configured(Workers::exact(2))
+    }
+
+    #[test]
+    fn serves_one_stream_like_a_sequential_loop() {
+        let body = running_sum();
+        let frames = vec![1u64, 2, 3, 4, 5];
+        let (z_ref, y_ref) = sequential(&body, 10, &frames);
+        let outcome = serve(
+            &backend(),
+            &body,
+            vec![StreamSpec::eager(10u64, stream_of(frames))],
+            ServeConfig::default(),
+        );
+        assert_eq!(outcome.streams[0].state, z_ref);
+        assert_eq!(outcome.streams[0].outputs, y_ref);
+        assert_eq!(outcome.streams[0].rejected, 0);
+        assert_eq!(outcome.report.served, 5);
+        assert_eq!(outcome.report.latencies_ns.len(), 5);
+    }
+
+    #[test]
+    fn block_policy_serves_every_frame_of_every_stream() {
+        let body = running_sum();
+        let per_stream: Vec<Vec<u64>> = (0..8u64).map(|s| (s..s + 5).collect()).collect();
+        let streams = per_stream
+            .iter()
+            .map(|f| StreamSpec::eager(0u64, VecSource::new(f.clone())))
+            .collect();
+        let cfg = ServeConfig {
+            max_in_flight: 3, // well under 8 streams × 5 frames
+            per_stream_queue: 1,
+            max_batch: 2,
+            admission: AdmissionPolicy::Block,
+        };
+        let outcome = serve(&backend(), &body, streams, cfg);
+        assert_eq!(outcome.report.served, 40);
+        assert_eq!(outcome.report.rejected, 0);
+        for (s, frames) in per_stream.iter().enumerate() {
+            let (z_ref, y_ref) = sequential(&body, 0, frames);
+            assert_eq!(outcome.streams[s].state, z_ref, "stream {s}");
+            assert_eq!(outcome.streams[s].outputs, y_ref, "stream {s}");
+            assert_eq!(outcome.streams[s].rejected, 0);
+        }
+    }
+
+    #[test]
+    fn reject_policy_drops_exactly_the_overflow_at_eager_arrival() {
+        // 5 eager frames, queue bound 2: the first admission pass admits
+        // frames 0 and 1 and must reject exactly 3 — deterministically,
+        // because all five arrivals are processed before any completes.
+        let body = running_sum();
+        let streams = (0..4u64)
+            .map(|_| StreamSpec::eager(0u64, stream_of(vec![1u64, 2, 3, 4, 5])))
+            .collect();
+        let cfg = ServeConfig {
+            max_in_flight: 1024,
+            per_stream_queue: 2,
+            max_batch: 8,
+            admission: AdmissionPolicy::Reject,
+        };
+        let outcome = serve(&backend(), &body, streams, cfg);
+        let (z_ref, y_ref) = sequential(&body, 0, &[1, 2]);
+        for s in 0..4 {
+            assert_eq!(outcome.streams[s].rejected, 3, "stream {s}");
+            assert_eq!(outcome.streams[s].outputs, y_ref, "stream {s}");
+            assert_eq!(outcome.streams[s].state, z_ref, "stream {s}");
+        }
+        assert_eq!(outcome.report.served, 8);
+        assert_eq!(outcome.report.rejected, 12);
+    }
+
+    #[test]
+    fn global_bound_rejects_across_streams_in_stream_order() {
+        // Global capacity 3, three streams with 2 eager frames each: the
+        // admission pass sweeps lanes in order, so stream 0 admits both
+        // frames, stream 1 admits one, stream 2 none.
+        let body = running_sum();
+        let streams = (0..3u64)
+            .map(|_| StreamSpec::eager(0u64, stream_of(vec![7u64, 9])))
+            .collect();
+        let cfg = ServeConfig {
+            max_in_flight: 3,
+            per_stream_queue: 8,
+            max_batch: 8,
+            admission: AdmissionPolicy::Reject,
+        };
+        let outcome = serve(&backend(), &body, streams, cfg);
+        let rejected: Vec<u64> = outcome.streams.iter().map(|s| s.rejected).collect();
+        assert_eq!(rejected, vec![0, 1, 2]);
+        assert_eq!(outcome.report.served, 3);
+    }
+
+    #[test]
+    fn first_batch_composition_is_deterministic() {
+        // 5 streams × 1 eager frame, max_batch 2: the first flush packs
+        // requests in stream order as [0,1], [2,3], [4].
+        let body = running_sum();
+        let streams = (0..5u64)
+            .map(|s| StreamSpec::eager(0u64, stream_of(vec![s])))
+            .collect();
+        let cfg = ServeConfig {
+            max_batch: 2,
+            ..ServeConfig::default()
+        };
+        let outcome = serve(&backend(), &body, streams, cfg);
+        let first3: Vec<Vec<(usize, u64)>> =
+            outcome.report.batch_trace.iter().take(3).cloned().collect();
+        assert_eq!(
+            first3,
+            vec![vec![(0, 0), (1, 0)], vec![(2, 0), (3, 0)], vec![(4, 0)],]
+        );
+        assert_eq!(outcome.report.batches, 3);
+        assert_eq!(outcome.report.served, 5);
+    }
+
+    #[test]
+    fn a_backlogged_stream_cannot_starve_its_neighbours() {
+        // Stream 0 floods 64 eager frames; streams 1..4 bring 3 each.
+        // The per-stream queue bound caps the flood's share of the global
+        // window, so every neighbour frame is served (Block ⇒ lossless).
+        let body = running_sum();
+        let mut streams = vec![StreamSpec::eager(
+            0u64,
+            stream_of((0..64u64).collect::<Vec<_>>()),
+        )];
+        for s in 1..4u64 {
+            streams.push(StreamSpec::eager(0u64, stream_of(vec![s, s + 1, s + 2])));
+        }
+        let cfg = ServeConfig {
+            max_in_flight: 4,
+            per_stream_queue: 2,
+            max_batch: 4,
+            admission: AdmissionPolicy::Block,
+        };
+        let outcome = serve(&backend(), &body, streams, cfg);
+        assert_eq!(outcome.report.served, 64 + 9);
+        assert_eq!(outcome.report.rejected, 0);
+        for s in 1..4 {
+            assert_eq!(outcome.streams[s].outputs.len(), 3, "stream {s}");
+        }
+    }
+
+    #[test]
+    fn timed_arrivals_respect_the_clock() {
+        // One frame now, one far in the future: both served, and the
+        // second frame's latency excludes the wait for its arrival.
+        let body = running_sum();
+        let streams = vec![StreamSpec::timed(
+            0u64,
+            vec![TimedFrame::at(0, 3), TimedFrame::at(2_000_000, 4)],
+        )];
+        let outcome = serve(&backend(), &body, streams, ServeConfig::default());
+        assert_eq!(outcome.report.served, 2);
+        let (z_ref, y_ref) = sequential(&body, 0, &[3, 4]);
+        assert_eq!(outcome.streams[0].state, z_ref);
+        assert_eq!(outcome.streams[0].outputs, y_ref);
+        assert!(outcome.report.elapsed_ns >= 2_000_000);
+    }
+
+    #[test]
+    fn empty_stream_set_returns_immediately() {
+        let body = running_sum();
+        let outcome = serve(&backend(), &body, Vec::new(), ServeConfig::default());
+        assert_eq!(outcome.report.served, 0);
+        assert!(outcome.streams.is_empty());
+    }
+
+    #[test]
+    fn report_percentiles_and_throughput() {
+        let report = ServeReport {
+            served: 4,
+            elapsed_ns: 2_000_000_000,
+            latencies_ns: vec![40, 10, 30, 20],
+            ..ServeReport::default()
+        };
+        assert_eq!(report.latency_percentile_ns(50.0), 20);
+        assert_eq!(report.latency_percentile_ns(95.0), 40);
+        assert_eq!(report.latency_percentile_ns(99.0), 40);
+        assert!((report.throughput_fps() - 2.0).abs() < 1e-9);
+        assert_eq!(ServeReport::default().latency_percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn poisson_traffic_is_deterministic_and_monotone() {
+        let a = traffic::poisson_arrivals_ns(7, 1000.0, 64);
+        let b = traffic::poisson_arrivals_ns(7, 1000.0, 64);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(a, traffic::poisson_arrivals_ns(8, 1000.0, 64));
+        // Mean interarrival should be in the right ballpark (1 ms).
+        let mean = *a.last().unwrap() as f64 / 64.0;
+        assert!((200_000.0..5_000_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn bursty_traffic_lands_in_groups() {
+        let a = traffic::bursty_arrivals_ns(3, 4000.0, 4, 16);
+        assert_eq!(a.len(), 16);
+        for g in a.chunks(4) {
+            assert!(g.iter().all(|&t| t == g[0]), "burst not simultaneous");
+        }
+        assert!(a[0] < a[15]);
+    }
+
+    #[test]
+    fn skewed_rates_decay_from_base() {
+        let rates = traffic::skewed_rates_hz(100.0, 4, 1.0);
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0] - 100.0).abs() < 1e-9);
+        assert!((rates[1] - 50.0).abs() < 1e-9);
+        assert!(rates.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn timed_traffic_under_serve_matches_sequential() {
+        // Poisson arrivals at a rate the pool can absorb: lossless under
+        // Block, outputs equal the sequential fold.
+        let body = running_sum();
+        let n = 12;
+        let streams: Vec<StreamSpec<u64, u64>> = (0..3u64)
+            .map(|s| {
+                let arrivals = traffic::poisson_arrivals_ns(s, 50_000.0, n);
+                StreamSpec::timed(
+                    0u64,
+                    traffic::timed(&arrivals, (0..n as u64).map(|k| k + s)),
+                )
+            })
+            .collect();
+        let outcome = serve(&backend(), &body, streams, ServeConfig::default());
+        assert_eq!(outcome.report.served, 3 * n as u64);
+        for s in 0..3u64 {
+            let frames: Vec<u64> = (0..n as u64).map(|k| k + s).collect();
+            let (z_ref, y_ref) = sequential(&body, 0, &frames);
+            assert_eq!(outcome.streams[s as usize].state, z_ref);
+            assert_eq!(outcome.streams[s as usize].outputs, y_ref);
+        }
+    }
+}

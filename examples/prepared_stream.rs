@@ -74,6 +74,6 @@ fn main() {
     );
     println!(
         "pool workers: {} (prepared handle, shared across frames)",
-        pool.workers()
+        pool.threads()
     );
 }

@@ -1,0 +1,417 @@
+//! Offline stand-in for the `futures` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a std-only shim exposing the small `futures` API surface the
+//! SKiPPER serving layer uses:
+//!
+//! - [`executor::block_on`] — drive one future to completion on the
+//!   calling thread (park/unpark waker);
+//! - [`executor::LocalPool`] — a single-threaded executor for `!Send`
+//!   futures with cooperative [`executor::LocalPool::run_until_stalled`]
+//!   scheduling, the event-loop substrate of `skipper::serve`;
+//! - [`channel::oneshot`] — a one-value channel whose receiver is a
+//!   `Future`, used to hand a pool job's result back to the stream task
+//!   that requested it.
+//!
+//! Everything is built on `std::task` (`Waker`, `Wake`, `Context`) and
+//! `std::future`; there is no reactor and no timers — the serving event
+//! loop does its own waiting on channel timeouts. Divergences from the
+//! real crate: `LocalPool` exposes `spawn` directly (no separate
+//! `LocalSpawner` handle), and `run_until_stalled` returns the number of
+//! tasks completed during the call.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Executors: [`block_on`](executor::block_on) for one future on the
+/// current thread, [`LocalPool`](executor::LocalPool) for a cooperative
+/// set of `!Send` futures.
+pub mod executor {
+    use super::*;
+
+    /// Unparks its thread on wake — the `block_on` waker.
+    struct ThreadWaker {
+        thread: std::thread::Thread,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.thread.unpark();
+        }
+    }
+
+    /// Runs `fut` to completion on the calling thread, parking between
+    /// polls until the future's waker fires.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let mut fut = std::pin::pin!(fut);
+        let waker = Waker::from(Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// Sets a per-task flag on wake; the owning [`LocalPool`] polls every
+    /// flagged task on its next [`run_until_stalled`]
+    /// (`LocalPool::run_until_stalled`) pass. Thread-safe, so wakes may
+    /// arrive from other threads (e.g. a pool job completing a
+    /// [`channel::oneshot`] the task awaits).
+    struct FlagWaker {
+        woken: AtomicBool,
+    }
+
+    impl Wake for FlagWaker {
+        fn wake(self: Arc<Self>) {
+            self.woken.store(true, Ordering::Release);
+        }
+    }
+
+    struct Task {
+        fut: Pin<Box<dyn Future<Output = ()>>>,
+        flag: Arc<FlagWaker>,
+        waker: Waker,
+    }
+
+    /// A single-threaded executor for `!Send` futures.
+    ///
+    /// Tasks are spawned with [`spawn`](LocalPool::spawn) and driven by
+    /// [`run_until_stalled`](LocalPool::run_until_stalled), which polls
+    /// until no task can make further progress. The pool never blocks:
+    /// interleaving waits (channel timeouts, admission pacing) is the
+    /// caller's event loop's job.
+    #[derive(Default)]
+    pub struct LocalPool {
+        tasks: Vec<Task>,
+    }
+
+    impl LocalPool {
+        /// An executor with no tasks.
+        pub fn new() -> Self {
+            LocalPool::default()
+        }
+
+        /// Adds a task; it is polled first on the next
+        /// [`run_until_stalled`](LocalPool::run_until_stalled) call.
+        pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+            let flag = Arc::new(FlagWaker {
+                woken: AtomicBool::new(true),
+            });
+            let waker = Waker::from(Arc::clone(&flag));
+            self.tasks.push(Task {
+                fut: Box::pin(fut),
+                flag,
+                waker,
+            });
+        }
+
+        /// Number of tasks still running.
+        pub fn pending_tasks(&self) -> usize {
+            self.tasks.len()
+        }
+
+        /// Polls every woken task, repeatedly, until no task is woken
+        /// (every remaining task is waiting on an external wake). Returns
+        /// the number of tasks that ran to completion during this call.
+        pub fn run_until_stalled(&mut self) -> usize {
+            let mut completed = 0;
+            loop {
+                let mut progressed = false;
+                let mut i = 0;
+                while i < self.tasks.len() {
+                    if !self.tasks[i].flag.woken.swap(false, Ordering::AcqRel) {
+                        i += 1;
+                        continue;
+                    }
+                    progressed = true;
+                    let task = &mut self.tasks[i];
+                    let mut cx = Context::from_waker(&task.waker);
+                    match task.fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(()) => {
+                            completed += 1;
+                            // Ordered removal: tasks are always polled in
+                            // spawn order, which callers building
+                            // deterministic schedules (the serving event
+                            // loop's batch traces) rely on.
+                            self.tasks.remove(i);
+                        }
+                        Poll::Pending => i += 1,
+                    }
+                }
+                if !progressed {
+                    return completed;
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for LocalPool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("LocalPool")
+                .field("tasks", &self.tasks.len())
+                .finish()
+        }
+    }
+}
+
+/// Channels whose receiving half is a `Future`.
+pub mod channel {
+    /// A channel for sending exactly one value, mirroring
+    /// `futures::channel::oneshot`.
+    pub mod oneshot {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        /// The sender was dropped without sending; the receiver will
+        /// never get a value.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Canceled;
+
+        impl std::fmt::Display for Canceled {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "oneshot canceled")
+            }
+        }
+
+        impl std::error::Error for Canceled {}
+
+        struct Inner<T> {
+            value: Option<T>,
+            /// True once either half is gone (sender consumed/dropped or
+            /// receiver dropped).
+            closed: bool,
+            waker: Option<Waker>,
+        }
+
+        /// The sending half: consumes itself on [`send`](Sender::send).
+        pub struct Sender<T> {
+            inner: Arc<Mutex<Inner<T>>>,
+        }
+
+        /// The receiving half: a `Future` resolving to the sent value or
+        /// [`Canceled`].
+        pub struct Receiver<T> {
+            inner: Arc<Mutex<Inner<T>>>,
+        }
+
+        /// Creates a sender/receiver pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let inner = Arc::new(Mutex::new(Inner {
+                value: None,
+                closed: false,
+                waker: None,
+            }));
+            (
+                Sender {
+                    inner: Arc::clone(&inner),
+                },
+                Receiver { inner },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Sends `value`, waking the receiver. Fails with the value
+            /// if the receiver was dropped.
+            pub fn send(self, value: T) -> Result<(), T> {
+                let mut inner = self.inner.lock().expect("oneshot poisoned");
+                if inner.closed {
+                    return Err(value);
+                }
+                inner.value = Some(value);
+                inner.closed = true;
+                if let Some(waker) = inner.waker.take() {
+                    drop(inner);
+                    waker.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut inner = self.inner.lock().expect("oneshot poisoned");
+                if !inner.closed {
+                    // Dropped without sending: cancel the receiver.
+                    inner.closed = true;
+                    if let Some(waker) = inner.waker.take() {
+                        drop(inner);
+                        waker.wake();
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut inner = self.inner.lock().expect("oneshot poisoned");
+                inner.closed = true;
+                inner.value = None;
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, Canceled>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut inner = self.inner.lock().expect("oneshot poisoned");
+                if let Some(value) = inner.value.take() {
+                    return Poll::Ready(Ok(value));
+                }
+                if inner.closed {
+                    return Poll::Ready(Err(Canceled));
+                }
+                inner.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::oneshot;
+    use super::executor::{block_on, LocalPool};
+    use std::cell::RefCell;
+    use std::future::poll_fn;
+    use std::rc::Rc;
+    use std::task::Poll;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 6 * 7 }), 42);
+    }
+
+    #[test]
+    fn block_on_waits_for_a_cross_thread_wake() {
+        let (tx, rx) = oneshot::channel::<String>();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send("ping".to_string()).unwrap();
+        });
+        assert_eq!(block_on(rx), Ok("ping".to_string()));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oneshot_resolves_when_sent_before_poll() {
+        let (tx, rx) = oneshot::channel();
+        tx.send(7u32).unwrap();
+        assert_eq!(block_on(rx), Ok(7));
+    }
+
+    #[test]
+    fn oneshot_cancels_when_sender_drops() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        drop(tx);
+        assert_eq!(block_on(rx), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn oneshot_send_fails_after_receiver_drops() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn local_pool_runs_spawned_tasks_to_completion() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut pool = LocalPool::new();
+        for i in 0..3 {
+            let hits = Rc::clone(&hits);
+            pool.spawn(async move {
+                hits.borrow_mut().push(i);
+            });
+        }
+        assert_eq!(pool.pending_tasks(), 3);
+        assert_eq!(pool.run_until_stalled(), 3);
+        assert_eq!(pool.pending_tasks(), 0);
+        assert_eq!(*hits.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn local_pool_stalls_on_pending_and_resumes_on_wake() {
+        // Task A awaits a oneshot; task B sends on it from a later
+        // `run_until_stalled` pass — the classic stall/resume cycle the
+        // serving event loop is built on.
+        let (tx, rx) = oneshot::channel::<u8>();
+        let got = Rc::new(RefCell::new(None));
+        let mut pool = LocalPool::new();
+        {
+            let got = Rc::clone(&got);
+            pool.spawn(async move {
+                *got.borrow_mut() = Some(rx.await.unwrap());
+            });
+        }
+        assert_eq!(pool.run_until_stalled(), 0, "receiver must stall");
+        assert_eq!(pool.pending_tasks(), 1);
+        tx.send(5).unwrap();
+        assert_eq!(pool.run_until_stalled(), 1);
+        assert_eq!(*got.borrow(), Some(5));
+    }
+
+    #[test]
+    fn local_pool_interleaves_cooperative_tasks() {
+        // Two tasks ping-pong through shared state using poll_fn: each
+        // wakes itself after progressing, so one run_until_stalled call
+        // interleaves them to completion.
+        let turn = Rc::new(RefCell::new(0u32));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut pool = LocalPool::new();
+        for me in 0..2u32 {
+            let turn = Rc::clone(&turn);
+            let log = Rc::clone(&log);
+            pool.spawn(async move {
+                for _ in 0..3 {
+                    poll_fn(|cx| {
+                        if *turn.borrow() % 2 == me {
+                            let mut t = turn.borrow_mut();
+                            log.borrow_mut().push((me, *t));
+                            *t += 1;
+                            Poll::Ready(())
+                        } else {
+                            cx.waker().wake_by_ref();
+                            Poll::Pending
+                        }
+                    })
+                    .await;
+                }
+            });
+        }
+        assert_eq!(pool.run_until_stalled(), 2);
+        let log = log.borrow();
+        assert_eq!(log.len(), 6);
+        // Strict alternation: the turn counter orders every step.
+        for (k, &(me, t)) in log.iter().enumerate() {
+            assert_eq!(t as usize, k);
+            assert_eq!(me as usize, k % 2);
+        }
+    }
+
+    #[test]
+    fn wake_from_another_thread_reaches_a_local_pool_task() {
+        let (tx, rx) = oneshot::channel::<u64>();
+        let got = Rc::new(RefCell::new(None));
+        let mut pool = LocalPool::new();
+        {
+            let got = Rc::clone(&got);
+            pool.spawn(async move {
+                *got.borrow_mut() = Some(rx.await.unwrap());
+            });
+        }
+        assert_eq!(pool.run_until_stalled(), 0);
+        let handle = std::thread::spawn(move || tx.send(99).unwrap());
+        handle.join().unwrap();
+        assert_eq!(pool.run_until_stalled(), 1);
+        assert_eq!(*got.borrow(), Some(99));
+    }
+}

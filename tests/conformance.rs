@@ -9,14 +9,13 @@
 //! carve-outs, in both farm PNT shapes (point-to-point star and Fig. 1's
 //! explicit-router ring). CI runs this file with `SKIPPER_WORKERS=1` and
 //! `=4` so degenerate single-worker scheduling and a fixed multi-worker
-//! configuration are both exercised on every push (`configured_workers`
+//! configuration are both exercised on every push (`Workers::FromEnv`
 //! feeds the kit's worker-count sweep and sizes `PoolBackend::new`).
 
-use skipper::conformance::{assert_backend_conforms, worker_counts};
-use skipper::{configured_workers, HostBackend, PoolBackend, SeqBackend, ThreadBackend};
+use skipper::conformance::{assert_backend_conforms, assert_serving_conforms, worker_counts};
+use skipper::{HostBackend, PoolBackend, SeqBackend, ThreadBackend, Workers};
 use skipper_exec::SimBackend;
 use skipper_net::FarmShape;
-use std::num::NonZeroUsize;
 
 #[test]
 fn seq_backend_conforms() {
@@ -30,9 +29,7 @@ fn thread_backend_conforms() {
 
 #[test]
 fn thread_backend_with_worker_override_conforms() {
-    assert_backend_conforms(&ThreadBackend::with_workers(
-        NonZeroUsize::new(2).expect("2 is nonzero"),
-    ));
+    assert_backend_conforms(&ThreadBackend::configured(Workers::exact(2)));
 }
 
 #[test]
@@ -42,9 +39,7 @@ fn pool_backend_conforms() {
 
 #[test]
 fn pool_backend_single_thread_conforms() {
-    assert_backend_conforms(&PoolBackend::with_workers(
-        NonZeroUsize::new(1).expect("1 is nonzero"),
-    ));
+    assert_backend_conforms(&PoolBackend::configured(Workers::exact(1)));
 }
 
 #[test]
@@ -53,6 +48,18 @@ fn pool_backend_clone_shares_the_pool_and_conforms() {
     let clone = backend.clone();
     assert_backend_conforms(&backend);
     assert_backend_conforms(&clone);
+}
+
+#[test]
+fn pool_backend_serving_conforms() {
+    // The serving axis: concurrent multiplexed streams over the shared
+    // pool must match sequential prepared goldens, stream for stream.
+    assert_serving_conforms(&PoolBackend::new());
+}
+
+#[test]
+fn pool_backend_single_thread_serving_conforms() {
+    assert_serving_conforms(&PoolBackend::configured(Workers::exact(1)));
 }
 
 #[test]
@@ -89,5 +96,5 @@ fn worker_counts_include_the_environment_override() {
     // default locally), the sweep must include it alongside 1.
     let counts = worker_counts();
     assert!(counts.contains(&1));
-    assert!(counts.contains(&configured_workers().get()));
+    assert!(counts.contains(&Workers::FromEnv.resolve_or_default().get()));
 }
