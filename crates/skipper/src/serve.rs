@@ -620,7 +620,7 @@ mod tests {
 
     /// The shared test body: `(z, b) -> (z + b, z + b)` as a 2-way scm
     /// (fn pointers, so the program is `Sync` and lifetime-polymorphic).
-    fn running_sum() -> impl for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)> + Sync {
+    pub(crate) fn running_sum() -> impl for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)> + Sync {
         fn split(pair: &(u64, u64), n: usize) -> Vec<(u64, u64)> {
             let mut parts = vec![(pair.0, pair.1 / 2), (0, pair.1 - pair.1 / 2)];
             parts.truncate(n.max(1));
@@ -894,5 +894,37 @@ mod tests {
             assert_eq!(outcome.streams[s as usize].state, z_ref);
             assert_eq!(outcome.streams[s as usize].outputs, y_ref);
         }
+    }
+}
+
+#[cfg(test)]
+mod repro_hang {
+    use super::*;
+    use crate::program::Workers;
+    use crate::stream_of;
+
+    #[test]
+    fn reject_exhaustion_wakes_the_task() {
+        let body = tests::running_sum();
+        // Stream 0 keeps the single global slot occupied; stream 1's only
+        // frame arrives later, gets rejected at a full door, and the
+        // source exhausts while task 1 is parked.
+        let streams = vec![
+            StreamSpec::eager(0u64, stream_of((0..2000u64).collect::<Vec<_>>())),
+            StreamSpec::timed(0u64, vec![TimedFrame::at(1_000_000, 9)]),
+        ];
+        let cfg = ServeConfig {
+            max_in_flight: 1,
+            per_stream_queue: 1,
+            max_batch: 1,
+            admission: AdmissionPolicy::Reject,
+        };
+        let outcome = serve(
+            &PoolBackend::configured(Workers::exact(2)),
+            &body,
+            streams,
+            cfg,
+        );
+        assert_eq!(outcome.streams[0].outputs.len(), 2000);
     }
 }
