@@ -4,15 +4,17 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e16 index
+//! experiments --list            # print the e1–e17 index
 //! experiments --streams 256 e16 # serving experiment at a chosen scale
 //! ```
 //!
-//! `--backend {seq,thread,pool,sim}` selects the execution strategy for
-//! the host-side experiments (E9/E10/E11); the simulator experiments
-//! (E1–E8, E12) always run the paper pipeline. `--streams N` sizes the
-//! serving experiment (E16, default 128). Exits with a nonzero
-//! status when asked for an unknown experiment id or backend.
+//! `--backend {seq,thread,pool,shard,dist,sim}` selects the execution
+//! strategy for the host-side experiments (E9/E10/E11); the simulator
+//! experiments (E1–E8, E12) always run the paper pipeline, and the
+//! distributed ladder (E17) always compares pool, shard and worker
+//! processes. `--streams N` sizes the serving experiment (E16, default
+//! 128). Exits with a nonzero status when asked for an unknown
+//! experiment id or backend.
 
 use skipper_bench::experiments as ex;
 use std::process::ExitCode;
@@ -24,7 +26,9 @@ fn print_index() {
     }
     println!("  all  run every experiment in order");
     println!("options:");
-    println!("  --backend {{seq,thread,pool,sim}}  host-side execution strategy (default thread)");
+    println!(
+        "  --backend {{seq,thread,pool,shard,dist,sim}}  host-side execution strategy (default thread)"
+    );
     println!(
         "  --streams N                      stream count for the serving experiment (default 128)"
     );
@@ -68,7 +72,7 @@ fn main() -> ExitCode {
             match it.next() {
                 Some(v) => Some(v),
                 None => {
-                    eprintln!("--backend needs a value (seq, thread, pool or sim)");
+                    eprintln!("--backend needs a value (seq, thread, pool, shard, dist or sim)");
                     return ExitCode::FAILURE;
                 }
             }
@@ -105,7 +109,7 @@ fn main() -> ExitCode {
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e16)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e17)");
                     return ExitCode::FAILURE;
                 }
             },

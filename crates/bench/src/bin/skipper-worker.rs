@@ -1,0 +1,24 @@
+//! The SKiPPER distributed worker process.
+//!
+//! Speaks the canonical wire protocol of [`skipper::dist`] over
+//! stdin/stdout: a version-checked `hello` handshake, then `job` /
+//! `map-df` requests until `shutdown` (or EOF). A `DistBackend` master
+//! spawns a fleet of these as child processes; the worker's degree of
+//! local parallelism follows `SKIPPER_WORKERS`, which child processes
+//! inherit from the master's environment.
+//!
+//! Diagnostics go to stderr — stdout belongs to the wire protocol.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match skipper::dist::serve_connection(stdin.lock(), stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("skipper-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -41,6 +41,13 @@ pub enum BackendChoice {
     Thread,
     /// `PoolBackend`: one persistent work-stealing pool for all runs.
     Pool,
+    /// `ShardBackend`: two partition-routed worker pools.
+    Shard,
+    /// `DistBackend`: master/worker OS processes. Host-side experiments
+    /// carry payloads that are not wire-encodable, so this selects the
+    /// sharded in-process stand-in there; the real process fleet is
+    /// exercised by E17.
+    Dist,
     /// `SimBackend`: the simulated Transputer machine, where lowerable.
     Sim,
 }
@@ -57,9 +64,11 @@ impl std::str::FromStr for BackendChoice {
             "seq" => Ok(BackendChoice::Seq),
             "thread" | "threads" => Ok(BackendChoice::Thread),
             "pool" => Ok(BackendChoice::Pool),
+            "shard" => Ok(BackendChoice::Shard),
+            "dist" => Ok(BackendChoice::Dist),
             "sim" => Ok(BackendChoice::Sim),
             other => Err(format!(
-                "unknown backend `{other}` (expected seq, thread, pool or sim)"
+                "unknown backend `{other}` (expected seq, thread, pool, shard, dist or sim)"
             )),
         }
     }
@@ -100,11 +109,17 @@ fn host_backend() -> skipper::HostBackend {
         BackendChoice::Seq | BackendChoice::Sim => skipper::HostBackend::Seq,
         BackendChoice::Thread => skipper::HostBackend::Thread(skipper::ThreadBackend::new()),
         BackendChoice::Pool => skipper::HostBackend::Pool(skipper::PoolBackend::new()),
+        // `dist` maps to the sharded stand-in here: host-side payloads
+        // (images, tracker state) are not wire-encodable, and E17 owns
+        // the real worker-process fleet.
+        BackendChoice::Shard | BackendChoice::Dist => {
+            skipper::HostBackend::Shard(skipper::ShardBackend::new(2))
+        }
     }
 }
 
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 16] = [
+pub const INDEX: [(&str, &str, fn()); 17] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -141,9 +156,14 @@ pub const INDEX: [(&str, &str, fn()); 16] = [
         "async frame serving: 100+ open-loop streams over one shared pool",
         e16,
     ),
+    (
+        "e17",
+        "distributed farming: pool vs shard vs worker processes, receipt-verified",
+        e17,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e16"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e17"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -1070,12 +1090,20 @@ fn serving_frame(stream: usize, k: usize) -> Vec<u64> {
 
 /// Renders the E16 report as the `BENCH_serving.json` document (hand
 /// rolled — the container has no serde; the schema is pinned by a unit
-/// test here and parsed for the p50/p95/p99 fields in CI).
+/// test here and parsed for the latency fields in CI).
+///
+/// The `receipt` object carries only the input/output canonical hashes:
+/// batch composition under open-loop timed traffic is timing-dependent,
+/// so a serving run has no canonical trace to hash. Hashes are emitted
+/// as hex strings — JSON readers with 53-bit numbers must not round
+/// them.
 pub fn serving_json(
     workers: usize,
     streams: usize,
     frames_per_stream: usize,
     report: &skipper::ServeReport,
+    input_hash: u64,
+    output_hash: u64,
 ) -> String {
     format!(
         "{{\n  \"experiment\": \"e16\",\n  \"backend\": \"pool\",\n  \"policy\": \"block\",\n  \
@@ -1083,7 +1111,9 @@ pub fn serving_json(
          \"frames_per_stream\": {frames_per_stream},\n  \"served\": {},\n  \
          \"rejected\": {},\n  \"batches\": {},\n  \"elapsed_ns\": {},\n  \
          \"throughput_fps\": {:.1},\n  \"latency_ns\": {{\n    \"p50\": {},\n    \
-         \"p95\": {},\n    \"p99\": {}\n  }}\n}}\n",
+         \"p95\": {},\n    \"p99\": {},\n    \"mean\": {:.1}\n  }},\n  \
+         \"receipt\": {{\n    \"input_hash\": \"0x{input_hash:016x}\",\n    \
+         \"output_hash\": \"0x{output_hash:016x}\"\n  }}\n}}\n",
         report.served,
         report.rejected,
         report.batches,
@@ -1092,6 +1122,7 @@ pub fn serving_json(
         report.latency_percentile_ns(50.0),
         report.latency_percentile_ns(95.0),
         report.latency_percentile_ns(99.0),
+        report.latency_mean_ns(),
     )
 }
 
@@ -1160,13 +1191,40 @@ pub fn run_serving_experiment(
         report.throughput_fps()
     );
     println!(
-        "frame latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+        "frame latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, mean {:.1} us",
         report.latency_percentile_ns(50.0) as f64 / 1e3,
         report.latency_percentile_ns(95.0) as f64 / 1e3,
         report.latency_percentile_ns(99.0) as f64 / 1e3,
+        report.latency_mean_ns() / 1e3,
     );
+    // Receipt hashes over the deterministic halves of the run: the full
+    // timed workload in, the per-stream (state, outputs) results out.
+    // (Batch composition is timing-dependent, so there is no canonical
+    // trace for a serving run — see `serving_json`.)
+    let all_frames: Vec<Vec<Vec<u64>>> = (0..n_streams)
+        .map(|s| {
+            (0..frames_per_stream)
+                .map(|k| serving_frame(s, k))
+                .collect()
+        })
+        .collect();
+    let input_hash = skipper::receipt::wire_hash(&all_frames);
+    let results: Vec<(u64, Vec<u64>)> = outcome
+        .streams
+        .iter()
+        .map(|s| (s.state, s.outputs.clone()))
+        .collect();
+    let output_hash = skipper::receipt::wire_hash(&results);
+    println!("receipt: input 0x{input_hash:016x}, output 0x{output_hash:016x}");
     if let Some(path) = json_path {
-        let json = serving_json(backend.threads(), n_streams, frames_per_stream, &report);
+        let json = serving_json(
+            backend.threads(),
+            n_streams,
+            frames_per_stream,
+            &report,
+            input_hash,
+            output_hash,
+        );
         std::fs::write(path, json).expect("write BENCH_serving.json");
         println!("wrote {}", path.display());
     }
@@ -1188,6 +1246,185 @@ pub fn e16() {
         Some(std::path::Path::new("BENCH_serving.json")),
     );
     println!("(block admission: lossless backpressure; outputs checked against sequential folds)");
+}
+
+/// Renders the E17 report as the `BENCH_dist.json` document (hand
+/// rolled — no serde in the container; the schema is pinned by a unit
+/// test here and validated in CI). `dist_*` fields are `null` when the
+/// worker binary was not locatable (e.g. an installed harness without
+/// the build tree). Receipt hashes are hex strings, as in
+/// [`serving_json`].
+#[allow(clippy::too_many_arguments)]
+pub fn dist_json(
+    items_per_frame: usize,
+    frames: usize,
+    shards: usize,
+    workers: usize,
+    dist_workers: Option<usize>,
+    pool_fps: f64,
+    shard_fps: f64,
+    dist_fps: Option<f64>,
+    receipts_match: bool,
+    receipt: &skipper::RunReceipt,
+) -> String {
+    let fmt_opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+    let fmt_opt_fps = |v: Option<f64>| v.map_or("null".to_string(), |f| format!("{f:.1}"));
+    format!(
+        "{{\n  \"experiment\": \"e17\",\n  \"items_per_frame\": {items_per_frame},\n  \
+         \"frames\": {frames},\n  \"shards\": {shards},\n  \"workers\": {workers},\n  \
+         \"dist_workers\": {},\n  \"throughput_fps\": {{\n    \"pool\": {pool_fps:.1},\n    \
+         \"shard\": {shard_fps:.1},\n    \"dist\": {}\n  }},\n  \
+         \"receipts_match\": {receipts_match},\n  \"receipt\": {{\n    \
+         \"input_hash\": \"0x{:016x}\",\n    \"trace_hash\": \"0x{:016x}\",\n    \
+         \"output_hash\": \"0x{:016x}\"\n  }}\n}}\n",
+        fmt_opt_usize(dist_workers),
+        fmt_opt_fps(dist_fps),
+        receipt.input_hash,
+        receipt.trace_hash,
+        receipt.output_hash,
+    )
+}
+
+/// Finds the `skipper-worker` binary: the `SKIPPER_WORKER_BIN` override,
+/// or a sibling of the running executable (covers both `cargo run`
+/// layouts — next to the binary, or one level up from `deps/`).
+fn locate_worker() -> Option<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("SKIPPER_WORKER_BIN") {
+        let p = std::path::PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let candidate = dir.join("skipper-worker");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// The measured core of E17, parameterised so the smoke test can run it
+/// small and without touching the filesystem. Runs the conformance `df`
+/// farm frame-by-frame on the pool, the sharded pools, and (when the
+/// worker binary is locatable) a two-process `DistBackend` fleet;
+/// asserts every backend produces the same outputs *and* the same
+/// [`skipper::RunReceipt`] per frame. Returns whether the dist rung ran.
+pub fn run_dist_experiment(
+    items_per_frame: usize,
+    frames: usize,
+    json_path: Option<&std::path::Path>,
+) -> bool {
+    use skipper::conformance::df_case;
+    use skipper::receipt::receipted;
+    use skipper::{Backend, DistBackend, PoolBackend, RunReceipt, ShardBackend};
+    const SHARDS: usize = 4;
+    const DEGREE: usize = 4;
+    const DIST_WORKERS: usize = 2;
+    let prog = df_case(DEGREE);
+    let frame_items: Vec<Vec<i64>> = (0..frames)
+        .map(|f| {
+            (0..items_per_frame)
+                .map(|i| ((f * 31 + i * 7) % 1000) as i64)
+                .collect()
+        })
+        .collect();
+    let pool = PoolBackend::new();
+    let shard = ShardBackend::new(SHARDS);
+
+    let t0 = Instant::now();
+    let pool_runs: Vec<(i64, RunReceipt)> = frame_items
+        .iter()
+        .map(|xs| receipted(&xs[..], || pool.run(&prog, &xs[..])))
+        .collect();
+    let pool_fps = frames as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t0 = Instant::now();
+    let shard_runs: Vec<(i64, RunReceipt)> = frame_items
+        .iter()
+        .map(|xs| receipted(&xs[..], || shard.run(&prog, &xs[..])))
+        .collect();
+    let shard_fps = frames as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // The run contract: identical outputs AND identical receipts
+    // (input, canonical trace, output) on every frame.
+    for (k, (p, s)) in pool_runs.iter().zip(&shard_runs).enumerate() {
+        assert_eq!(p, s, "frame {k}: shard run must equal the pool run");
+    }
+
+    let dist_stats = locate_worker().map(|path| {
+        let dist = DistBackend::spawn(DIST_WORKERS, || std::process::Command::new(&path))
+            .expect("spawn the worker fleet");
+        let t0 = Instant::now();
+        let dist_runs: Vec<(i64, RunReceipt)> = frame_items
+            .iter()
+            .map(|xs| {
+                dist.run_df_sharded(DEGREE, xs)
+                    .expect("distributed frame run")
+            })
+            .collect();
+        let dist_fps = frames as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        for (k, (p, d)) in pool_runs.iter().zip(&dist_runs).enumerate() {
+            assert_eq!(p, d, "frame {k}: dist run must equal the pool run");
+        }
+        dist.shutdown().expect("orderly fleet shutdown");
+        dist_fps
+    });
+
+    let folded = RunReceipt::fold(
+        &pool_runs
+            .iter()
+            .map(|&(_, r)| r)
+            .collect::<Vec<RunReceipt>>(),
+    );
+    println!(
+        "items/frame: {items_per_frame}, frames: {frames}, farm degree: {DEGREE}, \
+         pool threads: {}, shards: {SHARDS}",
+        pool.threads()
+    );
+    println!("pool : {pool_fps:>10.1} frames/s");
+    println!("shard: {shard_fps:>10.1} frames/s");
+    match dist_stats {
+        Some(fps) => println!("dist : {fps:>10.1} frames/s  ({DIST_WORKERS} worker processes)"),
+        None => println!("dist : skipped (skipper-worker binary not found)"),
+    }
+    println!(
+        "receipt (folded over {frames} frames): input 0x{:016x}, trace 0x{:016x}, \
+         output 0x{:016x}",
+        folded.input_hash, folded.trace_hash, folded.output_hash
+    );
+    if let Some(path) = json_path {
+        let json = dist_json(
+            items_per_frame,
+            frames,
+            SHARDS,
+            pool.threads(),
+            dist_stats.map(|_| DIST_WORKERS),
+            pool_fps,
+            shard_fps,
+            dist_stats,
+            true,
+            &folded,
+        );
+        std::fs::write(path, json).expect("write BENCH_dist.json");
+        println!("wrote {}", path.display());
+    }
+    dist_stats.is_some()
+}
+
+/// E17 — the distributed ladder: the same `df` farm run frame-by-frame
+/// on one pool, on partition-routed shards, and on a fleet of worker
+/// *processes* speaking the canonical wire protocol; every rung must
+/// produce identical outputs and identical run receipts. Emits
+/// `BENCH_dist.json`.
+pub fn e17() {
+    header(
+        "E17",
+        "distributed farming: pool vs shard vs worker processes",
+    );
+    run_dist_experiment(4096, 64, Some(std::path::Path::new("BENCH_dist.json")));
+    println!("(equal receipts = equal input, canonical schedule and output on every rung)");
 }
 
 /// Runs every experiment in order.
@@ -1242,6 +1479,65 @@ mod tests {
     }
 
     #[test]
+    fn e17_smoke() {
+        // Small but real: pool and shard rungs always run and must agree
+        // receipt-for-receipt; the dist rung runs when cargo has put the
+        // worker binary in the target dir (tolerated either way — the CI
+        // job asserts the dist rung explicitly).
+        super::run_dist_experiment(256, 4, None);
+    }
+
+    #[test]
+    fn dist_json_schema_has_the_pinned_fields() {
+        let receipt = skipper::RunReceipt {
+            input_hash: 0x0123_4567_89ab_cdef,
+            trace_hash: 0x1122_3344_5566_7788,
+            output_hash: 0xfeed_face_cafe_f00d,
+        };
+        let json = super::dist_json(
+            4096,
+            64,
+            4,
+            8,
+            Some(2),
+            950.5,
+            900.25,
+            Some(420.0),
+            true,
+            &receipt,
+        );
+        for key in [
+            "\"experiment\": \"e17\"",
+            "\"items_per_frame\": 4096",
+            "\"frames\": 64",
+            "\"shards\": 4",
+            "\"workers\": 8",
+            "\"dist_workers\": 2",
+            "\"throughput_fps\"",
+            "\"pool\": 950.5",
+            "\"shard\": 900.2",
+            "\"dist\": 420.0",
+            "\"receipts_match\": true",
+            "\"receipt\"",
+            "\"input_hash\": \"0x0123456789abcdef\"",
+            "\"trace_hash\": \"0x1122334455667788\"",
+            "\"output_hash\": \"0xfeedfacecafef00d\"",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in:\n{json}");
+        }
+        // The dist-less layout emits nulls, not absent keys: the schema
+        // is fixed either way.
+        let skipped = super::dist_json(16, 2, 4, 8, None, 1.0, 1.0, None, true, &receipt);
+        assert!(skipped.contains("\"dist_workers\": null"));
+        assert!(skipped.contains("\"dist\": null"));
+        for json in [&json, &skipped] {
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert!(!json.contains(",\n}"));
+            assert!(!json.contains(",}"));
+        }
+    }
+
+    #[test]
     fn serving_json_schema_has_the_pinned_fields() {
         let report = skipper::ServeReport {
             served: 5120,
@@ -1251,9 +1547,16 @@ mod tests {
             latencies_ns: (1..=100u64).map(|i| i * 1000).collect(),
             batch_trace: Vec::new(),
         };
-        let json = super::serving_json(4, 128, 40, &report);
-        // The schema CI validates: top-level counters plus the latency
-        // percentile object.
+        let json = super::serving_json(
+            4,
+            128,
+            40,
+            &report,
+            0x0123_4567_89ab_cdef,
+            0xfeed_face_cafe_f00d,
+        );
+        // The schema CI validates: top-level counters, the latency
+        // object (percentiles + mean) and the receipt hashes.
         for key in [
             "\"experiment\": \"e16\"",
             "\"backend\": \"pool\"",
@@ -1270,6 +1573,10 @@ mod tests {
             "\"p50\": 50000",
             "\"p95\": 95000",
             "\"p99\": 99000",
+            "\"mean\": 50500.0",
+            "\"receipt\"",
+            "\"input_hash\": \"0x0123456789abcdef\"",
+            "\"output_hash\": \"0xfeedfacecafef00d\"",
         ] {
             assert!(json.contains(key), "missing `{key}` in:\n{json}");
         }

@@ -1,0 +1,49 @@
+//! Process-level conformance for the distributed backend: a real
+//! `skipper-worker` fleet (separate OS processes, stdin/stdout pipes,
+//! the canonical wire protocol) must pass the same conformance matrix
+//! as every in-process backend, and must produce **identical run
+//! receipts** — input hash, canonical-trace hash, output hash — to the
+//! pool and shard backends on every case, input and worker count.
+//!
+//! This lives in the bench crate because cargo only exposes
+//! `CARGO_BIN_EXE_skipper-worker` to the tests of the crate that builds
+//! the binary.
+
+use skipper::conformance::{assert_backend_conforms, assert_receipts_match};
+use skipper::{DistBackend, PoolBackend, ShardBackend};
+use std::process::Command;
+
+fn fleet(n: usize) -> DistBackend {
+    DistBackend::spawn(n, || Command::new(env!("CARGO_BIN_EXE_skipper-worker")))
+        .expect("spawn the skipper-worker fleet")
+}
+
+#[test]
+fn dist_backend_passes_the_full_conformance_matrix() {
+    let dist = fleet(2);
+    assert_backend_conforms(&dist);
+    dist.shutdown().expect("orderly fleet shutdown");
+}
+
+#[test]
+fn dist_receipts_equal_pool_receipts() {
+    let dist = fleet(2);
+    assert_receipts_match(&PoolBackend::new(), &dist);
+    dist.shutdown().expect("orderly fleet shutdown");
+}
+
+#[test]
+fn dist_receipts_equal_shard_receipts() {
+    // Deliberately mismatched fleet/shard sizes: receipts are a
+    // property of the run, not of the worker topology.
+    let dist = fleet(3);
+    assert_receipts_match(&ShardBackend::new(2), &dist);
+    dist.shutdown().expect("orderly fleet shutdown");
+}
+
+#[test]
+fn a_single_worker_fleet_still_conforms() {
+    let dist = fleet(1);
+    assert_backend_conforms(&dist);
+    dist.shutdown().expect("orderly fleet shutdown");
+}

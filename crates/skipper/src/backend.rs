@@ -204,28 +204,9 @@ impl ThreadBackend {
         ThreadBackend { workers }
     }
 
-    /// A thread backend that executes programs with `workers` threads
-    /// instead of each program's own degree.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ThreadBackend::configured(Workers::Exact(n))`"
-    )]
-    pub fn with_workers(workers: NonZeroUsize) -> Self {
-        ThreadBackend::configured(Workers::Exact(workers))
-    }
-
     /// The worker configuration this backend was built with.
     pub fn worker_config(&self) -> Workers {
         self.workers
-    }
-
-    /// The configured override, if any.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `worker_config()` (or `worker_config().resolve()` for the override)"
-    )]
-    pub fn workers(&self) -> Option<NonZeroUsize> {
-        self.workers.resolve()
     }
 }
 
@@ -293,15 +274,6 @@ mod tests {
         assert_eq!(narrow.run(&farm, &xs[..]), wide.run(&farm, &xs[..]));
         assert_eq!(narrow.worker_config().resolve(), NonZeroUsize::new(1));
         assert_eq!(ThreadBackend::new().worker_config(), Workers::Default);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_configure_the_backend() {
-        // The pre-0.3 surface stays a thin shim over `configured`.
-        let old = ThreadBackend::with_workers(NonZeroUsize::new(3).unwrap());
-        assert_eq!(old, ThreadBackend::configured(Workers::exact(3)));
-        assert_eq!(old.workers(), NonZeroUsize::new(3));
     }
 
     #[test]

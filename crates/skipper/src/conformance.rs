@@ -34,6 +34,7 @@
 use crate::backend::{Backend, Executable};
 use crate::pool::PoolBackend;
 use crate::program::{default_workers, Workers};
+use crate::receipt::{receipted, RunReceipt};
 use crate::{Df, IterLoop, Pure, Scm, SeqBackend, Tf, Then, ThreadBackend};
 
 /// The `df` conformance program type.
@@ -426,6 +427,7 @@ host_harness!(SeqBackend, "SeqBackend");
 host_harness!(ThreadBackend, "ThreadBackend");
 host_harness!(PoolBackend, "PoolBackend");
 host_harness!(crate::HostBackend, "HostBackend");
+host_harness!(crate::dist::ShardBackend, "ShardBackend");
 
 /// The worker counts the suite sweeps: 1 (degenerate scheduling), 2, the
 /// host default ([`default_workers`]) and the environment override
@@ -815,6 +817,209 @@ pub fn assert_backend_conforms<H: ConformanceHarness>(h: &H) {
         check_itermem_tf_prepared(h, workers);
         check_nested_loop_prepared(h, workers);
         check_itermem_then_prepared(h, workers);
+    }
+}
+
+/// The **receipt axis** of the contract: every conformance case run
+/// under a [`crate::receipt`] scope, yielding the output *plus* a
+/// [`RunReceipt`].
+///
+/// The default methods wrap the plain [`ConformanceHarness`] runs in
+/// [`receipted`] on the calling thread — correct for every in-process
+/// backend, because the canonical trace is recorded at dispatch on the
+/// master thread. [`crate::DistBackend`] overrides them to return the
+/// receipts its worker *processes* computed and shipped back over the
+/// wire — which is the whole point of the axis: the receipts must still
+/// be identical.
+pub trait ReceiptHarness: ConformanceHarness {
+    /// Runs the [`df_case`] under a receipt scope.
+    fn receipt_df(&self, prog: &DfProg, xs: &[i64]) -> (i64, RunReceipt) {
+        receipted(xs, || self.run_df(prog, xs))
+    }
+
+    /// Runs the [`scm_case`] under a receipt scope.
+    #[allow(clippy::ptr_arg)] // `&Vec` is the program's input type.
+    fn receipt_scm(&self, prog: &ScmProg, input: &Vec<i64>) -> (Vec<i64>, RunReceipt) {
+        receipted(input, || self.run_scm(prog, input))
+    }
+
+    /// Runs the [`tf_case`] under a receipt scope.
+    fn receipt_tf(&self, prog: &TfProg, roots: Vec<u64>) -> (u64, RunReceipt) {
+        receipted(&roots, || self.run_tf(prog, roots.clone()))
+    }
+
+    /// Runs the [`then_case`] under a receipt scope.
+    fn receipt_then(&self, prog: &ThenProg, xs: &[i64]) -> ((i64, i64), RunReceipt) {
+        receipted(xs, || self.run_then(prog, xs))
+    }
+
+    /// Runs the [`itermem_case`] under a receipt scope.
+    fn receipt_itermem(&self, prog: &LoopProg, frames: Vec<i64>) -> ((i64, Vec<i64>), RunReceipt) {
+        receipted(&frames, || self.run_itermem(prog, frames.clone()))
+    }
+
+    /// Runs the [`itermem_df_case`] under a receipt scope.
+    fn receipt_itermem_df(
+        &self,
+        prog: &LoopDfProg,
+        frames: Vec<Vec<i64>>,
+    ) -> ((i64, Vec<i64>), RunReceipt) {
+        receipted(&frames, || self.run_itermem_df(prog, frames.clone()))
+    }
+
+    /// Runs the [`itermem_tf_case`] under a receipt scope.
+    fn receipt_itermem_tf(
+        &self,
+        prog: &LoopTfProg,
+        frames: Vec<Vec<u64>>,
+    ) -> ((u64, Vec<u64>), RunReceipt) {
+        receipted(&frames, || self.run_itermem_tf(prog, frames.clone()))
+    }
+
+    /// Runs the [`nested_loop_case`] under a receipt scope.
+    fn receipt_nested_loop(
+        &self,
+        prog: &NestedLoopProg,
+        bursts: Vec<Vec<i64>>,
+    ) -> ((i64, Vec<Vec<i64>>), RunReceipt) {
+        receipted(&bursts, || self.run_nested_loop(prog, bursts.clone()))
+    }
+
+    /// Runs the [`itermem_then_case`] under a receipt scope.
+    fn receipt_itermem_then(
+        &self,
+        prog: &LoopThenProg,
+        frames: Vec<i64>,
+    ) -> ((i64, Vec<i64>), RunReceipt) {
+        receipted(&frames, || self.run_itermem_then(prog, frames.clone()))
+    }
+}
+
+impl ReceiptHarness for SeqBackend {}
+impl ReceiptHarness for ThreadBackend {}
+impl ReceiptHarness for PoolBackend {}
+impl ReceiptHarness for crate::HostBackend {}
+impl ReceiptHarness for crate::dist::ShardBackend {}
+
+/// Asserts the receipt axis across two harnesses: for every conformance
+/// case, every input of the matrix and every [`worker_counts`] entry,
+/// both backends must produce the same output **and** the same full
+/// [`RunReceipt`] — equal `input_hash` (they hashed the same canonical
+/// bytes), equal `trace_hash` (they made the same logical scheduling
+/// decisions) and equal `output_hash`. Panics with a case-identifying
+/// message on the first divergence.
+pub fn assert_receipts_match<A: ReceiptHarness, B: ReceiptHarness>(a: &A, b: &B) {
+    fn check<O: PartialEq + std::fmt::Debug>(
+        case: &str,
+        workers: usize,
+        names: (&str, &str),
+        (ao, ar): (O, RunReceipt),
+        (bo, br): (O, RunReceipt),
+    ) {
+        assert_eq!(
+            ao, bo,
+            "{case} outputs diverged between `{}` and `{}` (workers={workers})",
+            names.0, names.1
+        );
+        assert_eq!(
+            ar, br,
+            "{case} receipts diverged between `{}` and `{}` (workers={workers})",
+            names.0, names.1
+        );
+    }
+    let names = (a.name(), b.name());
+    let names = (names.0.as_str(), names.1.as_str());
+    for &workers in &worker_counts() {
+        let prog = df_case(workers);
+        for xs in list_inputs() {
+            check(
+                "df",
+                workers,
+                names,
+                a.receipt_df(&prog, &xs),
+                b.receipt_df(&prog, &xs),
+            );
+        }
+        let prog = scm_case(workers);
+        for xs in list_inputs() {
+            check(
+                "scm",
+                workers,
+                names,
+                a.receipt_scm(&prog, &xs),
+                b.receipt_scm(&prog, &xs),
+            );
+        }
+        let prog = tf_case(workers);
+        for roots in root_inputs() {
+            check(
+                "tf",
+                workers,
+                names,
+                a.receipt_tf(&prog, roots.clone()),
+                b.receipt_tf(&prog, roots),
+            );
+        }
+        let prog = then_case(workers);
+        for xs in list_inputs() {
+            check(
+                "then",
+                workers,
+                names,
+                a.receipt_then(&prog, &xs),
+                b.receipt_then(&prog, &xs),
+            );
+        }
+        let prog = itermem_case(workers);
+        for frames in frame_inputs() {
+            check(
+                "itermem",
+                workers,
+                names,
+                a.receipt_itermem(&prog, frames.clone()),
+                b.receipt_itermem(&prog, frames),
+            );
+        }
+        let prog = itermem_df_case(workers);
+        for frames in list_frame_inputs() {
+            check(
+                "itermem(df)",
+                workers,
+                names,
+                a.receipt_itermem_df(&prog, frames.clone()),
+                b.receipt_itermem_df(&prog, frames),
+            );
+        }
+        let prog = itermem_tf_case(workers);
+        for frames in root_frame_inputs() {
+            check(
+                "itermem(tf)",
+                workers,
+                names,
+                a.receipt_itermem_tf(&prog, frames.clone()),
+                b.receipt_itermem_tf(&prog, frames),
+            );
+        }
+        let prog = nested_loop_case(workers);
+        for bursts in burst_inputs() {
+            check(
+                "nested loop",
+                workers,
+                names,
+                a.receipt_nested_loop(&prog, bursts.clone()),
+                b.receipt_nested_loop(&prog, bursts),
+            );
+        }
+        let prog = itermem_then_case(workers);
+        for frames in frame_inputs() {
+            check(
+                "itermem(then)",
+                workers,
+                names,
+                a.receipt_itermem_then(&prog, frames.clone()),
+                b.receipt_itermem_then(&prog, frames),
+            );
+        }
     }
 }
 

@@ -192,6 +192,7 @@ where
     type Output = Z;
 
     fn run_declarative(&self, xs: &'a [I]) -> Z {
+        crate::receipt::record_assigns(xs.len());
         crate::spec::df(self.workers(), &self.comp, &self.acc, self.init.clone(), xs)
     }
 
@@ -210,6 +211,9 @@ impl<C, A, Z> Df<C, A, Z> {
         I: Sync,
         O: Send,
     {
+        // The canonical trace logs the farm round at dispatch, on the
+        // calling thread — identically on every backend.
+        crate::receipt::record_assigns(xs.len());
         let n = workers.unwrap_or(self.workers).get();
         let mut z = Some(seed);
         self.farm(xs, n, |rx| {
@@ -241,6 +245,7 @@ where
     type Output = (Z, Z);
 
     fn run_declarative(&self, t: &'a (Z, Vec<I>)) -> (Z, Z) {
+        crate::receipt::record_assigns(t.1.len());
         let z = crate::spec::df(self.workers(), &self.comp, &self.acc, t.0.clone(), &t.1);
         (z.clone(), z)
     }

@@ -57,9 +57,22 @@
 //!   generation, and executes it on the simulated Transputer machine —
 //!   the full paper pipeline, used for latency and scaling studies.
 //!
+//! - [`ShardBackend`] partitions farm traffic over
+//!   **N independent worker pools** by a deterministic item hash
+//!   ([`receipt::partition`]) — the single-machine rehearsal of
+//!   distribution.
+//! - [`DistBackend`] runs master and workers as
+//!   **separate OS processes** speaking the canonical [`wire`] encoding
+//!   over stdin/stdout pipes, with handshake, version check and orderly
+//!   shutdown (see [`dist`]).
+//!
 //! [`HostBackend`] selects among the host strategies at runtime (e.g.
 //! from a CLI flag), and every backend is validated against the shared
-//! contract suite in [`conformance`].
+//! contract suite in [`conformance`] — including the **receipt axis**
+//! ([`conformance::assert_receipts_match`]): every run can record a
+//! canonical trace and fold it into a
+//! [`RunReceipt`] whose `trace_hash`/`output_hash`
+//! must agree across backends and processes (see [`receipt`]).
 //!
 //! Every backend splits execution into a **prepare** phase
 //! ([`Backend::prepare`], compiling the program into an [`Executable`]:
@@ -88,26 +101,29 @@
 pub mod backend;
 pub mod conformance;
 pub mod df;
+pub mod dist;
 pub mod itermem;
 pub mod pool;
 pub mod program;
+pub mod receipt;
 pub mod scm;
 pub mod serve;
 pub mod spec;
 pub mod tf;
+pub mod wire;
 
 pub use backend::{
     Backend, Executable, SeqBackend, SeqExecutable, ThreadBackend, ThreadExecutable,
 };
 pub use df::Df;
+pub use dist::{DistBackend, DistError, ShardBackend, ShardExecutable, ShardRun};
 pub use itermem::{frames_from_fn, stream_of, BoundedSource, FrameSource, IterMem, VecSource};
 pub use pool::{HostBackend, HostExecutable, PoolBackend, PoolExecutable, PoolRun, WorkerPool};
-#[allow(deprecated)]
-pub use program::configured_workers;
 pub use program::{
     default_workers, df, itermem, pure, scm, tf, Compose, CostModel, IterLoop, Pure, Skeleton,
     Then, Workers,
 };
+pub use receipt::{receipted, RunReceipt};
 pub use scm::Scm;
 pub use serve::{
     serve, AdmissionPolicy, ServeConfig, ServeOutcome, ServeReport, StreamResult, StreamSpec,

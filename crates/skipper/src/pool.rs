@@ -398,15 +398,6 @@ impl PoolBackend {
         }
     }
 
-    /// A pool backend with exactly `threads` persistent threads.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `PoolBackend::configured(Workers::Exact(n))`"
-    )]
-    pub fn with_workers(threads: NonZeroUsize) -> Self {
-        PoolBackend::configured(Workers::Exact(threads))
-    }
-
     /// The worker configuration this backend was built with (already
     /// resolved into the pool size — see [`threads`](PoolBackend::threads)
     /// for the concrete count).
@@ -416,12 +407,6 @@ impl PoolBackend {
 
     /// Number of persistent pool threads.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
-    }
-
-    /// Number of persistent pool threads.
-    #[deprecated(since = "0.2.0", note = "use `threads()`")]
-    pub fn workers(&self) -> usize {
         self.pool.threads()
     }
 
@@ -508,6 +493,10 @@ where
     I: Sync,
     O: Send,
 {
+    // Canonical trace: the farm round is logged at dispatch, on the
+    // calling thread, before any job is pushed — so the trace matches
+    // the declarative and threaded backends event for event.
+    crate::receipt::record_assigns(xs.len());
     let len = xs.len();
     if len == 0 {
         return seed;
@@ -584,6 +573,7 @@ where
     fn run_pooled(&self, pool: &WorkerPool, x: &'a I) -> R {
         let frags = (self.split_fn())(x, self.workers());
         let count = frags.len();
+        crate::receipt::record_assigns(count);
         if count == 0 {
             return (self.merge_fn())(Vec::new());
         }
@@ -631,6 +621,10 @@ where
     T: Send,
     O: Send,
 {
+    // Canonical trace: root tasks only, logged at dispatch (subtask
+    // elaboration is intra-partition and untraced) — see `Tf`'s
+    // `fold_threaded`.
+    crate::receipt::record_assigns(tasks.len());
     if tasks.is_empty() {
         return seed;
     }
@@ -754,7 +748,8 @@ where
     fn run_pooled(&self, pool: &WorkerPool, frames: Vec<B>) -> (Z, Vec<Y>) {
         let mut z = self.init().clone();
         let mut ys = Vec::with_capacity(frames.len());
-        for b in frames {
+        for (i, b) in frames.into_iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b);
             let (z2, y) = self.body().run_pooled(pool, &pair);
             z = z2;
@@ -776,7 +771,8 @@ where
     fn run_pooled(&self, pool: &WorkerPool, t: &'a (Z, Vec<B>)) -> (Z, Vec<Y>) {
         let mut z = t.0.clone();
         let mut ys = Vec::with_capacity(t.1.len());
-        for b in &t.1 {
+        for (i, b) in t.1.iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b.clone());
             let (z2, y) = self.body().run_pooled(pool, &pair);
             z = z2;
@@ -806,6 +802,9 @@ pub enum HostBackend {
     Thread(crate::ThreadBackend),
     /// Persistent work-stealing pool ([`PoolBackend`]).
     Pool(PoolBackend),
+    /// Hash-partitioned shards over independent pools
+    /// ([`crate::dist::ShardBackend`]); the CLI form uses two shards.
+    Shard(crate::dist::ShardBackend),
 }
 
 impl HostBackend {
@@ -822,18 +821,22 @@ impl HostBackend {
                 workers,
             ))),
             "pool" => Ok(HostBackend::Pool(PoolBackend::configured(workers))),
+            "shard" => Ok(HostBackend::Shard(crate::dist::ShardBackend::configured(
+                2, workers,
+            ))),
             other => Err(format!(
-                "unknown host backend `{other}` (expected seq, thread or pool)"
+                "unknown host backend `{other}` (expected seq, thread, pool or shard)"
             )),
         }
     }
 
-    /// The strategy's CLI name (`seq`, `thread` or `pool`).
+    /// The strategy's CLI name (`seq`, `thread`, `pool` or `shard`).
     pub fn name(&self) -> &'static str {
         match self {
             HostBackend::Seq => "seq",
             HostBackend::Thread(_) => "thread",
             HostBackend::Pool(_) => "pool",
+            HostBackend::Shard(_) => "shard",
         }
     }
 }
@@ -846,8 +849,9 @@ impl std::str::FromStr for HostBackend {
             "seq" => Ok(HostBackend::Seq),
             "thread" | "threads" => Ok(HostBackend::Thread(crate::ThreadBackend::new())),
             "pool" => Ok(HostBackend::Pool(PoolBackend::new())),
+            "shard" => Ok(HostBackend::Shard(crate::dist::ShardBackend::new(2))),
             other => Err(format!(
-                "unknown host backend `{other}` (expected seq, thread or pool)"
+                "unknown host backend `{other}` (expected seq, thread, pool or shard)"
             )),
         }
     }
@@ -863,11 +867,13 @@ pub enum HostExecutable<'p, P> {
     Thread(crate::backend::ThreadExecutable<'p, P>),
     /// Prepared pool execution.
     Pool(PoolExecutable<'p, P>),
+    /// Prepared sharded execution.
+    Shard(crate::dist::ShardExecutable<'p, P>),
 }
 
 impl<P, I> crate::backend::Executable<I> for HostExecutable<'_, P>
 where
-    P: PoolRun<I>,
+    P: PoolRun<I> + crate::dist::ShardRun<I>,
 {
     type Output = P::Output;
 
@@ -876,13 +882,14 @@ where
             HostExecutable::Seq(e) => e.run(input),
             HostExecutable::Thread(e) => e.run(input),
             HostExecutable::Pool(e) => e.run(input),
+            HostExecutable::Shard(e) => e.run(input),
         }
     }
 }
 
 impl<P, I> Backend<P, I> for HostBackend
 where
-    P: PoolRun<I>,
+    P: PoolRun<I> + crate::dist::ShardRun<I>,
 {
     type Output = P::Output;
 
@@ -897,6 +904,7 @@ where
             HostBackend::Seq => HostExecutable::Seq(crate::backend::SeqExecutable { prog }),
             HostBackend::Thread(t) => HostExecutable::Thread(t.prepare(prog)),
             HostBackend::Pool(p) => HostExecutable::Pool(p.prepare(prog)),
+            HostBackend::Shard(b) => HostExecutable::Shard(b.prepare(prog)),
         }
     }
 }
@@ -1146,7 +1154,7 @@ mod tests {
         let farm = df(2, |x: &u64| x + 1, |z: u64, y| z + y, 0u64);
         let xs = [1u64, 2, 3];
         let golden = SeqBackend.run(&farm, &xs[..]);
-        for name in ["seq", "thread", "pool"] {
+        for name in ["seq", "thread", "pool", "shard"] {
             let backend: HostBackend = name.parse().expect("parses");
             assert_eq!(backend.run(&farm, &xs[..]), golden, "backend {name}");
             assert!(!backend.name().is_empty());

@@ -79,17 +79,6 @@ fn env_workers() -> Option<NonZeroUsize> {
         .and_then(NonZeroUsize::new)
 }
 
-/// The environment-configurable degree of parallelism: the
-/// `SKIPPER_WORKERS` environment variable when it holds a positive
-/// integer, else [`default_workers`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Workers::FromEnv.resolve_or_default()` (the unified worker-config type)"
-)]
-pub fn configured_workers() -> NonZeroUsize {
-    Workers::FromEnv.resolve_or_default()
-}
-
 /// The unified worker-count configuration accepted by every host backend
 /// ([`crate::ThreadBackend::configured`], [`crate::PoolBackend::configured`],
 /// [`crate::HostBackend::configured`]) and the [`crate::conformance`]
@@ -311,7 +300,8 @@ where
     fn run_declarative(&self, frames: Vec<B>) -> (Z, Vec<Y>) {
         let mut z = self.init.clone();
         let mut ys = Vec::with_capacity(frames.len());
-        for b in frames {
+        for (i, b) in frames.into_iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b);
             let (z2, y) = self.body.run_declarative(&pair);
             z = z2;
@@ -323,7 +313,8 @@ where
     fn run_threaded(&self, frames: Vec<B>, workers: Option<NonZeroUsize>) -> (Z, Vec<Y>) {
         let mut z = self.init.clone();
         let mut ys = Vec::with_capacity(frames.len());
-        for b in frames {
+        for (i, b) in frames.into_iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b);
             let (z2, y) = self.body.run_threaded(&pair, workers);
             z = z2;
@@ -350,7 +341,8 @@ where
     fn run_declarative(&self, t: &'a (Z, Vec<B>)) -> (Z, Vec<Y>) {
         let mut z = t.0.clone();
         let mut ys = Vec::with_capacity(t.1.len());
-        for b in &t.1 {
+        for (i, b) in t.1.iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b.clone());
             let (z2, y) = self.body.run_declarative(&pair);
             z = z2;
@@ -362,7 +354,8 @@ where
     fn run_threaded(&self, t: &'a (Z, Vec<B>), workers: Option<NonZeroUsize>) -> (Z, Vec<Y>) {
         let mut z = t.0.clone();
         let mut ys = Vec::with_capacity(t.1.len());
-        for b in &t.1 {
+        for (i, b) in t.1.iter().enumerate() {
+            crate::receipt::record_frame(i as u64);
             let pair = (z, b.clone());
             let (z2, y) = self.body.run_threaded(&pair, workers);
             z = z2;
@@ -494,12 +487,6 @@ mod tests {
     fn workers_exact_rejects_zero() {
         let caught = std::panic::catch_unwind(|| Workers::exact(0));
         assert!(caught.is_err(), "Workers::exact(0) must panic");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn configured_workers_shim_matches_from_env() {
-        assert_eq!(configured_workers(), Workers::FromEnv.resolve_or_default());
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Run traces and receipt hashes: the verifiable side of the backend
+//! contract.
+//!
+//! Output equality alone says two backends *landed* in the same place;
+//! a [`RunReceipt`] additionally proves they took **equivalent
+//! schedules** to get there. Every backend records the same *canonical
+//! trace* for a given program and input — an ordered list of logical
+//! job-assignment events, written at dispatch time on the calling
+//! thread, independent of which physical worker eventually runs the
+//! job:
+//!
+//! - [`TraceEvent::Assign`] per farm item / `scm` fragment / `tf` root,
+//!   carrying the item's sequence number and its deterministic
+//!   [`partition`] (the shard a hash-partitioned backend routes it to);
+//! - [`TraceEvent::Frame`] per `itermem` loop iteration (inner loops
+//!   restart their frame numbering per burst, on every backend alike).
+//!
+//! The trace is therefore a pure function of `(program, input)`:
+//! `SeqBackend`, `ThreadBackend`, `PoolBackend`,
+//! [`ShardBackend`](crate::dist::ShardBackend) and a
+//! [`DistBackend`](crate::dist::DistBackend) worker process all produce
+//! the identical event list — and so the identical `trace_hash` — while
+//! remaining free to schedule the physical work however they like. The
+//! conformance kit's receipt axis
+//! ([`crate::conformance::assert_receipts_match`]) pins exactly this.
+//!
+//! Recording costs one thread-local flag check when off
+//! ([`trace_active`]); [`receipted`] wraps any run in a trace scope and
+//! folds the result into `RunReceipt { input_hash, trace_hash,
+//! output_hash }`, hashing input and output through their canonical
+//! wire encoding ([`crate::wire::ToWire`]). Hashes are 64-bit FNV-1a —
+//! std-only, deterministic across platforms, and strong enough to make
+//! schedule or data divergence between cooperating (non-adversarial)
+//! backends visible.
+//!
+//! ```
+//! use skipper::receipt::receipted;
+//! use skipper::{df, Backend, PoolBackend, SeqBackend};
+//!
+//! let farm = df(4, |x: &i64| x * x, |z: i64, y| z + y, 0i64);
+//! let xs: Vec<i64> = (0..32).collect();
+//! let (_, seq) = receipted(&xs, || SeqBackend.run(&farm, &xs[..]));
+//! let (_, pool) = receipted(&xs, || PoolBackend::new().run(&farm, &xs[..]));
+//! assert_eq!(seq, pool); // same input, same schedule, same output
+//! ```
+
+use crate::wire::{canonical_bytes, ToWire, WireValue};
+use std::cell::RefCell;
+
+/// The FNV-1a 64-bit offset basis (also the hash of empty input).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher (std-only; see the module docs
+/// for why FNV rather than a cryptographic digest).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The canonical wire hash of any encodable value: FNV-1a over its
+/// headerless [`canonical_bytes`]. This is the `input_hash`/`output_hash`
+/// function of every [`RunReceipt`].
+pub fn wire_hash<T: ToWire + ?Sized>(value: &T) -> u64 {
+    fnv1a(&canonical_bytes(&value.to_wire()))
+}
+
+/// Number of logical partitions farm traffic is hashed into. Shards map
+/// partitions onto pools by `part % n_shards`, so the partition of an
+/// item — and hence the canonical trace — is independent of the shard
+/// count.
+pub const PARTITIONS: u64 = 64;
+
+/// The deterministic partition of farm item `seq`: FNV-1a of its LE
+/// bytes, reduced mod [`PARTITIONS`]. Pure function of the sequence
+/// number — every backend, in every process, computes the same value.
+pub fn partition(seq: u64) -> u64 {
+    fnv1a(&seq.to_le_bytes()) % PARTITIONS
+}
+
+/// One logical scheduling event in a canonical trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Farm work unit `seq` (item, fragment or root task) dispatched to
+    /// logical partition `part` (always [`partition`]`(seq)`).
+    Assign {
+        /// Zero-based sequence number within the current farm round.
+        seq: u64,
+        /// The unit's deterministic partition.
+        part: u64,
+    },
+    /// `itermem` loop iteration `seq` started (restarting from 0 for
+    /// each inner burst).
+    Frame {
+        /// Zero-based frame number within the current loop.
+        seq: u64,
+    },
+}
+
+/// An ordered canonical trace: the job-assignment log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The events, in dispatch order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Folds the event list into a single FNV-1a hash (the empty trace
+    /// hashes to [`FNV_OFFSET`]).
+    pub fn hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Assign { seq, part } => {
+                    h.write(&[0x01]);
+                    h.write(&seq.to_le_bytes());
+                    h.write(&part.to_le_bytes());
+                }
+                TraceEvent::Frame { seq } => {
+                    h.write(&[0x02]);
+                    h.write(&seq.to_le_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+thread_local! {
+    /// The active trace sink of this thread, if a [`receipted`] scope is
+    /// open. Dispatch sites record here; `None` (the overwhelmingly
+    /// common state) makes recording a single flag check.
+    static SINK: RefCell<Option<Trace>> = const { RefCell::new(None) };
+}
+
+/// Whether a trace scope is open **on this thread**. Dispatch sites
+/// check this before doing any per-event work; recording happens on the
+/// dispatching (master) thread only — pool/shard worker threads always
+/// see `false`.
+pub fn trace_active() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Records one farm-unit assignment (no-op without an open scope).
+pub fn record_assign(seq: u64) {
+    SINK.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            trace.events.push(TraceEvent::Assign {
+                seq,
+                part: partition(seq),
+            });
+        }
+    });
+}
+
+/// Records the canonical assignment round for `count` farm units
+/// (sequence numbers `0..count`): what every backend logs when it
+/// dispatches one farm round.
+pub fn record_assigns(count: usize) {
+    if count == 0 || !trace_active() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            trace.events.reserve(count);
+            for seq in 0..count as u64 {
+                trace.events.push(TraceEvent::Assign {
+                    seq,
+                    part: partition(seq),
+                });
+            }
+        }
+    });
+}
+
+/// Records the start of loop iteration `seq` (no-op without an open
+/// scope).
+pub fn record_frame(seq: u64) {
+    SINK.with(|s| {
+        if let Some(trace) = s.borrow_mut().as_mut() {
+            trace.events.push(TraceEvent::Frame { seq });
+        }
+    });
+}
+
+/// Opens a trace scope on this thread, saving any outer scope. Use
+/// through [`receipted`]; exposed for backends (like the dist worker)
+/// that assemble receipts by hand.
+pub fn begin_trace() -> TraceScope {
+    let outer = SINK.with(|s| s.borrow_mut().replace(Trace::default()));
+    TraceScope {
+        outer,
+        finished: false,
+    }
+}
+
+/// An open trace scope (see [`begin_trace`]); dropping it without
+/// [`TraceScope::finish`] discards the recorded events and restores any
+/// outer scope (so an unwinding run cannot leak an active sink).
+#[derive(Debug)]
+pub struct TraceScope {
+    outer: Option<Trace>,
+    finished: bool,
+}
+
+impl TraceScope {
+    /// Closes the scope, restoring any outer scope, and returns the
+    /// recorded trace.
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        SINK.with(|s| {
+            let mut sink = s.borrow_mut();
+            let recorded = sink.take().unwrap_or_default();
+            *sink = self.outer.take();
+            recorded
+        })
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            SINK.with(|s| {
+                *s.borrow_mut() = self.outer.take();
+            });
+        }
+    }
+}
+
+/// A verifiable summary of one run: canonical hashes of the input, the
+/// schedule (the canonical trace) and the output. Two backends that
+/// executed equivalent runs produce **equal** receipts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReceipt {
+    /// FNV-1a over the input's canonical wire bytes.
+    pub input_hash: u64,
+    /// [`Trace::hash`] of the canonical trace.
+    pub trace_hash: u64,
+    /// FNV-1a over the output's canonical wire bytes.
+    pub output_hash: u64,
+}
+
+impl RunReceipt {
+    /// Folds per-part receipts (per frame, per shard) into one aggregate
+    /// receipt, componentwise and order-sensitively.
+    pub fn fold(parts: &[RunReceipt]) -> RunReceipt {
+        let mut input = Fnv64::new();
+        let mut trace = Fnv64::new();
+        let mut output = Fnv64::new();
+        for r in parts {
+            input.write(&r.input_hash.to_le_bytes());
+            trace.write(&r.trace_hash.to_le_bytes());
+            output.write(&r.output_hash.to_le_bytes());
+        }
+        RunReceipt {
+            input_hash: input.finish(),
+            trace_hash: trace.finish(),
+            output_hash: output.finish(),
+        }
+    }
+}
+
+impl ToWire for RunReceipt {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Tuple(vec![
+            self.input_hash.to_wire(),
+            self.trace_hash.to_wire(),
+            self.output_hash.to_wire(),
+        ])
+    }
+}
+
+impl crate::wire::FromWire for RunReceipt {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        let (input_hash, trace_hash, output_hash) = <(u64, u64, u64)>::from_wire(v)?;
+        Some(RunReceipt {
+            input_hash,
+            trace_hash,
+            output_hash,
+        })
+    }
+}
+
+/// Runs `run` inside a trace scope and folds everything into a
+/// [`RunReceipt`]: the canonical workflow for receipt-verified
+/// execution on any backend.
+pub fn receipted<In, Out, F>(input: &In, run: F) -> (Out, RunReceipt)
+where
+    In: ToWire + ?Sized,
+    Out: ToWire,
+    F: FnOnce() -> Out,
+{
+    let input_hash = wire_hash(input);
+    let scope = begin_trace();
+    let out = run();
+    let trace = scope.finish();
+    let receipt = RunReceipt {
+        input_hash,
+        trace_hash: trace.hash(),
+        output_hash: wire_hash(&out),
+    };
+    (out, receipt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{df, itermem, scm, Backend, PoolBackend, SeqBackend, ThreadBackend, Workers};
+
+    #[test]
+    fn fnv1a_matches_the_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_in_range() {
+        for seq in 0..512u64 {
+            let p = partition(seq);
+            assert!(p < PARTITIONS);
+            assert_eq!(p, partition(seq));
+        }
+        // Not all on one partition (the router really spreads traffic).
+        let distinct: std::collections::BTreeSet<u64> = (0..512).map(partition).collect();
+        assert!(distinct.len() > PARTITIONS as usize / 2);
+    }
+
+    #[test]
+    fn the_empty_trace_hashes_to_the_offset_basis() {
+        assert_eq!(Trace::default().hash(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn recording_without_a_scope_is_a_no_op() {
+        assert!(!trace_active());
+        record_assigns(5);
+        record_frame(0);
+        let (_, receipt) = receipted(&0i64, || 0i64);
+        assert_eq!(receipt.trace_hash, FNV_OFFSET, "nothing leaked in");
+    }
+
+    #[test]
+    fn scopes_capture_and_restore() {
+        let scope = begin_trace();
+        assert!(trace_active());
+        record_assigns(2);
+        record_frame(7);
+        let trace = scope.finish();
+        assert!(!trace_active());
+        assert_eq!(
+            trace.events,
+            vec![
+                TraceEvent::Assign {
+                    seq: 0,
+                    part: partition(0)
+                },
+                TraceEvent::Assign {
+                    seq: 1,
+                    part: partition(1)
+                },
+                TraceEvent::Frame { seq: 7 },
+            ]
+        );
+        // A dropped (unfinished) scope restores the inactive state too.
+        drop(begin_trace());
+        assert!(!trace_active());
+    }
+
+    #[test]
+    fn receipts_agree_across_host_backends() {
+        let farm = df(4, |x: &i64| x * x + 3, |z: i64, y| z + y, 10i64);
+        let xs: Vec<i64> = (0..40).collect();
+        let (out_seq, seq) = receipted(&xs, || SeqBackend.run(&farm, &xs[..]));
+        let (out_thr, thr) = receipted(&xs, || ThreadBackend::new().run(&farm, &xs[..]));
+        let pool = PoolBackend::configured(Workers::exact(3));
+        let (out_pool, plr) = receipted(&xs, || pool.run(&farm, &xs[..]));
+        assert_eq!(out_seq, out_thr);
+        assert_eq!(out_seq, out_pool);
+        assert_eq!(seq, thr);
+        assert_eq!(seq, plr);
+        assert_ne!(seq.trace_hash, FNV_OFFSET, "the farm round was traced");
+    }
+
+    #[test]
+    fn receipts_distinguish_different_inputs_and_schedules() {
+        let farm = df(4, |x: &i64| *x, |z: i64, y| z + y, 0i64);
+        let a: Vec<i64> = (0..8).collect();
+        let b: Vec<i64> = (0..9).collect();
+        let (_, ra) = receipted(&a, || SeqBackend.run(&farm, &a[..]));
+        let (_, rb) = receipted(&b, || SeqBackend.run(&farm, &b[..]));
+        assert_ne!(ra.input_hash, rb.input_hash);
+        assert_ne!(ra.trace_hash, rb.trace_hash, "one more assignment event");
+    }
+
+    #[test]
+    fn loop_runs_record_frame_events() {
+        let body = scm(
+            2,
+            |t: &(i64, i64), n| (0..n as i64).map(|k| (t.0 + k, t.1)).collect::<Vec<_>>(),
+            |p: (i64, i64)| p.0 + p.1,
+            |parts: Vec<i64>| {
+                let s: i64 = parts.iter().sum();
+                (s, s)
+            },
+        );
+        let prog = itermem(body, 1i64);
+        let frames = vec![3i64, 4, 5];
+        let scope = begin_trace();
+        SeqBackend.run(&prog, frames.clone());
+        let trace = scope.finish();
+        let frame_events: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Frame { seq } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frame_events, vec![0, 1, 2]);
+        let (_, threaded) = receipted(&frames, || ThreadBackend::new().run(&prog, frames.clone()));
+        let (_, declarative) = receipted(&frames, || SeqBackend.run(&prog, frames.clone()));
+        assert_eq!(threaded, declarative);
+    }
+
+    #[test]
+    fn fold_is_order_sensitive_and_deterministic() {
+        let a = RunReceipt {
+            input_hash: 1,
+            trace_hash: 2,
+            output_hash: 3,
+        };
+        let b = RunReceipt {
+            input_hash: 4,
+            trace_hash: 5,
+            output_hash: 6,
+        };
+        assert_eq!(RunReceipt::fold(&[a, b]), RunReceipt::fold(&[a, b]));
+        assert_ne!(RunReceipt::fold(&[a, b]), RunReceipt::fold(&[b, a]));
+        assert_ne!(RunReceipt::fold(&[]), RunReceipt::fold(&[a]));
+    }
+
+    #[test]
+    fn receipts_round_trip_through_the_wire() {
+        use crate::wire::FromWire;
+        let r = RunReceipt {
+            input_hash: u64::MAX,
+            trace_hash: 7,
+            output_hash: 0,
+        };
+        assert_eq!(RunReceipt::from_wire(&r.to_wire()), Some(r));
+    }
+}

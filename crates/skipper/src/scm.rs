@@ -120,12 +120,19 @@ where
     type Output = R;
 
     fn run_declarative(&self, x: &'a I) -> R {
+        if crate::receipt::trace_active() {
+            // The canonical trace logs one assignment per fragment. The
+            // splitter is called once more to count them; like the rest
+            // of the skeleton contract, it must be a pure function.
+            crate::receipt::record_assigns((self.split)(x, self.workers()).len());
+        }
         crate::spec::scm(self.workers(), &self.split, &self.compute, &self.merge, x)
     }
 
     fn run_threaded(&self, x: &'a I, workers: Option<NonZeroUsize>) -> R {
         let frags = (self.split)(x, self.workers());
         let count = frags.len();
+        crate::receipt::record_assigns(count);
         if count == 0 {
             return (self.merge)(Vec::new());
         }

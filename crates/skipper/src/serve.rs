@@ -193,6 +193,15 @@ impl ServeReport {
         sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
+    /// Arithmetic mean of the per-frame latencies in nanoseconds; 0.0
+    /// when nothing was served.
+    pub fn latency_mean_ns(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().sum::<u64>() as f64 / self.latencies_ns.len() as f64
+    }
+
     /// Served frames per second of wall-clock time.
     pub fn throughput_fps(&self) -> f64 {
         if self.elapsed_ns == 0 {
@@ -620,7 +629,8 @@ mod tests {
 
     /// The shared test body: `(z, b) -> (z + b, z + b)` as a 2-way scm
     /// (fn pointers, so the program is `Sync` and lifetime-polymorphic).
-    pub(crate) fn running_sum() -> impl for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)> + Sync {
+    pub(crate) fn running_sum() -> impl for<'a> Skeleton<&'a (u64, u64), Output = (u64, u64)> + Sync
+    {
         fn split(pair: &(u64, u64), n: usize) -> Vec<(u64, u64)> {
             let mut parts = vec![(pair.0, pair.1 / 2), (0, pair.1 - pair.1 / 2)];
             parts.truncate(n.max(1));
@@ -906,9 +916,12 @@ mod repro_hang {
     #[test]
     fn reject_exhaustion_wakes_the_task() {
         let body = tests::running_sum();
-        // Stream 0 keeps the single global slot occupied; stream 1's only
-        // frame arrives later, gets rejected at a full door, and the
-        // source exhausts while task 1 is parked.
+        // Stream 0 floods 2000 eager frames into a single global slot
+        // under `Reject`: the first admission pass admits exactly one and
+        // drops the rest at the door, exhausting the source while task 0
+        // is parked — the task must still be woken to finish (the hang
+        // this module reproduces), and serve() must return. Stream 1's
+        // lone frame arrives after the flood completes and is served.
         let streams = vec![
             StreamSpec::eager(0u64, stream_of((0..2000u64).collect::<Vec<_>>())),
             StreamSpec::timed(0u64, vec![TimedFrame::at(1_000_000, 9)]),
@@ -925,6 +938,13 @@ mod repro_hang {
             streams,
             cfg,
         );
-        assert_eq!(outcome.streams[0].outputs.len(), 2000);
+        // Reaching this point at all is the regression check; the counts
+        // pin the deterministic admission outcome (same door semantics as
+        // `global_bound_rejects_across_streams_in_stream_order`).
+        assert_eq!(outcome.streams[0].outputs.len(), 1);
+        assert_eq!(outcome.streams[0].rejected, 1999);
+        assert_eq!(outcome.streams[1].outputs, vec![9]);
+        assert_eq!(outcome.report.served, 2);
+        assert_eq!(outcome.report.rejected, 1999);
     }
 }

@@ -127,6 +127,7 @@ where
     type Output = Z;
 
     fn run_declarative(&self, tasks: Vec<T>) -> Z {
+        crate::receipt::record_assigns(tasks.len());
         crate::spec::tf(
             self.workers(),
             |t| (self.worker)(t),
@@ -157,6 +158,9 @@ impl<W, A, Z> Tf<W, A, Z> {
         T: Send,
         O: Send,
     {
+        // The canonical trace logs the *root* tasks at dispatch (subtask
+        // elaboration happens inside a partition and is not traced).
+        crate::receipt::record_assigns(tasks.len());
         if tasks.is_empty() {
             return seed;
         }
@@ -244,6 +248,7 @@ where
     type Output = (Z, Z);
 
     fn run_declarative(&self, t: &'a (Z, Vec<T>)) -> (Z, Z) {
+        crate::receipt::record_assigns(t.1.len());
         let z = crate::spec::tf(
             self.workers(),
             |task| (self.worker)(task),

@@ -1,0 +1,800 @@
+//! Canonical wire encoding for the distributed backends.
+//!
+//! [`DistBackend`](crate::dist::DistBackend) masters and workers are
+//! separate OS processes; everything that crosses the pipe — job
+//! descriptors, frames, results, receipts — travels as a **versioned,
+//! length-prefixed, fully deterministic** byte encoding of [`WireValue`].
+//! Determinism is the point: the same logical value always encodes to
+//! the same bytes on every platform, so a hash of the encoding
+//! ([`crate::receipt::wire_hash`]) identifies the value itself. To that
+//! end the format has
+//!
+//! - no map type (and therefore no iteration-order ambiguity) — records
+//!   are tuples with a fixed field order;
+//! - no platform-dependent widths — every length is a `u32` in little-
+//!   endian byte order, integers are `i64` LE, floats are IEEE-754
+//!   `f64` bit patterns LE;
+//! - one canonical encoding per value — no optional compression, no
+//!   alternative tags for the same datum.
+//!
+//! # Format
+//!
+//! A *document* is `b"SKIP"` (4 magic bytes), the format version as
+//! `u16` LE, then exactly one value. A value is a 1-byte tag followed by
+//! its payload:
+//!
+//! | tag    | variant | payload |
+//! |--------|---------|---------|
+//! | `0x01` | `Unit`  | — |
+//! | `0x02` | `Bool`  | one byte, `0x00` or `0x01` |
+//! | `0x03` | `Int`   | `i64` LE |
+//! | `0x04` | `Float` | `f64` bit pattern LE |
+//! | `0x05` | `Str`   | `u32` LE byte length + UTF-8 bytes |
+//! | `0x06` | `Bytes` | `u32` LE length + raw bytes |
+//! | `0x07` | `List`  | `u32` LE count + that many values |
+//! | `0x08` | `Tuple` | `u32` LE arity + that many values |
+//!
+//! # Versioning rules
+//!
+//! [`VERSION`] must be bumped whenever the encoded bytes of any value
+//! change — a new tag, a changed payload layout, a changed header. The
+//! golden fixtures under `tests/fixtures/wire/` pin the current bytes;
+//! CI fails if they drift while `VERSION` stands still. Decoders reject
+//! any other version with [`WireError::BadVersion`] (there is no
+//! cross-version compatibility window: master and workers are always
+//! deployed from one build).
+//!
+//! Malformed input never panics: every defect maps to a pinned
+//! [`WireError`] (`Truncated`, `BadMagic`, `BadVersion`, `BadTag`,
+//! `BadBool`, `BadLength`, `Utf8`, `Trailing`).
+//!
+//! ```
+//! use skipper::wire::{decode_document, encode_document, WireValue};
+//!
+//! let value = WireValue::Tuple(vec![
+//!     WireValue::Str("job".into()),
+//!     WireValue::Int(7),
+//! ]);
+//! let bytes = encode_document(&value);
+//! assert_eq!(decode_document(&bytes).unwrap(), value);
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// The 4 magic bytes opening every document.
+pub const MAGIC: [u8; 4] = *b"SKIP";
+
+/// The current wire-format version. Bump on **any** change to the
+/// encoded bytes (see the module docs for the rules).
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a single framed document (64 MiB): a corrupt length
+/// prefix must not look like a request to allocate gigabytes.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// A self-describing wire value: the closed data universe everything
+/// crossing a dist pipe is expressed in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (unsigned values are bit-cast — see
+    /// [`ToWire`] for `u64`).
+    Int(i64),
+    /// An IEEE-754 double, encoded as its bit pattern.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An opaque byte string.
+    Bytes(Vec<u8>),
+    /// A homogeneous sequence.
+    List(Vec<WireValue>),
+    /// A fixed-arity record with positional fields.
+    Tuple(Vec<WireValue>),
+}
+
+const TAG_UNIT: u8 = 0x01;
+const TAG_BOOL: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_BYTES: u8 = 0x06;
+const TAG_LIST: u8 = 0x07;
+const TAG_TUPLE: u8 = 0x08;
+
+/// A decoding defect. Every variant's `Display` string is pinned by the
+/// negative fixtures in `tests/fixtures/wire/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the current field was complete.
+    Truncated {
+        /// Bytes the field still needed.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The document does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The document's version is not [`VERSION`].
+    BadVersion {
+        /// The version found in the header.
+        got: u16,
+        /// The version this build speaks.
+        want: u16,
+    },
+    /// An unknown value tag.
+    BadTag(u8),
+    /// A `Bool` payload byte other than `0x00`/`0x01`.
+    BadBool(u8),
+    /// A declared length exceeding the remaining input.
+    BadLength(u64),
+    /// A `Str` payload that is not valid UTF-8.
+    Utf8,
+    /// Bytes left over after the document's single value.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A framed document longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(
+                    f,
+                    "truncated document: need {need} more byte(s), have {have}"
+                )
+            }
+            WireError::BadMagic(b) => write!(
+                f,
+                "bad magic bytes {:02x} {:02x} {:02x} {:02x} (expected \"SKIP\")",
+                b[0], b[1], b[2], b[3]
+            ),
+            WireError::BadVersion { got, want } => {
+                write!(f, "wire version mismatch: got {got}, want {want}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown wire tag 0x{t:02x}"),
+            WireError::BadBool(b) => write!(f, "invalid bool byte 0x{b:02x}"),
+            WireError::BadLength(n) => {
+                write!(f, "implausible length {n}: exceeds remaining input")
+            }
+            WireError::Utf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::Trailing { extra } => {
+                write!(f, "trailing garbage: {extra} byte(s) after the document")
+            }
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the 64 MiB cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn encode_value_into(v: &WireValue, out: &mut Vec<u8>) {
+    match v {
+        WireValue::Unit => out.push(TAG_UNIT),
+        WireValue::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        WireValue::Int(n) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        WireValue::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        WireValue::Str(s) => {
+            out.push(TAG_STR);
+            push_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        WireValue::Bytes(b) => {
+            out.push(TAG_BYTES);
+            push_len(out, b.len());
+            out.extend_from_slice(b);
+        }
+        WireValue::List(items) => {
+            out.push(TAG_LIST);
+            push_len(out, items.len());
+            for item in items {
+                encode_value_into(item, out);
+            }
+        }
+        WireValue::Tuple(items) => {
+            out.push(TAG_TUPLE);
+            push_len(out, items.len());
+            for item in items {
+                encode_value_into(item, out);
+            }
+        }
+    }
+}
+
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    let n = u32::try_from(len).expect("wire collections are capped at u32::MAX elements");
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// The canonical **headerless** encoding of one value: what
+/// [`crate::receipt::wire_hash`] hashes. Two equal values always yield
+/// identical bytes here, independent of platform or process.
+pub fn canonical_bytes(v: &WireValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value_into(v, &mut out);
+    out
+}
+
+/// Encodes one value as a complete document: magic, version, value.
+pub fn encode_document(v: &WireValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    encode_value_into(v, &mut out);
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n - self.remaining(),
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a collection length and sanity-checks it against the
+    /// remaining input (every element occupies at least one byte, so a
+    /// length beyond `remaining` can never be satisfied).
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32_le()?;
+        if n as usize > self.remaining() {
+            return Err(WireError::BadLength(u64::from(n)));
+        }
+        Ok(n as usize)
+    }
+
+    fn value(&mut self) -> Result<WireValue, WireError> {
+        match self.u8()? {
+            TAG_UNIT => Ok(WireValue::Unit),
+            TAG_BOOL => match self.u8()? {
+                0 => Ok(WireValue::Bool(false)),
+                1 => Ok(WireValue::Bool(true)),
+                b => Err(WireError::BadBool(b)),
+            },
+            TAG_INT => {
+                let b = self.take(8)?;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(b);
+                Ok(WireValue::Int(i64::from_le_bytes(a)))
+            }
+            TAG_FLOAT => {
+                let b = self.take(8)?;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(b);
+                Ok(WireValue::Float(f64::from_bits(u64::from_le_bytes(a))))
+            }
+            TAG_STR => {
+                let n = self.len()?;
+                let b = self.take(n)?;
+                match std::str::from_utf8(b) {
+                    Ok(s) => Ok(WireValue::Str(s.to_string())),
+                    Err(_) => Err(WireError::Utf8),
+                }
+            }
+            TAG_BYTES => {
+                let n = self.len()?;
+                Ok(WireValue::Bytes(self.take(n)?.to_vec()))
+            }
+            TAG_LIST => {
+                let n = self.len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(WireValue::List(items))
+            }
+            TAG_TUPLE => {
+                let n = self.len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(WireValue::Tuple(items))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Decodes one complete document, rejecting bad headers, malformed
+/// values and trailing bytes with pinned [`WireError`]s.
+pub fn decode_document(bytes: &[u8]) -> Result<WireValue, WireError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic([
+            magic[0], magic[1], magic[2], magic[3],
+        ]));
+    }
+    let version = r.u16_le()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion {
+            got: version,
+            want: VERSION,
+        });
+    }
+    let value = r.value()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Trailing {
+            extra: r.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+/// Writes one document as a length-prefixed frame (`u32` LE byte length,
+/// then the document) — the unit of exchange on a dist pipe.
+pub fn write_frame<W: Write>(w: &mut W, v: &WireValue) -> io::Result<()> {
+    let doc = encode_document(v);
+    let len = u32::try_from(doc.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(doc.len() as u64),
+        )
+    })?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(u64::from(len)),
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&doc)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. A clean EOF **before the length
+/// prefix** yields `Ok(None)` (the peer hung up between frames); EOF
+/// mid-frame, an oversized length, or a malformed document yield an
+/// `InvalidData`/`UnexpectedEof` error carrying the underlying
+/// [`WireError`] where applicable.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<WireValue>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(u64::from(len)),
+        ));
+    }
+    let mut doc = vec![0u8; len as usize];
+    r.read_exact(&mut doc)?;
+    decode_document(&doc)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Conversion into the canonical wire universe. Implemented for the
+/// scalar and container types the conformance cases and experiments
+/// exchange; receipts hash through this, so an impl defines the hashed
+/// identity of its type.
+pub trait ToWire {
+    /// This value as a [`WireValue`].
+    fn to_wire(&self) -> WireValue;
+}
+
+/// Conversion back from the wire universe; the inverse of [`ToWire`]
+/// (`from_wire(&v.to_wire()) == Some(v)`), returning `None` on any shape
+/// mismatch.
+pub trait FromWire: Sized {
+    /// Reconstructs the value, or `None` if `v` has the wrong shape.
+    fn from_wire(v: &WireValue) -> Option<Self>;
+}
+
+impl ToWire for () {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Unit
+    }
+}
+
+impl FromWire for () {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        matches!(v, WireValue::Unit).then_some(())
+    }
+}
+
+impl ToWire for bool {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Bool(*self)
+    }
+}
+
+impl FromWire for bool {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl ToWire for i64 {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Int(*self)
+    }
+}
+
+impl FromWire for i64 {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// `u64` travels as the two's-complement bit-cast `i64` — lossless in
+/// both directions, and canonical (one encoding per value).
+impl ToWire for u64 {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Int(*self as i64)
+    }
+}
+
+impl FromWire for u64 {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Int(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+impl ToWire for u32 {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Int(i64::from(*self))
+    }
+}
+
+impl FromWire for u32 {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Int(n) => u32::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl ToWire for f64 {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Float(*self)
+    }
+}
+
+impl FromWire for f64 {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl ToWire for String {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Str(self.clone())
+    }
+}
+
+impl FromWire for String {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl ToWire for str {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Str(self.to_string())
+    }
+}
+
+impl<T: ToWire> ToWire for [T] {
+    fn to_wire(&self) -> WireValue {
+        WireValue::List(self.iter().map(ToWire::to_wire).collect())
+    }
+}
+
+impl<T: ToWire> ToWire for Vec<T> {
+    fn to_wire(&self) -> WireValue {
+        self.as_slice().to_wire()
+    }
+}
+
+impl<T: FromWire> FromWire for Vec<T> {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::List(items) => items.iter().map(T::from_wire).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<A: ToWire, B: ToWire> ToWire for (A, B) {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Tuple(vec![self.0.to_wire(), self.1.to_wire()])
+    }
+}
+
+impl<A: FromWire, B: FromWire> FromWire for (A, B) {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Tuple(items) if items.len() == 2 => {
+                Some((A::from_wire(&items[0])?, B::from_wire(&items[1])?))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<A: ToWire, B: ToWire, C: ToWire> ToWire for (A, B, C) {
+    fn to_wire(&self) -> WireValue {
+        WireValue::Tuple(vec![self.0.to_wire(), self.1.to_wire(), self.2.to_wire()])
+    }
+}
+
+impl<A: FromWire, B: FromWire, C: FromWire> FromWire for (A, B, C) {
+    fn from_wire(v: &WireValue) -> Option<Self> {
+        match v {
+            WireValue::Tuple(items) if items.len() == 3 => Some((
+                A::from_wire(&items[0])?,
+                B::from_wire(&items[1])?,
+                C::from_wire(&items[2])?,
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl<T: ToWire + ?Sized> ToWire for &T {
+    fn to_wire(&self) -> WireValue {
+        (**self).to_wire()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WireValue> {
+        vec![
+            WireValue::Unit,
+            WireValue::Bool(true),
+            WireValue::Bool(false),
+            WireValue::Int(0),
+            WireValue::Int(-1),
+            WireValue::Int(i64::MAX),
+            WireValue::Int(i64::MIN),
+            WireValue::Float(1.5),
+            WireValue::Float(-0.0),
+            WireValue::Str(String::new()),
+            WireValue::Str("héllo wörld".into()),
+            WireValue::Bytes(vec![0, 255, 1, 254]),
+            WireValue::List(vec![]),
+            WireValue::List(vec![WireValue::Int(1), WireValue::Int(2)]),
+            WireValue::Tuple(vec![
+                WireValue::Str("job".into()),
+                WireValue::Int(7),
+                WireValue::List(vec![WireValue::Unit, WireValue::Bool(false)]),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn documents_round_trip() {
+        for v in samples() {
+            let bytes = encode_document(&v);
+            assert_eq!(decode_document(&bytes).unwrap(), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        for v in samples() {
+            assert_eq!(encode_document(&v), encode_document(&v.clone()));
+            assert_eq!(canonical_bytes(&v), canonical_bytes(&v.clone()));
+        }
+    }
+
+    #[test]
+    fn the_document_header_is_pinned() {
+        let bytes = encode_document(&WireValue::Unit);
+        assert_eq!(&bytes[..4], b"SKIP");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+        assert_eq!(bytes[6], 0x01); // the Unit tag
+        assert_eq!(bytes.len(), 7);
+    }
+
+    #[test]
+    fn canonical_bytes_are_the_document_sans_header() {
+        for v in samples() {
+            assert_eq!(encode_document(&v)[6..], canonical_bytes(&v)[..]);
+        }
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        let bytes = encode_document(&WireValue::Str("abcdef".into()));
+        for cut in 0..bytes.len() {
+            let err = decode_document(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::BadLength(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_defects_are_pinned() {
+        let mut bytes = encode_document(&WireValue::Int(5));
+        bytes[0] = b'X';
+        assert_eq!(
+            decode_document(&bytes).unwrap_err().to_string(),
+            "bad magic bytes 58 4b 49 50 (expected \"SKIP\")"
+        );
+        let mut bytes = encode_document(&WireValue::Int(5));
+        bytes[4] = 99;
+        assert_eq!(
+            decode_document(&bytes).unwrap_err(),
+            WireError::BadVersion {
+                got: 99,
+                want: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn payload_defects_are_pinned() {
+        let mut bytes = encode_document(&WireValue::Unit);
+        bytes[6] = 0x7f;
+        assert_eq!(
+            decode_document(&bytes).unwrap_err(),
+            WireError::BadTag(0x7f)
+        );
+
+        let mut bytes = encode_document(&WireValue::Bool(true));
+        bytes[7] = 2;
+        assert_eq!(decode_document(&bytes).unwrap_err(), WireError::BadBool(2));
+
+        // A declared string length far past the end of input.
+        let mut bytes = encode_document(&WireValue::Str("ab".into()));
+        bytes[7..11].copy_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(
+            decode_document(&bytes).unwrap_err(),
+            WireError::BadLength(1000)
+        );
+
+        let mut bytes = encode_document(&WireValue::Str("ab".into()));
+        bytes[11] = 0xff; // not valid UTF-8 on its own
+        assert_eq!(decode_document(&bytes).unwrap_err(), WireError::Utf8);
+
+        let mut bytes = encode_document(&WireValue::Unit);
+        bytes.push(0);
+        assert_eq!(
+            decode_document(&bytes).unwrap_err(),
+            WireError::Trailing { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_between_frames_is_clean() {
+        let mut buf = Vec::new();
+        for v in samples() {
+            write_frame(&mut buf, &v).unwrap();
+        }
+        let mut r = &buf[..];
+        for v in samples() {
+            assert_eq!(read_frame(&mut r).unwrap(), Some(v));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "EOF stays clean");
+    }
+
+    #[test]
+    fn a_frame_cut_mid_document_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireValue::Str("some payload".into())).unwrap();
+        let mut r = &buf[..buf.len() - 3];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn an_oversized_frame_length_is_rejected_without_allocating() {
+        let mut buf = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds the 64 MiB cap"));
+    }
+
+    #[test]
+    fn towire_from_wire_inverts() {
+        assert_eq!(i64::from_wire(&(-7i64).to_wire()), Some(-7));
+        assert_eq!(u64::from_wire(&u64::MAX.to_wire()), Some(u64::MAX));
+        assert_eq!(u32::from_wire(&7u32.to_wire()), Some(7));
+        assert_eq!(bool::from_wire(&true.to_wire()), Some(true));
+        assert_eq!(<()>::from_wire(&().to_wire()), Some(()));
+        assert_eq!(f64::from_wire(&2.25f64.to_wire()), Some(2.25));
+        assert_eq!(
+            String::from_wire(&"x".to_string().to_wire()),
+            Some("x".to_string())
+        );
+        let pair = (3i64, vec![1i64, 2]);
+        assert_eq!(<(i64, Vec<i64>)>::from_wire(&pair.to_wire()), Some(pair));
+        let triple = (1u64, 2u64, 3u64);
+        assert_eq!(
+            <(u64, u64, u64)>::from_wire(&triple.to_wire()),
+            Some(triple)
+        );
+        let nested = vec![vec![1i64], vec![], vec![2, 3]];
+        assert_eq!(<Vec<Vec<i64>>>::from_wire(&nested.to_wire()), Some(nested));
+    }
+
+    #[test]
+    fn from_wire_rejects_shape_mismatches() {
+        assert_eq!(i64::from_wire(&WireValue::Unit), None);
+        assert_eq!(u32::from_wire(&WireValue::Int(-1)), None);
+        assert_eq!(<(i64, i64)>::from_wire(&WireValue::Tuple(vec![])), None);
+        assert_eq!(<Vec<i64>>::from_wire(&WireValue::Int(3)), None);
+    }
+}

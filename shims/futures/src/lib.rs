@@ -323,6 +323,54 @@ mod tests {
     }
 
     #[test]
+    fn oneshot_second_poll_after_ready_reports_canceled() {
+        // Divergence from real `futures` (which panics on poll-after-
+        // ready): the shim's receiver stays safe to re-poll and settles
+        // on `Canceled` once the value has been taken. Pinned so event-
+        // loop code may treat a spurious extra poll as a non-event.
+        use std::future::Future;
+        use std::pin::Pin;
+        let (tx, mut rx) = oneshot::channel();
+        tx.send(3u8).unwrap();
+        let first = block_on(poll_fn(|cx| Pin::new(&mut rx).poll(cx)));
+        assert_eq!(first, Ok(3));
+        let second = block_on(poll_fn(|cx| Pin::new(&mut rx).poll(cx)));
+        assert_eq!(second, Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn sender_drop_wakes_a_stalled_receiver_task() {
+        // The cancel-wake path: the receiver has already registered its
+        // waker (unlike the drop-before-poll case), so `Sender::drop`
+        // must fire it or the task stalls forever.
+        let (tx, rx) = oneshot::channel::<u8>();
+        let got = Rc::new(RefCell::new(None));
+        let mut pool = LocalPool::new();
+        {
+            let got = Rc::clone(&got);
+            pool.spawn(async move {
+                *got.borrow_mut() = Some(rx.await);
+            });
+        }
+        assert_eq!(pool.run_until_stalled(), 0, "receiver must stall");
+        drop(tx);
+        assert_eq!(pool.run_until_stalled(), 1, "cancellation must wake");
+        assert_eq!(*got.borrow(), Some(Err(oneshot::Canceled)));
+    }
+
+    #[test]
+    fn an_unclaimed_value_is_dropped_with_the_receiver() {
+        // A sent-but-never-polled value must not leak in the shared
+        // channel state once the receiver is gone.
+        let (tx, rx) = oneshot::channel::<Rc<()>>();
+        let probe = Rc::new(());
+        tx.send(Rc::clone(&probe)).unwrap();
+        assert_eq!(Rc::strong_count(&probe), 2);
+        drop(rx);
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+
+    #[test]
     fn local_pool_runs_spawned_tasks_to_completion() {
         let hits = Rc::new(RefCell::new(Vec::new()));
         let mut pool = LocalPool::new();

@@ -12,8 +12,10 @@
 //! configuration are both exercised on every push (`Workers::FromEnv`
 //! feeds the kit's worker-count sweep and sizes `PoolBackend::new`).
 
-use skipper::conformance::{assert_backend_conforms, assert_serving_conforms, worker_counts};
-use skipper::{HostBackend, PoolBackend, SeqBackend, ThreadBackend, Workers};
+use skipper::conformance::{
+    assert_backend_conforms, assert_receipts_match, assert_serving_conforms, worker_counts,
+};
+use skipper::{HostBackend, PoolBackend, SeqBackend, ShardBackend, ThreadBackend, Workers};
 use skipper_exec::SimBackend;
 use skipper_net::FarmShape;
 
@@ -83,11 +85,55 @@ fn sim_backend_ring_farms_conform() {
 }
 
 #[test]
+fn shard_backend_conforms() {
+    assert_backend_conforms(&ShardBackend::new(2));
+}
+
+#[test]
+fn shard_backend_odd_shard_count_conforms() {
+    // Three shards never divide the case inputs evenly: the remainder
+    // routing is part of the contract.
+    assert_backend_conforms(&ShardBackend::new(3));
+}
+
+#[test]
+fn shard_backend_single_thread_pools_conform() {
+    assert_backend_conforms(&ShardBackend::configured(2, Workers::exact(1)));
+}
+
+#[test]
 fn host_backend_selector_conforms_for_every_choice() {
-    for name in ["seq", "thread", "pool"] {
+    for name in ["seq", "thread", "pool", "shard"] {
         let backend: HostBackend = name.parse().expect("known host backend");
         assert_backend_conforms(&backend);
     }
+}
+
+// The receipt axis: equivalent runs on different engines must produce
+// *equal* `RunReceipt`s — same canonical input hash, same canonical
+// trace hash, same output hash — across the full case/input/worker
+// matrix. This is the run contract the distributed backends are held
+// to (the worker-process half lives in `crates/bench/tests/`, where
+// cargo exposes the worker binary).
+
+#[test]
+fn seq_and_thread_receipts_match() {
+    assert_receipts_match(&SeqBackend, &ThreadBackend::new());
+}
+
+#[test]
+fn pool_and_seq_receipts_match() {
+    assert_receipts_match(&SeqBackend, &PoolBackend::new());
+}
+
+#[test]
+fn pool_and_shard_receipts_match() {
+    assert_receipts_match(&PoolBackend::new(), &ShardBackend::new(2));
+}
+
+#[test]
+fn shard_counts_do_not_change_receipts() {
+    assert_receipts_match(&ShardBackend::new(2), &ShardBackend::new(5));
 }
 
 #[test]
