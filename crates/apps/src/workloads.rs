@@ -1,4 +1,5 @@
-//! Synthetic workloads for the df-vs-scm load-balancing experiment (E6).
+//! Synthetic workloads for the load-balancing and hot-path experiments
+//! (E6, E18).
 //!
 //! The paper motivates `df` with lists "of features when the size of the
 //! list and/or its elements depends on the input data and thus requires
@@ -6,9 +7,16 @@
 //! These generators produce item-cost distributions with a controllable
 //! coefficient of variation, and the runners compare dynamic farming
 //! against static Split/Compute/Merge chunking on identical items.
+//!
+//! The E18 half measures the **frame fan-out cost**: farming the bands
+//! of a heavyweight (1080p/4K) frame either by sharing the frame behind
+//! an [`Arc`] (the zero-copy hot path) or by deep-copying it into every
+//! band item (the pre-refactor clone-per-worker semantics).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use skipper_vision::Image;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Generates `n` item costs (abstract units) with mean ≈ `mean` and the
@@ -106,6 +114,108 @@ pub fn time_scm(items: &[u64], workers: usize) -> Duration {
     t0.elapsed()
 }
 
+/// Near-equal horizontal band bounds `(y0, y1)` covering `h` rows in
+/// `bands` contiguous strips (clamped to at most one strip per row).
+pub fn band_bounds(h: usize, bands: usize) -> Vec<(usize, usize)> {
+    let bands = bands.clamp(1, h.max(1));
+    let (base, extra) = (h / bands, h % bands);
+    let mut out = Vec::with_capacity(bands);
+    let mut y0 = 0;
+    for b in 0..bands {
+        let y1 = y0 + base + usize::from(b < extra);
+        out.push((y0, y1));
+        y0 = y1;
+    }
+    out
+}
+
+/// A deterministic synthetic camera frame at an arbitrary resolution
+/// (gradient plus hashed noise): the 1080p/4K input of E18 and the
+/// `large_frames` bench, cheap enough to render at 4K in tests.
+pub fn large_frame(width: usize, height: usize, seed: u64) -> Image<u8> {
+    let mut s = seed | 1;
+    Image::from_fn(width, height, |x, y| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = (s >> 58) as u8; // 0..63
+        ((x * 192 / width.max(1) + y * 48 / height.max(1)) as u8).wrapping_add(noise)
+    })
+}
+
+/// Pixels strictly above `thr` in rows `[y0, y1)` of `frame` — the
+/// per-band body of both E18 scans.
+fn count_band(frame: &Image<u8>, y0: usize, y1: usize, thr: u8) -> u64 {
+    let w = frame.width();
+    frame.as_slice()[y0 * w..y1 * w]
+        .iter()
+        .filter(|&&p| p > thr)
+        .count() as u64
+}
+
+/// Farms every frame's bands **zero-copy**: each item carries an `Arc`
+/// of the shared frame, so fanning a 2 MB (1080p) or 8 MB (4K) frame
+/// out to the workers moves refcounts, never pixels. The farm is
+/// prepared once, outside the timed region. Returns the folded count
+/// across all frames and the wall-clock of the scans.
+pub fn time_frame_scan_zero_copy(
+    backend: &skipper::HostBackend,
+    frames: &[Arc<Image<u8>>],
+    bands: usize,
+    thr: u8,
+) -> (u64, Duration) {
+    use skipper::{Backend, Executable};
+    type Item = (Arc<Image<u8>>, usize, usize);
+    let farm = skipper::df(
+        bands,
+        move |it: &Item| count_band(&it.0, it.1, it.2, thr),
+        |z: u64, y: u64| z + y,
+        0u64,
+    );
+    let exec = Backend::<_, &[Item]>::prepare(backend, &farm);
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    for frame in frames {
+        let items: Vec<Item> = band_bounds(frame.height(), bands)
+            .into_iter()
+            .map(|(y0, y1)| (Arc::clone(frame), y0, y1))
+            .collect();
+        total = total.wrapping_add(exec.run(&items[..]));
+    }
+    (total, t0.elapsed())
+}
+
+/// The pre-refactor baseline for the same scan: every band item carries
+/// its **own deep copy** of the whole frame — the clone-per-worker cost
+/// the shared-`Arc` hot path removed (`bands` full-frame copies per
+/// frame). Same farm, same fold, identical result.
+pub fn time_frame_scan_deep_copy(
+    backend: &skipper::HostBackend,
+    frames: &[Arc<Image<u8>>],
+    bands: usize,
+    thr: u8,
+) -> (u64, Duration) {
+    use skipper::{Backend, Executable};
+    type Item = (Image<u8>, usize, usize);
+    let farm = skipper::df(
+        bands,
+        move |it: &Item| count_band(&it.0, it.1, it.2, thr),
+        |z: u64, y: u64| z + y,
+        0u64,
+    );
+    let exec = Backend::<_, &[Item]>::prepare(backend, &farm);
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    for frame in frames {
+        let items: Vec<Item> = band_bounds(frame.height(), bands)
+            .into_iter()
+            .map(|(y0, y1)| (frame.as_ref().clone(), y0, y1))
+            .collect();
+        total = total.wrapping_add(exec.run(&items[..]));
+    }
+    (total, t0.elapsed())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +271,69 @@ mod tests {
         assert!(
             df < scm * 2,
             "df {df:?} should not be much slower than scm {scm:?}"
+        );
+    }
+
+    #[test]
+    fn band_bounds_partition_the_rows_exactly() {
+        for (h, bands) in [(1, 1), (1, 8), (7, 3), (1080, 8), (5, 5), (4, 9)] {
+            let bounds = band_bounds(h, bands);
+            assert_eq!(bounds.len(), bands.clamp(1, h));
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds.last().unwrap().1, h);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "bands must be contiguous");
+                assert!(w[0].0 < w[0].1, "bands must be non-empty");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_and_deep_copy_scans_agree_on_every_backend() {
+        // The two fan-out strategies differ only in ownership; the folded
+        // count must be identical (and equal to the sequential count) on
+        // the pool and the sharded pools alike.
+        let frames: Vec<Arc<Image<u8>>> = (0..3)
+            .map(|k| Arc::new(large_frame(96, 64, 40 + k)))
+            .collect();
+        let thr = 90u8;
+        let expected: u64 = frames
+            .iter()
+            .map(|f| f.as_slice().iter().filter(|&&p| p > thr).count() as u64)
+            .sum();
+        assert!(expected > 0, "threshold must keep the scan non-trivial");
+        for backend in [
+            skipper::HostBackend::Seq,
+            skipper::HostBackend::Pool(skipper::PoolBackend::new()),
+            skipper::HostBackend::Shard(skipper::ShardBackend::new(2)),
+        ] {
+            let (zero, _) = time_frame_scan_zero_copy(&backend, &frames, 4, thr);
+            let (deep, _) = time_frame_scan_deep_copy(&backend, &frames, 4, thr);
+            assert_eq!(zero, expected, "zero-copy scan on {}", backend.name());
+            assert_eq!(deep, expected, "deep-copy scan on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn zero_copy_items_alias_the_frame_rather_than_copying_it() {
+        // The aliasing regression the hot path depends on: an Arc-carried
+        // band item points at the very same pixel buffer as the source
+        // frame, while the deep-copy baseline materialises fresh storage.
+        let frame = Arc::new(large_frame(32, 16, 7));
+        let items: Vec<(Arc<Image<u8>>, usize, usize)> = band_bounds(frame.height(), 4)
+            .into_iter()
+            .map(|(y0, y1)| (Arc::clone(&frame), y0, y1))
+            .collect();
+        for (shared, _, _) in &items {
+            assert!(
+                std::ptr::eq(shared.as_slice().as_ptr(), frame.as_slice().as_ptr()),
+                "Arc band items must alias the source pixels"
+            );
+        }
+        let copy = frame.as_ref().clone();
+        assert!(
+            !std::ptr::eq(copy.as_slice().as_ptr(), frame.as_slice().as_ptr()),
+            "a deep copy must own fresh pixels"
         );
     }
 }

@@ -1,0 +1,69 @@
+//! E18 micro-benchmark: heavyweight (1080p/4K) frames through the
+//! zero-copy hot path and the full vision pipelines.
+//!
+//! Three groups: the band-scan fan-out with `Arc`-shared frames vs
+//! deep-copied band items (the cost the zero-copy refactor removed),
+//! the CCL and road pipelines on real 1080p inputs, and tiled vs
+//! sequential connected-component labelling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_apps::workloads::{large_frame, time_frame_scan_deep_copy, time_frame_scan_zero_copy};
+use skipper_apps::{ccl, road};
+use skipper_vision::label::{label_components, label_components_tiled, Connectivity};
+use skipper_vision::synth::{random_blobs, render_road_frame};
+use skipper_vision::Image;
+use std::sync::Arc;
+
+const BANDS: usize = 8;
+const THR: u8 = 90;
+
+fn bench_fan_out(c: &mut Criterion) {
+    let pool = skipper::HostBackend::Pool(skipper::PoolBackend::new());
+    let mut g = c.benchmark_group("large_frames/fan_out");
+    g.sample_size(10);
+    for (name, w, h) in [("1080p", 1920usize, 1080usize), ("4k", 3840, 2160)] {
+        let frames: Vec<Arc<Image<u8>>> = (0..3)
+            .map(|k| Arc::new(large_frame(w, h, 40 + k)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("zero_copy", name), &frames, |b, frames| {
+            b.iter(|| time_frame_scan_zero_copy(&pool, frames, BANDS, THR).0)
+        });
+        g.bench_with_input(BenchmarkId::new("deep_copy", name), &frames, |b, frames| {
+            b.iter(|| time_frame_scan_deep_copy(&pool, frames, BANDS, THR).0)
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let pool = skipper::HostBackend::Pool(skipper::PoolBackend::new());
+    let blobs = random_blobs(1920, 1080, 160, 18);
+    let (road_frame, _) = render_road_frame(1920, 1080, 40.0, 0.00004, 9);
+    let mut g = c.benchmark_group("large_frames/pipelines");
+    g.sample_size(10);
+    g.bench_function("ccl_1080p", |b| {
+        b.iter(|| ccl::count_components_on(&pool, &blobs, BANDS))
+    });
+    g.bench_function("road_1080p", |b| {
+        b.iter(|| road::detect_line_on(&pool, &road_frame, BANDS))
+    });
+    g.finish();
+}
+
+fn bench_tiled_ccl(c: &mut Criterion) {
+    let blobs = random_blobs(1920, 1080, 160, 18);
+    let mut g = c.benchmark_group("large_frames/label");
+    g.sample_size(10);
+    g.bench_function("sequential_1080p", |b| {
+        b.iter(|| label_components(&blobs, Connectivity::Eight))
+    });
+    for strips in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("tiled_1080p", strips), &strips, |b, &s| {
+            b.iter(|| label_components_tiled(&blobs, Connectivity::Eight, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fan_out, bench_pipelines, bench_tiled_ccl);
+criterion_main!(benches);

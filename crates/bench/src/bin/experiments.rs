@@ -4,7 +4,7 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e17 index
+//! experiments --list            # print the e1–e18 index
 //! experiments --streams 256 e16 # serving experiment at a chosen scale
 //! ```
 //!

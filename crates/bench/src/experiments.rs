@@ -119,7 +119,7 @@ fn host_backend() -> skipper::HostBackend {
 }
 
 /// The experiment index: id, one-line title, runner.
-pub const INDEX: [(&str, &str, fn()); 17] = [
+pub const INDEX: [(&str, &str, fn()); 18] = [
     ("e1", "df process network template (Fig. 1)", e1),
     (
         "e2",
@@ -161,9 +161,14 @@ pub const INDEX: [(&str, &str, fn()); 17] = [
         "distributed farming: pool vs shard vs worker processes, receipt-verified",
         e17,
     ),
+    (
+        "e18",
+        "zero-copy frame hot path: 1080p/4K fan-out, Arc-shared vs clone-per-worker",
+        e18,
+    ),
 ];
 
-/// Looks up an experiment runner by id (`"e1"`..`"e17"`).
+/// Looks up an experiment runner by id (`"e1"`..`"e18"`).
 pub fn by_id(id: &str) -> Option<fn()> {
     INDEX
         .iter()
@@ -1427,6 +1432,179 @@ pub fn e17() {
     println!("(equal receipts = equal input, canonical schedule and output on every rung)");
 }
 
+/// Renders the E18 report as the `BENCH_zero_copy.json` document (hand
+/// rolled, like [`serving_json`] and [`dist_json`] — no serde in the
+/// container; the schema is pinned by a unit test here and validated in
+/// CI). The speedups are zero-copy over deep-copy throughput per
+/// backend; the checksum is the folded pixel count both fan-out
+/// strategies must agree on.
+#[allow(clippy::too_many_arguments)]
+pub fn zero_copy_json(
+    width: usize,
+    height: usize,
+    frames: usize,
+    bands: usize,
+    workers: usize,
+    pool_zero_fps: f64,
+    pool_deep_fps: f64,
+    shard_zero_fps: f64,
+    shard_deep_fps: f64,
+    checksum: u64,
+) -> String {
+    let pool_speedup = pool_zero_fps / pool_deep_fps.max(1e-9);
+    let shard_speedup = shard_zero_fps / shard_deep_fps.max(1e-9);
+    format!(
+        "{{\n  \"experiment\": \"e18\",\n  \"width\": {width},\n  \"height\": {height},\n  \
+         \"frames\": {frames},\n  \"bands\": {bands},\n  \"workers\": {workers},\n  \
+         \"throughput_fps\": {{\n    \"pool_zero_copy\": {pool_zero_fps:.1},\n    \
+         \"pool_deep_copy\": {pool_deep_fps:.1},\n    \
+         \"shard_zero_copy\": {shard_zero_fps:.1},\n    \
+         \"shard_deep_copy\": {shard_deep_fps:.1}\n  }},\n  \
+         \"speedup\": {{\n    \"pool\": {pool_speedup:.2},\n    \
+         \"shard\": {shard_speedup:.2}\n  }},\n  \
+         \"checksum\": \"0x{checksum:016x}\"\n}}\n"
+    )
+}
+
+/// The measured core of E18, parameterised so the smoke test can run it
+/// small and without touching the filesystem. Farms the band scan of
+/// `frames` pre-rendered `width`×`height` frames on the pool and the
+/// sharded pools, once with `Arc`-shared frames (the zero-copy hot
+/// path) and once deep-copying the frame into every band item (the
+/// pre-refactor clone-per-worker semantics); asserts all four scans
+/// fold to the sequential count. Returns the pool-backend speedup of
+/// zero-copy over deep-copy, asserted `>= min_pool_speedup` when given.
+pub fn run_zero_copy_experiment(
+    width: usize,
+    height: usize,
+    frames: usize,
+    bands: usize,
+    min_pool_speedup: Option<f64>,
+    json_path: Option<&std::path::Path>,
+) -> f64 {
+    use skipper::{HostBackend, PoolBackend, ShardBackend};
+    use skipper_vision::Image;
+    use workloads::{large_frame, time_frame_scan_deep_copy, time_frame_scan_zero_copy};
+    const THR: u8 = 90;
+    // A small rotation of distinct frames, rendered once: generation is
+    // outside every timed region, and the rotation defeats any
+    // single-frame cache residency advantage.
+    let distinct: Vec<Arc<Image<u8>>> = (0..3.min(frames))
+        .map(|k| Arc::new(large_frame(width, height, 40 + k as u64)))
+        .collect();
+    let rotation: Vec<Arc<Image<u8>>> = (0..frames)
+        .map(|k| Arc::clone(&distinct[k % distinct.len()]))
+        .collect();
+    let expected: u64 = rotation
+        .iter()
+        .map(|f| f.as_slice().iter().filter(|&&p| p > THR).count() as u64)
+        .sum();
+    let pool = HostBackend::Pool(PoolBackend::new());
+    let shard = HostBackend::Shard(ShardBackend::new(2));
+    let mut results = Vec::new();
+    for (name, backend) in [("pool", &pool), ("shard", &shard)] {
+        // One untimed pass warms the worker threads and the page cache.
+        time_frame_scan_zero_copy(backend, &rotation[..1.min(frames)], bands, THR);
+        let (zero_sum, zero_t) = time_frame_scan_zero_copy(backend, &rotation, bands, THR);
+        let (deep_sum, deep_t) = time_frame_scan_deep_copy(backend, &rotation, bands, THR);
+        assert_eq!(zero_sum, expected, "{name}: zero-copy scan checksum");
+        assert_eq!(deep_sum, expected, "{name}: deep-copy scan checksum");
+        let zero_fps = frames as f64 / zero_t.as_secs_f64().max(1e-9);
+        let deep_fps = frames as f64 / deep_t.as_secs_f64().max(1e-9);
+        println!(
+            "{name:<5} {width}x{height}, {frames} frames, {bands} bands: \
+             zero-copy {zero_fps:>8.1} frames/s, deep-copy {deep_fps:>8.1} frames/s \
+             ({:.2}x)",
+            zero_fps / deep_fps.max(1e-9)
+        );
+        results.push((zero_fps, deep_fps));
+    }
+    let (pool_zero, pool_deep) = results[0];
+    let (shard_zero, shard_deep) = results[1];
+    let pool_speedup = pool_zero / pool_deep.max(1e-9);
+    if let Some(floor) = min_pool_speedup {
+        assert!(
+            pool_speedup >= floor,
+            "zero-copy fan-out must beat clone-per-worker by >= {floor}x on the pool \
+             (got {pool_speedup:.2}x)"
+        );
+    }
+    if let Some(path) = json_path {
+        let workers = match &pool {
+            HostBackend::Pool(p) => p.threads(),
+            _ => unreachable!("pool rung is a PoolBackend"),
+        };
+        let json = zero_copy_json(
+            width, height, frames, bands, workers, pool_zero, pool_deep, shard_zero, shard_deep,
+            expected,
+        );
+        std::fs::write(path, json).expect("write BENCH_zero_copy.json");
+        println!("wrote {}", path.display());
+    }
+    pool_speedup
+}
+
+/// E18 — the zero-copy frame hot path under heavyweight vision loads:
+/// 1080p band scans fanned out `Arc`-shared vs deep-copied per worker
+/// (pool and shard, checksum-verified, emitting `BENCH_zero_copy.json`),
+/// a 4K rung, and the full tracking/road pipelines plus tiled CCL on a
+/// real 1080p frame.
+pub fn e18() {
+    use skipper_vision::label::{label_components, label_components_tiled, Connectivity};
+    header(
+        "E18",
+        "zero-copy frame hot path: 1080p/4K fan-out, Arc-shared vs clone-per-worker",
+    );
+    let speedup = run_zero_copy_experiment(
+        1920,
+        1080,
+        48,
+        8,
+        Some(2.0),
+        Some(std::path::Path::new("BENCH_zero_copy.json")),
+    );
+    run_zero_copy_experiment(3840, 2160, 8, 8, None, None);
+    // The heavyweight pipelines at 1080p on the selected backend: the
+    // CCL and road-following programs whose frames the hot path now
+    // shares instead of cloning.
+    let backend = host_backend();
+    let blobs = random_blobs(1920, 1080, 160, 18);
+    let t0 = Instant::now();
+    let components = ccl::count_components_on(&backend, &blobs, 8);
+    let ccl_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (road_frame, true_bottom_x) = render_road_frame(1920, 1080, 40.0, 0.00004, 9);
+    // The renderer reports the true marking centre at the bottom row;
+    // `lane_offset` is that centre relative to the image midline.
+    let true_offset = true_bottom_x - 1920.0 / 2.0;
+    let t0 = Instant::now();
+    let line = road::detect_line_on(&backend, &road_frame, 8).expect("a 1080p lane is detectable");
+    let road_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let measured = road::lane_offset(&line, 1920, 1080);
+    assert!(
+        (measured - true_offset).abs() < 24.0,
+        "1080p lane offset {measured:.1}px must track the rendered {true_offset:.1}px"
+    );
+    // Tiled CCL must label a real 1080p frame byte-identically to the
+    // sequential pass.
+    let t0 = Instant::now();
+    let seq_labels = label_components(&blobs, Connectivity::Eight);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let tiled_labels = label_components_tiled(&blobs, Connectivity::Eight, 8);
+    let tiled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(tiled_labels, seq_labels, "tiled CCL must match sequential");
+    println!(
+        "1080p pipelines on {}: ccl {components} components in {ccl_ms:.1} ms, \
+         road lane offset {measured:.1}px (truth {true_offset:.1}px) in {road_ms:.1} ms",
+        backend.name()
+    );
+    println!(
+        "1080p tiled CCL (8 strips): {tiled_ms:.1} ms vs {seq_ms:.1} ms sequential, \
+         labels byte-identical"
+    );
+    println!("(zero-copy pool speedup {speedup:.2}x; acceptance floor 2.0x)");
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     for (_, _, f) in INDEX {
@@ -1488,6 +1666,57 @@ mod tests {
     }
 
     #[test]
+    fn e18_smoke() {
+        // Small but real: both fan-out strategies over both host
+        // backends with checksum verification. No speedup floor (tiny
+        // frames on a loaded CI box prove nothing about 1080p) and no
+        // JSON file (the CLI run owns BENCH_zero_copy.json).
+        let speedup = super::run_zero_copy_experiment(160, 120, 6, 4, None, None);
+        assert!(speedup.is_finite() && speedup > 0.0);
+    }
+
+    #[test]
+    fn zero_copy_json_schema_has_the_pinned_fields() {
+        let json = super::zero_copy_json(
+            1920,
+            1080,
+            48,
+            8,
+            8,
+            400.0,
+            100.0,
+            360.0,
+            120.0,
+            0x0123_4567_89ab_cdef,
+        );
+        // The schema CI validates: the geometry, the four throughput
+        // rungs, the per-backend speedups and the checksum.
+        for key in [
+            "\"experiment\": \"e18\"",
+            "\"width\": 1920",
+            "\"height\": 1080",
+            "\"frames\": 48",
+            "\"bands\": 8",
+            "\"workers\": 8",
+            "\"throughput_fps\"",
+            "\"pool_zero_copy\": 400.0",
+            "\"pool_deep_copy\": 100.0",
+            "\"shard_zero_copy\": 360.0",
+            "\"shard_deep_copy\": 120.0",
+            "\"speedup\"",
+            "\"pool\": 4.00",
+            "\"shard\": 3.00",
+            "\"checksum\": \"0x0123456789abcdef\"",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in:\n{json}");
+        }
+        // Structurally sound: balanced braces, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"));
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
     fn dist_json_schema_has_the_pinned_fields() {
         let receipt = skipper::RunReceipt {
             input_hash: 0x0123_4567_89ab_cdef,
@@ -1545,7 +1774,7 @@ mod tests {
             batches: 400,
             elapsed_ns: 1_000_000_000,
             latencies_ns: (1..=100u64).map(|i| i * 1000).collect(),
-            batch_trace: Vec::new(),
+            ..skipper::ServeReport::default()
         };
         let json = super::serving_json(
             4,

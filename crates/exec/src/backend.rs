@@ -87,7 +87,7 @@
 //!   evaluates the model on each actual argument's [`Value::size`], and
 //!   `model(1)` serves as the static WCET hint for the scheduler.
 
-use crate::executive::{run_simulated, ExecConfig, ExecError, ExecReport};
+use crate::executive::{run_prepared, ExecConfig, ExecError, ExecReport, SimStatics};
 use crate::registry::Registry;
 use crate::sim_value::SimValue;
 use crate::value::Value;
@@ -101,7 +101,7 @@ use skipper_syndex::Architecture;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use transvision::sim::SimConfig;
-use transvision::topology::{ProcId, Topology};
+use transvision::topology::ProcId;
 
 fn internal(e: impl std::fmt::Display) -> ExecError {
     ExecError::Internal(e.to_string())
@@ -879,14 +879,41 @@ impl SimBackend {
     {
         let (lowered, arch, sched) = self.lower_and_schedule::<I, P>(prog)?;
         let progs = skipper_syndex::macrocode::generate(&lowered.net, &sched, &arch);
-        Ok(CompiledSim {
-            net: lowered.net,
-            reg: lowered.reg,
+        // Bind the input/output endpoints ONCE, here, against rebindable
+        // slots: a run only stores the frame into `input_slot` and takes
+        // the result out of `output_slot` — the registry itself is never
+        // cloned or re-registered per frame (the zero-copy run contract,
+        // pinned by the registry_probe test).
+        let mut reg = lowered.reg;
+        let input_slot: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
+        let output_slot: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&input_slot);
+        reg.register("simbackend_input", move |_| {
+            vec![slot
+                .lock()
+                .expect("input slot")
+                .clone()
+                .expect("input bound before run")]
+        });
+        let slot = Arc::clone(&output_slot);
+        reg.register("simbackend_output", move |args| {
+            *slot.lock().expect("output slot") = Some(args[0].clone());
+            vec![]
+        });
+        let stat = SimStatics::analyze(
+            lowered.net,
             sched,
             progs,
-            topo: arch.topology().clone(),
-            farm_init: lowered.farm_init,
+            arch.topology().clone(),
+            Arc::new(reg),
+            &lowered.farm_init,
+        )?;
+        Ok(CompiledSim {
+            stat: Arc::new(stat),
             config: self.config,
+            input_slot,
+            output_slot,
+            run_lock: Mutex::new(()),
         })
     }
 
@@ -904,50 +931,44 @@ impl SimBackend {
     }
 }
 
-/// A one-shot program compiled for repeated simulation: the lowered
-/// process network, the program's function registry, the SynDEx schedule,
-/// the generated per-processor macro-code and the machine topology — all
-/// the state [`SimBackend`] used to re-derive on every `run`. A run only
-/// binds fresh input/output endpoints onto a clone of the registry and
-/// re-interprets the cached macro-code with fresh simulator state.
+/// A one-shot program compiled for repeated simulation: the full
+/// run-invariant context ([`SimStatics`]: network, registry, schedule,
+/// macro-code, topology, farm tables) behind one `Arc`, plus the
+/// rebindable input/output **slots** its endpoint functions were bound
+/// against at compile time. A run stores the encoded frame into the
+/// input slot, re-interprets the cached macro-code with fresh simulator
+/// state, and takes the result from the output slot — zero registry
+/// clones, zero network/schedule/macro-code copies per frame.
 struct CompiledSim {
-    net: ProcessNetwork,
-    reg: Registry,
-    sched: Schedule,
-    progs: Vec<skipper_syndex::macrocode::MacroProgram>,
-    topo: Topology,
-    farm_init: HashMap<usize, Value>,
+    stat: Arc<SimStatics>,
     config: SimConfig,
+    /// Per-run frame binding read by the `simbackend_input` endpoint.
+    input_slot: Arc<Mutex<Option<Value>>>,
+    /// Per-run result binding written by the `simbackend_output` endpoint.
+    output_slot: Arc<Mutex<Option<Value>>>,
+    /// Runs share the slots above, so concurrent `run` calls on one
+    /// executable are serialised (the contract stays `&self`).
+    run_lock: Mutex<()>,
 }
 
 impl CompiledSim {
-    /// One online run: bind the encoded input and an output slot, then
-    /// interpret the cached macro-code for a single graph iteration.
+    /// One online run: rebind the input slot, interpret the cached
+    /// macro-code for a single graph iteration, take the output slot.
     fn run_value(&self, encoded: Value) -> Result<Value, ExecError> {
-        let mut reg = self.reg.clone();
-        reg.register("simbackend_input", move |_| vec![encoded.clone()]);
-        let result = Arc::new(Mutex::new(None::<Value>));
-        let slot = Arc::clone(&result);
-        reg.register("simbackend_output", move |args| {
-            *slot.lock().expect("result slot") = Some(args[0].clone());
-            vec![]
-        });
+        let _guard = self.run_lock.lock().expect("run lock");
+        *self.input_slot.lock().expect("input slot") = Some(encoded);
+        self.output_slot.lock().expect("output slot").take();
         let config = ExecConfig {
             iterations: 1,
             frame_clock: None,
             sim: self.config,
         };
-        run_simulated(
-            &self.net,
-            &self.sched,
-            &self.progs,
-            self.topo.clone(),
-            Arc::new(reg),
-            &HashMap::new(),
-            &self.farm_init,
-            &config,
-        )?;
-        let v = result.lock().expect("result slot").take();
+        let run = run_prepared(&self.stat, &HashMap::new(), &config);
+        // Unbind the frame either way: a slot must never pin a frame's
+        // payload past its run.
+        self.input_slot.lock().expect("input slot").take();
+        run?;
+        let v = self.output_slot.lock().expect("output slot").take();
         v.ok_or_else(|| ExecError::Internal("program produced no output".into()))
     }
 }
@@ -983,7 +1004,7 @@ impl<Shape, Out> SimExecutable<Shape, Out> {
     /// computed once, at prepare time.
     pub fn schedule(&self) -> Result<&Schedule, ExecError> {
         match &self.inner {
-            Ok(c) => Ok(&c.sched),
+            Ok(c) => Ok(c.stat.schedule()),
             Err(e) => Err(e.clone()),
         }
     }
@@ -1223,9 +1244,10 @@ impl SimBackend {
         // Fig. 4 port contract around the body fragment: `pair` packs
         // (frame on port 0, state on port 1) into the body's input tuple;
         // `unpair` splits the body's (state', output) tuple back onto
-        // (output on port 0, next state on port 1). Only `pair` is bound
-        // here — `unpair`, `grab` and `show` carry per-run state, so each
-        // run binds its own onto a clone of this registry.
+        // (output on port 0, next state on port 1). All four harness
+        // functions are bound HERE, once, against rebindable slots — a
+        // run only swaps the frame vector in and takes the state/output
+        // slots back out (zero registry clones per stream).
         let pair = net.add_node(NodeKind::UserFn("simbackend_pair".into()), "pair");
         reg.register("simbackend_pair", |args| {
             vec![Value::tuple(vec![args[1].clone(), args[0].clone()])]
@@ -1248,37 +1270,76 @@ impl SimBackend {
             },
         )
         .map_err(internal)?;
+        let frames_slot: Arc<Mutex<Vec<Value>>> = Arc::new(Mutex::new(Vec::new()));
+        let state_slot: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
+        let outputs_slot: Arc<Mutex<Vec<Value>>> = Arc::new(Mutex::new(Vec::new()));
+        let slot = Arc::clone(&state_slot);
+        reg.register("simbackend_unpair", move |args| {
+            let t = args[0]
+                .as_tuple()
+                .expect("loop body must produce a (state, output) tuple");
+            *slot.lock().expect("state slot") = Some(t[0].clone());
+            vec![t[1].clone(), t[0].clone()]
+        });
+        let slot = Arc::clone(&frames_slot);
+        reg.register("simbackend_grab", move |args| {
+            let frames = slot.lock().expect("frames slot");
+            let k = args[0].as_int().unwrap_or(0).unsigned_abs() as usize;
+            vec![frames[k.min(frames.len() - 1)].clone()]
+        });
+        let slot = Arc::clone(&outputs_slot);
+        reg.register("simbackend_show", move |args| {
+            slot.lock().expect("output slot").push(args[0].clone());
+            vec![]
+        });
         let (arch, pins, strategy) = self.placement(&net, &workers, &colocated);
         let sched = schedule_with(&net, &arch, &pins, strategy)
             .map_err(|e| ExecError::Sim(format!("scheduling failed: {e}")))?;
         let progs = skipper_syndex::macrocode::generate(&net, &sched, &arch);
+        let stat = SimStatics::analyze(
+            net,
+            sched,
+            progs,
+            arch.topology().clone(),
+            Arc::new(reg),
+            &farm_init,
+        )?;
         Ok(CompiledSimLoop {
             base: CompiledSim {
-                net,
-                reg,
-                sched,
-                progs,
-                topo: arch.topology().clone(),
-                farm_init,
+                stat: Arc::new(stat),
                 config: self.config,
+                input_slot: Arc::new(Mutex::new(None)),
+                output_slot: Arc::new(Mutex::new(None)),
+                run_lock: Mutex::new(()),
             },
             mem: h.mem,
+            frames_slot,
+            state_slot,
+            outputs_slot,
         })
     }
 }
 
 /// An `itermem` program compiled for repeated simulation, the loop
 /// counterpart of [`CompiledSim`]: the lowered body with its Fig. 4
-/// harness, schedule and macro-code. Per run, only the frame source, the
-/// output sink, the state observer and the `MEM` initial value are bound
-/// fresh.
+/// harness behind one `Arc` of statics, plus the rebindable slots the
+/// harness endpoints (`grab`/`unpair`/`show`) were bound against at
+/// compile time. Per run, only the frame vector is swapped in and the
+/// `MEM` initial value seeded — the registry, network, schedule and
+/// macro-code are shared untouched.
 struct CompiledSimLoop {
-    /// The compiled form shared with the one-shot path (network,
-    /// registry, schedule, macro-code, topology, farm seeds).
+    /// The compiled form shared with the one-shot path (statics, config,
+    /// run lock; the one-shot input/output slots are unused here).
     base: CompiledSim,
     /// The Fig. 4 `MEM` node, seeded per run with the loop's initial
     /// state.
     mem: NodeId,
+    /// Per-run frame vector read by the `simbackend_grab` endpoint.
+    frames_slot: Arc<Mutex<Vec<Value>>>,
+    /// Latest loop state written by the `simbackend_unpair` endpoint.
+    state_slot: Arc<Mutex<Option<Value>>>,
+    /// Per-frame outputs appended by the `simbackend_show` endpoint.
+    outputs_slot: Arc<Mutex<Vec<Value>>>,
 }
 
 impl CompiledSimLoop {
@@ -1290,30 +1351,11 @@ impl CompiledSimLoop {
         frames: Vec<Value>,
         mem0: Value,
     ) -> Result<(Value, Vec<Value>, ExecReport), ExecError> {
+        let _guard = self.base.run_lock.lock().expect("run lock");
         let iterations = frames.len();
-        let mut reg = self.base.reg.clone();
-        let final_state = Arc::new(Mutex::new(None::<Value>));
-        let state_slot = Arc::clone(&final_state);
-        reg.register("simbackend_unpair", move |args| {
-            let t = args[0]
-                .as_tuple()
-                .expect("loop body must produce a (state, output) tuple");
-            *state_slot.lock().expect("state slot") = Some(t[0].clone());
-            vec![t[1].clone(), t[0].clone()]
-        });
-        reg.register("simbackend_grab", move |args| {
-            let k = args[0].as_int().unwrap_or(0).unsigned_abs() as usize;
-            vec![frames[k.min(frames.len() - 1)].clone()]
-        });
-        let outputs = Arc::new(Mutex::new(Vec::<Value>::new()));
-        let output_slot = Arc::clone(&outputs);
-        reg.register("simbackend_show", move |args| {
-            output_slot
-                .lock()
-                .expect("output slot")
-                .push(args[0].clone());
-            vec![]
-        });
+        *self.frames_slot.lock().expect("frames slot") = frames;
+        self.state_slot.lock().expect("state slot").take();
+        self.outputs_slot.lock().expect("output slot").clear();
         let mut mem_init = HashMap::new();
         mem_init.insert(self.mem, mem0);
         let config = ExecConfig {
@@ -1321,22 +1363,19 @@ impl CompiledSimLoop {
             frame_clock: None,
             sim: self.base.config,
         };
-        let report = run_simulated(
-            &self.base.net,
-            &self.base.sched,
-            &self.base.progs,
-            self.base.topo.clone(),
-            Arc::new(reg),
-            &mem_init,
-            &self.base.farm_init,
-            &config,
-        )?;
-        let z_value = final_state
+        let run = run_prepared(&self.base.stat, &mem_init, &config);
+        // Release the frame payloads either way: the slot must never pin
+        // a stream's frames past its run (the Vec keeps its capacity, so
+        // the buffer itself is recycled across runs).
+        self.frames_slot.lock().expect("frames slot").clear();
+        let report = run?;
+        let z_value = self
+            .state_slot
             .lock()
             .expect("state slot")
             .take()
             .ok_or_else(|| ExecError::Internal("loop produced no final state".into()))?;
-        let ys = std::mem::take(&mut *outputs.lock().expect("output slot"));
+        let ys = std::mem::take(&mut *self.outputs_slot.lock().expect("output slot"));
         Ok((z_value, ys, report))
     }
 }
@@ -1369,7 +1408,7 @@ impl<Z, B, Y> SimLoopExecutable<Z, B, Y> {
     /// preparation error.
     pub fn schedule(&self) -> Result<&Schedule, ExecError> {
         match &self.inner {
-            Ok(c) => Ok(&c.base.sched),
+            Ok(c) => Ok(c.base.stat.schedule()),
             Err(e) => Err(e.clone()),
         }
     }

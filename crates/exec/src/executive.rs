@@ -233,10 +233,18 @@ impl FarmRt {
     }
 }
 
-/// Immutable context shared by all processor behaviours of one run.
-struct Shared {
+/// Everything about a scheduled program that is **identical across
+/// runs**: the process network, the SynDEx schedule, the per-processor
+/// macro-code, the machine topology, the function registry and the
+/// derived farm-protocol tables. Built once by [`SimStatics::analyze`]
+/// (the prepare-time half of the executive) and shared by reference
+/// count from then on — [`run_prepared`] only allocates per-run
+/// interpreter state, never re-deriving or deep-cloning any of this.
+pub struct SimStatics {
     net: ProcessNetwork,
     schedule: Schedule,
+    programs: Vec<MacroProgram>,
+    topo: Topology,
     registry: Arc<Registry>,
     farms: HashMap<NodeId, FarmRt>,
     /// Worker node → (master, logical worker index). `None` marks an
@@ -245,9 +253,42 @@ struct Shared {
     /// real machine), or any worker of a local farm.
     farm_by_worker: HashMap<NodeId, (NodeId, Option<usize>)>,
     farm_internal_edges: HashSet<usize>,
+}
+
+impl SimStatics {
+    /// The SynDEx schedule every run of this prepared program follows.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+impl std::fmt::Debug for SimStatics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimStatics")
+            .field("procs", &self.programs.len())
+            .field("farms", &self.farms.len())
+            .finish()
+    }
+}
+
+/// Immutable context shared by all processor behaviours of one run: the
+/// prepared statics plus the few per-run knobs ([`ExecConfig`]). The
+/// `Deref` lets behaviour code reach the static tables (`.net`,
+/// `.farms`, …) without caring which side of the prepare/run split a
+/// field lives on.
+struct Shared {
+    stat: Arc<SimStatics>,
     clock: Option<FrameClock>,
     cost: transvision::cost::CostModel,
     iterations: usize,
+}
+
+impl std::ops::Deref for Shared {
+    type Target = SimStatics;
+
+    fn deref(&self) -> &SimStatics {
+        &self.stat
+    }
 }
 
 #[derive(Debug, Default)]
@@ -327,10 +368,12 @@ enum Phase {
     Halted,
 }
 
-/// One processor's executive interpreter.
+/// One processor's executive interpreter. The macro-code it interprets
+/// lives in the shared statics (`shared.programs[prog].ops`) — the
+/// behaviour holds an index, not a per-run copy of the program.
 struct ProcBehavior {
     me: ProcId,
-    ops: Vec<MacroOp>,
+    prog: usize,
     shared: Rc<Shared>,
     log: Rc<RefCell<SharedLog>>,
     mem: HashMap<NodeId, Value>,
@@ -460,8 +503,8 @@ impl ProcBehavior {
         fallback_ns: Ns,
         now_ns: Ns,
     ) -> Result<Option<Action<Value>>, ExecError> {
-        let kind = self.shared.net.node(node).kind.clone();
-        match kind {
+        let shared = Rc::clone(&self.shared);
+        match &shared.net.node(node).kind {
             NodeKind::Input(_) => {
                 if let Some(clock) = self.shared.clock {
                     let due = clock.frame_time(self.iter as u64);
@@ -474,31 +517,31 @@ impl ProcBehavior {
             }
             NodeKind::Output(name) => {
                 let args = self.gather(node)?;
-                let outputs = self.shared.registry.call(&name, &args)?;
+                let outputs = self.shared.registry.call(name, &args)?;
                 self.publish(node, &outputs)?;
-                let cost = self.cost_of(&name, &args, fallback_ns);
+                let cost = self.cost_of(name, &args, fallback_ns);
                 self.log
                     .borrow_mut()
                     .output_marks
                     .push((self.iter, now_ns + cost));
                 Ok(Some(Action::Compute {
-                    label: name,
+                    label: name.clone(),
                     cost_ns: cost,
                 }))
             }
             NodeKind::UserFn(name) => {
                 let args = self.gather(node)?;
-                let outputs = self.shared.registry.call(&name, &args)?;
-                let cost = self.cost_of(&name, &args, fallback_ns);
+                let outputs = self.shared.registry.call(name, &args)?;
+                let cost = self.cost_of(name, &args, fallback_ns);
                 self.publish(node, &outputs)?;
                 Ok(Some(Action::Compute {
-                    label: name,
+                    label: name.clone(),
                     cost_ns: cost,
                 }))
             }
             NodeKind::Split(name) => {
                 let args = self.gather(node)?;
-                let outputs = self.shared.registry.call(&name, &args)?;
+                let outputs = self.shared.registry.call(name, &args)?;
                 let list = outputs
                     .first()
                     .and_then(|v| v.as_list().map(<[Value]>::to_vec))
@@ -506,21 +549,21 @@ impl ProcBehavior {
                         node,
                         what: "split function must return one list".into(),
                     })?;
-                let cost = self.cost_of(&name, &args, fallback_ns);
+                let cost = self.cost_of(name, &args, fallback_ns);
                 self.publish(node, &list)?;
                 Ok(Some(Action::Compute {
-                    label: name,
+                    label: name.clone(),
                     cost_ns: cost,
                 }))
             }
             NodeKind::Merge(name) => {
                 let parts = self.gather(node)?;
                 let args = [Value::list(parts)];
-                let outputs = self.shared.registry.call(&name, &args)?;
-                let cost = self.cost_of(&name, &args, fallback_ns);
+                let outputs = self.shared.registry.call(name, &args)?;
+                let cost = self.cost_of(name, &args, fallback_ns);
                 self.publish(node, &outputs)?;
                 Ok(Some(Action::Compute {
-                    label: name,
+                    label: name.clone(),
                     cost_ns: cost,
                 }))
             }
@@ -537,11 +580,9 @@ impl ProcBehavior {
                 }))
             }
             NodeKind::Master(_) => {
-                let farm = self
-                    .shared
+                let farm = shared
                     .farms
                     .get(&node)
-                    .cloned()
                     .ok_or_else(|| ExecError::Internal(format!("no farm for master {node}")))?;
                 let inputs = self.gather(node)?;
                 let first = inputs.first().ok_or_else(|| ExecError::BadShape {
@@ -650,7 +691,10 @@ impl ProcBehavior {
         view: &ProcView<'_, Value>,
     ) -> Result<Option<Action<Value>>, ExecError> {
         let master = ms.master;
-        let farm = self.shared.farms[&master].clone();
+        // Borrow the farm tables through a refcount bump on the shared
+        // context — the per-step `FarmRt` deep clone was hot-path cost.
+        let shared = Rc::clone(&self.shared);
+        let farm = &shared.farms[&master];
         match ms.sub {
             MasterSub::Dispatch => {
                 if !ms.items.is_empty() && !ms.idle.is_empty() {
@@ -800,7 +844,8 @@ impl ProcBehavior {
         mut ws: WorkerState,
         view: &ProcView<'_, Value>,
     ) -> Result<Option<Action<Value>>, ExecError> {
-        let farm = self.shared.farms[&ws.master].clone();
+        let shared = Rc::clone(&self.shared);
+        let farm = &shared.farms[&ws.master];
         match ws.sub {
             WorkerSub::Start => {
                 let tag = farm.item_tag(ws.widx);
@@ -867,7 +912,8 @@ impl ProcBehavior {
         mut rs: RingState,
         view: &ProcView<'_, Value>,
     ) -> Result<Option<Action<Value>>, ExecError> {
-        let farm = self.shared.farms[&rs.master].clone();
+        let shared = Rc::clone(&self.shared);
+        let farm = &shared.farms[&rs.master];
         let upstream = farm.upstream_of(rs.widx);
         match std::mem::replace(&mut rs.sub, RingSub::AwaitMsg) {
             RingSub::AwaitMsg => {
@@ -1007,20 +1053,24 @@ impl ProcBehavior {
                     }
                 }
                 Phase::Fetch => {
-                    if self.pc >= self.ops.len() {
+                    let shared = Rc::clone(&self.shared);
+                    let ops = &shared.programs[self.prog].ops;
+                    if self.pc >= ops.len() {
                         self.commit_memory()?;
                         self.env.clear();
                         self.iter += 1;
                         self.pc = 0;
-                        if self.iter >= self.shared.iterations || self.ops.is_empty() {
+                        if self.iter >= self.shared.iterations || ops.is_empty() {
                             self.phase = Phase::Halted;
                             return Ok(Action::Halt);
                         }
                         continue;
                     }
-                    let op = self.ops[self.pc].clone();
+                    // Interpret the op in place: the macro-code stays in
+                    // the shared statics, nothing is cloned per fetch.
+                    let op = &ops[self.pc];
                     self.pc += 1;
-                    match op {
+                    match *op {
                         MacroOp::Recv { edge, from, tag } => {
                             self.phase = Phase::AfterRecv { edge };
                             return Ok(Action::Recv {
@@ -1092,121 +1142,175 @@ pub fn run_simulated(
     farm_init: &HashMap<usize, Value>,
     config: &ExecConfig,
 ) -> Result<ExecReport, ExecError> {
-    assert!(
-        net.edges().len() < 1_000_000,
-        "edge indices must stay below the farm tag space"
-    );
-    // Farm runtime info.
-    let mut farms = HashMap::new();
-    let mut farm_by_worker = HashMap::new();
-    let mut farm_instances = HashSet::new();
-    for node in net.nodes() {
-        if let NodeKind::Master(acc) = &node.kind {
-            let inst = node
-                .instance
-                .ok_or_else(|| ExecError::Internal("master without instance".into()))?;
-            farm_instances.insert(inst);
-            let worker_nodes: Vec<NodeId> = net
-                .nodes()
-                .iter()
-                .filter(|n| n.instance == Some(inst) && matches!(n.kind, NodeKind::Worker(_)))
-                .map(|n| n.id)
-                .collect();
-            let compute = worker_nodes
-                .first()
-                .and_then(|&w| net.node(w).kind.function_name())
-                .ok_or_else(|| ExecError::Internal("farm without workers".into()))?
-                .to_string();
-            let master_proc = schedule.proc_of(node.id);
-            let all_procs: Vec<ProcId> =
-                worker_nodes.iter().map(|&w| schedule.proc_of(w)).collect();
-            let any_remote = all_procs.iter().any(|&p| p != master_proc);
-            let any_colocated = all_procs.contains(&master_proc);
-            if any_remote && any_colocated {
-                return Err(ExecError::MixedFarmPlacement { master: node.id });
-            }
-            let local = !any_remote;
-            // One logical worker per processor: the first worker node on a
-            // processor is active; any surplus is inactive.
-            let mut worker_procs: Vec<ProcId> = Vec::new();
-            let mut assignment: Vec<Option<usize>> = Vec::with_capacity(worker_nodes.len());
-            for &p in &all_procs {
-                if local || worker_procs.contains(&p) {
-                    assignment.push(None);
-                } else {
-                    worker_procs.push(p);
-                    assignment.push(Some(worker_procs.len() - 1));
-                }
-            }
-            let init = farm_init
-                .get(&inst)
-                .cloned()
-                .ok_or(ExecError::MissingFarmInit { instance: inst })?;
-            // Router nodes mark a Fig. 1 ring-shaped instance: the farm
-            // protocol then relays messages along the worker chain.
-            let ring = net.nodes().iter().any(|n| {
-                n.instance == Some(inst)
-                    && matches!(n.kind, NodeKind::RouterMw | NodeKind::RouterWm)
-            });
-            if worker_procs.len() > 1022 {
-                return Err(ExecError::Internal(format!(
-                    "farm instance {inst} spans {} processors, exceeding its 1024-tag window",
-                    worker_procs.len()
-                )));
-            }
-            let farm = FarmRt {
-                compute,
-                acc: acc.clone(),
-                init,
-                master_proc,
-                worker_procs,
-                local,
-                ring,
-                base_tag: 1_000_000 + inst as u32 * 1024,
-            };
-            for (&w, &widx) in worker_nodes.iter().zip(&assignment) {
-                farm_by_worker.insert(w, (node.id, widx));
-            }
-            farms.insert(node.id, farm);
-        }
-    }
-    let farm_internal_edges: HashSet<usize> = net
-        .edges()
-        .iter()
-        .enumerate()
-        .filter(
-            |(_, e)| match (net.node(e.from).instance, net.node(e.to).instance) {
-                (Some(a), Some(b)) => a == b && farm_instances.contains(&a),
-                _ => false,
-            },
-        )
-        .map(|(i, _)| i)
-        .collect();
-    let shared = Rc::new(Shared {
-        net: net.clone(),
-        schedule: schedule.clone(),
+    let stat = Arc::new(SimStatics::analyze(
+        net.clone(),
+        schedule.clone(),
+        programs.to_vec(),
+        topo,
         registry,
-        farms,
-        farm_by_worker,
-        farm_internal_edges,
+        farm_init,
+    )?);
+    run_prepared(&stat, mem_init, config)
+}
+
+impl SimStatics {
+    /// Derives the run-invariant executive context from a scheduled
+    /// program: validates and indexes every farm instance, classifies
+    /// farm-internal edges, and takes ownership of the network, schedule,
+    /// macro-code, topology and registry. This is prepare-time work —
+    /// a compiled executable calls it once and every run shares the
+    /// result by `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Farm-shape violations ([`ExecError::MixedFarmPlacement`],
+    /// [`ExecError::MissingFarmInit`]) and internal invariant breaches.
+    pub fn analyze(
+        net: ProcessNetwork,
+        schedule: Schedule,
+        programs: Vec<MacroProgram>,
+        topo: Topology,
+        registry: Arc<Registry>,
+        farm_init: &HashMap<usize, Value>,
+    ) -> Result<SimStatics, ExecError> {
+        assert!(
+            net.edges().len() < 1_000_000,
+            "edge indices must stay below the farm tag space"
+        );
+        // Farm runtime info.
+        let mut farms = HashMap::new();
+        let mut farm_by_worker = HashMap::new();
+        let mut farm_instances = HashSet::new();
+        for node in net.nodes() {
+            if let NodeKind::Master(acc) = &node.kind {
+                let inst = node
+                    .instance
+                    .ok_or_else(|| ExecError::Internal("master without instance".into()))?;
+                farm_instances.insert(inst);
+                let worker_nodes: Vec<NodeId> = net
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.instance == Some(inst) && matches!(n.kind, NodeKind::Worker(_)))
+                    .map(|n| n.id)
+                    .collect();
+                let compute = worker_nodes
+                    .first()
+                    .and_then(|&w| net.node(w).kind.function_name())
+                    .ok_or_else(|| ExecError::Internal("farm without workers".into()))?
+                    .to_string();
+                let master_proc = schedule.proc_of(node.id);
+                let all_procs: Vec<ProcId> =
+                    worker_nodes.iter().map(|&w| schedule.proc_of(w)).collect();
+                let any_remote = all_procs.iter().any(|&p| p != master_proc);
+                let any_colocated = all_procs.contains(&master_proc);
+                if any_remote && any_colocated {
+                    return Err(ExecError::MixedFarmPlacement { master: node.id });
+                }
+                let local = !any_remote;
+                // One logical worker per processor: the first worker node on a
+                // processor is active; any surplus is inactive.
+                let mut worker_procs: Vec<ProcId> = Vec::new();
+                let mut assignment: Vec<Option<usize>> = Vec::with_capacity(worker_nodes.len());
+                for &p in &all_procs {
+                    if local || worker_procs.contains(&p) {
+                        assignment.push(None);
+                    } else {
+                        worker_procs.push(p);
+                        assignment.push(Some(worker_procs.len() - 1));
+                    }
+                }
+                let init = farm_init
+                    .get(&inst)
+                    .cloned()
+                    .ok_or(ExecError::MissingFarmInit { instance: inst })?;
+                // Router nodes mark a Fig. 1 ring-shaped instance: the farm
+                // protocol then relays messages along the worker chain.
+                let ring = net.nodes().iter().any(|n| {
+                    n.instance == Some(inst)
+                        && matches!(n.kind, NodeKind::RouterMw | NodeKind::RouterWm)
+                });
+                if worker_procs.len() > 1022 {
+                    return Err(ExecError::Internal(format!(
+                        "farm instance {inst} spans {} processors, exceeding its 1024-tag window",
+                        worker_procs.len()
+                    )));
+                }
+                let farm = FarmRt {
+                    compute,
+                    acc: acc.clone(),
+                    init,
+                    master_proc,
+                    worker_procs,
+                    local,
+                    ring,
+                    base_tag: 1_000_000 + inst as u32 * 1024,
+                };
+                for (&w, &widx) in worker_nodes.iter().zip(&assignment) {
+                    farm_by_worker.insert(w, (node.id, widx));
+                }
+                farms.insert(node.id, farm);
+            }
+        }
+        let farm_internal_edges: HashSet<usize> = net
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, e)| match (net.node(e.from).instance, net.node(e.to).instance) {
+                    (Some(a), Some(b)) => a == b && farm_instances.contains(&a),
+                    _ => false,
+                },
+            )
+            .map(|(i, _)| i)
+            .collect();
+        Ok(SimStatics {
+            net,
+            schedule,
+            programs,
+            topo,
+            registry,
+            farms,
+            farm_by_worker,
+            farm_internal_edges,
+        })
+    }
+}
+
+/// Runs `config.iterations` of a prepared program ([`SimStatics`]) on the
+/// simulated machine. The statics are shared by reference count; only
+/// the per-run interpreter state (environments, MEM seeds, the simulator
+/// itself) is allocated here — this is the zero-copy run-many half of
+/// the prepare/run contract.
+///
+/// # Errors
+///
+/// Any [`ExecError`]; in particular [`ExecError::Sim`] wraps simulator
+/// deadlocks and limit violations.
+pub fn run_prepared(
+    stat: &Arc<SimStatics>,
+    mem_init: &HashMap<NodeId, Value>,
+    config: &ExecConfig,
+) -> Result<ExecReport, ExecError> {
+    let shared = Rc::new(Shared {
+        stat: Arc::clone(stat),
         clock: config.frame_clock,
         cost: config.sim.cost,
         iterations: config.iterations,
     });
     let log = Rc::new(RefCell::new(SharedLog::default()));
-    let mut sim = Simulation::<Value>::new(topo, config.sim);
-    for prog in programs {
+    let mut sim = Simulation::<Value>::new(stat.topo.clone(), config.sim);
+    for (idx, prog) in stat.programs.iter().enumerate() {
         // Initial MEM states hosted on this processor.
         let mem: HashMap<NodeId, Value> = mem_init
             .iter()
-            .filter(|(&n, _)| schedule.proc_of(n) == prog.proc)
+            .filter(|(&n, _)| stat.schedule.proc_of(n) == prog.proc)
             .map(|(&n, v)| (n, v.clone()))
             .collect();
         sim.set_behavior(
             prog.proc,
             ProcBehavior {
                 me: prog.proc,
-                ops: prog.ops.clone(),
+                prog: idx,
                 shared: Rc::clone(&shared),
                 log: Rc::clone(&log),
                 mem,

@@ -41,10 +41,35 @@ impl std::error::Error for UnknownFunction {}
 /// let out = reg.call("double", &[Value::Int(21)]).unwrap();
 /// assert_eq!(out, vec![Value::Int(42)]);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct Registry {
     fns: HashMap<String, NativeFn>,
     costs: HashMap<String, CostFn>,
+}
+
+/// Counts every [`Registry`] clone this process has performed — the
+/// zero-copy hot path's observable. A prepared executable binds its
+/// endpoint functions once, at compile time, against rebindable slots,
+/// so [`crate::backend::Executable::run`] performs **zero** registry
+/// clones per frame; the probe tests snapshot this counter around a
+/// prepare + N runs sequence and assert the per-run delta is zero.
+static REGISTRY_CLONES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Total number of [`Registry`] clones performed by this process so far —
+/// a monotonic probe for asserting the zero-copy run contract (compare
+/// deltas around a prepare + N runs sequence).
+pub fn registry_clone_count() -> usize {
+    REGISTRY_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Clone for Registry {
+    fn clone(&self) -> Self {
+        REGISTRY_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Registry {
+            fns: self.fns.clone(),
+            costs: self.costs.clone(),
+        }
+    }
 }
 
 impl Registry {

@@ -87,6 +87,25 @@ macro_rules! impl_int_simvalue {
 // serialisation format.
 impl_int_simvalue!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
+// The zero-copy frame bridge: an `Arc<[u8]>` payload crosses the
+// simulated machine as [`Value::Bytes`] sharing the same allocation, so
+// encoding a frame, fanning it out to farm workers and decoding it back
+// never copies the pixels. (`Vec<u8>` intentionally keeps the element-wise
+// list encoding of the blanket `Vec<T>` impl below — use `Arc<[u8]>` for
+// bulk payloads.)
+impl SimValue for std::sync::Arc<[u8]> {
+    fn to_value(&self) -> Value {
+        Value::Bytes(std::sync::Arc::clone(self))
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Bytes(b) => Some(std::sync::Arc::clone(b)),
+            _ => None,
+        }
+    }
+}
+
 impl<T: SimValue> SimValue for Vec<T> {
     fn to_value(&self) -> Value {
         Value::list(self.iter().map(SimValue::to_value).collect())
@@ -198,6 +217,17 @@ mod tests {
         roundtrip(Some(9i64));
         roundtrip(None::<i64>);
         roundtrip(vec![Some(1i32), None]);
+    }
+
+    #[test]
+    fn arc_bytes_roundtrip_is_zero_copy() {
+        let frame: std::sync::Arc<[u8]> = vec![9u8; 64].into();
+        let v = frame.to_value();
+        let back = <std::sync::Arc<[u8]>>::from_value(&v).expect("bytes decode");
+        assert!(
+            std::sync::Arc::ptr_eq(&frame, &back),
+            "encode/decode must share the allocation"
+        );
     }
 
     #[test]

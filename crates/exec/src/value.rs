@@ -24,6 +24,11 @@ pub enum Value {
     Float(f64),
     /// Immutable string.
     Str(Arc<str>),
+    /// Immutable byte buffer (raw frame pixels, encoded blobs). The
+    /// storage is `Arc`-shared: cloning a `Bytes` value — fanning a frame
+    /// out to N farm workers, queueing it on M streams — bumps a
+    /// reference count instead of copying the payload.
+    Bytes(Arc<[u8]>),
     /// Homogeneous-ish list.
     List(Arc<Vec<Value>>),
     /// Fixed-arity tuple.
@@ -64,6 +69,19 @@ impl Value {
     /// Builds a string value.
     pub fn str(s: &str) -> Value {
         Value::Str(Arc::from(s))
+    }
+
+    /// Builds a byte-buffer value (the storage is shared from then on).
+    pub fn bytes(b: impl Into<Arc<[u8]>>) -> Value {
+        Value::Bytes(b.into())
+    }
+
+    /// The byte payload, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
     }
 
     /// Borrows the payload of an [`Value::Opaque`] as `T`.
@@ -117,6 +135,7 @@ impl Value {
             Value::Unit | Value::Bool(_) | Value::End => 1,
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => s.len() as u64,
+            Value::Bytes(b) => b.len() as u64,
             Value::List(v) | Value::Tuple(v) => 8 + v.iter().map(Value::byte_size).sum::<u64>(),
             Value::Opaque { bytes, .. } => *bytes,
         };
@@ -133,6 +152,7 @@ impl Value {
         match self {
             Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Float(_) => 1,
             Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
             Value::List(v) | Value::Tuple(v) => v.iter().map(Value::size).sum(),
             Value::Opaque { bytes, .. } => *bytes as usize,
             Value::End => 0,
@@ -147,6 +167,7 @@ impl Value {
             Value::Int(_) => "int".into(),
             Value::Float(_) => "float".into(),
             Value::Str(_) => "string".into(),
+            Value::Bytes(_) => "bytes".into(),
             Value::List(_) => "list".into(),
             Value::Tuple(_) => "tuple".into(),
             Value::Opaque { type_name, .. } => type_name.to_string(),
@@ -163,6 +184,7 @@ impl fmt::Debug for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<bytes:{}B>", b.len()),
             Value::List(v) => f.debug_list().entries(v.iter()).finish(),
             Value::Tuple(v) => {
                 write!(f, "(")?;
@@ -190,6 +212,7 @@ impl PartialEq for Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
             (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => a == b,
             (Value::Opaque { data: a, .. }, Value::Opaque { data: b, .. }) => Arc::ptr_eq(a, b),
             _ => false,
@@ -271,6 +294,22 @@ mod tests {
         let t = Value::tuple(vec![Value::Int(1), Value::Unit]);
         assert_eq!(t.as_tuple().unwrap().len(), 2);
         assert!(t.as_list().is_none());
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let v = Value::bytes(vec![1u8, 2, 3]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(v.as_bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(v.byte_size(), 3);
+        assert_eq!(v.size(), 3);
+        assert_eq!(v.type_name(), "bytes");
+        let (Value::Bytes(a), Value::Bytes(b)) = (&v, &w) else {
+            panic!("bytes variant");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share, not copy");
+        assert_eq!(format!("{v:?}"), "<bytes:3B>");
     }
 
     #[test]

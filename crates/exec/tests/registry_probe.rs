@@ -1,0 +1,100 @@
+//! The zero-copy run acceptance probe: a prepared executable binds its
+//! endpoint functions once, at compile time, against rebindable slots —
+//! so running it N times must perform **zero** registry clones, for the
+//! one-shot and the stream-loop paths alike. The companion aliasing
+//! tests pin that the rebindable slots do not leak state between runs
+//! or between executables.
+//!
+//! The clone probe is a process-global counter, so the counting test is
+//! the only `#[test]` in this binary that takes deltas around runs;
+//! the aliasing tests only assert on values, never on the counter.
+
+use skipper::{df, itermem, Backend, Executable, SeqBackend};
+use skipper_exec::{registry_clone_count, SimBackend};
+
+#[test]
+fn prepared_runs_never_clone_the_registry() {
+    let farm = df(3, |x: &i64| x * x + 1, |z: i64, y| z + y, 2i64);
+    let backend = SimBackend::ring(4);
+    let xs: Vec<i64> = (0..12).collect();
+    let golden = SeqBackend.run(&farm, &xs[..]);
+
+    // One-shot path: however many clones preparation itself costs must
+    // be constant (frame-count independent), and each run must cost
+    // exactly zero.
+    let before = registry_clone_count();
+    let exec = Backend::<_, &[i64]>::prepare(&backend, &farm);
+    let after_prepare = registry_clone_count();
+    for _ in 0..5 {
+        assert_eq!(exec.run(&xs[..]).expect("prepared farm runs"), golden);
+    }
+    assert_eq!(
+        registry_clone_count(),
+        after_prepare,
+        "prepared one-shot runs must not clone the registry"
+    );
+    assert_eq!(
+        after_prepare, before,
+        "one-shot preparation binds endpoints in place, without cloning"
+    );
+
+    // Stream-loop path: same contract, asserted across two runs of
+    // different lengths so per-frame clones cannot hide in a constant.
+    let prog = itermem(df(2, |x: &i64| x + 3, |z: i64, y| z + y, 0i64), 7i64);
+    let exec = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &prog);
+    let after_prepare = registry_clone_count();
+    let short: Vec<Vec<i64>> = vec![vec![1, 2]];
+    let long: Vec<Vec<i64>> = vec![vec![1, 2], vec![3], Vec::new(), vec![4, 5, 6]];
+    assert_eq!(
+        exec.run(short.clone()).expect("short stream"),
+        SeqBackend.run(&prog, short)
+    );
+    assert_eq!(
+        exec.run(long.clone()).expect("long stream"),
+        SeqBackend.run(&prog, long)
+    );
+    assert_eq!(
+        registry_clone_count(),
+        after_prepare,
+        "prepared stream-loop runs must not clone the registry, regardless of frame count"
+    );
+}
+
+/// Two runs through ONE executable: the second run's MEM seed and frame
+/// slots must not observe the first run's state (the rebindable slots
+/// are cleared/rebound per run).
+#[test]
+fn reruns_through_one_executable_do_not_alias_mem_slots() {
+    let backend = SimBackend::ring(3);
+    let prog = itermem(df(2, |x: &i64| x * 2, |z: i64, y| z + y, 0i64), 100i64);
+    let exec = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &prog);
+    let a: Vec<Vec<i64>> = vec![vec![1], vec![2, 3]];
+    let b: Vec<Vec<i64>> = vec![vec![10]];
+
+    let golden_a = SeqBackend.run(&prog, a.clone());
+    let golden_b = SeqBackend.run(&prog, b.clone());
+    // Interleave: a, b, a again — if any slot (frames, state, outputs,
+    // MEM) leaked across runs, the repeats would diverge.
+    assert_eq!(exec.run(a.clone()).expect("run a"), golden_a);
+    assert_eq!(exec.run(b.clone()).expect("run b"), golden_b);
+    assert_eq!(exec.run(a.clone()).expect("run a again"), golden_a);
+    assert_eq!(exec.run(b).expect("run b again"), golden_b);
+}
+
+/// Two executables prepared from the same backend: their slots are
+/// per-executable, so interleaved runs stay isolated.
+#[test]
+fn two_executables_keep_their_slots_isolated() {
+    let backend = SimBackend::ring(3);
+    let double = itermem(df(2, |x: &i64| x * 2, |z: i64, y| z + y, 0i64), 0i64);
+    let square = itermem(df(2, |x: &i64| x * x, |z: i64, y| z + y, 0i64), 5i64);
+    let exec_d = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &double);
+    let exec_s = Backend::<_, Vec<Vec<i64>>>::prepare(&backend, &square);
+    let frames: Vec<Vec<i64>> = vec![vec![1, 2, 3], vec![4]];
+    let golden_d = SeqBackend.run(&double, frames.clone());
+    let golden_s = SeqBackend.run(&square, frames.clone());
+    for _ in 0..3 {
+        assert_eq!(exec_d.run(frames.clone()).expect("double"), golden_d);
+        assert_eq!(exec_s.run(frames.clone()).expect("square"), golden_s);
+    }
+}

@@ -713,6 +713,9 @@ pub fn serve_connection<R: Read, W: Write>(mut input: R, mut output: W) -> io::R
 }
 
 fn serve_jobs<R: Read, W: Write>(pool: PoolBackend, mut input: R, mut output: W) -> io::Result<()> {
+    // One reply-encoding buffer for the connection's lifetime: replies
+    // reuse its capacity instead of allocating a document per job.
+    let mut scratch = Vec::new();
     loop {
         let Some(msg) = wire::read_frame(&mut input)? else {
             // The master hung up without a shutdown; treat as orderly.
@@ -720,7 +723,11 @@ fn serve_jobs<R: Read, W: Write>(pool: PoolBackend, mut input: R, mut output: W)
         };
         let reply = match head_of(&msg) {
             Some(("shutdown", _)) => {
-                wire::write_frame(&mut output, &WireValue::Tuple(vec![s("bye")]))?;
+                wire::write_frame_into(
+                    &mut output,
+                    &WireValue::Tuple(vec![s("bye")]),
+                    &mut scratch,
+                )?;
                 return Ok(());
             }
             Some((
@@ -758,7 +765,7 @@ fn serve_jobs<R: Read, W: Write>(pool: PoolBackend, mut input: R, mut output: W)
             }
             _ => WireValue::Tuple(vec![s("err"), WireValue::Int(-1), s("unexpected message")]),
         };
-        wire::write_frame(&mut output, &reply)?;
+        wire::write_frame_into(&mut output, &reply, &mut scratch)?;
     }
 }
 
@@ -772,6 +779,9 @@ struct WorkerLink {
     rx: BufReader<ChildStdout>,
     /// Worker-reported pool size, from the handshake.
     threads: usize,
+    /// Reused frame-encoding buffer: steady-state sends on this link
+    /// allocate nothing once it has grown to the working frame size.
+    scratch: Vec<u8>,
 }
 
 struct MasterState {
@@ -810,7 +820,7 @@ fn read_reply(link: &mut WorkerLink) -> Result<WireValue, DistError> {
 }
 
 fn send(link: &mut WorkerLink, msg: &WireValue) -> Result<(), DistError> {
-    wire::write_frame(&mut link.tx, msg)?;
+    wire::write_frame_into(&mut link.tx, msg, &mut link.scratch)?;
     Ok(())
 }
 
@@ -837,6 +847,7 @@ impl DistBackend {
                 tx,
                 rx,
                 threads: 0,
+                scratch: Vec::new(),
             };
             send(
                 &mut link,

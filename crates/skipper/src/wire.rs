@@ -288,6 +288,18 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
+    /// Capacity to pre-allocate for a declared element count. The count
+    /// passed [`Reader::len`], but that only guarantees one *input byte*
+    /// per element while each reserved slot costs
+    /// `size_of::<WireValue>()` bytes — a ~40× amplification a hostile
+    /// or corrupt length field could command before the first element
+    /// fails to parse. Cap the reservation so it never exceeds the
+    /// unread input; genuine large collections still reach full size
+    /// through amortised growth.
+    fn capacity_for(&self, declared: usize) -> usize {
+        declared.min(self.remaining() / std::mem::size_of::<WireValue>())
+    }
+
     fn value(&mut self) -> Result<WireValue, WireError> {
         match self.u8()? {
             TAG_UNIT => Ok(WireValue::Unit),
@@ -322,7 +334,7 @@ impl<'a> Reader<'a> {
             }
             TAG_LIST => {
                 let n = self.len()?;
-                let mut items = Vec::with_capacity(n);
+                let mut items = Vec::with_capacity(self.capacity_for(n));
                 for _ in 0..n {
                     items.push(self.value()?);
                 }
@@ -330,7 +342,7 @@ impl<'a> Reader<'a> {
             }
             TAG_TUPLE => {
                 let n = self.len()?;
-                let mut items = Vec::with_capacity(n);
+                let mut items = Vec::with_capacity(self.capacity_for(n));
                 for _ in 0..n {
                     items.push(self.value()?);
                 }
@@ -370,11 +382,27 @@ pub fn decode_document(bytes: &[u8]) -> Result<WireValue, WireError> {
 /// Writes one document as a length-prefixed frame (`u32` LE byte length,
 /// then the document) — the unit of exchange on a dist pipe.
 pub fn write_frame<W: Write>(w: &mut W, v: &WireValue) -> io::Result<()> {
-    let doc = encode_document(v);
-    let len = u32::try_from(doc.len()).map_err(|_| {
+    write_frame_into(w, v, &mut Vec::with_capacity(8))
+}
+
+/// [`write_frame`] encoding into a caller-owned scratch buffer (cleared
+/// on entry, capacity kept). A long-lived link that sends many frames —
+/// the dist master's per-worker pipes, the worker's reply stream —
+/// reuses one buffer and stops paying a fresh document allocation per
+/// frame once the scratch has grown to the link's working frame size.
+pub fn write_frame_into<W: Write>(
+    w: &mut W,
+    v: &WireValue,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(&MAGIC);
+    scratch.extend_from_slice(&VERSION.to_le_bytes());
+    encode_value_into(v, scratch);
+    let len = u32::try_from(scratch.len()).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidData,
-            WireError::FrameTooLarge(doc.len() as u64),
+            WireError::FrameTooLarge(scratch.len() as u64),
         )
     })?;
     if len > MAX_FRAME_LEN {
@@ -384,7 +412,7 @@ pub fn write_frame<W: Write>(w: &mut W, v: &WireValue) -> io::Result<()> {
         ));
     }
     w.write_all(&len.to_le_bytes())?;
-    w.write_all(&doc)?;
+    w.write_all(scratch)?;
     w.flush()
 }
 
@@ -734,6 +762,52 @@ mod tests {
             decode_document(&bytes).unwrap_err(),
             WireError::Trailing { extra: 1 }
         );
+    }
+
+    #[test]
+    fn hostile_lengths_cannot_command_large_preallocations() {
+        // `capacity_for` bounds the reservation by the bytes actually
+        // left to read: a count that squeaked past the one-byte-per-
+        // element plausibility check still cannot reserve more memory
+        // than the input could possibly encode.
+        let r = Reader {
+            buf: &[0u8; 64],
+            pos: 0,
+        };
+        let per_slot = std::mem::size_of::<WireValue>();
+        assert_eq!(r.capacity_for(64), 64 / per_slot);
+        assert_eq!(r.capacity_for(2), 2, "small counts keep exact capacity");
+
+        // End to end: a list declaring one element per remaining byte
+        // (passes the length check) whose payload is garbage must fail
+        // cleanly, not panic or over-allocate.
+        let mut bytes = encode_document(&WireValue::List(vec![]));
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&8u32.to_le_bytes());
+        bytes.push(TAG_INT);
+        bytes.extend_from_slice(&[0u8; 7]);
+        assert_eq!(
+            decode_document(&bytes).unwrap_err(),
+            WireError::Truncated { need: 1, have: 7 }
+        );
+    }
+
+    #[test]
+    fn write_frame_into_matches_write_frame_and_reuses_the_scratch() {
+        let mut scratch = Vec::new();
+        let mut via_scratch = Vec::new();
+        let mut via_fresh = Vec::new();
+        for v in samples() {
+            write_frame_into(&mut via_scratch, &v, &mut scratch).unwrap();
+            write_frame(&mut via_fresh, &v).unwrap();
+        }
+        assert_eq!(via_scratch, via_fresh, "same bytes on the wire");
+        // Once grown, further sends of no-larger frames keep the buffer.
+        let cap = scratch.capacity();
+        for v in samples() {
+            write_frame_into(&mut io::sink(), &v, &mut scratch).unwrap();
+        }
+        assert_eq!(scratch.capacity(), cap, "steady state must not reallocate");
     }
 
     #[test]

@@ -194,6 +194,185 @@ pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
     labels
 }
 
+/// First labelling pass over one horizontal strip of the image, writing
+/// provisional labels into `band` (the strip's rows of the label map,
+/// starting at source row `y0`) and collecting equivalences in a
+/// strip-local [`DisjointSets`]. Works on row slices, so the inner loop
+/// indexes three flat arrays instead of doing per-pixel bounds-checked
+/// `get` calls.
+fn label_strip(
+    img: &Image<u8>,
+    y0: usize,
+    band: &mut [u32],
+    w: usize,
+    conn: Connectivity,
+) -> DisjointSets {
+    let mut ds = DisjointSets::new(1); // id 0 reserved for background
+    let rows = band.len() / w;
+    for ry in 0..rows {
+        let src = img.row(y0 + ry);
+        let (prev_rows, cur_rows) = band.split_at_mut(ry * w);
+        let prev = if ry > 0 {
+            &prev_rows[(ry - 1) * w..]
+        } else {
+            &[][..]
+        };
+        let cur = &mut cur_rows[..w];
+        for x in 0..w {
+            if src[x] == 0 {
+                continue;
+            }
+            let west = if x > 0 { cur[x - 1] } else { 0 };
+            let (north, nw, ne) = if ry > 0 {
+                let n = prev[x];
+                if conn == Connectivity::Eight {
+                    (
+                        n,
+                        if x > 0 { prev[x - 1] } else { 0 },
+                        if x + 1 < w { prev[x + 1] } else { 0 },
+                    )
+                } else {
+                    (n, 0, 0)
+                }
+            } else {
+                (0, 0, 0)
+            };
+            let mut assigned = 0u32;
+            for n in [west, north, nw, ne] {
+                if n != 0 {
+                    if assigned == 0 {
+                        assigned = n;
+                    } else {
+                        ds.union(assigned as usize, n as usize);
+                    }
+                }
+            }
+            if assigned == 0 {
+                assigned = ds.push() as u32;
+            }
+            cur[x] = assigned;
+        }
+    }
+    ds
+}
+
+/// [`label_components`] with the first pass split into `strips`
+/// horizontal bands labelled on **parallel threads**, then stitched by
+/// merging equivalences along the band seams. The output is
+/// byte-identical to the sequential labelling for every image,
+/// connectivity and strip count: components are the same pixel sets
+/// either way, and the final dense numbering depends only on raster
+/// order of first appearance.
+pub fn label_components_tiled(img: &Image<u8>, conn: Connectivity, strips: usize) -> Image<u32> {
+    let (w, h) = img.dimensions();
+    let mut labels: Image<u32> = Image::new(w, h);
+    if w == 0 || h == 0 {
+        return labels;
+    }
+    let strips = strips.clamp(1, h);
+    // Near-equal row partition: starts[s]..starts[s + 1] is band `s`.
+    let (base, extra) = (h / strips, h % strips);
+    let mut starts = Vec::with_capacity(strips + 1);
+    let mut y = 0usize;
+    for s in 0..strips {
+        starts.push(y);
+        y += base + usize::from(s < extra);
+    }
+    starts.push(h);
+
+    // Parallel first pass: each band owns its rows of the label map.
+    let mut local_sets: Vec<DisjointSets> = Vec::with_capacity(strips);
+    {
+        let mut rest = labels.as_mut_slice();
+        let mut bands = Vec::with_capacity(strips);
+        for s in 0..strips {
+            let rows = starts[s + 1] - starts[s];
+            let (band, tail) = rest.split_at_mut(rows * w);
+            bands.push((starts[s], band));
+            rest = tail;
+        }
+        if strips == 1 {
+            let (y0, band) = bands.pop().expect("one band");
+            local_sets.push(label_strip(img, y0, band, w, conn));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bands
+                    .into_iter()
+                    .map(|(y0, band)| scope.spawn(move || label_strip(img, y0, band, w, conn)))
+                    .collect();
+                for handle in handles {
+                    local_sets.push(handle.join().expect("strip labelling thread"));
+                }
+            });
+        }
+    }
+
+    // Stitch: re-base each band's provisional ids into one global
+    // universe, replay the local equivalences, then union across seams.
+    let mut offsets = Vec::with_capacity(strips);
+    let mut total = 1usize;
+    for local in &local_sets {
+        offsets.push(total - 1);
+        total += local.len() - 1;
+    }
+    let mut ds = DisjointSets::new(total);
+    for (s, local) in local_sets.iter_mut().enumerate() {
+        let off = offsets[s];
+        for i in 1..local.len() {
+            let root = local.find(i);
+            ds.union(i + off, root + off);
+        }
+    }
+    for s in 1..strips {
+        let off = offsets[s] as u32;
+        if off == 0 {
+            continue;
+        }
+        for p in &mut labels.as_mut_slice()[starts[s] * w..starts[s + 1] * w] {
+            if *p != 0 {
+                *p += off;
+            }
+        }
+    }
+    for &y in &starts[1..strips] {
+        let seam = img.row(y);
+        let above = labels.row(y - 1);
+        let cur_band = labels.row(y);
+        for x in 0..w {
+            if seam[x] == 0 || cur_band[x] == 0 {
+                continue;
+            }
+            let cur = cur_band[x] as usize;
+            let span = match conn {
+                Connectivity::Four => x..x + 1,
+                Connectivity::Eight => x.saturating_sub(1)..(x + 2).min(w),
+            };
+            for n in &above[span] {
+                if *n != 0 {
+                    ds.union(cur, *n as usize);
+                }
+            }
+        }
+    }
+
+    // Second pass: resolve to dense labels in raster order, exactly as
+    // the sequential algorithm numbers them.
+    let mut dense: Vec<u32> = vec![0; ds.len()];
+    let mut next = 0u32;
+    for p in labels.as_mut_slice() {
+        if *p == 0 {
+            continue;
+        }
+        let root = ds.find(*p as usize);
+        if dense[root] == 0 {
+            next += 1;
+            dense[root] = next;
+        }
+        *p = dense[root];
+    }
+    labels
+}
+
 /// Number of connected components of a binary image.
 pub fn count_components(img: &Image<u8>, conn: Connectivity) -> u32 {
     let labels = label_components(img, conn);
@@ -285,6 +464,54 @@ mod tests {
         let id = ds.push();
         assert_eq!(id, 3);
         assert!(!ds.same(0, 3));
+    }
+
+    /// Deterministic pseudo-random binary image (splitmix-style mixing),
+    /// density ~1/2 so components frequently straddle strip seams.
+    fn noise_image(w: usize, h: usize, seed: u64) -> Image<u8> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        Image::from_fn(w, h, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            u8::from((s >> 62) & 1 == 1) * 255
+        })
+    }
+
+    #[test]
+    fn tiled_labelling_equals_sequential_exactly() {
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            for (w, h, seed) in [(1, 1, 1), (7, 3, 2), (31, 17, 3), (64, 64, 4), (5, 40, 5)] {
+                let img = noise_image(w, h, seed);
+                let golden = label_components(&img, conn);
+                for strips in [1, 2, 3, 4, 7, h, h + 5] {
+                    let tiled = label_components_tiled(&img, conn, strips);
+                    assert_eq!(
+                        tiled, golden,
+                        "{w}x{h} seed {seed} {conn:?} strips {strips}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_labelling_merges_structures_across_seams() {
+        // A 'U' whose arms live in different strips: the seam stitch must
+        // recover the single component, numbered exactly like sequential.
+        let mut img = Image::<u8>::new(5, 8);
+        img.fill_rect(0, 0, 1, 8, 255);
+        img.fill_rect(4, 0, 1, 8, 255);
+        img.fill_rect(0, 7, 5, 1, 255);
+        for strips in 1..=8 {
+            let tiled = label_components_tiled(&img, Connectivity::Four, strips);
+            assert_eq!(
+                tiled,
+                label_components(&img, Connectivity::Four),
+                "{strips} strips"
+            );
+            assert_eq!(tiled.as_slice().iter().copied().max(), Some(1));
+        }
     }
 
     #[test]

@@ -105,6 +105,24 @@ fn negative_fixtures() -> Vec<(&'static str, Vec<u8>, &'static str)> {
             "implausible length 1000: exceeds remaining input",
         ),
         (
+            "hostile_list_len",
+            {
+                // A list whose declared count (8) *passes* the
+                // plausibility check — 8 bytes do remain — but those
+                // bytes hold one truncated int (tag 0x03 + 7 of its 8
+                // payload bytes), not 8 elements. The decoder must cap
+                // its pre-allocation to the input it actually has and
+                // fail cleanly on the first element.
+                let mut b = doc(&WireValue::List(vec![]));
+                let n = b.len();
+                b[n - 4..].copy_from_slice(&8u32.to_le_bytes());
+                b.push(0x03); // TAG_INT
+                b.extend_from_slice(&[0u8; 7]);
+                b
+            },
+            "truncated document: need 1 more byte(s), have 7",
+        ),
+        (
             "trailing_garbage",
             {
                 let mut b = doc(&WireValue::Bool(true));
