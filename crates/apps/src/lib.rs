@@ -17,6 +17,9 @@
 //!   performance to the hand-crafted version");
 //! - [`ccl`]: connected-component labelling via `scm` with cross-band
 //!   label reconciliation \[7\];
+//! - [`kernels`]: the applications as a `skipperc` kernel registry —
+//!   wire codecs, frame sources, and handwritten comparator bodies for
+//!   the compiled-vs-handwritten conformance axis;
 //! - [`road`]: road following by white-line detection via `scm` \[6\];
 //! - [`workloads`]: synthetic imbalance generators for the df-vs-scm
 //!   experiment;
@@ -26,6 +29,7 @@
 pub mod ccl;
 pub mod costs;
 pub mod handcrafted;
+pub mod kernels;
 pub mod road;
 pub mod tracker_sim;
 pub mod tracking;

@@ -1,0 +1,107 @@
+//! The compiled-vs-handwritten differential axis over the §4 `.skp`
+//! sources: each DSL program, compiled by `skipperc`'s pipeline against
+//! the application kernel registry, must match its handwritten
+//! [`skipper`] counterpart **output-for-output and receipt-for-receipt**
+//! on every host strategy (declarative / threads / pool / shards) across
+//! the standard worker-count sweep — and must reproduce the declarative
+//! golden on the simulated SynDEx machine.
+
+use skipper::conformance::assert_programs_equivalent;
+use skipper::{Backend, Skeleton};
+use skipper_apps::kernels::{
+    app_registry, ccl_frame, ccl_loop, road_frame, road_loop, track_frame, track_loop, value_frames,
+};
+use skipper_exec::{SimBackend, Value};
+use skipper_lang::{compile_source, CompiledBody, CompiledProgram};
+
+const CCL_SRC: &str = include_str!("../../../examples/dsl/ccl.skp");
+const ROAD_SRC: &str = include_str!("../../../examples/dsl/road.skp");
+const TRACKING_SRC: &str = include_str!("../../../examples/dsl/tracking.skp");
+
+fn compiled(src: &str) -> CompiledProgram {
+    compile_source(&app_registry(), src).expect("example source compiles")
+}
+
+/// The stream matrix: the empty stream (no frame must still thread the
+/// state through) and a short real stream.
+fn streams(frame: fn(u64) -> skipper_vision::Image<u8>) -> Vec<Vec<Value>> {
+    vec![Vec::new(), value_frames(frame, 3)]
+}
+
+fn assert_sim_matches_golden(
+    label: &str,
+    prog: &skipper::IterLoop<CompiledBody, Value>,
+    frames: Vec<Value>,
+) {
+    let golden = prog.run_declarative(frames.clone());
+    let simmed = SimBackend::ring(3)
+        .run(prog, frames)
+        .unwrap_or_else(|e| panic!("{label} must lower and run on the simulated ring: {e:?}"));
+    assert_eq!(
+        simmed, golden,
+        "{label}: simulated run diverged from the declarative golden"
+    );
+}
+
+#[test]
+fn ccl_compiled_matches_handwritten_on_all_hosts() {
+    let prog = compiled(CCL_SRC);
+    assert_programs_equivalent(
+        "ccl.skp vs handwritten scm",
+        &prog.loop_program(),
+        &ccl_loop(4),
+        &streams(ccl_frame),
+    );
+}
+
+#[test]
+fn road_compiled_matches_handwritten_on_all_hosts() {
+    let prog = compiled(ROAD_SRC);
+    assert_programs_equivalent(
+        "road.skp vs handwritten scm",
+        &prog.loop_program(),
+        &road_loop(4),
+        &streams(road_frame),
+    );
+}
+
+#[test]
+fn tracking_compiled_matches_handwritten_on_all_hosts() {
+    let prog = compiled(TRACKING_SRC);
+    assert_programs_equivalent(
+        "tracking.skp vs handwritten df loop",
+        &prog.loop_program(),
+        &track_loop(4),
+        &streams(track_frame),
+    );
+}
+
+#[test]
+fn ccl_compiled_runs_on_the_simulated_machine() {
+    let prog = compiled(CCL_SRC);
+    assert_sim_matches_golden("ccl.skp", &prog.loop_program(), prog.frames(3));
+}
+
+#[test]
+fn road_compiled_runs_on_the_simulated_machine() {
+    let prog = compiled(ROAD_SRC);
+    assert_sim_matches_golden("road.skp", &prog.loop_program(), prog.frames(3));
+}
+
+#[test]
+fn tracking_compiled_runs_on_the_simulated_machine() {
+    let prog = compiled(TRACKING_SRC);
+    assert_sim_matches_golden("tracking.skp", &prog.loop_program(), prog.frames(3));
+}
+
+/// The driver's frame stream equals the registry sources frame by frame
+/// (the handwritten comparators replay the same synthetic streams).
+#[test]
+fn driver_frames_replay_the_synthetic_streams() {
+    assert_eq!(compiled(CCL_SRC).frames(3), value_frames(ccl_frame, 3));
+    assert_eq!(compiled(ROAD_SRC).frames(3), value_frames(road_frame, 3));
+    assert_eq!(
+        compiled(TRACKING_SRC).frames(3),
+        value_frames(track_frame, 3)
+    );
+}

@@ -200,6 +200,68 @@ impl Lowering<'_> {
             }
         }
     }
+
+    // The public construction surface for out-of-crate lowerings: the
+    // DSL compiler (`skipper-lang`'s `compile` module) lowers its
+    // compiled loop bodies through [`SimLowerBody`] like any skeleton,
+    // but lives outside this crate. These accessors expose exactly the
+    // node/edge/registry operations the in-crate lowerings use — a
+    // custom body is glue nodes around fragments produced by the
+    // [`SimLower`] impls of the ordinary skeleton shapes.
+
+    /// A registry/function name unique within this lowering.
+    pub fn fresh_name(&mut self, role: &str) -> String {
+        self.fresh(role)
+    }
+
+    /// Adds a user-function node named `name` to the network. The
+    /// function itself must be registered under the same name
+    /// ([`Lowering::register_fn`] or [`Lowering::register_costed_fn`]).
+    pub fn add_user_fn(&mut self, name: &str) -> NodeId {
+        self.net.add_node(NodeKind::UserFn(name.to_string()), name)
+    }
+
+    /// Connects `from`'s output port 0 to `to`'s input port `to_port`
+    /// carrying a `ty`-named data type.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Internal`] if either endpoint does not exist or the
+    /// input port is already driven.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        to_port: usize,
+        ty: &str,
+    ) -> Result<(), ExecError> {
+        self.net
+            .add_data_edge(from, 0, to, to_port, named(ty))
+            .map_err(internal)
+    }
+
+    /// Registers `f` under `name` with no cost declaration.
+    pub fn register_fn(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) {
+        self.reg.register(name, f);
+    }
+
+    /// Registers `f` under `name`, carrying a cost declaration exactly
+    /// as the in-crate skeleton lowerings do (see the private
+    /// `register_costed`): an argument-dependent `cost_model` wins over
+    /// a constant `cost_hint`.
+    pub fn register_costed_fn(
+        &mut self,
+        name: &str,
+        cost_hint: u64,
+        cost_model: Option<skipper::CostModel>,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) {
+        self.register_costed(name, cost_hint, cost_model, f);
+    }
 }
 
 /// A program shape [`SimBackend`] knows how to lower into a process

@@ -106,6 +106,21 @@ impl SimValue for std::sync::Arc<[u8]> {
     }
 }
 
+// The identity bridge: a program that already computes in executive
+// [`Value`]s (the DSL compiler's `CompiledBody` carries every frame,
+// state and output as a `Value`) crosses the simulated machine as
+// itself. Cloning a `Value` is cheap — every bulk payload variant is
+// `Arc`-shared.
+impl SimValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
 impl<T: SimValue> SimValue for Vec<T> {
     fn to_value(&self) -> Value {
         Value::list(self.iter().map(SimValue::to_value).collect())

@@ -220,6 +220,37 @@ impl PartialEq for Value {
     }
 }
 
+/// [`Value`]s cross the receipt hasher structurally: every data-bearing
+/// variant maps onto its [`WireValue`](skipper::wire::WireValue)
+/// counterpart, so a receipted compiled-DSL run hashes identically to a
+/// handwritten program producing the same values. The two variants
+/// without a structural encoding are tagged tuples: an `Opaque` hashes
+/// its type name and byte size (its payload identity is host-local by
+/// design), and `End` hashes its marker tag.
+impl skipper::wire::ToWire for Value {
+    fn to_wire(&self) -> skipper::wire::WireValue {
+        use skipper::wire::WireValue as W;
+        match self {
+            Value::Unit => W::Unit,
+            Value::Bool(b) => W::Bool(*b),
+            Value::Int(i) => W::Int(*i),
+            Value::Float(x) => W::Float(*x),
+            Value::Str(s) => W::Str(s.to_string()),
+            Value::Bytes(b) => W::Bytes(b.to_vec()),
+            Value::List(v) => W::List(v.iter().map(|x| x.to_wire()).collect()),
+            Value::Tuple(v) => W::Tuple(v.iter().map(|x| x.to_wire()).collect()),
+            Value::Opaque {
+                type_name, bytes, ..
+            } => W::Tuple(vec![
+                W::Str("<opaque>".into()),
+                W::Str(type_name.to_string()),
+                W::Int(*bytes as i64),
+            ]),
+            Value::End => W::Tuple(vec![W::Str("<end>".into())]),
+        }
+    }
+}
+
 impl From<i64> for Value {
     fn from(i: i64) -> Self {
         Value::Int(i)

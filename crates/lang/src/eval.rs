@@ -512,7 +512,7 @@ impl Evaluator {
         match kind {
             // df n comp acc z xs = fold_left acc z (map comp xs)
             SkelKind::Df => {
-                let [_n, comp, acc, z, xs] = args_array(args);
+                let [_n, comp, acc, z, xs] = args_array(kind, args, span)?;
                 let xs = xs
                     .as_list()
                     .ok_or_else(|| bad("last argument must be a list"))?
@@ -527,7 +527,7 @@ impl Evaluator {
             }
             // scm n split comp merge x = merge (map comp (split x))
             SkelKind::Scm => {
-                let [_n, split, comp, merge, x] = args_array(args);
+                let [_n, split, comp, merge, x] = args_array(kind, args, span)?;
                 let frags = self.apply(split, x, span)?;
                 let frags = frags
                     .as_list()
@@ -542,7 +542,7 @@ impl Evaluator {
             // tf n worker acc z ts — depth-first task-tree elaboration;
             // worker returns (new_tasks, result).
             SkelKind::Tf => {
-                let [_n, worker, acc, z, ts] = args_array(args);
+                let [_n, worker, acc, z, ts] = args_array(kind, args, span)?;
                 let mut stack: Vec<MlValue> = ts
                     .as_list()
                     .ok_or_else(|| bad("last argument must be a list"))?
@@ -576,7 +576,7 @@ impl Evaluator {
             // itermem inp loop out z x — Fig. 4, terminated by EndOfStream
             // or the iteration cap.
             SkelKind::IterMem => {
-                let [inp, loop_fn, out, z, x] = args_array(args);
+                let [inp, loop_fn, out, z, x] = args_array(kind, args, span)?;
                 let mut state = z;
                 for _ in 0..self.max_itermem_iters {
                     let b = match self.apply(inp.clone(), x.clone(), span) {
@@ -662,9 +662,20 @@ impl Evaluator {
     }
 }
 
-/// Destructures exactly five arguments (all skeletons are 5-ary).
-fn args_array(args: Vec<MlValue>) -> [MlValue; 5] {
-    args.try_into().expect("skeleton arity is 5")
+/// Destructures exactly five arguments (all skeletons are 5-ary). The
+/// evaluator saturates skeletons at exactly [`SkelKind::arity`]
+/// applications, but host code can inject an over-stuffed
+/// [`MlValue::Skeleton`] through [`Evaluator::register_value`] — that is
+/// user input, so it gets a diagnostic, not an abort.
+fn args_array(kind: SkelKind, args: Vec<MlValue>, span: Span) -> Res<[MlValue; 5]> {
+    let n = args.len();
+    args.try_into().map_err(|_| {
+        Flow::Err(Diagnostic::new(
+            Stage::Eval,
+            format!("skeleton `{}` expects 5 arguments, got {n}", kind.name()),
+            span,
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -689,6 +700,51 @@ mod tests {
         let ev = Evaluator::new();
         let err = ev.eval_root(&parse_expr("1 / 0").unwrap()).unwrap_err();
         assert!(err.message.contains("division by zero"));
+    }
+
+    #[test]
+    fn overstuffed_skeleton_reports_arity_instead_of_aborting() {
+        // `register_value` can inject a Skeleton already holding more
+        // arguments than its arity; one more application must yield a
+        // diagnostic, not a panic (this used to abort the process).
+        let mut ev = Evaluator::new();
+        ev.register_value(
+            "stuffed",
+            MlValue::Skeleton {
+                kind: SkelKind::Df,
+                args: Rc::new(vec![MlValue::Int(1); 5]),
+            },
+        );
+        let err = ev.eval_root(&parse_expr("stuffed 9").unwrap()).unwrap_err();
+        assert_eq!(err.stage, Stage::Eval);
+        assert!(err.span.is_some(), "arity diagnostic carries a span");
+        assert_eq!(err.message, "skeleton `df` expects 5 arguments, got 6");
+    }
+
+    #[test]
+    fn every_overstuffed_skeleton_kind_is_diagnosed() {
+        for kind in [SkelKind::Scm, SkelKind::Df, SkelKind::Tf, SkelKind::IterMem] {
+            let mut ev = Evaluator::new();
+            ev.register_value(
+                "stuffed",
+                MlValue::Skeleton {
+                    kind,
+                    args: Rc::new(vec![MlValue::Unit; 6]),
+                },
+            );
+            let err = ev
+                .eval_root(&parse_expr("stuffed ()").unwrap())
+                .unwrap_err();
+            assert!(
+                err.message.contains(&format!(
+                    "skeleton `{}` expects 5 arguments, got 7",
+                    kind.name()
+                )),
+                "unexpected message for {}: {}",
+                kind.name(),
+                err.message
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   path that lets users debug the algorithm on a workstation;
 //! - [`expand`]: skeleton expansion of a typed program into a
 //!   [`skipper_net::ProcessNetwork`] for the SynDEx-like back-end;
+//! - [`compile`]: lowering of a typed program to a runnable
+//!   [`skipper`] skeleton value (`skipperc`'s core) against a
+//!   [`compile::KernelRegistry`] of named sequential functions;
 //! - [`diag`]: source-located diagnostics shared by every pass.
 //!
 //! # Example
@@ -28,6 +31,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod diag;
 pub mod eval;
 pub mod expand;
@@ -35,6 +39,7 @@ pub mod parser;
 pub mod token;
 pub mod types;
 
+pub use compile::{compile_program, compile_source, CompiledBody, CompiledProgram, KernelRegistry};
 pub use diag::{Diagnostic, Span};
 pub use parser::{parse_expr, parse_program};
 pub use types::{check_program, parse_type, Type, TypeEnv};

@@ -150,9 +150,12 @@ impl Parser {
             self.bump();
             parts.push(self.simple_pattern()?);
         }
-        let span = parts[0]
-            .span()
-            .merge(parts.last().expect("non-empty").span());
+        // `parts` holds `first` plus one pattern per comma, so both ends
+        // exist; spell the merge over the same element when there is one.
+        let span = match parts.last() {
+            Some(last) => parts[0].span().merge(last.span()),
+            None => self.span(),
+        };
         Ok(Pattern::Tuple(parts, span))
     }
 

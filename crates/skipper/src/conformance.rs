@@ -1081,6 +1081,78 @@ pub fn assert_serving_conforms(backend: &PoolBackend) {
     }
 }
 
+/// The **differential axis**: two independently constructed stream
+/// programs claimed equivalent — e.g. a DSL-compiled `itermem` loop and
+/// its handwritten counterpart (`skipperc`'s compiled-vs-handwritten
+/// contract) — must agree with `p`'s declarative run on every host
+/// strategy, and must leave **identical run receipts** (input hash,
+/// dispatch trace, output hash) on each, per input case, across the
+/// standard [`worker_counts`] sweep.
+///
+/// Strategies exercised: declarative, scoped threads, a shared
+/// [`WorkerPool`](crate::WorkerPool), and a two-shard
+/// [`ShardRun`](crate::ShardRun) split — the same four entry points the
+/// host backends dispatch through.
+pub fn assert_programs_equivalent<P, Q, I, O>(label: &str, p: &P, q: &Q, inputs: &[I])
+where
+    P: crate::Skeleton<I, Output = O> + crate::PoolRun<I> + crate::ShardRun<I>,
+    Q: crate::Skeleton<I, Output = O> + crate::PoolRun<I> + crate::ShardRun<I>,
+    I: Clone + crate::wire::ToWire,
+    O: PartialEq + std::fmt::Debug + crate::wire::ToWire,
+{
+    use crate::WorkerPool;
+    use std::num::NonZeroUsize;
+    use std::sync::Arc;
+
+    for &workers in &worker_counts() {
+        let w = NonZeroUsize::new(workers).expect("worker counts are nonzero");
+        let pool = WorkerPool::new(w);
+        let shards: Vec<Arc<WorkerPool>> = (0..2).map(|_| Arc::new(WorkerPool::new(w))).collect();
+        for (case, input) in inputs.iter().enumerate() {
+            let golden = p.run_declarative(input.clone());
+            let runs = [
+                (
+                    "declarative",
+                    receipted(input, || p.run_declarative(input.clone())),
+                    receipted(input, || q.run_declarative(input.clone())),
+                ),
+                (
+                    "threaded",
+                    receipted(input, || p.run_threaded(input.clone(), Some(w))),
+                    receipted(input, || q.run_threaded(input.clone(), Some(w))),
+                ),
+                (
+                    "pooled",
+                    receipted(input, || p.run_pooled(&pool, input.clone())),
+                    receipted(input, || q.run_pooled(&pool, input.clone())),
+                ),
+                (
+                    "sharded",
+                    receipted(input, || p.run_sharded(&shards, input.clone())),
+                    receipted(input, || q.run_sharded(&shards, input.clone())),
+                ),
+            ];
+            for (strategy, (po, pr), (qo, qr)) in runs {
+                assert_eq!(
+                    po, golden,
+                    "{label}: left program diverged from its declarative golden \
+                     ({strategy}, case {case}, workers={workers})"
+                );
+                assert_eq!(
+                    qo, golden,
+                    "{label}: right program diverged from the left's declarative golden \
+                     ({strategy}, case {case}, workers={workers})"
+                );
+                assert_eq!(
+                    pr, qr,
+                    "{label}: receipts diverged between the two programs \
+                     ({strategy}, case {case}, workers={workers})"
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1088,6 +1160,25 @@ mod tests {
     #[test]
     fn seq_backend_conforms_to_itself() {
         assert_backend_conforms(&SeqBackend);
+    }
+
+    #[test]
+    fn a_program_is_equivalent_to_itself_on_every_strategy() {
+        let prog = itermem_case(3);
+        assert_programs_equivalent("itermem(scm) self-pair", &prog, &prog, &frame_inputs());
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn the_differential_axis_catches_a_divergent_pair() {
+        // Same loop shape, different farm degree: outputs agree but the
+        // dispatch traces (and so the receipts) must not.
+        assert_programs_equivalent(
+            "itermem(scm) degree mismatch",
+            &itermem_case(3),
+            &itermem_case(4),
+            &frame_inputs(),
+        );
     }
 
     #[test]
