@@ -7,7 +7,9 @@
 //! decomposition.
 
 use skipper::{Backend, Executable, FrameSource, Scm, SeqBackend, ThreadBackend};
-use skipper_vision::label::{label_components, Connectivity, DisjointSets};
+use skipper_vision::label::{
+    label_components, label_components_reference, Connectivity, DisjointSets,
+};
 use skipper_vision::split::{split_rows, RowBand};
 use skipper_vision::Image;
 
@@ -29,14 +31,43 @@ pub fn count_components_seq(img: &Image<u8>) -> u32 {
 }
 
 /// The `scm` split function: `n` bands, no halo (labelling merges across
-/// the seam explicitly).
+/// the seam explicitly). Bands are zero-copy views of the frame: fanning
+/// a 4K frame out to the farm moves refcounts, never pixels.
 pub fn split_bands(img: &Image<u8>, n: usize) -> Vec<RowBand> {
     split_rows(img, n, 0)
 }
 
-/// The `scm` compute function: label one band locally.
+/// The `scm` compute function: label one band locally with the row-slice
+/// strip labeller, writing into a label map leased from the worker's
+/// frame arena — on the persistent pool/shard workers the same buffer is
+/// recycled frame after frame.
 pub fn label_band(band: RowBand) -> LabelledBand {
     let labels = label_components(&band.pixels, Connectivity::Eight);
+    let count = labels.as_slice().iter().copied().max().unwrap_or(0);
+    LabelledBand {
+        band,
+        labels,
+        count,
+    }
+}
+
+/// The pre-arena baseline split: every band deep-copies its rows out of
+/// the frame — the copy-per-band behaviour this PR removed. Kept for the
+/// E19 benchmark and differential tests.
+pub fn split_bands_copying(img: &Image<u8>, n: usize) -> Vec<RowBand> {
+    split_rows(img, n, 0)
+        .into_iter()
+        .map(|mut b| {
+            b.pixels = b.pixels.deep_clone();
+            b
+        })
+        .collect()
+}
+
+/// The pre-arena baseline compute: the per-pixel reference labeller into
+/// a freshly allocated label map (see [`label_band`] for the hot path).
+pub fn label_band_copying(band: RowBand) -> LabelledBand {
+    let labels = label_components_reference(&band.pixels, Connectivity::Eight);
     let count = labels.as_slice().iter().copied().max().unwrap_or(0);
     LabelledBand {
         band,
@@ -105,6 +136,15 @@ pub type CclProgram = Scm<
 /// The labelling program: one `scm` value shared by every backend.
 pub fn ccl_program(n: usize) -> CclProgram {
     Scm::new(n, split_bands, label_band, merge_bands)
+}
+
+/// The copy-per-band baseline program: identical results to
+/// [`ccl_program`], but splitting deep-copies every band and labelling
+/// allocates fresh with the per-pixel reference algorithm — the whole
+/// pipeline exactly as it ran before the arena/view refactor. E19
+/// measures [`ccl_program`] against it.
+pub fn ccl_program_copying(n: usize) -> CclProgram {
+    Scm::new(n, split_bands_copying, label_band_copying, merge_bands)
 }
 
 /// Parallel component count via the `scm` skeleton on `n` worker threads.
@@ -226,6 +266,31 @@ mod tests {
         let exec = <PoolBackend as Backend<CclProgram, &Image<u8>>>::prepare(&backend, &prog);
         let got = count_components_from_source(&exec, VecSource::new(frames));
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn copying_baseline_matches_the_arena_pipeline() {
+        use skipper::PoolBackend;
+        let backend = PoolBackend::new();
+        for seed in 0..4 {
+            let img = random_blobs(80, 64, 10, seed);
+            for n in [1, 3, 4] {
+                let fast = count_components_on(&backend, &img, n);
+                let slow: u32 = backend.run(&ccl_program_copying(n), &img);
+                assert_eq!(fast, slow, "seed={seed} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_bands_is_zero_copy_and_baseline_is_not() {
+        let img = random_blobs(64, 48, 8, 1);
+        for b in split_bands(&img, 4) {
+            assert!(b.pixels.shares_buffer_with(&img));
+        }
+        for b in split_bands_copying(&img, 4) {
+            assert!(!b.pixels.shares_buffer_with(&img));
+        }
     }
 
     #[test]

@@ -98,12 +98,13 @@ fn list(v: &Value) -> &[Value] {
 // Codecs
 // ---------------------------------------------------------------------------
 
-/// Encodes a grey-level image as `(w, h, bytes)`.
+/// Encodes a grey-level image as `(w, h, bytes)`. The pixels are copied
+/// once, straight into the shared `Arc` byte storage.
 pub fn image_value(img: &Image<u8>) -> Value {
     Value::tuple(vec![
         Value::Int(img.width() as i64),
         Value::Int(img.height() as i64),
-        Value::bytes(img.as_slice().to_vec()),
+        Value::bytes_from_slice(img.as_slice()),
     ])
 }
 

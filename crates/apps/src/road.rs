@@ -35,7 +35,8 @@ pub fn merge_scans(parts: Vec<Vec<LinePoint>>) -> Option<FittedLine> {
     fit_line(&all)
 }
 
-/// Sequential reference detection.
+/// Sequential reference detection. The single band shares the frame's
+/// buffer — `clone()` on an `Image` is a refcount bump.
 pub fn detect_line_seq(img: &Image<u8>) -> Option<FittedLine> {
     merge_scans(vec![scan_band(RowBand {
         index: 0,
@@ -58,9 +59,27 @@ fn split_line_bands(img: &Image<u8>, n: usize) -> Vec<RowBand> {
     split_rows(img, n, 0)
 }
 
-/// The detection program: one `scm` value shared by every backend.
+fn split_line_bands_copying(img: &Image<u8>, n: usize) -> Vec<RowBand> {
+    split_rows(img, n, 0)
+        .into_iter()
+        .map(|mut b| {
+            b.pixels = b.pixels.deep_clone();
+            b
+        })
+        .collect()
+}
+
+/// The detection program: one `scm` value shared by every backend. The
+/// split hands each worker a zero-copy view of the frame.
 pub fn line_program(n: usize) -> LineProgram {
     Scm::new(n, split_line_bands, scan_band, merge_scans)
+}
+
+/// The copy-per-band baseline program: identical fits to
+/// [`line_program`], but every band deep-copies its rows out of the frame
+/// — the pre-arena split cost E19 measures against.
+pub fn line_program_copying(n: usize) -> LineProgram {
+    Scm::new(n, split_line_bands_copying, scan_band, merge_scans)
 }
 
 /// Parallel detection via `scm` over `n` bands.
@@ -161,6 +180,18 @@ mod tests {
                 (est_bottom_x - true_bottom_x).abs() < 8.0,
                 "off={off} curv={curv}: est {est_bottom_x:.1} vs true {true_bottom_x:.1}"
             );
+        }
+    }
+
+    #[test]
+    fn copying_baseline_matches_the_zero_copy_fit() {
+        use skipper::PoolBackend;
+        let backend = PoolBackend::new();
+        let (img, _) = render_road_frame(256, 192, 25.0, 0.08, 5);
+        for n in [1, 2, 4] {
+            let fast = detect_line_on(&backend, &img, n);
+            let slow: Option<FittedLine> = backend.run(&line_program_copying(n), &img);
+            assert_eq!(fast, slow, "n={n}");
         }
     }
 

@@ -186,9 +186,10 @@ pub fn time_frame_scan_zero_copy(
 }
 
 /// The pre-refactor baseline for the same scan: every band item carries
-/// its **own deep copy** of the whole frame — the clone-per-worker cost
-/// the shared-`Arc` hot path removed (`bands` full-frame copies per
-/// frame). Same farm, same fold, identical result.
+/// its **own deep copy** of the whole frame (`Image::deep_clone` — plain
+/// `clone()` is a refcount share now) — the clone-per-worker cost the
+/// shared-`Arc` hot path removed (`bands` full-frame copies per frame).
+/// Same farm, same fold, identical result.
 pub fn time_frame_scan_deep_copy(
     backend: &skipper::HostBackend,
     frames: &[Arc<Image<u8>>],
@@ -209,7 +210,7 @@ pub fn time_frame_scan_deep_copy(
     for frame in frames {
         let items: Vec<Item> = band_bounds(frame.height(), bands)
             .into_iter()
-            .map(|(y0, y1)| (frame.as_ref().clone(), y0, y1))
+            .map(|(y0, y1)| (frame.deep_clone(), y0, y1))
             .collect();
         total = total.wrapping_add(exec.run(&items[..]));
     }
@@ -330,7 +331,7 @@ mod tests {
                 "Arc band items must alias the source pixels"
             );
         }
-        let copy = frame.as_ref().clone();
+        let copy = frame.deep_clone();
         assert!(
             !std::ptr::eq(copy.as_slice().as_ptr(), frame.as_slice().as_ptr()),
             "a deep copy must own fresh pixels"

@@ -1,0 +1,139 @@
+//! Steady-state allocation probe: prepare once, run many frames, and
+//! prove that **zero pixel-buffer allocations** happen per frame.
+//!
+//! The probe is `skipper_vision::pixel_alloc_count()` — a process-global
+//! counter bumped by every pixel-buffer heap allocation (owned image
+//! construction, copy-on-write materialisation, arena misses and slot
+//! growth) and by nothing else. Because the counter is global, this
+//! binary holds a **single** `#[test]`: concurrent tests would bleed
+//! deltas into each other.
+//!
+//! Steady state is reached by a deterministic prewarm, not by hopeful
+//! warm-up laps. Work stealing means any pool worker — and the helping
+//! caller — may end up computing any band of any frame, so every thread
+//! that can possibly touch a kernel must already hold enough arena
+//! capacity. [`prewarm`] forces exactly that: it spawns one job per
+//! participant (each pool worker plus the stealing caller) that blocks
+//! on a barrier until all participants hold a job — pigeonholing one
+//! job onto each thread — and then leases, and releases, a full
+//! complement of frame-sized buffers on its thread-local arena.
+//!
+//! The sharded path needs one more guarantee: shard coordinators run on
+//! ephemeral threads, so they must never steal compute jobs (their
+//! arenas would die with the run). `WorkerPool::scope_park` pins that.
+//!
+//! The conformance CI job runs this probe at `SKIPPER_WORKERS=1` and
+//! `SKIPPER_WORKERS=4`; the prewarm sizes itself off `pool.threads()`,
+//! so both shapes reach steady state the same way.
+
+use skipper::{Backend, Executable, PoolBackend, Scm, ShardBackend, WorkerPool};
+use skipper_apps::ccl::ccl_program;
+use skipper_apps::road::line_program;
+use skipper_vision::ops;
+use skipper_vision::split::{merge_rows, split_rows, RowBand};
+use skipper_vision::synth::{random_blobs, render_road_frame};
+use skipper_vision::{pixel_alloc_count, Image};
+use std::sync::Barrier;
+
+const W: usize = 160;
+const H: usize = 120;
+const BANDS: usize = 4;
+
+/// Deterministically warms the thread-local frame arenas of every
+/// thread that can run this pool's jobs: the `pool.threads()` workers
+/// and the caller (which helps by stealing while it waits). One job per
+/// participant, all gated on a barrier — since a thread blocked in the
+/// barrier cannot take a second job, the pigeonhole principle lands
+/// exactly one job on every participant. Each job then leases (and
+/// frees) enough frame-sized `u8` and `u32` buffers to cover the worst
+/// case of one thread computing every band of a frame.
+fn prewarm(pool: &WorkerPool) {
+    let participants = pool.threads() + 1;
+    let barrier = Barrier::new(participants);
+    pool.scope(|scope| {
+        for _ in 0..participants {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let bytes: Vec<Image<u8>> = (0..BANDS + 2)
+                    .map(|_| Image::leased(W, H, |_| {}))
+                    .collect();
+                let labels: Vec<Image<u32>> = (0..BANDS + 2)
+                    .map(|_| Image::leased(W, H, |_| {}))
+                    .collect();
+                drop((bytes, labels));
+            });
+        }
+    });
+}
+
+#[test]
+fn steady_state_frames_make_zero_pixel_buffer_allocations() {
+    // Everything that legitimately allocates happens before the
+    // snapshot: frame synthesis, backend construction, prewarm, and one
+    // golden lap that also records expected outputs.
+    let blob_frames: Vec<Image<u8>> = (0..5).map(|s| random_blobs(W, H, 12, s)).collect();
+    let road_frames: Vec<Image<u8>> = (0..5)
+        .map(|s| render_road_frame(W, H, 10.0 - 1.5 * s as f64, 0.15, s as u64).0)
+        .collect();
+
+    let ccl = ccl_program(BANDS);
+    let line = line_program(BANDS);
+    // An image-producing scm exercises the caller-side merge lease
+    // (`merge_rows` assembles the output in the caller's arena).
+    let thresh = Scm::new(
+        BANDS,
+        |img: &Image<u8>, n: usize| split_rows(img, n, 0),
+        |band: RowBand| {
+            let out = ops::threshold(&band.pixels, 100);
+            (band, out)
+        },
+        |parts: Vec<(RowBand, Image<u8>)>| merge_rows(&parts),
+    );
+
+    let pool = PoolBackend::new();
+    let shard = ShardBackend::new(2);
+    prewarm(pool.pool());
+    for p in shard.shards() {
+        prewarm(p);
+    }
+
+    let ccl_pool = pool.prepare(&ccl);
+    let line_pool = pool.prepare(&line);
+    let thresh_pool = pool.prepare(&thresh);
+    let ccl_shard = shard.prepare(&ccl);
+    let line_shard = shard.prepare(&line);
+
+    // Golden lap (still before the snapshot): records expected outputs
+    // and absorbs any one-time cost the prewarm did not model.
+    let golden_counts: Vec<u32> = blob_frames.iter().map(|f| ccl_pool.run(f)).collect();
+    let golden_fits: Vec<_> = road_frames.iter().map(|f| line_pool.run(f)).collect();
+    // The masks are deep-copied out of the caller's arena: holding the
+    // leases themselves across the measured loop would pin arena slots.
+    let golden_masks: Vec<Image<u8>> = blob_frames
+        .iter()
+        .map(|f| thresh_pool.run(f).deep_clone())
+        .collect();
+
+    let before = pixel_alloc_count();
+    for _ in 0..3 {
+        for (i, f) in blob_frames.iter().enumerate() {
+            assert_eq!(ccl_pool.run(f), golden_counts[i], "pool ccl frame {i}");
+            assert_eq!(ccl_shard.run(f), golden_counts[i], "shard ccl frame {i}");
+            let mask = thresh_pool.run(f);
+            assert_eq!(mask, golden_masks[i], "pool threshold frame {i}");
+        }
+        for (i, f) in road_frames.iter().enumerate() {
+            assert_eq!(line_pool.run(f), golden_fits[i], "pool road frame {i}");
+            assert_eq!(line_shard.run(f), golden_fits[i], "shard road frame {i}");
+        }
+    }
+    let after = pixel_alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state frames must not allocate pixel buffers \
+         (splits are views, kernels lease from warmed arenas, merges \
+         lease from the caller's arena)"
+    );
+}

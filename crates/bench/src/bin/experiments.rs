@@ -4,8 +4,9 @@
 //! experiments                   # run everything
 //! experiments e3 e4             # run selected experiments
 //! experiments --backend pool e9 # host-side experiments on the pool backend
-//! experiments --list            # print the e1–e18 index
+//! experiments --list            # print the e1–e19 index
 //! experiments --streams 256 e16 # serving experiment at a chosen scale
+//! experiments --smoke e19       # small-geometry CI rung, floors off
 //! ```
 //!
 //! `--backend {seq,thread,pool,shard,dist,sim}` selects the execution
@@ -13,8 +14,9 @@
 //! experiments (E1–E8, E12) always run the paper pipeline, and the
 //! distributed ladder (E17) always compares pool, shard and worker
 //! processes. `--streams N` sizes the serving experiment (E16, default
-//! 128). Exits with a nonzero status when asked for an unknown
-//! experiment id or backend.
+//! 128). `--smoke` shrinks the geometry-heavy experiments (E19) to a CI
+//! scale with the speedup floors off. Exits with a nonzero status when
+//! asked for an unknown experiment id or backend.
 
 use skipper_bench::experiments as ex;
 use std::process::ExitCode;
@@ -31,6 +33,9 @@ fn print_index() {
     );
     println!(
         "  --streams N                      stream count for the serving experiment (default 128)"
+    );
+    println!(
+        "  --smoke                          small-geometry CI scale, speedup floors off (E19)"
     );
 }
 
@@ -67,6 +72,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+        if a == "--smoke" {
+            ex::set_smoke();
+            continue;
         }
         let value = if a == "--backend" || a == "-b" {
             match it.next() {
@@ -109,7 +118,7 @@ fn main() -> ExitCode {
             id => match ex::by_id(id) {
                 Some(f) => f(),
                 None => {
-                    eprintln!("unknown experiment `{id}` (use --list to see e1..e17)");
+                    eprintln!("unknown experiment `{id}` (use --list to see e1..e19)");
                     return ExitCode::FAILURE;
                 }
             },

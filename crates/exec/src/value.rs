@@ -76,6 +76,14 @@ impl Value {
         Value::Bytes(b.into())
     }
 
+    /// Builds a byte-buffer value straight from a borrowed slice with a
+    /// single copy into the shared `Arc` storage — unlike
+    /// `Value::bytes(slice.to_vec())`, which copies into a `Vec` and then
+    /// again into the `Arc`. This is the codec path for pixel buffers.
+    pub fn bytes_from_slice(b: &[u8]) -> Value {
+        Value::Bytes(Arc::from(b))
+    }
+
     /// The byte payload, if this is a `Bytes`.
     pub fn as_bytes(&self) -> Option<&[u8]> {
         match self {

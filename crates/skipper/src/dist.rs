@@ -119,7 +119,7 @@ where
                 let next = AtomicUsize::new(0);
                 let idxs = &idxs;
                 let next = &next;
-                pool.scope(|ps| {
+                pool.scope_park(|ps| {
                     for _ in 0..m {
                         let tx = tx.clone();
                         ps.spawn(move || loop {
@@ -215,7 +215,7 @@ where
                     for (k, item) in mine.into_iter().enumerate() {
                         per_job[k % m].push(item);
                     }
-                    pool.scope(|ps| {
+                    pool.scope_park(|ps| {
                         for assignment in per_job {
                             let tx = tx.clone();
                             ps.spawn(move || {
@@ -286,7 +286,7 @@ where
                 let queue = Mutex::new(VecDeque::from(roots));
                 let outstanding = &outstanding;
                 let queue = &queue;
-                pool.scope(|ps| {
+                pool.scope_park(|ps| {
                     for _ in 0..m {
                         let tx = tx.clone();
                         ps.spawn(move || {

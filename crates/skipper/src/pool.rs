@@ -220,6 +220,33 @@ impl WorkerPool {
     where
         F: FnOnce(&PoolScope<'pool, 'scope>) -> R,
     {
+        self.scope_inner(f, true)
+    }
+
+    /// Like [`WorkerPool::scope`], but the calling thread **parks**
+    /// while waiting instead of helping run queued jobs.
+    ///
+    /// The helping behaviour of [`WorkerPool::scope`] is right when the
+    /// caller is a long-lived thread (the `PoolBackend` master earns its
+    /// keep between frames). It is wrong for the *ephemeral* shard
+    /// coordinators in [`crate::dist`]: if a coordinator stole a compute
+    /// job, per-frame pixel kernels would run — and lease arena buffers
+    /// — on a thread that dies at the end of the run, so the buffers
+    /// could never be recycled and every frame would pay a fresh
+    /// allocation. Coordinators therefore use this variant, keeping all
+    /// compute (and any thread-local frame arenas the kernels lease
+    /// from) on the persistent pool workers.
+    pub fn scope_park<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'pool, 'scope>) -> R,
+    {
+        self.scope_inner(f, false)
+    }
+
+    fn scope_inner<'pool, 'scope, F, R>(&'pool self, f: F, help: bool) -> R
+    where
+        F: FnOnce(&PoolScope<'pool, 'scope>) -> R,
+    {
         let state = Arc::new(ScopeState {
             pending: Mutex::new(0),
             done_cv: Condvar::new(),
@@ -236,15 +263,17 @@ impl WorkerPool {
         struct WaitGuard<'a> {
             pool: &'a WorkerPool,
             state: &'a ScopeState,
+            help: bool,
         }
         impl Drop for WaitGuard<'_> {
             fn drop(&mut self) {
-                self.pool.wait_scope(self.state);
+                self.pool.wait_scope(self.state, self.help);
             }
         }
         let guard = WaitGuard {
             pool: self,
             state: &state,
+            help,
         };
         let result = f(&scope);
         drop(guard);
@@ -254,16 +283,19 @@ impl WorkerPool {
         result
     }
 
-    /// Blocks until every job of `state`'s scope has finished, running
-    /// queued jobs in the meantime instead of sleeping.
-    fn wait_scope(&self, state: &ScopeState) {
+    /// Blocks until every job of `state`'s scope has finished. With
+    /// `help` set, queued jobs are run in the meantime instead of
+    /// sleeping; otherwise the caller only waits.
+    fn wait_scope(&self, state: &ScopeState, help: bool) {
         loop {
             if *state.pending.lock().expect("scope pending poisoned") == 0 {
                 return;
             }
-            if let Some(job) = self.shared.take_job(0) {
-                job();
-                continue;
+            if help {
+                if let Some(job) = self.shared.take_job(0) {
+                    job();
+                    continue;
+                }
             }
             let mut pending = state.pending.lock().expect("scope pending poisoned");
             while *pending != 0 {

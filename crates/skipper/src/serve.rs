@@ -28,6 +28,11 @@
 //!   a frame.
 //! - Completions flow back on a channel; the loop frees capacity, records
 //!   the frame latency (completion − arrival) and re-admits.
+//! - Frame payloads are **never cloned** inside the engine: a frame is
+//!   moved from its source into the request, through the batch, into the
+//!   pool job and back. With `Arc`-backed payloads (e.g.
+//!   `skipper_vision::Image`) even user-side fan-in clones are refcount
+//!   bumps, so submitting a 4K frame moves pointers, not pixels.
 //!
 //! Everything observable is deterministic for eager arrivals (all
 //! `at_ns = 0`): admission order, rejection counts, batch composition and
@@ -186,17 +191,28 @@ pub struct ServeReport {
     /// `(stream, seq)` composition of every batch, submission order —
     /// the deterministic trace the batching tests assert on.
     pub batch_trace: Vec<Vec<(usize, u64)>>,
+    /// Lazily sorted copy of `latencies_ns`, built on the first
+    /// percentile query and shared by all later ones.
+    sorted_latencies: std::sync::OnceLock<Vec<u64>>,
 }
 
 impl ServeReport {
     /// Nearest-rank latency percentile (`p` in 0..=100) in nanoseconds;
     /// 0 when nothing was served.
+    ///
+    /// The first query sorts the latencies once and caches the result;
+    /// subsequent queries are a rank lookup. The report is treated as
+    /// read-only once the run has produced it — mutating `latencies_ns`
+    /// after querying a percentile does not refresh the cache.
     pub fn latency_percentile_ns(&self, p: f64) -> u64 {
         if self.latencies_ns.is_empty() {
             return 0;
         }
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
+        let sorted = self.sorted_latencies.get_or_init(|| {
+            let mut sorted = self.latencies_ns.clone();
+            sorted.sort_unstable();
+            sorted
+        });
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         sorted[rank.clamp(1, sorted.len()) - 1]
     }

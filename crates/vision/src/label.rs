@@ -115,7 +115,10 @@ impl DisjointSets {
 /// Labels the connected components of a binary image (non-zero = foreground).
 ///
 /// Returns a label map with background 0 and components numbered densely
-/// from 1 in raster order of their first pixel.
+/// from 1 in raster order of their first pixel. Runs the row-slice strip
+/// path of [`label_components_tiled`] on a single strip, writing into a
+/// label map leased from the frame arena; the output is byte-identical to
+/// [`label_components_reference`].
 ///
 /// # Example
 ///
@@ -130,10 +133,20 @@ impl DisjointSets {
 /// assert_eq!(l.get(2, 0), 0);
 /// ```
 pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
+    label_components_tiled(img, conn, 1)
+}
+
+/// The original per-pixel two-pass labelling, kept as the executable
+/// specification: [`label_components`] (the row-slice strip path) must be
+/// byte-identical to it for every image and connectivity, and the E19
+/// benchmark uses it as the pre-arena baseline. Prefer
+/// [`label_components`] everywhere else — this walks the image with
+/// bounds-checked per-pixel accesses and allocates its label map fresh.
+pub fn label_components_reference(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
     let (w, h) = img.dimensions();
-    let mut labels: Image<u32> = Image::new(w, h);
+    let mut labels: Vec<u32> = vec![0; w * h];
     if w == 0 || h == 0 {
-        return labels;
+        return Image::from_raw(w, h, labels);
     }
     let mut ds = DisjointSets::new(1); // id 0 reserved for background
 
@@ -143,13 +156,17 @@ pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
             if img.get(x, y) == 0 {
                 continue;
             }
-            let west = if x > 0 { labels.get(x - 1, y) } else { 0 };
-            let north = if y > 0 { labels.get(x, y - 1) } else { 0 };
+            let west = if x > 0 { labels[y * w + x - 1] } else { 0 };
+            let north = if y > 0 { labels[(y - 1) * w + x] } else { 0 };
             let (nw, ne) = if conn == Connectivity::Eight && y > 0 {
                 (
-                    if x > 0 { labels.get(x - 1, y - 1) } else { 0 },
+                    if x > 0 {
+                        labels[(y - 1) * w + x - 1]
+                    } else {
+                        0
+                    },
                     if x + 1 < w {
-                        labels.get(x + 1, y - 1)
+                        labels[(y - 1) * w + x + 1]
                     } else {
                         0
                     },
@@ -171,27 +188,24 @@ pub fn label_components(img: &Image<u8>, conn: Connectivity) -> Image<u32> {
             if assigned == 0 {
                 assigned = ds.push() as u32;
             }
-            labels.set(x, y, assigned);
+            labels[y * w + x] = assigned;
         }
     }
     // Second pass: resolve equivalences to dense labels.
     let mut dense: Vec<u32> = vec![0; ds.len()];
     let mut next = 0u32;
-    for y in 0..h {
-        for x in 0..w {
-            let l = labels.get(x, y);
-            if l == 0 {
-                continue;
-            }
-            let root = ds.find(l as usize);
-            if dense[root] == 0 {
-                next += 1;
-                dense[root] = next;
-            }
-            labels.set(x, y, dense[root]);
+    for p in labels.iter_mut() {
+        if *p == 0 {
+            continue;
         }
+        let root = ds.find(*p as usize);
+        if dense[root] == 0 {
+            next += 1;
+            dense[root] = next;
+        }
+        *p = dense[root];
     }
-    labels
+    Image::from_raw(w, h, labels)
 }
 
 /// First labelling pass over one horizontal strip of the image, writing
@@ -220,6 +234,9 @@ fn label_strip(
         let cur = &mut cur_rows[..w];
         for x in 0..w {
             if src[x] == 0 {
+                // Written explicitly: the label map is leased without a
+                // blanket reset, so background cells may hold stale labels.
+                cur[x] = 0;
                 continue;
             }
             let west = if x > 0 { cur[x - 1] } else { 0 };
@@ -265,9 +282,8 @@ fn label_strip(
 /// order of first appearance.
 pub fn label_components_tiled(img: &Image<u8>, conn: Connectivity, strips: usize) -> Image<u32> {
     let (w, h) = img.dimensions();
-    let mut labels: Image<u32> = Image::new(w, h);
     if w == 0 || h == 0 {
-        return labels;
+        return Image::new(w, h);
     }
     let strips = strips.clamp(1, h);
     // Near-equal row partition: starts[s]..starts[s + 1] is band `s`.
@@ -280,97 +296,102 @@ pub fn label_components_tiled(img: &Image<u8>, conn: Connectivity, strips: usize
     }
     starts.push(h);
 
-    // Parallel first pass: each band owns its rows of the label map.
-    let mut local_sets: Vec<DisjointSets> = Vec::with_capacity(strips);
-    {
-        let mut rest = labels.as_mut_slice();
-        let mut bands = Vec::with_capacity(strips);
-        for s in 0..strips {
-            let rows = starts[s + 1] - starts[s];
-            let (band, tail) = rest.split_at_mut(rows * w);
-            bands.push((starts[s], band));
-            rest = tail;
-        }
-        if strips == 1 {
-            let (y0, band) = bands.pop().expect("one band");
-            local_sets.push(label_strip(img, y0, band, w, conn));
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = bands
-                    .into_iter()
-                    .map(|(y0, band)| scope.spawn(move || label_strip(img, y0, band, w, conn)))
-                    .collect();
-                for handle in handles {
-                    local_sets.push(handle.join().expect("strip labelling thread"));
-                }
-            });
-        }
-    }
-
-    // Stitch: re-base each band's provisional ids into one global
-    // universe, replay the local equivalences, then union across seams.
-    let mut offsets = Vec::with_capacity(strips);
-    let mut total = 1usize;
-    for local in &local_sets {
-        offsets.push(total - 1);
-        total += local.len() - 1;
-    }
-    let mut ds = DisjointSets::new(total);
-    for (s, local) in local_sets.iter_mut().enumerate() {
-        let off = offsets[s];
-        for i in 1..local.len() {
-            let root = local.find(i);
-            ds.union(i + off, root + off);
-        }
-    }
-    for s in 1..strips {
-        let off = offsets[s] as u32;
-        if off == 0 {
-            continue;
-        }
-        for p in &mut labels.as_mut_slice()[starts[s] * w..starts[s + 1] * w] {
-            if *p != 0 {
-                *p += off;
+    // The label map is leased from the frame arena and filled while the
+    // lease is still exclusive, so a farmed pipeline recycles one label
+    // buffer per worker across frames. The first pass writes every cell
+    // (background included), so the lease skips the blanket reset.
+    Image::leased_full(w, h, |labels| {
+        // Parallel first pass: each band owns its rows of the label map.
+        let mut local_sets: Vec<DisjointSets> = Vec::with_capacity(strips);
+        {
+            let mut rest = &mut labels[..];
+            let mut bands = Vec::with_capacity(strips);
+            for s in 0..strips {
+                let rows = starts[s + 1] - starts[s];
+                let (band, tail) = rest.split_at_mut(rows * w);
+                bands.push((starts[s], band));
+                rest = tail;
+            }
+            if strips == 1 {
+                let (y0, band) = bands.pop().expect("one band");
+                local_sets.push(label_strip(img, y0, band, w, conn));
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = bands
+                        .into_iter()
+                        .map(|(y0, band)| scope.spawn(move || label_strip(img, y0, band, w, conn)))
+                        .collect();
+                    for handle in handles {
+                        local_sets.push(handle.join().expect("strip labelling thread"));
+                    }
+                });
             }
         }
-    }
-    for &y in &starts[1..strips] {
-        let seam = img.row(y);
-        let above = labels.row(y - 1);
-        let cur_band = labels.row(y);
-        for x in 0..w {
-            if seam[x] == 0 || cur_band[x] == 0 {
+
+        // Stitch: re-base each band's provisional ids into one global
+        // universe, replay the local equivalences, then union across seams.
+        let mut offsets = Vec::with_capacity(strips);
+        let mut total = 1usize;
+        for local in &local_sets {
+            offsets.push(total - 1);
+            total += local.len() - 1;
+        }
+        let mut ds = DisjointSets::new(total);
+        for (s, local) in local_sets.iter_mut().enumerate() {
+            let off = offsets[s];
+            for i in 1..local.len() {
+                let root = local.find(i);
+                ds.union(i + off, root + off);
+            }
+        }
+        for s in 1..strips {
+            let off = offsets[s] as u32;
+            if off == 0 {
                 continue;
             }
-            let cur = cur_band[x] as usize;
-            let span = match conn {
-                Connectivity::Four => x..x + 1,
-                Connectivity::Eight => x.saturating_sub(1)..(x + 2).min(w),
-            };
-            for n in &above[span] {
-                if *n != 0 {
-                    ds.union(cur, *n as usize);
+            for p in &mut labels[starts[s] * w..starts[s + 1] * w] {
+                if *p != 0 {
+                    *p += off;
                 }
             }
         }
-    }
+        for &y in &starts[1..strips] {
+            let seam = img.row(y);
+            let above = &labels[(y - 1) * w..y * w];
+            let cur_band = &labels[y * w..(y + 1) * w];
+            for x in 0..w {
+                if seam[x] == 0 || cur_band[x] == 0 {
+                    continue;
+                }
+                let cur = cur_band[x] as usize;
+                let span = match conn {
+                    Connectivity::Four => x..x + 1,
+                    Connectivity::Eight => x.saturating_sub(1)..(x + 2).min(w),
+                };
+                for n in &above[span] {
+                    if *n != 0 {
+                        ds.union(cur, *n as usize);
+                    }
+                }
+            }
+        }
 
-    // Second pass: resolve to dense labels in raster order, exactly as
-    // the sequential algorithm numbers them.
-    let mut dense: Vec<u32> = vec![0; ds.len()];
-    let mut next = 0u32;
-    for p in labels.as_mut_slice() {
-        if *p == 0 {
-            continue;
+        // Second pass: resolve to dense labels in raster order, exactly as
+        // the sequential algorithm numbers them.
+        let mut dense: Vec<u32> = vec![0; ds.len()];
+        let mut next = 0u32;
+        for p in labels.iter_mut() {
+            if *p == 0 {
+                continue;
+            }
+            let root = ds.find(*p as usize);
+            if dense[root] == 0 {
+                next += 1;
+                dense[root] = next;
+            }
+            *p = dense[root];
         }
-        let root = ds.find(*p as usize);
-        if dense[root] == 0 {
-            next += 1;
-            dense[root] = next;
-        }
-        *p = dense[root];
-    }
-    labels
+    })
 }
 
 /// Number of connected components of a binary image.
@@ -483,7 +504,8 @@ mod tests {
         for conn in [Connectivity::Four, Connectivity::Eight] {
             for (w, h, seed) in [(1, 1, 1), (7, 3, 2), (31, 17, 3), (64, 64, 4), (5, 40, 5)] {
                 let img = noise_image(w, h, seed);
-                let golden = label_components(&img, conn);
+                let golden = label_components_reference(&img, conn);
+                assert_eq!(label_components(&img, conn), golden, "{w}x{h} {conn:?}");
                 for strips in [1, 2, 3, 4, 7, h, h + 5] {
                     let tiled = label_components_tiled(&img, conn, strips);
                     assert_eq!(

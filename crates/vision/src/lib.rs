@@ -17,7 +17,11 @@
 //!   the paper's mark-detection function;
 //! - line extraction ([`mod@line`]) for the road-following application;
 //! - window/ROI handling ([`window`]) and domain splitters ([`split`]) used
-//!   by the `scm` skeleton;
+//!   by the `scm` skeleton — bands and tiles are zero-copy views over the
+//!   shared frame buffer;
+//! - pooled pixel buffers ([`arena`]): per-worker [`FrameArena`]s that
+//!   recycle stage-output buffers across the frames of a prepared
+//!   executable, keeping the steady-state pixel path allocation-free;
 //! - synthetic scene generation ([`synth`]): 3D vehicles carrying three
 //!   bright marks, projected through a pinhole camera onto a noisy road
 //!   image, exactly the statistical structure the paper's vehicle-tracking
@@ -37,6 +41,7 @@
 //! assert_eq!(regions.len(), 2);
 //! ```
 
+pub mod arena;
 pub mod geometry;
 pub mod image;
 pub mod label;
@@ -47,5 +52,6 @@ pub mod split;
 pub mod synth;
 pub mod window;
 
-pub use image::Image;
+pub use arena::{ArenaPixel, FrameArena};
+pub use image::{pixel_alloc_count, Image};
 pub use window::Window;

@@ -43,28 +43,38 @@ impl FittedLine {
 
 /// Scans each row of `img` for the longest run of pixels above `thr` and
 /// returns the run centres. Rows with no bright run are skipped.
+///
+/// Road rows are mostly below threshold (asphalt around a narrow
+/// marking), so the scan fast-forwards over dark stretches a whole chunk
+/// at a time — a branch-free all-dark test the autovectoriser turns into
+/// SIMD compares — and only walks pixels near a bright run. Run detection
+/// is identical to the naive per-pixel scan: every maximal run of
+/// `p > thr` is found, and the earliest longest run wins.
 pub fn scan_line_points(img: &Image<u8>, thr: u8) -> Vec<LinePoint> {
+    const LANES: usize = 32;
     let mut points = Vec::new();
     for y in 0..img.height() {
         let row = img.row(y);
         let mut best: Option<(usize, usize)> = None; // (start, len)
-        let mut run_start = None;
-        for (x, &p) in row.iter().enumerate() {
-            if p > thr {
-                if run_start.is_none() {
-                    run_start = Some(x);
-                }
-            } else if let Some(s) = run_start.take() {
-                let len = x - s;
-                if best.is_none_or(|(_, bl)| len > bl) {
-                    best = Some((s, len));
-                }
+        let mut x = 0usize;
+        while x < row.len() {
+            // Skip dark chunks, then dark pixels, up to the next run.
+            while x + LANES <= row.len() && row[x..x + LANES].iter().all(|&p| p <= thr) {
+                x += LANES;
             }
-        }
-        if let Some(s) = run_start {
-            let len = row.len() - s;
+            while x < row.len() && row[x] <= thr {
+                x += 1;
+            }
+            if x >= row.len() {
+                break;
+            }
+            let start = x;
+            while x < row.len() && row[x] > thr {
+                x += 1;
+            }
+            let len = x - start;
             if best.is_none_or(|(_, bl)| len > bl) {
-                best = Some((s, len));
+                best = Some((start, len));
             }
         }
         if let Some((s, len)) = best {
@@ -157,6 +167,62 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].width, 5);
         assert_eq!(pts[0].x, 12.5);
+    }
+
+    #[test]
+    fn chunk_skip_scan_matches_the_naive_reference() {
+        // Pseudo-random rows across widths straddling the chunk size and
+        // thresholds from all-bright to almost-all-dark.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rand_px = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 56) as u8
+        };
+        for (w, h, thr) in [
+            (1usize, 1usize, 128u8),
+            (31, 3, 100),
+            (32, 4, 200),
+            (33, 5, 10),
+            (97, 16, 254),
+            (64, 8, 0),
+        ] {
+            let img = Image::from_fn(w, h, |_, _| rand_px());
+            let fast = scan_line_points(&img, thr);
+            let mut expected = Vec::new();
+            for y in 0..h {
+                let row = img.row(y);
+                let mut best: Option<(usize, usize)> = None;
+                let mut run_start = None;
+                for (x, &p) in row.iter().enumerate() {
+                    if p > thr {
+                        if run_start.is_none() {
+                            run_start = Some(x);
+                        }
+                    } else if let Some(st) = run_start.take() {
+                        let len = x - st;
+                        if best.is_none_or(|(_, bl)| len > bl) {
+                            best = Some((st, len));
+                        }
+                    }
+                }
+                if let Some(st) = run_start {
+                    let len = row.len() - st;
+                    if best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((st, len));
+                    }
+                }
+                if let Some((st, len)) = best {
+                    expected.push(LinePoint {
+                        y,
+                        x: st as f64 + len as f64 / 2.0,
+                        width: len,
+                    });
+                }
+            }
+            assert_eq!(fast, expected, "{w}x{h} thr={thr}");
+        }
     }
 
     #[test]

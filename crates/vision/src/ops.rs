@@ -2,6 +2,9 @@
 //!
 //! These are the "sequential C functions" of the paper's programming model:
 //! pure, architecture-independent kernels that the skeletons coordinate.
+//! Each kernel writes its output into a buffer leased from the per-worker
+//! [`crate::arena::FrameArena`], so a prepared pipeline recycles the same
+//! stage-output buffers frame after frame instead of allocating per call.
 
 use crate::Image;
 
@@ -16,12 +19,22 @@ use crate::Image;
 /// assert_eq!(bin.as_slice(), &[0, 255]);
 /// ```
 pub fn threshold(img: &Image<u8>, thr: u8) -> Image<u8> {
-    img.map(|p| if p > thr { 255 } else { 0 })
+    let (w, h) = img.dimensions();
+    Image::leased_full(w, h, |out| {
+        for (o, &p) in out.iter_mut().zip(img.as_slice()) {
+            *o = if p > thr { 255 } else { 0 };
+        }
+    })
 }
 
 /// Inverts a grey-level image (`255 - p`).
 pub fn invert(img: &Image<u8>) -> Image<u8> {
-    img.map(|p| 255 - p)
+    let (w, h) = img.dimensions();
+    Image::leased_full(w, h, |out| {
+        for (o, &p) in out.iter_mut().zip(img.as_slice()) {
+            *o = 255 - p;
+        }
+    })
 }
 
 /// Saturating per-pixel sum of two images of identical dimensions.
@@ -31,13 +44,12 @@ pub fn invert(img: &Image<u8>) -> Image<u8> {
 /// Panics if the images differ in size.
 pub fn add_saturating(a: &Image<u8>, b: &Image<u8>) -> Image<u8> {
     assert_eq!(a.dimensions(), b.dimensions(), "image sizes must match");
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x.saturating_add(y))
-        .collect();
-    Image::from_raw(a.width(), a.height(), data)
+    let (w, h) = a.dimensions();
+    Image::leased_full(w, h, |out| {
+        for ((o, &x), &y) in out.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+            *o = x.saturating_add(y);
+        }
+    })
 }
 
 /// 3×3 convolution with `kernel` (row-major), dividing by `divisor`.
@@ -63,43 +75,50 @@ pub fn convolve3x3(img: &Image<u8>, kernel: &[i32; 9], divisor: i32) -> Image<i3
         }
         acc / divisor
     };
-    if w < 3 || h < 3 {
-        return Image::from_fn(w, h, clamped);
-    }
-    // Interior fast path: the kernel window never leaves the image, so
-    // each output row is a branch-free sweep over three flat source rows
-    // — a shape the autovectoriser turns into SIMD lanes, where the
-    // clamped per-pixel closure cannot.
-    let mut out: Image<i32> = Image::new(w, h);
-    for y in 1..h - 1 {
-        let above = img.row(y - 1);
-        let mid = img.row(y);
-        let below = img.row(y + 1);
-        let orow = &mut out.as_mut_slice()[y * w..(y + 1) * w];
-        for x in 1..w - 1 {
-            // Same row-major term order as the clamped path, so integer
-            // accumulation is bit-identical.
-            let acc = kernel[0] * above[x - 1] as i32
-                + kernel[1] * above[x] as i32
-                + kernel[2] * above[x + 1] as i32
-                + kernel[3] * mid[x - 1] as i32
-                + kernel[4] * mid[x] as i32
-                + kernel[5] * mid[x + 1] as i32
-                + kernel[6] * below[x - 1] as i32
-                + kernel[7] * below[x] as i32
-                + kernel[8] * below[x + 1] as i32;
-            orow[x] = acc / divisor;
+    // The output is leased from the frame arena, so the per-frame
+    // gradient maps of a running pipeline recycle one buffer.
+    Image::leased_full(w, h, |out| {
+        if w < 3 || h < 3 {
+            for y in 0..h {
+                for x in 0..w {
+                    out[y * w + x] = clamped(x, y);
+                }
+            }
+            return;
         }
-    }
-    for x in 0..w {
-        out.set(x, 0, clamped(x, 0));
-        out.set(x, h - 1, clamped(x, h - 1));
-    }
-    for y in 1..h - 1 {
-        out.set(0, y, clamped(0, y));
-        out.set(w - 1, y, clamped(w - 1, y));
-    }
-    out
+        // Interior fast path: the kernel window never leaves the image, so
+        // each output row is a branch-free sweep over three flat source rows
+        // — a shape the autovectoriser turns into SIMD lanes, where the
+        // clamped per-pixel closure cannot.
+        for y in 1..h - 1 {
+            let above = img.row(y - 1);
+            let mid = img.row(y);
+            let below = img.row(y + 1);
+            let orow = &mut out[y * w..(y + 1) * w];
+            for x in 1..w - 1 {
+                // Same row-major term order as the clamped path, so integer
+                // accumulation is bit-identical.
+                let acc = kernel[0] * above[x - 1] as i32
+                    + kernel[1] * above[x] as i32
+                    + kernel[2] * above[x + 1] as i32
+                    + kernel[3] * mid[x - 1] as i32
+                    + kernel[4] * mid[x] as i32
+                    + kernel[5] * mid[x + 1] as i32
+                    + kernel[6] * below[x - 1] as i32
+                    + kernel[7] * below[x] as i32
+                    + kernel[8] * below[x + 1] as i32;
+                orow[x] = acc / divisor;
+            }
+        }
+        for x in 0..w {
+            out[x] = clamped(x, 0);
+            out[(h - 1) * w + x] = clamped(x, h - 1);
+        }
+        for y in 1..h - 1 {
+            out[y * w] = clamped(0, y);
+            out[y * w + w - 1] = clamped(w - 1, y);
+        }
+    })
 }
 
 /// Horizontal Sobel gradient.
@@ -116,28 +135,31 @@ pub fn sobel_y(img: &Image<u8>) -> Image<i32> {
 pub fn sobel_magnitude(img: &Image<u8>) -> Image<u8> {
     let gx = sobel_x(img);
     let gy = sobel_y(img);
-    let data = gx
-        .as_slice()
-        .iter()
-        .zip(gy.as_slice())
-        .map(|(&x, &y)| {
+    let (w, h) = img.dimensions();
+    Image::leased_full(w, h, |out| {
+        for ((o, &x), &y) in out.iter_mut().zip(gx.as_slice()).zip(gy.as_slice()) {
             let m = ((x as f64).powi(2) + (y as f64).powi(2)).sqrt();
-            m.min(255.0) as u8
-        })
-        .collect();
-    Image::from_raw(img.width(), img.height(), data)
+            *o = m.min(255.0) as u8;
+        }
+    })
 }
 
 /// 3×3 box blur.
 pub fn box_blur(img: &Image<u8>) -> Image<u8> {
-    convolve3x3(img, &[1; 9], 9).map(|p| p.clamp(0, 255) as u8)
+    let conv = convolve3x3(img, &[1; 9], 9);
+    let (w, h) = img.dimensions();
+    Image::leased_full(w, h, |out| {
+        for (o, &p) in out.iter_mut().zip(conv.as_slice()) {
+            *o = p.clamp(0, 255) as u8;
+        }
+    })
 }
 
 /// 3×3 binary erosion: a pixel stays 255 only if its whole 8-neighbourhood
 /// (clamped at borders) is 255.
 pub fn erode3x3(img: &Image<u8>) -> Image<u8> {
     let (w, h) = img.dimensions();
-    Image::from_fn(w, h, |x, y| {
+    let probe = |x: usize, y: usize| {
         for ky in -1i64..=1 {
             for kx in -1i64..=1 {
                 let sx = (x as i64 + kx).clamp(0, w as i64 - 1) as usize;
@@ -148,13 +170,20 @@ pub fn erode3x3(img: &Image<u8>) -> Image<u8> {
             }
         }
         255
+    };
+    Image::leased_full(w, h, |out| {
+        for y in 0..h {
+            for x in 0..w {
+                out[y * w + x] = probe(x, y);
+            }
+        }
     })
 }
 
 /// 3×3 binary dilation: a pixel becomes 255 if any 8-neighbour is 255.
 pub fn dilate3x3(img: &Image<u8>) -> Image<u8> {
     let (w, h) = img.dimensions();
-    Image::from_fn(w, h, |x, y| {
+    let probe = |x: usize, y: usize| {
         for ky in -1i64..=1 {
             for kx in -1i64..=1 {
                 let sx = (x as i64 + kx).clamp(0, w as i64 - 1) as usize;
@@ -165,6 +194,13 @@ pub fn dilate3x3(img: &Image<u8>) -> Image<u8> {
             }
         }
         0
+    };
+    Image::leased_full(w, h, |out| {
+        for y in 0..h {
+            for x in 0..w {
+                out[y * w + x] = probe(x, y);
+            }
+        }
     })
 }
 

@@ -22,11 +22,14 @@ impl Window {
     ///
     /// The resulting `rect` reflects the clipped placement, so
     /// `pixels.dimensions()` always agrees with `(rect.w, rect.h)`.
+    /// The pixels are staged into a buffer leased from the frame arena,
+    /// so a tracking loop extracting windows every frame recycles the
+    /// same buffers instead of allocating per window.
     pub fn extract(frame: &Image<u8>, rect: Rect) -> Window {
         let (x0, y0, w, h) = rect.clip_to(frame.width(), frame.height());
         Window {
             rect: Rect::new(x0 as i64, y0 as i64, w as i64, h as i64),
-            pixels: frame.crop(x0, y0, w, h),
+            pixels: frame.crop_leased(x0, y0, w, h),
         }
     }
 
